@@ -1,0 +1,297 @@
+//! Activation-management strategies for the §V-E ablation (Fig. 9a,
+//! Table V).
+//!
+//! All strategies run inside Ratel's runtime (model states on SSD, active
+//! gradient offloading); only the activation decision differs:
+//!
+//! * `RatelZero` — DeepSpeed's static policy: swap only the inter-block
+//!   checkpoints, recompute everything else.
+//! * `Capuchin` — cost-aware swap-vs-recompute, but only into host memory
+//!   (Capuchin predates SSD offloading): the convex walk with SSD spill
+//!   disabled.
+//! * `G10` — swap *everything*, spilling past `MEM_avail` to the SSDs,
+//!   no recomputation (G10's inactive-time policy offloads all).
+//! * `Checkmate` — memory-optimal rematerialization into host memory:
+//!   fill the entire host budget with the highest-benefit activations
+//!   (its MILP minimizes recomputation under a memory budget and ignores
+//!   interconnect traffic). Its solver needs to keep a sizable fraction
+//!   of the activation set resident, so it fails outright on very small
+//!   memory (Table V's "Failed" cell at 128 GB).
+//! * `RatelOptimized` — the full holistic planner.
+
+use ratel::offload::GradOffloadMode;
+use ratel::planner::{ActivationPlanner, SwapPlan};
+use ratel::profile::HardwareProfile;
+use ratel::report::IterationReport;
+use ratel::schedule::RatelSchedule;
+use ratel_hw::ServerConfig;
+use ratel_model::{ModelConfig, ModelProfile};
+
+/// An activation-management strategy grafted onto Ratel's runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActStrategy {
+    /// Static ZeRO-style checkpoint-only swapping ("Ratel+ZeRO").
+    RatelZero,
+    /// Capuchin's host-only cost-aware policy ("Ratel+Cap").
+    Capuchin,
+    /// G10's swap-everything policy ("Ratel+G10").
+    G10,
+    /// Checkmate's memory-optimal rematerialization ("Ratel+CM").
+    Checkmate,
+    /// The holistic traffic-aware planner ("Ratel+Optimized").
+    RatelOptimized,
+}
+
+/// Fraction of `A_all` Checkmate's formulation needs resident in host
+/// memory to produce a plan (below this it reports infeasible).
+const CHECKMATE_MIN_RESIDENT_FRACTION: f64 = 0.25;
+
+/// Host-only strategies keep roughly three times the checkpoint bytes
+/// resident (the checkpoints themselves plus double-buffered pinned
+/// staging), which is what pushes their adopted batch down as main
+/// memory shrinks (Table V).
+const HOST_ONLY_CHECKPOINT_FACTOR: f64 = 2.8;
+
+impl ActStrategy {
+    /// All strategies in the paper's legend order.
+    pub const ALL: [ActStrategy; 5] = [
+        ActStrategy::RatelZero,
+        ActStrategy::Capuchin,
+        ActStrategy::G10,
+        ActStrategy::Checkmate,
+        ActStrategy::RatelOptimized,
+    ];
+
+    /// Display name matching Fig. 9a / Table V.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActStrategy::RatelZero => "Ratel+ZeRO",
+            ActStrategy::Capuchin => "Ratel+Cap",
+            ActStrategy::G10 => "Ratel+G10",
+            ActStrategy::Checkmate => "Ratel+CM",
+            ActStrategy::RatelOptimized => "Ratel+Optimized",
+        }
+    }
+
+    /// Whether the strategy can run `model` at `batch` on `server`
+    /// (beyond Ratel's own feasibility, host-only strategies must fit
+    /// their resident activations in main memory).
+    pub fn feasible(self, server: &ServerConfig, model: &ModelConfig, batch: usize) -> bool {
+        let profile = ModelProfile::new(model, batch);
+        if ratel::RatelMemoryModel::default()
+            .check(server, &profile)
+            .is_err()
+        {
+            return false;
+        }
+        let hw = HardwareProfile::measure(server, &profile, batch);
+        match self {
+            ActStrategy::RatelOptimized | ActStrategy::G10 => true,
+            // Host-only strategies need the checkpoint working set (with
+            // its pinned staging) resident in main memory.
+            ActStrategy::RatelZero | ActStrategy::Capuchin => {
+                HOST_ONLY_CHECKPOINT_FACTOR * profile.inter_act_bytes() <= hw.mem_avail
+            }
+            ActStrategy::Checkmate => {
+                HOST_ONLY_CHECKPOINT_FACTOR * profile.inter_act_bytes() <= hw.mem_avail
+                    && CHECKMATE_MIN_RESIDENT_FRACTION * profile.total_act_bytes() <= hw.mem_avail
+            }
+        }
+    }
+
+    /// Largest feasible batch among `candidates`.
+    pub fn adopt_batch(
+        self,
+        server: &ServerConfig,
+        model: &ModelConfig,
+        candidates: &[usize],
+    ) -> Option<usize> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&b| self.feasible(server, model, b))
+            .max()
+    }
+
+    /// Builds this strategy's swap plan.
+    pub fn plan(self, hw: &HardwareProfile, profile: &ModelProfile) -> SwapPlan {
+        match self {
+            ActStrategy::RatelOptimized => ActivationPlanner::new(hw, profile).plan(),
+            ActStrategy::RatelZero => {
+                // Checkpoints only: target 0 extra bytes beyond the floor.
+                ActivationPlanner::new(hw, profile).plan_with_swap_bytes(0.0)
+            }
+            ActStrategy::Capuchin => {
+                let mut planner = ActivationPlanner::new(hw, profile);
+                planner.allow_ssd_spill = false;
+                planner.plan()
+            }
+            ActStrategy::G10 => {
+                let planner = ActivationPlanner::new(hw, profile);
+                planner.plan_with_swap_bytes(f64::INFINITY)
+            }
+            ActStrategy::Checkmate => {
+                // Fill the host budget completely, nothing on SSD.
+                let mut planner = ActivationPlanner::new(hw, profile);
+                planner.allow_ssd_spill = false;
+                planner.plan_with_swap_bytes(hw.mem_avail)
+            }
+        }
+    }
+
+    /// Simulates one iteration at `batch`; `None` if infeasible.
+    pub fn simulate(
+        self,
+        server: &ServerConfig,
+        model: &ModelConfig,
+        batch: usize,
+    ) -> Option<IterationReport> {
+        if !self.feasible(server, model, batch) {
+            return None;
+        }
+        let profile = ModelProfile::new(model, batch);
+        let hw = HardwareProfile::measure(server, &profile, batch);
+        let mut plan = self.plan(&hw, &profile);
+        if matches!(self, ActStrategy::Capuchin | ActStrategy::Checkmate) {
+            // Host-only plans must not spill; clamp defensively.
+            plan.spill_bytes = 0.0;
+        }
+        Some(
+            RatelSchedule {
+                profile: &hw,
+                model: &profile,
+                plan: &plan,
+                mode: GradOffloadMode::OptimizedActive,
+                gpus: server.gpu_count,
+            }
+            .simulate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_hw::units::GIB;
+    use ratel_model::zoo;
+
+    fn server(gib: u64) -> ServerConfig {
+        ServerConfig::paper_default().with_main_memory(gib * GIB)
+    }
+
+    const TABLE_V_BATCHES: [usize; 3] = [16, 24, 32];
+
+    #[test]
+    fn checkmate_fails_at_128g_like_table_v() {
+        let m = zoo::llm("70B");
+        assert_eq!(
+            ActStrategy::Checkmate.adopt_batch(&server(128), &m, &TABLE_V_BATCHES),
+            None
+        );
+        assert!(ActStrategy::Checkmate
+            .adopt_batch(&server(256), &m, &TABLE_V_BATCHES)
+            .is_some());
+    }
+
+    #[test]
+    fn ssd_backed_strategies_keep_batch_32_at_any_memory() {
+        let m = zoo::llm("70B");
+        for gib in [128u64, 256, 512] {
+            for s in [ActStrategy::RatelOptimized, ActStrategy::G10] {
+                assert_eq!(
+                    s.adopt_batch(&server(gib), &m, &TABLE_V_BATCHES),
+                    Some(32),
+                    "{} at {gib} GiB",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn host_only_strategies_lose_batch_with_less_memory() {
+        let m = zoo::llm("70B");
+        let b128 = ActStrategy::Capuchin
+            .adopt_batch(&server(128), &m, &TABLE_V_BATCHES)
+            .unwrap_or(0);
+        let b512 = ActStrategy::Capuchin
+            .adopt_batch(&server(512), &m, &TABLE_V_BATCHES)
+            .unwrap_or(0);
+        assert!(b128 <= b512, "{b128} vs {b512}");
+        assert_eq!(b512, 32);
+    }
+
+    #[test]
+    fn ratel_optimized_wins_fig9a_at_every_memory_size() {
+        let m = zoo::llm("70B");
+        for gib in [128u64, 256, 512] {
+            let s = server(gib);
+            let ratel = {
+                let b = ActStrategy::RatelOptimized
+                    .adopt_batch(&s, &m, &TABLE_V_BATCHES)
+                    .unwrap();
+                ActStrategy::RatelOptimized
+                    .simulate(&s, &m, b)
+                    .unwrap()
+                    .throughput_items_per_sec
+            };
+            for other in [
+                ActStrategy::RatelZero,
+                ActStrategy::Capuchin,
+                ActStrategy::G10,
+                ActStrategy::Checkmate,
+            ] {
+                let tput = other
+                    .adopt_batch(&s, &m, &TABLE_V_BATCHES)
+                    .and_then(|b| other.simulate(&s, &m, b))
+                    .map(|r| r.throughput_items_per_sec)
+                    .unwrap_or(0.0);
+                assert!(
+                    ratel >= tput * 0.999,
+                    "{gib} GiB: Ratel {ratel:.0} vs {} {tput:.0}",
+                    other.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratel_throughput_is_steady_across_memory_sizes() {
+        // Fig. 9a: Ratel's bars barely move from 512 GB to 128 GB because
+        // activations spill to the SSDs instead of shrinking the batch.
+        let m = zoo::llm("70B");
+        let tput = |gib: u64| {
+            ActStrategy::RatelOptimized
+                .simulate(&server(gib), &m, 32)
+                .unwrap()
+                .throughput_items_per_sec
+        };
+        let lo = tput(128);
+        let hi = tput(512);
+        assert!(
+            lo > 0.75 * hi,
+            "throughput collapsed with memory: {lo:.0} vs {hi:.0}"
+        );
+    }
+
+    #[test]
+    fn g10_plan_swaps_everything() {
+        let m = zoo::llm("13B");
+        let profile = ModelProfile::new(&m, 32);
+        let hw = HardwareProfile::measure(&ServerConfig::paper_default(), &profile, 32);
+        let plan = ActStrategy::G10.plan(&hw, &profile);
+        assert!(plan.flop_r < 1e9, "G10 must not recompute: {:.2e}", plan.flop_r);
+        let total = profile.total_act_bytes();
+        assert!((plan.a_g2m - total).abs() / total < 0.01);
+    }
+
+    #[test]
+    fn zero_plan_swaps_only_checkpoints() {
+        let m = zoo::llm("13B");
+        let profile = ModelProfile::new(&m, 32);
+        let hw = HardwareProfile::measure(&ServerConfig::paper_default(), &profile, 32);
+        let plan = ActStrategy::RatelZero.plan(&hw, &profile);
+        assert_eq!(plan.swapped.len(), 0);
+        assert!((plan.a_g2m - profile.inter_act_bytes()).abs() < 1.0);
+    }
+}

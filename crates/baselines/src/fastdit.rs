@@ -1,0 +1,103 @@
+//! Fast-DiT: the in-GPU diffusion-transformer trainer (§V-H, Fig. 12).
+//!
+//! Fast-DiT keeps model states *and* activations in device memory, so it
+//! OOMs quickly as the backbone grows and must shrink the batch long
+//! before that, which is exactly what Fig. 12 shows. Its iteration time
+//! is pure compute (no offloading traffic).
+
+use ratel_hw::GpuSpec;
+use ratel_model::{ModelConfig, ModelProfile};
+
+/// Fixed CUDA/runtime overhead Fast-DiT needs on the device.
+const GPU_OVERHEAD_BYTES: f64 = 1.5e9;
+
+/// Result of a Fast-DiT iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastDitReport {
+    /// Iteration seconds.
+    pub iteration_seconds: f64,
+    /// Images per second.
+    pub images_per_sec: f64,
+}
+
+/// Whether the model at `batch` fits entirely in `gpu` memory: 16
+/// bytes/param of states plus all activations.
+pub fn feasible(gpu: &GpuSpec, model: &ModelConfig, batch: usize) -> bool {
+    let profile = ModelProfile::new(model, batch);
+    let need = 16.0 * profile.total_params() + profile.total_act_bytes() + GPU_OVERHEAD_BYTES;
+    need <= gpu.memory_bytes as f64
+}
+
+/// Simulates one iteration; `None` on OOM.
+pub fn simulate(gpu: &GpuSpec, model: &ModelConfig, batch: usize) -> Option<FastDitReport> {
+    if !feasible(gpu, model, batch) {
+        return None;
+    }
+    let profile = ModelProfile::new(model, batch);
+    let t = 3.0 * profile.forward_flops() / gpu.effective_flops(batch);
+    Some(FastDitReport {
+        iteration_seconds: t,
+        images_per_sec: batch as f64 / t,
+    })
+}
+
+/// Peak images/s over a batch sweep; `None` if nothing fits.
+pub fn best_images_per_sec(
+    gpu: &GpuSpec,
+    model: &ModelConfig,
+    batches: &[usize],
+) -> Option<(usize, f64)> {
+    batches
+        .iter()
+        .filter_map(|&b| simulate(gpu, model, b).map(|r| (b, r.images_per_sec)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_model::zoo;
+
+    #[test]
+    fn fastdit_ooms_on_10b_and_above() {
+        // Fig. 12: the 10B/20B/40B DiT backbones OOM on a 24 GB GPU.
+        let gpu = GpuSpec::rtx4090();
+        let dits = zoo::dit_ladder();
+        for m in &dits {
+            let fits = feasible(&gpu, m, 1);
+            if m.size_billions() >= 2.0 {
+                assert!(!fits, "{} should OOM", m.name);
+            } else {
+                assert!(fits, "{} should fit at batch 1", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_size_shrinks_with_model_size() {
+        let gpu = GpuSpec::rtx4090();
+        let batches = [1usize, 2, 4, 8, 16, 32, 64];
+        let max_batch = |name: &str| {
+            let m = zoo::dit_ladder()
+                .into_iter()
+                .find(|m| m.name == name)
+                .unwrap();
+            batches
+                .iter()
+                .copied()
+                .filter(|&b| feasible(&gpu, &m, b))
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(max_batch("DiT-0.67B") > max_batch("DiT-1.4B"));
+        assert_eq!(max_batch("DiT-10B"), 0);
+    }
+
+    #[test]
+    fn throughput_is_finite_and_positive_when_feasible() {
+        let gpu = GpuSpec::rtx4090();
+        let m = &zoo::dit_ladder()[0];
+        let (_, imgs) = best_images_per_sec(&gpu, m, &[1, 2, 4, 8, 16, 32]).unwrap();
+        assert!(imgs > 1.0 && imgs.is_finite(), "{imgs}");
+    }
+}

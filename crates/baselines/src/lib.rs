@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! The paper's comparison systems, each reimplemented as a *strategy*:
+//! a memory/feasibility model plus an iteration-schedule builder over the
+//! same simulator substrate Ratel uses.
+//!
+//! * [`systems`] — whole training systems for the end-to-end comparisons
+//!   (Figs. 1/2/5/6/10/11): ZeRO-Infinity, ZeRO-Offload, Colossal-AI,
+//!   FlashNeuron, and G10.
+//! * [`act_strategies`] — activation-management strategies grafted onto
+//!   Ratel's runtime for the §V-E ablation (Fig. 9a / Table V): static
+//!   ZeRO-style checkpointing, Capuchin, G10's swap-everything policy,
+//!   and a Checkmate-style memory-optimal rematerializer.
+//! * [`megatron`] — Megatron-LM tensor parallelism on a DGX-A100 for the
+//!   cost-effectiveness comparison (Fig. 13).
+//! * [`fastdit`] — the in-GPU Fast-DiT trainer for the diffusion workload
+//!   (Fig. 12).
+//!
+//! Calibration constants follow DESIGN.md; every deviation from the
+//! paper's absolute numbers is tracked in EXPERIMENTS.md.
+
+pub mod act_strategies;
+pub mod fastdit;
+pub mod megatron;
+pub mod systems;
+
+pub use act_strategies::ActStrategy;
+pub use systems::System;

@@ -1,0 +1,102 @@
+//! Megatron-LM tensor parallelism on a DGX-A100 (§V-I, Fig. 13).
+//!
+//! Megatron keeps everything in GPU memory across 8 NVLink-connected
+//! A100-80G GPUs and never offloads, so its iteration time is an analytic
+//! compute + all-reduce model rather than a task graph over PCIe/SSD
+//! resources: per layer, tensor parallelism all-reduces the activations
+//! twice in forward and twice in backward over 600 GB/s NVLink.
+
+use ratel_hw::GpuSpec;
+use ratel_model::{ModelConfig, ModelProfile};
+
+/// NVLink all-reduce bus bandwidth per GPU, bytes/s (A100 NVSwitch).
+const NVLINK_BUS_BW: f64 = 300e9;
+/// Fraction of peak an 8-way tensor-parallel transformer sustains
+/// (kernel splits shrink per-GPU matmul sizes).
+const TP_EFFICIENCY: f64 = 0.62;
+/// GPUs in the DGX-A100.
+pub const DGX_GPUS: usize = 8;
+
+/// Result of the Megatron model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MegatronReport {
+    /// Iteration seconds.
+    pub iteration_seconds: f64,
+    /// Tokens per second.
+    pub tokens_per_sec: f64,
+}
+
+/// Whether the DGX can hold `model` at `batch` with 8-way tensor
+/// parallelism (16 bytes/param of states + the activation working set,
+/// both sharded).
+pub fn feasible(model: &ModelConfig, batch: usize) -> bool {
+    let profile = ModelProfile::new(model, batch);
+    let p = profile.total_params();
+    // Megatron checkpoints activations (keeps the inter-layer tensors,
+    // recomputes within blocks), so only the checkpoints count here; the
+    // recompute cost is folded into `simulate`'s 3.3x forward factor.
+    let per_gpu =
+        (16.0 * p + profile.inter_act_bytes()) / DGX_GPUS as f64 + 4e9;
+    per_gpu <= GpuSpec::a100_80g().memory_bytes as f64
+}
+
+/// Simulates one Megatron iteration; `None` if it does not fit.
+pub fn simulate(model: &ModelConfig, batch: usize) -> Option<MegatronReport> {
+    if !feasible(model, batch) {
+        return None;
+    }
+    let profile = ModelProfile::new(model, batch);
+    let gpu = GpuSpec::a100_80g();
+    let thp = gpu.effective_flops(batch) * TP_EFFICIENCY * DGX_GPUS as f64;
+    // 3x for forward+backward plus ~0.3x for checkpoint recomputation.
+    let compute = 3.3 * profile.forward_flops() / thp;
+    // 4 all-reduces of the b*s*h activation per layer per iteration
+    // (2 forward + 2 backward), ring cost 2(g-1)/g per byte.
+    let msg = (batch * model.seq_len * model.hidden) as f64 * 2.0;
+    let g = DGX_GPUS as f64;
+    let allreduce =
+        4.0 * model.layers as f64 * msg * (2.0 * (g - 1.0) / g) / (NVLINK_BUS_BW * g);
+    let t = compute + allreduce;
+    Some(MegatronReport {
+        iteration_seconds: t,
+        tokens_per_sec: (batch * model.seq_len) as f64 / t,
+    })
+}
+
+/// Peak tokens/s over a batch sweep.
+pub fn best_tokens_per_sec(model: &ModelConfig, batches: &[usize]) -> Option<(usize, f64)> {
+    batches
+        .iter()
+        .filter_map(|&b| simulate(model, b).map(|r| (b, r.tokens_per_sec)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_model::zoo;
+
+    #[test]
+    fn thirty_b_is_the_largest_dgx_model() {
+        // §V-I: "the 30B model (the largest model Megatron-LM can
+        // fine-tune on the DGX machine)".
+        assert!(feasible(&zoo::llm("30B"), 8));
+        assert!(!feasible(&zoo::llm("70B"), 8));
+    }
+
+    #[test]
+    fn dgx_throughput_is_in_the_thousands() {
+        // 8 A100s on a 30B model: multiple thousand tokens/s.
+        let (_, tput) = best_tokens_per_sec(&zoo::llm("30B"), &[8, 16, 32]).unwrap();
+        assert!((2_000.0..20_000.0).contains(&tput), "{tput:.0}");
+    }
+
+    #[test]
+    fn allreduce_overhead_is_minor_on_nvlink() {
+        let r8 = simulate(&zoo::llm("30B"), 8).unwrap();
+        let r32 = simulate(&zoo::llm("30B"), 32).unwrap();
+        // Throughput grows with batch (compute efficiency), comm stays
+        // proportionally small.
+        assert!(r32.tokens_per_sec > r8.tokens_per_sec);
+    }
+}

@@ -1,0 +1,123 @@
+//! Benchmarks of the real out-of-core engine: a full training step under
+//! each activation policy, against the in-memory reference.
+
+use ratel::engine::scaler::ScalePolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratel::engine::data::random_batch;
+use ratel::engine::reference::ReferenceTrainer;
+use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
+use ratel_tensor::{AdamParams, GptConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let model = GptConfig::tiny();
+    let (tokens, targets) = random_batch(&model, 1);
+
+    let make = |acts: Vec<ActDecision>, active: bool| {
+        RatelEngine::new(EngineConfig {
+            model,
+            seed: 42,
+            adam: AdamParams::default(),
+            act_decisions: acts,
+            gpu_capacity: None,
+            host_capacity: None,
+            active_offload: active,
+            loss_scale: ScalePolicy::None,
+            grad_clip: None,
+            lr_schedule: ratel::engine::lr::LrSchedule::Constant,
+            dropout: None,
+            prefetch_params: false,
+            frozen_layers: Vec::new(),
+        })
+        .unwrap()
+    };
+
+    let mut swap_host = make(vec![ActDecision::SwapToHost; model.layers], true);
+    c.bench_function("engine/step_swap_host", |b| {
+        b.iter(|| std::hint::black_box(swap_host.train_step(&tokens, &targets).unwrap().loss))
+    });
+
+    let mut swap_ssd = make(vec![ActDecision::SwapToSsd; model.layers], true);
+    c.bench_function("engine/step_swap_ssd", |b| {
+        b.iter(|| std::hint::black_box(swap_ssd.train_step(&tokens, &targets).unwrap().loss))
+    });
+
+    let mut recompute = make(vec![ActDecision::Recompute; model.layers], true);
+    c.bench_function("engine/step_recompute", |b| {
+        b.iter(|| std::hint::black_box(recompute.train_step(&tokens, &targets).unwrap().loss))
+    });
+
+    let mut separate = make(vec![ActDecision::SwapToHost; model.layers], false);
+    c.bench_function("engine/step_separate_stage", |b| {
+        b.iter(|| std::hint::black_box(separate.train_step(&tokens, &targets).unwrap().loss))
+    });
+
+    let mut reference = ReferenceTrainer::new(model, 42, AdamParams::default());
+    c.bench_function("engine/step_in_memory_reference", |b| {
+        b.iter(|| std::hint::black_box(reference.train_step(&tokens, &targets)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine
+}
+criterion_main!(benches, feature_benches);
+
+fn bench_engine_features(c: &mut Criterion) {
+    use ratel::engine::data::random_batch;
+    let model = GptConfig::tiny();
+    let (tokens, targets) = random_batch(&model, 2);
+
+    let mk = || {
+        RatelEngine::new(EngineConfig {
+            model,
+            seed: 42,
+            adam: AdamParams::default(),
+            act_decisions: vec![ActDecision::SwapToHost; model.layers],
+            gpu_capacity: None,
+            host_capacity: None,
+            active_offload: true,
+            loss_scale: ratel::engine::scaler::ScalePolicy::Static(1024.0),
+            grad_clip: Some(1.0),
+            lr_schedule: ratel::engine::lr::LrSchedule::Constant,
+            dropout: None,
+            prefetch_params: false,
+            frozen_layers: Vec::new(),
+        })
+        .unwrap()
+    };
+
+    let mut accum = mk();
+    let micros = vec![
+        (tokens.clone(), targets.clone()),
+        (tokens.clone(), targets.clone()),
+    ];
+    c.bench_function("engine/step_accumulated_2micro", |b| {
+        b.iter(|| std::hint::black_box(accum.train_step_accumulated(&micros).unwrap().loss))
+    });
+
+    let mut gen = mk();
+    c.bench_function("engine/generate_4_tokens", |b| {
+        b.iter(|| std::hint::black_box(gen.generate(&tokens[..8], 4).unwrap()))
+    });
+
+    c.bench_function("engine/profiling_stage", |b| {
+        b.iter(|| {
+            let store = ratel_storage::TieredStore::new(
+                ratel_storage::TierConfig::unbounded_temp(),
+            )
+            .unwrap();
+            std::hint::black_box(
+                ratel::engine::profiler::MeasuredProfile::measure(model, &store, 1 << 16)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = feature_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_features
+}

@@ -1,0 +1,24 @@
+//! Criterion benches regenerating every figure/table of the paper — one
+//! group per figure, so `cargo bench` both times the harness and re-runs
+//! the full reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratel_bench::figs;
+
+fn bench_figures(c: &mut Criterion) {
+    for id in figs::ALL {
+        c.bench_function(&format!("repro/{id}"), |b| {
+            b.iter(|| {
+                let tables = figs::run(id).expect("known figure id");
+                std::hint::black_box(tables.len())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

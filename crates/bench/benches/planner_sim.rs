@@ -1,0 +1,56 @@
+//! Benchmarks of the planning and simulation machinery: Algorithm 1, the
+//! analytic iteration-time model, and the discrete-event simulator on a
+//! full 13B iteration graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratel::offload::GradOffloadMode;
+use ratel::planner::ActivationPlanner;
+use ratel::profile::HardwareProfile;
+use ratel::schedule::RatelSchedule;
+use ratel_hw::ServerConfig;
+use ratel_model::{zoo, ModelProfile};
+use ratel_sim::simulate;
+
+fn bench_planner_sim(c: &mut Criterion) {
+    let server = ServerConfig::paper_default();
+    let model = ModelProfile::new(&zoo::llm("13B"), 32);
+    let hw = HardwareProfile::measure(&server, &model, 32);
+
+    c.bench_function("planner/algorithm1_13b", |b| {
+        b.iter(|| std::hint::black_box(ActivationPlanner::new(&hw, &model).plan()))
+    });
+
+    let planner = ActivationPlanner::new(&hw, &model);
+    c.bench_function("planner/iter_time_eval", |b| {
+        b.iter(|| std::hint::black_box(planner.iter_time(100e9, 500e12)))
+    });
+
+    let plan = planner.plan();
+    let sched = RatelSchedule {
+        profile: &hw,
+        model: &model,
+        plan: &plan,
+        mode: GradOffloadMode::OptimizedActive,
+        gpus: 1,
+    };
+    let (graph, _, _) = sched.to_spec().build();
+    c.bench_function("sim/build_13b_iteration_graph", |b| {
+        b.iter(|| std::hint::black_box(sched.to_spec().build().0.len()))
+    });
+    c.bench_function("sim/simulate_13b_iteration", |b| {
+        b.iter(|| std::hint::black_box(simulate(&graph).makespan))
+    });
+
+    let big = ModelProfile::new(&zoo::llm("175B"), 8);
+    let big_hw = HardwareProfile::measure(&server, &big, 8);
+    c.bench_function("planner/algorithm1_175b", |b| {
+        b.iter(|| std::hint::black_box(ActivationPlanner::new(&big_hw, &big).plan()))
+    });
+
+    c.bench_function("profile/hardware_measure", |b| {
+        b.iter(|| std::hint::black_box(HardwareProfile::measure(&server, &model, 32)))
+    });
+}
+
+criterion_group!(benches, bench_planner_sim);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the tensor substrate: the kernels the real engine
+//! spends its time in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratel_tensor::ops::{gelu, layernorm, matmul, softmax_rows};
+use ratel_tensor::{Adam, AdamParams, MultiHeadAttention, Tensor, TransformerBlock};
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let a = Tensor::randn(&[128, 256], 1.0, 1);
+    let b = Tensor::randn(&[256, 128], 1.0, 2);
+    c.bench_function("tensor/matmul_128x256x128", |bch| {
+        bch.iter(|| std::hint::black_box(matmul(&a, &b)))
+    });
+
+    let x = Tensor::randn(&[512, 256], 1.0, 3);
+    let gamma = Tensor::full(&[256], 1.0);
+    let beta = Tensor::zeros(&[256]);
+    c.bench_function("tensor/layernorm_512x256", |bch| {
+        bch.iter(|| std::hint::black_box(layernorm(&x, &gamma, &beta, 1e-5)))
+    });
+    c.bench_function("tensor/gelu_512x256", |bch| {
+        bch.iter(|| std::hint::black_box(gelu(&x)))
+    });
+    c.bench_function("tensor/softmax_512x256", |bch| {
+        bch.iter(|| std::hint::black_box(softmax_rows(&x)))
+    });
+
+    let attn = MultiHeadAttention::new(128, 8, 4);
+    let ax = Tensor::randn(&[2 * 64, 128], 0.5, 5);
+    c.bench_function("tensor/attention_fwd_b2_s64_h128", |bch| {
+        bch.iter(|| std::hint::black_box(attn.forward(&ax, 2, 64)))
+    });
+
+    let block = TransformerBlock::new(2, 64, 128, 8, 6);
+    let bx = Tensor::randn(&[2 * 64, 128], 0.5, 7);
+    let (_, saved) = block.forward(&bx);
+    let dy = Tensor::randn(&[2 * 64, 128], 1.0, 8);
+    c.bench_function("tensor/block_fwd_b2_s64_h128", |bch| {
+        bch.iter(|| std::hint::black_box(block.forward(&bx)))
+    });
+    c.bench_function("tensor/block_bwd_b2_s64_h128", |bch| {
+        bch.iter(|| std::hint::black_box(block.backward(&bx, &saved, &dy)))
+    });
+
+    let n = 1 << 16;
+    let mut adam = Adam::new(n);
+    let mut params = vec![0.1f32; n];
+    let grads = vec![0.01f32; n];
+    c.bench_function("tensor/adam_64k_params", |bch| {
+        bch.iter(|| {
+            adam.step(&mut params, &grads, &AdamParams::default());
+            std::hint::black_box(params[0])
+        })
+    });
+
+    let vals: Vec<f32> = (0..n).map(|i| i as f32 * 0.001 - 30.0).collect();
+    c.bench_function("tensor/f16_encode_64k", |bch| {
+        bch.iter(|| std::hint::black_box(ratel_tensor::dtype::encode_f16(&vals)))
+    });
+}
+
+criterion_group!(benches, bench_tensor_ops);
+criterion_main!(benches);

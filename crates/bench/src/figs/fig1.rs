@@ -1,0 +1,127 @@
+//! Figure 1: per-stage breakdown and PCIe utilization of ZeRO-Infinity,
+//! G10, and Ratel fine-tuning the 13B model at batch 32 on the paper's
+//! 12-SSD server.
+
+use ratel::offload::GradOffloadMode;
+use ratel::planner::ActivationPlanner;
+use ratel::profile::HardwareProfile;
+use ratel::schedule::RatelSchedule;
+use ratel_baselines::System;
+use ratel_model::{zoo, ModelProfile};
+use ratel_sim::Stage;
+
+use crate::figs::util_pct;
+use crate::table::{fnum, Table};
+use crate::{gpudirect_4090, paper_server};
+
+/// Regenerates Fig. 1a/1b/1c as one table per system.
+pub fn run() -> Vec<Table> {
+    let model = zoo::llm("13B");
+    let batch = 32;
+    let mut out = Vec::new();
+    let cases = [
+        ("Fig 1a: ZeRO-Infinity", System::ZeroInfinity, paper_server()),
+        (
+            "Fig 1b: G10 (GPUDirect assumed, as in the paper's simulation)",
+            System::G10,
+            paper_server().with_gpu(gpudirect_4090()),
+        ),
+        ("Fig 1c: Ratel", System::Ratel, paper_server()),
+    ];
+    for (title, system, server) in cases {
+        let mut t = Table::new(
+            format!("{title} — 13B, batch 32, 12 SSDs"),
+            &[
+                "stage", "seconds", "PCIe M2G %", "PCIe G2M %", "SSD %", "GPU %",
+            ],
+        );
+        if let Some(r) = system.simulate(&server, &model, batch) {
+            for (stage, secs) in [
+                (Stage::Forward, r.stage_seconds[0]),
+                (Stage::Backward, r.stage_seconds[1]),
+                (Stage::Optimizer, r.stage_seconds[2]),
+            ] {
+                t.row(vec![
+                    stage.name().to_string(),
+                    fnum(secs, 1),
+                    fnum(util_pct(&r, "pcie-m2g0", stage), 0),
+                    fnum(util_pct(&r, "pcie-g2m0", stage), 0),
+                    fnum(util_pct(&r, "ssd", stage), 0),
+                    fnum(util_pct(&r, "gpu0", stage), 0),
+                ]);
+            }
+            t.row(vec![
+                "TOTAL".into(),
+                fnum(r.iteration_seconds, 1),
+                String::new(),
+                String::new(),
+                String::new(),
+                fnum(r.gpu_busy_fraction * 100.0, 0),
+            ]);
+        } else {
+            t.row(vec!["infeasible".into()]);
+        }
+        out.push(t);
+    }
+
+    // Steady state: four back-to-back Ratel iterations with the
+    // synchronous cross-iteration dependency, per-iteration time.
+    let profile = ModelProfile::new(&model, batch);
+    let server = paper_server();
+    let hw = HardwareProfile::measure(&server, &profile, batch);
+    let plan = ActivationPlanner::new(&hw, &profile).plan();
+    let spec = RatelSchedule {
+        profile: &hw,
+        model: &profile,
+        plan: &plan,
+        mode: GradOffloadMode::OptimizedActive,
+        gpus: 1,
+    }
+    .to_spec();
+    let mut steady = Table::new(
+        "Fig 1c addendum: Ratel steady state (4 chained iterations)",
+        &["iterations", "seconds/iteration"],
+    );
+    for n in [1usize, 2, 4] {
+        steady.row(vec![
+            n.to_string(),
+            fnum(spec.simulate_iterations(&profile, n).iteration_seconds, 1),
+        ]);
+    }
+    out.push(steady);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_systems_produce_breakdowns() {
+        let tables = run();
+        assert_eq!(tables.len(), 4);
+        for t in &tables[..3] {
+            assert_eq!(t.rows.len(), 4, "{}: {:?}", t.title, t.rows);
+        }
+    }
+
+    #[test]
+    fn steady_state_stays_close_to_single_shot() {
+        let tables = run();
+        let steady = &tables[3];
+        let one: f64 = steady.rows[0][1].parse().unwrap();
+        let four: f64 = steady.rows[2][1].parse().unwrap();
+        assert!((four - one).abs() / one < 0.1, "{one} vs {four}");
+    }
+
+    #[test]
+    fn ratel_total_is_fastest() {
+        let tables = run();
+        let total = |t: &Table| -> f64 { t.rows.last().unwrap()[1].parse().unwrap() };
+        let zero = total(&tables[0]);
+        let g10 = total(&tables[1]);
+        let ratel = total(&tables[2]);
+        assert!(ratel < zero, "ratel {ratel} vs zero {zero}");
+        assert!(ratel < g10, "ratel {ratel} vs g10 {g10}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 10: effect of the number of SSDs — Ratel vs ZeRO-Infinity on
+//! the 135B model (10a) and Ratel's TFLOPS on 13B at several batch sizes
+//! (10b).
+
+use ratel_baselines::System;
+use ratel_model::zoo;
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+const SSD_COUNTS: [usize; 5] = [1, 2, 3, 6, 12];
+
+/// Fig. 10a: max throughput fine-tuning 135B vs number of SSDs.
+pub fn run_a() -> Table {
+    let model = zoo::llm("135B");
+    let batches = [8usize, 16, 32, 48];
+    let mut t = Table::new(
+        "Fig 10a: throughput (token/s), 135B vs number of SSDs (best batch)",
+        &["SSDs", "ZeRO-Infinity", "Ratel"],
+    );
+    for n in SSD_COUNTS {
+        let server = paper_server().with_ssd_count(n);
+        let mut row = vec![n.to_string()];
+        for sys in [System::ZeroInfinity, System::Ratel] {
+            row.push(
+                sys.best_over_batches(&server, &model, &batches)
+                    .map(|(_, r)| fnum(r.throughput_items_per_sec, 1))
+                    .unwrap_or_else(|| "OOM".into()),
+            );
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Fig. 10b: Ratel's achieved TFLOPS on 13B vs number of SSDs.
+pub fn run_b() -> Table {
+    let model = zoo::llm("13B");
+    let mut t = Table::new(
+        "Fig 10b: Ratel TFLOPS, 13B vs number of SSDs",
+        &["SSDs", "bsz=32", "bsz=48", "bsz=64"],
+    );
+    for n in SSD_COUNTS {
+        let server = paper_server().with_ssd_count(n);
+        let mut row = vec![n.to_string()];
+        for b in [32usize, 48, 64] {
+            row.push(
+                System::Ratel
+                    .simulate(&server, &model, b)
+                    .map(|r| fnum(r.tflops, 0))
+                    .unwrap_or_else(|| "OOM".into()),
+            );
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10a_ratel_scales_then_flattens() {
+        let t = run_a();
+        let ratel: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        // Near-linear 1 -> 3.
+        assert!(ratel[2] / ratel[0] > 2.0, "{ratel:?}");
+        // Sub-linear 6 -> 12.
+        assert!(ratel[4] / ratel[3] < 1.7, "{ratel:?}");
+        // Monotone.
+        for w in ratel.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn fig10a_ratel_beats_zero_infinity_at_every_count() {
+        let t = run_a();
+        for row in &t.rows {
+            let zero: f64 = row[1].parse().unwrap();
+            let ratel: f64 = row[2].parse().unwrap();
+            assert!(ratel > zero, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn fig10b_larger_batches_need_fewer_ssds_to_saturate() {
+        let t = run_b();
+        // At 3 SSDs, batch 64 achieves a higher fraction of its final
+        // (12-SSD) TFLOPS than batch 32 does.
+        let col = |idx: usize| -> Vec<f64> {
+            t.rows.iter().map(|r| r[idx].parse().unwrap()).collect()
+        };
+        let b32 = col(1);
+        let b64 = col(3);
+        let frac32 = b32[2] / b32[4];
+        let frac64 = b64[2] / b64[4];
+        assert!(frac64 > frac32, "b32 {frac32:.2} vs b64 {frac64:.2}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 12: throughput on diffusion models — Ratel vs Fast-DiT over
+//! the Table VI DiT ladder at 512x512 inputs.
+
+use ratel_baselines::{fastdit, System};
+use ratel_model::zoo;
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+/// Regenerates Fig. 12 (images/s, best batch per system).
+pub fn run() -> Table {
+    let server = paper_server();
+    let batches = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut t = Table::new(
+        "Fig 12: throughput (image/s) on DiT models, RTX 4090",
+        &["model", "Fast-DiT", "Ratel"],
+    );
+    for model in zoo::dit_ladder() {
+        let fast = fastdit::best_images_per_sec(&server.gpu, &model, &batches)
+            .map(|(_, v)| fnum(v, 1))
+            .unwrap_or_else(|| "OOM".into());
+        let ratel = System::Ratel
+            .best_over_batches(&server, &model, &batches)
+            .map(|(_, r)| fnum(r.throughput_items_per_sec, 1))
+            .unwrap_or_else(|| "OOM".into());
+        t.row(vec![model.name.clone(), fast, ratel]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastdit_ooms_on_the_large_backbones() {
+        let t = run();
+        let oom_count = t.rows.iter().filter(|r| r[1] == "OOM").count();
+        assert!(oom_count >= 3, "{:?}", t.rows);
+        // Ratel trains all of them.
+        for row in &t.rows {
+            assert_ne!(row[2], "OOM", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn ratel_is_competitive_where_both_run() {
+        let t = run();
+        for row in &t.rows {
+            if let (Ok(fast), Ok(ratel)) = (row[1].parse::<f64>(), row[2].parse::<f64>()) {
+                // Ratel's larger feasible batch should at least keep it in
+                // the same league, and it wins as models grow.
+                assert!(ratel > fast * 0.5, "{row:?}");
+            }
+        }
+    }
+}

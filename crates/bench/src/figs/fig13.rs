@@ -1,0 +1,75 @@
+//! Figure 13: cost-effectiveness — tokens/s per 1000 USD of Ratel on a
+//! 4x RTX 4090 commodity server (varying SSD count) vs Megatron-LM on a
+//! DGX-A100.
+
+use ratel::cost::CostPoint;
+use ratel_baselines::{megatron, System};
+use ratel_model::zoo;
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+/// Regenerates Fig. 13 for the 30B model.
+pub fn run() -> Table {
+    let model = zoo::llm("30B");
+    let batches = [8usize, 16, 32, 64];
+    let mut t = Table::new(
+        "Fig 13: cost-effectiveness fine-tuning 30B (token/s per 1000 USD)",
+        &["config", "token/s", "price ($)", "token/s per k$"],
+    );
+    for ssds in [1usize, 2, 3, 6, 12] {
+        let server = paper_server().with_gpu_count(4).with_ssd_count(ssds);
+        let tput = System::Ratel
+            .best_over_batches(&server, &model, &batches)
+            .map(|(_, r)| r.throughput_items_per_sec)
+            .unwrap_or(0.0);
+        let p = CostPoint::commodity(&format!("Ratel 4x4090, {ssds} SSDs"), &server, tput);
+        t.row(vec![
+            p.label,
+            fnum(p.tokens_per_sec, 0),
+            fnum(p.price_usd, 0),
+            fnum(p.tokens_per_sec_per_kusd, 1),
+        ]);
+    }
+    let (_, mega) = megatron::best_tokens_per_sec(&model, &batches).expect("30B fits on DGX");
+    let p = CostPoint::dgx_a100("Megatron-LM DGX-A100", mega);
+    t.row(vec![
+        p.label,
+        fnum(p.tokens_per_sec, 0),
+        fnum(p.price_usd, 0),
+        fnum(p.tokens_per_sec_per_kusd, 1),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratel_beats_dgx_cost_effectiveness_at_the_sweet_spot() {
+        let t = run();
+        let dgx: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+        let best_ratel = t.rows[..t.rows.len() - 1]
+            .iter()
+            .map(|r| r[3].parse::<f64>().unwrap())
+            .fold(0.0, f64::max);
+        assert!(
+            best_ratel > dgx,
+            "ratel best {best_ratel:.1} vs dgx {dgx:.1}"
+        );
+    }
+
+    #[test]
+    fn too_many_ssds_reduce_cost_effectiveness() {
+        // §V-I: beyond the optimal SSD count the extra cost buys little.
+        let t = run();
+        let vals: Vec<f64> = t.rows[..t.rows.len() - 1]
+            .iter()
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        let best = vals.iter().cloned().fold(0.0, f64::max);
+        let last = *vals.last().unwrap();
+        assert!(last < best, "{vals:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 2: the issues motivating Ratel — max trainable size of the
+//! SSD-offloading baselines (2a), ZeRO-Infinity's GPU busy time (2b),
+//! and its optimizer-stage proportion (2c).
+
+use ratel_baselines::System;
+use ratel_hw::units::GIB;
+use ratel_model::zoo;
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+const MEM_GIB: [u64; 6] = [128, 256, 384, 512, 640, 768];
+const BATCHES: [usize; 4] = [8, 16, 32, 64];
+const MODELS: [&str; 3] = ["13B", "30B", "70B"];
+
+/// Fig. 2a: largest trainable model size vs main memory capacity.
+pub fn run_a() -> Table {
+    let ladder = zoo::llm_ladder();
+    let mut t = Table::new(
+        "Fig 2a: max trainable model size (B) vs main memory, batch 1, RTX 4090",
+        &[
+            "main memory (GiB)",
+            "FlashNeuron",
+            "Colossal-AI",
+            "ZeRO-Infinity",
+        ],
+    );
+    for gib in MEM_GIB {
+        let server = paper_server().with_main_memory(gib * GIB);
+        let mut row = vec![gib.to_string()];
+        for sys in [System::FlashNeuron, System::ColossalAi, System::ZeroInfinity] {
+            row.push(fnum(sys.max_trainable_billions(&server, &ladder, 1), 1));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Fig. 2b: ZeRO-Infinity GPU busy time (%) vs batch size.
+pub fn run_b() -> Table {
+    let mut t = Table::new(
+        "Fig 2b: ZeRO-Infinity GPU busy time (%) vs batch size",
+        &["batch", "13B", "30B", "70B"],
+    );
+    let server = paper_server();
+    for b in BATCHES {
+        let mut row = vec![b.to_string()];
+        for m in MODELS {
+            let cell = System::ZeroInfinity
+                .simulate(&server, &zoo::llm(m), b)
+                .map(|r| fnum(r.gpu_busy_fraction * 100.0, 0))
+                .unwrap_or_else(|| "OOM".into());
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Fig. 2c: proportion of the optimizer stage (%) in a training step.
+pub fn run_c() -> Table {
+    let mut t = Table::new(
+        "Fig 2c: ZeRO-Infinity optimizer-stage proportion (%) vs batch size",
+        &["batch", "13B", "30B", "70B"],
+    );
+    let server = paper_server();
+    for b in BATCHES {
+        let mut row = vec![b.to_string()];
+        for m in MODELS {
+            let cell = System::ZeroInfinity
+                .simulate(&server, &zoo::llm(m), b)
+                .map(|r| fnum(r.optimizer_fraction * 100.0, 0))
+                .unwrap_or_else(|| "OOM".into());
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_flashneuron_never_reaches_6b() {
+        let t = run_a();
+        for row in &t.rows {
+            let fn_max: f64 = row[1].parse().unwrap();
+            assert!(fn_max < 6.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn fig2a_zero_infinity_grows_with_memory() {
+        let t = run_a();
+        let first: f64 = t.rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last > first);
+        assert!((130.0..140.0).contains(&last), "{last}");
+    }
+
+    #[test]
+    fn fig2c_optimizer_share_shrinks_with_batch() {
+        let t = run_c();
+        let first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(first > last, "{first} vs {last}");
+        assert!(first >= 30.0, "{first}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 6: maximum trainable model size of all five systems vs main
+//! memory capacity, on 24 GB GPUs (6a: 4090/3090) and the 16 GB 4080
+//! (6b).
+
+use ratel_baselines::System;
+use ratel_hw::units::GIB;
+use ratel_hw::GpuSpec;
+use ratel_model::zoo;
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+/// Regenerates Fig. 6a (`rtx4080 = false`) or 6b (`true`).
+pub fn run(rtx4080: bool) -> Table {
+    let ladder = zoo::llm_ladder();
+    let (title, gpu) = if rtx4080 {
+        ("Fig 6b: max trainable size (B) vs main memory, RTX 4080", GpuSpec::rtx4080())
+    } else {
+        (
+            "Fig 6a: max trainable size (B) vs main memory, RTX 4090/3090",
+            GpuSpec::rtx4090(),
+        )
+    };
+    let mut t = Table::new(
+        title,
+        &[
+            "main memory (GiB)",
+            "FlashNeuron",
+            "Colossal-AI",
+            "ZeRO-Infinity",
+            "ZeRO-Offload",
+            "Ratel",
+        ],
+    );
+    for gib in [128u64, 256, 384, 512, 640, 768] {
+        let server = paper_server().with_gpu(gpu.clone()).with_main_memory(gib * GIB);
+        let mut row = vec![gib.to_string()];
+        for sys in [
+            System::FlashNeuron,
+            System::ColossalAi,
+            System::ZeroInfinity,
+            System::ZeroOffload,
+            System::Ratel,
+        ] {
+            row.push(fnum(sys.max_trainable_billions(&server, &ladder, 1), 1));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratel_reaches_276b_class_at_768g_on_4090() {
+        let t = run(false);
+        let last = t.rows.last().unwrap();
+        let ratel: f64 = last[5].parse().unwrap();
+        assert!((270.0..290.0).contains(&ratel), "{ratel}");
+    }
+
+    #[test]
+    fn ratel_reaches_175b_class_on_4080_with_256g() {
+        let t = run(true);
+        let row = &t.rows[1]; // 256 GiB
+        assert_eq!(row[0], "256");
+        let ratel: f64 = row[5].parse().unwrap();
+        assert!((170.0..180.0).contains(&ratel), "{ratel}");
+    }
+
+    #[test]
+    fn ratel_dominates_all_columns() {
+        for table in [run(false), run(true)] {
+            for row in &table.rows {
+                let ratel: f64 = row[5].parse().unwrap();
+                for cell in &row[1..5] {
+                    let v: f64 = cell.parse().unwrap();
+                    assert!(ratel >= v, "{row:?}");
+                }
+            }
+        }
+    }
+}

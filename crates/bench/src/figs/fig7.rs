@@ -1,0 +1,85 @@
+//! Figure 7: effect of active gradient offloading — Ratel+ZeRO (separate
+//! stage) vs naive vs optimized, fine-tuning 13B and 175B on the 4090.
+
+use ratel::offload::GradOffloadMode;
+use ratel::planner::ActivationPlanner;
+use ratel::profile::HardwareProfile;
+use ratel::schedule::RatelSchedule;
+use ratel_model::{zoo, ModelProfile};
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+/// Throughput of one mode at one batch.
+pub fn throughput(model_name: &str, batch: usize, mode: GradOffloadMode) -> f64 {
+    let server = paper_server();
+    let model = ModelProfile::new(&zoo::llm(model_name), batch);
+    let profile = HardwareProfile::measure(&server, &model, batch);
+    let plan = ActivationPlanner::new(&profile, &model).plan();
+    RatelSchedule {
+        profile: &profile,
+        model: &model,
+        plan: &plan,
+        mode,
+        gpus: 1,
+    }
+    .simulate()
+    .throughput_items_per_sec
+}
+
+fn table(title: &str, model: &str, batches: &[usize]) -> Table {
+    let mut t = Table::new(title, &["batch", "Ratel+ZeRO", "Ratel Naive", "Ratel Optimized"]);
+    for &b in batches {
+        t.row(vec![
+            b.to_string(),
+            fnum(throughput(model, b, GradOffloadMode::SeparateStage), 0),
+            fnum(throughput(model, b, GradOffloadMode::NaiveActive), 0),
+            fnum(throughput(model, b, GradOffloadMode::OptimizedActive), 0),
+        ]);
+    }
+    t
+}
+
+/// Regenerates Fig. 7a (13B) and 7b (175B).
+pub fn run() -> Vec<Table> {
+    vec![
+        table(
+            "Fig 7a: active gradient offloading, 13B on RTX 4090 (token/s)",
+            "13B",
+            &[8, 16, 32, 64],
+        ),
+        table(
+            "Fig 7b: active gradient offloading, 175B on RTX 4090 (token/s)",
+            "175B",
+            &[8, 16],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_wins_everywhere() {
+        for t in run() {
+            for row in &t.rows {
+                let zero: f64 = row[1].parse().unwrap();
+                let naive: f64 = row[2].parse().unwrap();
+                let opt: f64 = row[3].parse().unwrap();
+                assert!(opt >= naive && opt > zero, "{}: {row:?}", t.title);
+            }
+        }
+    }
+
+    #[test]
+    fn gain_is_larger_at_batch_64_than_batch_8() {
+        let t = &run()[0];
+        let gain = |row: &Vec<String>| -> f64 {
+            row[3].parse::<f64>().unwrap() / row[1].parse::<f64>().unwrap()
+        };
+        let g8 = gain(&t.rows[0]);
+        let g32 = gain(&t.rows[2]);
+        assert!(g32 > g8, "g8 {g8:.2} g32 {g32:.2}");
+    }
+}

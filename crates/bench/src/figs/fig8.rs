@@ -1,0 +1,103 @@
+//! Figure 8: benefit of swapping activations to the SSDs — maximum
+//! trainable size of Ratel vs the host-only Ratel+CpuAct ablation at
+//! different batch sizes, with 128 GB and 256 GB of main memory.
+
+use ratel::profile::HardwareProfile;
+use ratel::RatelMemoryModel;
+use ratel_hw::units::GIB;
+use ratel_hw::ServerConfig;
+use ratel_model::{zoo, ModelConfig, ModelProfile};
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+/// Whether the host-only variant (activations may only live in main
+/// memory) can run `model` at `batch`: Ratel's own requirements plus all
+/// *swapped* activations — at minimum the checkpoints — resident in host.
+fn cpu_act_feasible(server: &ServerConfig, model: &ModelConfig, batch: usize) -> bool {
+    let profile = ModelProfile::new(model, batch);
+    if RatelMemoryModel::default().check(server, &profile).is_err() {
+        return false;
+    }
+    let hw = HardwareProfile::measure(server, &profile, batch);
+    profile.inter_act_bytes() <= hw.mem_avail
+}
+
+fn ratel_feasible(server: &ServerConfig, model: &ModelConfig, batch: usize) -> bool {
+    RatelMemoryModel::default()
+        .check(server, &ModelProfile::new(model, batch))
+        .is_ok()
+}
+
+fn max_size(server: &ServerConfig, batch: usize, host_only: bool) -> f64 {
+    zoo::llm_ladder()
+        .iter()
+        .filter(|m| {
+            if host_only {
+                cpu_act_feasible(server, m, batch)
+            } else {
+                ratel_feasible(server, m, batch)
+            }
+        })
+        .map(|m| m.size_billions())
+        .fold(0.0, f64::max)
+}
+
+fn table(gib: u64) -> Table {
+    let server = paper_server().with_main_memory(gib * GIB);
+    let mut t = Table::new(
+        format!("Fig 8: max trainable size (B) vs batch, {gib} GB main memory"),
+        &["batch", "Ratel+CpuAct", "Ratel Optimized"],
+    );
+    for b in [12usize, 24, 36, 60] {
+        t.row(vec![
+            b.to_string(),
+            fnum(max_size(&server, b, true), 1),
+            fnum(max_size(&server, b, false), 1),
+        ]);
+    }
+    t
+}
+
+/// Regenerates Fig. 8a (128 GB) and 8b (256 GB).
+pub fn run() -> Vec<Table> {
+    vec![table(128), table(256)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_swapping_multiplies_max_size_at_128g() {
+        // §V-E: "2x~5x larger model than Ratel+CpuAct with 128 GB".
+        let t = &run()[0];
+        for row in &t.rows {
+            let cpu: f64 = row[1].parse().unwrap();
+            let ratel: f64 = row[2].parse().unwrap();
+            assert!(ratel >= cpu, "{row:?}");
+        }
+        let any_big_gap = t.rows.iter().any(|row| {
+            let cpu: f64 = row[1].parse().unwrap();
+            let ratel: f64 = row[2].parse().unwrap();
+            cpu > 0.0 && ratel / cpu >= 2.0
+        });
+        assert!(any_big_gap, "{:?}", t.rows);
+    }
+
+    #[test]
+    fn gap_closes_at_256g_large_batch() {
+        // §V-E: with 256 GB and batch 60 the two match (GPU-bound).
+        let t = &run()[1];
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[1], last[2], "{last:?}");
+    }
+
+    #[test]
+    fn max_size_declines_with_batch() {
+        let t = &run()[1];
+        let first: f64 = t.rows.first().unwrap()[2].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert!(first >= last);
+    }
+}

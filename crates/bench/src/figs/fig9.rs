@@ -1,0 +1,179 @@
+//! Figure 9 + Table V: effect of the activation-management strategy.
+//!
+//! 9a compares five strategies on the 70B model across memory sizes
+//! (each at its adopted batch, Table V); 9b sweeps the amount of swapped
+//! activations for the 13B model and marks the planner's predicted
+//! optimum (the "stars").
+
+use ratel::offload::GradOffloadMode;
+use ratel::planner::ActivationPlanner;
+use ratel::profile::HardwareProfile;
+use ratel::schedule::RatelSchedule;
+use ratel_baselines::ActStrategy;
+use ratel_hw::units::{GB, GIB};
+use ratel_model::{zoo, ModelProfile};
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+const TABLE_V_BATCHES: [usize; 3] = [16, 24, 32];
+
+/// Fig. 9a plus Table V (adopted batch sizes).
+pub fn run_a() -> Vec<Table> {
+    let model = zoo::llm("70B");
+    let mut tput = Table::new(
+        "Fig 9a: throughput (token/s), 70B, strategies at their adopted batch",
+        &["main memory (GiB)", "Ratel+ZeRO", "Ratel+Cap", "Ratel+G10", "Ratel+CM", "Ratel+Optimized"],
+    );
+    let mut batches = Table::new(
+        "Table V: adopted batch size per strategy (70B)",
+        &["main memory (GiB)", "Ratel+ZeRO", "Ratel+Cap", "Ratel+G10", "Ratel+CM", "Ratel+Optimized"],
+    );
+    for gib in [128u64, 256, 512] {
+        let server = paper_server().with_main_memory(gib * GIB);
+        let mut trow = vec![gib.to_string()];
+        let mut brow = vec![gib.to_string()];
+        for s in ActStrategy::ALL {
+            match s.adopt_batch(&server, &model, &TABLE_V_BATCHES) {
+                Some(b) => {
+                    brow.push(b.to_string());
+                    trow.push(
+                        s.simulate(&server, &model, b)
+                            .map(|r| fnum(r.throughput_items_per_sec, 0))
+                            .unwrap_or_else(|| "failed".into()),
+                    );
+                }
+                None => {
+                    brow.push("Failed".into());
+                    trow.push("Failed".into());
+                }
+            }
+        }
+        tput.row(trow);
+        batches.row(brow);
+    }
+    vec![tput, batches]
+}
+
+/// One point of the Fig. 9b sweep: simulated iteration time when exactly
+/// `swap_gb` gigabytes of activations are swapped.
+pub fn iteration_seconds_at(batch: usize, swap_gb: f64) -> f64 {
+    let server = paper_server();
+    let model = ModelProfile::new(&zoo::llm("13B"), batch);
+    let hw = HardwareProfile::measure(&server, &model, batch);
+    let planner = ActivationPlanner::new(&hw, &model);
+    let plan = planner.plan_with_swap_bytes(swap_gb * GB as f64);
+    RatelSchedule {
+        profile: &hw,
+        model: &model,
+        plan: &plan,
+        mode: GradOffloadMode::OptimizedActive,
+        gpus: 1,
+    }
+    .simulate()
+    .iteration_seconds
+}
+
+/// Fig. 9b: iteration time vs swapped activation size, with the
+/// planner's chosen point marked per batch.
+pub fn run_b() -> Table {
+    let server = paper_server();
+    let sweep_gb = [0.0, 40.0, 80.0, 120.0, 160.0, 240.0, 320.0, 400.0];
+    let mut headers: Vec<String> = vec!["swapped (GB)".into()];
+    for b in [24usize, 36, 48, 60] {
+        headers.push(format!("bsz={b}"));
+    }
+    let mut t = Table::new(
+        "Fig 9b: iteration time (s) vs swapped activation size, 13B",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &gb in &sweep_gb {
+        let mut row = vec![fnum(gb, 0)];
+        for b in [24usize, 36, 48, 60] {
+            let model = ModelProfile::new(&zoo::llm("13B"), b);
+            if gb * GB as f64 > model.total_act_bytes() {
+                row.push("-".into());
+            } else {
+                row.push(fnum(iteration_seconds_at(b, gb), 1));
+            }
+        }
+        t.row(row);
+    }
+    // The planner's predicted optimum per batch (the paper's stars).
+    let mut star = vec!["planner optimum (GB)".to_string()];
+    for b in [24usize, 36, 48, 60] {
+        let model = ModelProfile::new(&zoo::llm("13B"), b);
+        let hw = HardwareProfile::measure(&server, &model, b);
+        let plan = ActivationPlanner::new(&hw, &model).plan();
+        star.push(fnum(plan.a_g2m / GB as f64, 0));
+    }
+    t.row(star);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel::planner::PlanCase;
+
+    #[test]
+    fn fig9a_ratel_never_loses() {
+        let tables = run_a();
+        for row in &tables[0].rows {
+            let ratel: f64 = row[5].parse().unwrap();
+            for cell in &row[1..5] {
+                if let Ok(v) = cell.parse::<f64>() {
+                    assert!(ratel >= v * 0.999, "{row:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_v_checkmate_fails_at_128() {
+        let tables = run_a();
+        assert_eq!(tables[1].rows[0][4], "Failed");
+        assert_ne!(tables[1].rows[1][4], "Failed");
+    }
+
+    #[test]
+    fn fig9b_planner_choice_is_near_the_sweep_minimum() {
+        // For each batch, the simulated time at the planner's chosen swap
+        // amount must be within 15% of the best simulated time over the
+        // sweep (the paper: "nearly optimal predictions").
+        let server = paper_server();
+        for b in [36usize, 48, 60] {
+            let model = ModelProfile::new(&zoo::llm("13B"), b);
+            let hw = HardwareProfile::measure(&server, &model, b);
+            let plan = ActivationPlanner::new(&hw, &model).plan();
+            let chosen_gb = plan.a_g2m / 1e9;
+            let chosen_t = iteration_seconds_at(b, chosen_gb);
+            let total_gb = model.total_act_bytes() / 1e9;
+            let best = (0..=10)
+                .map(|i| iteration_seconds_at(b, total_gb * i as f64 / 10.0))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                chosen_t <= best * 1.15,
+                "batch {b}: chosen {chosen_t:.1}s vs best {best:.1}s"
+            );
+        }
+    }
+
+    #[test]
+    fn fig9b_small_batch_prefers_minimal_swap() {
+        // Case 1 at small batch: the planner stays at/near the checkpoint
+        // floor; at batch 60 it swaps much more (Case 3).
+        let server = paper_server();
+        let chosen = |b: usize| {
+            let model = ModelProfile::new(&zoo::llm("13B"), b);
+            let hw = HardwareProfile::measure(&server, &model, b);
+            ActivationPlanner::new(&hw, &model).plan()
+        };
+        let small = chosen(24);
+        let large = chosen(60);
+        let small_frac = small.a_g2m / ModelProfile::new(&zoo::llm("13B"), 24).total_act_bytes();
+        let large_frac = large.a_g2m / ModelProfile::new(&zoo::llm("13B"), 60).total_act_bytes();
+        assert!(small_frac < large_frac, "{small_frac:.2} vs {large_frac:.2}");
+        assert_ne!(large.case, PlanCase::PcieBound);
+    }
+}

@@ -1,0 +1,77 @@
+//! One module per reproduced figure/table.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod extensions;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sensitivity;
+pub mod summary;
+pub mod tables;
+pub mod trace;
+
+use ratel::report::IterationReport;
+use ratel_sim::{ResourceId, Stage};
+
+use crate::table::Table;
+
+/// All figure ids in order, for `repro all`.
+pub const ALL: &[&str] = &[
+    "fig1", "fig2a", "fig2b", "fig2c", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7",
+    "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "tables", "summary", "sensitivity", "ext-seqlen", "ext-pcie", "ext-lora",
+];
+
+/// Runs one figure by id; returns its tables.
+pub fn run(id: &str) -> Option<Vec<Table>> {
+    Some(match id {
+        "fig1" => fig1::run(),
+        "fig2a" => vec![fig2::run_a()],
+        "fig2b" => vec![fig2::run_b()],
+        "fig2c" => vec![fig2::run_c()],
+        "fig5a" => vec![fig5::run_a()],
+        "fig5b" => vec![fig5::run_b()],
+        "fig5c" => vec![fig5::run_c()],
+        "fig6a" => vec![fig6::run(false)],
+        "fig6b" => vec![fig6::run(true)],
+        "fig7" => fig7::run(),
+        "fig8" => fig8::run(),
+        "fig9a" => fig9::run_a(),
+        "fig9b" => vec![fig9::run_b()],
+        "fig10a" => vec![fig10::run_a()],
+        "fig10b" => vec![fig10::run_b()],
+        "fig11" => fig11::run(),
+        "fig12" => vec![fig12::run()],
+        "fig13" => vec![fig13::run()],
+        "tables" => tables::run(),
+        "summary" => vec![summary::run()],
+        "sensitivity" => vec![sensitivity::run()],
+        "ext-seqlen" => vec![extensions::run_seqlen()],
+        "ext-pcie" => vec![extensions::run_pcie()],
+        "ext-lora" => vec![extensions::run_lora()],
+        _ => return None,
+    })
+}
+
+/// Looks up a simulator resource id by name in a report.
+pub(crate) fn resource(report: &IterationReport, name: &str) -> Option<ResourceId> {
+    report
+        .sim
+        .resources
+        .iter()
+        .position(|r| r.name == name)
+        .map(ResourceId)
+}
+
+/// Stage utilization (%) of a named resource, or 0 when absent.
+pub(crate) fn util_pct(report: &IterationReport, name: &str, stage: Stage) -> f64 {
+    resource(report, name)
+        .map(|r| report.sim.stage_utilization(r, stage) * 100.0)
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,93 @@
+//! The paper's configuration tables, regenerated from the library so the
+//! repo's constants and the paper stay reconciled: Table II (tensor
+//! inventory), Table IV (LLM zoo), Table VI (DiT zoo), Table VII
+//! (prices).
+
+use ratel_hw::price::{
+    commodity_server_price, COMMODITY_4U_BASE_USD, DGX_A100_PRICE_USD, P5510_PRICE_USD,
+    RTX_4090_PRICE_USD,
+};
+use ratel_model::{zoo, ModelStates, TensorKind};
+
+use crate::paper_server;
+use crate::table::{fnum, Table};
+
+/// Regenerates Tables II, IV, VI, and VII.
+pub fn run() -> Vec<Table> {
+    let mut t2 = Table::new(
+        "Table II: tensors in LLM fine-tuning (13B example)",
+        &["tensor", "bytes/param", "13B size (GB)"],
+    );
+    let p13 = zoo::llm("13B").total_params();
+    let states = ModelStates::of(&zoo::llm("13B"));
+    for (kind, name) in [
+        (TensorKind::P32, "P32"),
+        (TensorKind::Os32, "OS32"),
+        (TensorKind::G16, "G16"),
+        (TensorKind::P16, "P16"),
+    ] {
+        t2.row(vec![
+            name.to_string(),
+            fnum(kind.bytes_per_param(), 0),
+            fnum(kind.bytes_per_param() * p13 / 1e9, 1),
+        ]);
+    }
+    t2.row(vec![
+        "total states".into(),
+        "16".into(),
+        fnum(states.total() / 1e9, 1),
+    ]);
+
+    let mut t4 = Table::new(
+        "Table IV: LLM zoo",
+        &["model", "layers", "heads", "hidden", "params (B)"],
+    );
+    for m in zoo::llm_ladder() {
+        t4.row(vec![
+            m.name.clone(),
+            m.layers.to_string(),
+            m.heads.to_string(),
+            m.hidden.to_string(),
+            fnum(m.size_billions(), 1),
+        ]);
+    }
+
+    let mut t6 = Table::new(
+        "Table VI: DiT zoo",
+        &["model", "layers", "heads", "hidden", "params (B)"],
+    );
+    for m in zoo::dit_ladder() {
+        t6.row(vec![
+            m.name.clone(),
+            m.layers.to_string(),
+            m.heads.to_string(),
+            m.hidden.to_string(),
+            fnum(m.size_billions(), 2),
+        ]);
+    }
+
+    let mut t7 = Table::new("Table VII: component prices", &["component", "price ($)"]);
+    t7.row(vec!["DGX-A100 (8x A100-80G)".into(), fnum(DGX_A100_PRICE_USD, 0)]);
+    t7.row(vec!["Commodity 4U server (no GPUs/SSDs)".into(), fnum(COMMODITY_4U_BASE_USD, 0)]);
+    t7.row(vec!["NVIDIA RTX 4090".into(), fnum(RTX_4090_PRICE_USD, 0)]);
+    t7.row(vec!["Intel P5510 SSD".into(), fnum(P5510_PRICE_USD, 0)]);
+    t7.row(vec![
+        "Ratel server (4x4090 + 12 SSDs)".into(),
+        fnum(commodity_server_price(&paper_server().with_gpu_count(4)), 0),
+    ]);
+
+    vec![t2, t4, t6, t7]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_shapes() {
+        let ts = run();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[1].rows.len(), 8); // Table IV ladder
+        assert_eq!(ts[2].rows.len(), 6); // Table VI ladder
+    }
+}

@@ -1,0 +1,63 @@
+//! `repro trace`: an ASCII Gantt view of one Ratel iteration — the
+//! Fig. 1c picture rendered from the simulator's timeline. Useful for
+//! eyeballing where each resource is busy and how the optimizer handlers
+//! hide inside backward propagation.
+
+use ratel::offload::GradOffloadMode;
+use ratel::planner::ActivationPlanner;
+use ratel::profile::HardwareProfile;
+use ratel::schedule::RatelSchedule;
+use ratel_model::{zoo, ModelProfile};
+use ratel_sim::simulate;
+
+use crate::paper_server;
+
+/// Renders the Gantt chart for `model_name` at `batch` under `mode`.
+pub fn render(model_name: &str, batch: usize, mode: GradOffloadMode, width: usize) -> String {
+    let server = paper_server();
+    let model = ModelProfile::new(&zoo::llm(model_name), batch);
+    let hw = HardwareProfile::measure(&server, &model, batch);
+    let plan = ActivationPlanner::new(&hw, &model).plan();
+    let spec = RatelSchedule {
+        profile: &hw,
+        model: &model,
+        plan: &plan,
+        mode,
+        gpus: 1,
+    }
+    .to_spec();
+    let (graph, _, _) = spec.build();
+    let report = simulate(&graph);
+    format!(
+        "{} — {model_name} @ batch {batch} ({:.1}s/iter)\n{}",
+        mode.name(),
+        report.makespan,
+        report.render_gantt(width)
+    )
+}
+
+/// The default trace: 13B @ 32 under all three offload modes.
+pub fn run() -> String {
+    let mut out = String::new();
+    for mode in GradOffloadMode::ALL {
+        out.push_str(&render("13B", 32, mode, 100));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_renders_all_modes() {
+        let s = run();
+        assert!(s.contains("Ratel Optimized"));
+        assert!(s.contains("Ratel+ZeRO"));
+        // The separate-stage chart must show an optimizer window ('O' on
+        // the SSD/CPU rows); the optimized chart hides it in backward.
+        assert!(s.matches('O').count() > 10);
+        assert!(s.contains("gpu0"));
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Experiment harness regenerating every table and figure of the Ratel
+//! paper's evaluation (§V).
+//!
+//! Each `figs::figN` module computes one figure's data series through the
+//! simulator/planner/baselines and renders it as an aligned text table
+//! (and CSV under `results/`). The `repro` binary dispatches on figure
+//! names; `repro all` regenerates everything, which is what
+//! EXPERIMENTS.md records.
+
+pub mod figs;
+pub mod table;
+
+use ratel_hw::ServerConfig;
+
+/// The paper's evaluation server (Table III).
+pub fn paper_server() -> ServerConfig {
+    ServerConfig::paper_default()
+}
+
+/// A 4090 that pretends to support GPUDirect — the paper's own G10
+/// methodology ("we simulate the performance of G10 ... assuming the
+/// GPUDirect is available", §III-C).
+pub fn gpudirect_4090() -> ratel_hw::GpuSpec {
+    ratel_hw::GpuSpec {
+        gpudirect: true,
+        ..ratel_hw::GpuSpec::rtx4090()
+    }
+}

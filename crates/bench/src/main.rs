@@ -1,0 +1,54 @@
+//! `repro`: regenerates the Ratel paper's tables and figures.
+//!
+//! Usage: `repro <figure-id>... | all | list`. Output goes to stdout and,
+//! as CSV, to `./results/`.
+
+use std::path::Path;
+
+use ratel_bench::figs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <figure-id>... | all | list");
+        eprintln!("figure ids: {}", figs::ALL.join(" "));
+        std::process::exit(2);
+    }
+    if args[0] == "trace" {
+        print!("{}", ratel_bench::figs::trace::run());
+        return;
+    }
+    if args[0] == "list" {
+        for id in figs::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        figs::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let out_dir = Path::new("results");
+    for id in ids {
+        match figs::run(id) {
+            Some(tables) => {
+                for (i, t) in tables.iter().enumerate() {
+                    println!("{}", t.render());
+                    let name = if tables.len() == 1 {
+                        id.to_string()
+                    } else {
+                        format!("{id}_{i}")
+                    };
+                    if let Err(e) = t.write_csv(out_dir, &name) {
+                        eprintln!("warning: could not write {name}.csv: {e}");
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown figure id {id:?}; try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

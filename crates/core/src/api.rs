@@ -1,0 +1,410 @@
+//! The user-facing training interface (§IV-E, Fig. 4).
+//!
+//! The paper's pitch is that Ratel hides all tensor management behind a
+//! few wrappers: `Ratel_init()` runs the profiling stage, `Ratel_hook()`
+//! injects prefetching/pipelining into the model, and `Ratel_Optimizer`
+//! replaces `optimizer.step()` with active gradient offloading. This
+//! module is that interface for the real engine:
+//!
+//! ```no_run
+//! use ratel::api::Ratel;
+//! use ratel_tensor::GptConfig;
+//!
+//! // Ratel_init(): profile the substrate, plan activations, wire the
+//! // engine — one builder chain instead of manual tensor management.
+//! let mut trainer = Ratel::init(GptConfig::tiny())
+//!     .seed(7)
+//!     .learning_rate(3e-3)
+//!     .build()
+//!     .unwrap();
+//!
+//! let (tokens, targets) = ratel::engine::data::learnable_batch(&GptConfig::tiny(), 1);
+//! for _epoch in 0..3 {
+//!     // No optimizer.step(): updates happen during backward.
+//!     let stats = trainer.step(&tokens, &targets).unwrap();
+//!     println!("loss {:.3}", stats.loss);
+//! }
+//! ```
+
+use ratel_storage::{Route, StorageError, TierConfig, TieredStore};
+use ratel_tensor::{AdamParams, GptConfig};
+
+use crate::engine::lr::LrSchedule;
+use crate::engine::profiler::{plan_decisions, MeasuredProfile};
+use crate::engine::scaler::ScalePolicy;
+use crate::engine::{ActDecision, EngineConfig, RatelEngine, StepStats};
+
+/// Builder for a [`RatelTrainer`] — the `Ratel_init()` of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Ratel {
+    model: GptConfig,
+    seed: u64,
+    adam: AdamParams,
+    gpu_capacity: Option<u64>,
+    host_capacity: Option<u64>,
+    loss_scale: ScalePolicy,
+    grad_clip: Option<f32>,
+    lr_schedule: LrSchedule,
+    dropout: Option<f32>,
+    prefetch_params: bool,
+    frozen_layers: Vec<usize>,
+    throttles: Vec<(Route, f64)>,
+    act_override: Option<Vec<ActDecision>>,
+    active_offload: bool,
+    probe_bytes: usize,
+}
+
+impl Ratel {
+    /// Starts configuring a trainer for `model`.
+    pub fn init(model: GptConfig) -> Self {
+        Ratel {
+            model,
+            seed: 42,
+            adam: AdamParams::default(),
+            gpu_capacity: None,
+            host_capacity: None,
+            loss_scale: ScalePolicy::None,
+            grad_clip: None,
+            lr_schedule: LrSchedule::Constant,
+            dropout: None,
+            prefetch_params: true,
+            frozen_layers: Vec::new(),
+            throttles: Vec::new(),
+            act_override: None,
+            active_offload: true,
+            probe_bytes: 1 << 20,
+        }
+    }
+
+    /// Parameter-initialization seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adam learning rate (other hyperparameters stay at defaults).
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.adam.lr = lr;
+        self
+    }
+
+    /// Full Adam hyperparameters.
+    pub fn adam(mut self, adam: AdamParams) -> Self {
+        self.adam = adam;
+        self
+    }
+
+    /// Caps the "GPU" arena (bytes).
+    pub fn gpu_capacity(mut self, bytes: u64) -> Self {
+        self.gpu_capacity = Some(bytes);
+        self
+    }
+
+    /// Caps the host pool (bytes).
+    pub fn host_capacity(mut self, bytes: u64) -> Self {
+        self.host_capacity = Some(bytes);
+        self
+    }
+
+    /// Mixed-precision loss-scaling policy.
+    pub fn loss_scale(mut self, policy: ScalePolicy) -> Self {
+        self.loss_scale = policy;
+        self
+    }
+
+    /// Per-layer gradient-norm clip.
+    pub fn grad_clip(mut self, max_norm: f32) -> Self {
+        self.grad_clip = Some(max_norm);
+        self
+    }
+
+    /// Learning-rate schedule applied on top of the base rate.
+    pub fn lr_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.lr_schedule = schedule;
+        self
+    }
+
+    /// Residual dropout probability.
+    pub fn dropout(mut self, p: f32) -> Self {
+        self.dropout = Some(p);
+        self
+    }
+
+    /// Disables the parameter-prefetch pipeline (on by default).
+    pub fn without_param_prefetch(mut self) -> Self {
+        self.prefetch_params = false;
+        self
+    }
+
+    /// Freezes the given layers (0 = embedding, 1..=L = blocks, L+1 =
+    /// head): no gradients, no optimizer I/O — parameter-efficient
+    /// fine-tuning.
+    pub fn freeze_layers(mut self, layers: Vec<usize>) -> Self {
+        self.frozen_layers = layers;
+        self
+    }
+
+    /// Emulates a link speed (bytes/s) on an inter-tier route; profiling
+    /// measures the throttled rate and the planner adapts to it.
+    pub fn throttle(mut self, route: Route, bytes_per_sec: f64) -> Self {
+        self.throttles.push((route, bytes_per_sec));
+        self
+    }
+
+    /// Bypasses the planner with explicit per-block decisions.
+    pub fn activation_decisions(mut self, decisions: Vec<ActDecision>) -> Self {
+        self.act_override = Some(decisions);
+        self
+    }
+
+    /// Disables overlap (the Ratel+ZeRO ablation).
+    pub fn separate_optimizer_stage(mut self) -> Self {
+        self.active_offload = false;
+        self
+    }
+
+    /// Size of the profiling stage's bandwidth probe blob.
+    pub fn probe_bytes(mut self, bytes: usize) -> Self {
+        self.probe_bytes = bytes;
+        self
+    }
+
+    /// Runs the profiling stage (unless decisions were overridden), plans
+    /// the activations, and builds the trainer.
+    pub fn build(self) -> Result<RatelTrainer, StorageError> {
+        let (decisions, measured) = match &self.act_override {
+            Some(d) => {
+                assert_eq!(
+                    d.len(),
+                    self.model.layers,
+                    "one activation decision per block"
+                );
+                (d.clone(), None)
+            }
+            None => {
+                // Profiling stage: measure on a scratch store configured
+                // like the real one (same throttles).
+                let scratch = TieredStore::new(TierConfig::unbounded_temp())?;
+                for &(route, rate) in &self.throttles {
+                    scratch.set_throttle(route, Some(rate));
+                }
+                let measured =
+                    MeasuredProfile::measure(self.model, &scratch, self.probe_bytes)?;
+                // MEM_avail: what the host pool can devote to activations
+                // (half of it, leaving room for staging and gradients), or
+                // effectively unbounded when uncapped.
+                let budget = self
+                    .host_capacity
+                    .map(|c| c as f64 * 0.5)
+                    .unwrap_or(f64::INFINITY);
+                let hw = measured.to_hardware_profile(budget);
+                (plan_decisions(self.model, &hw), Some(measured))
+            }
+        };
+
+        let engine = RatelEngine::new(EngineConfig {
+            model: self.model,
+            seed: self.seed,
+            adam: self.adam,
+            act_decisions: decisions.clone(),
+            gpu_capacity: self.gpu_capacity,
+            host_capacity: self.host_capacity,
+            active_offload: self.active_offload,
+            loss_scale: self.loss_scale,
+            grad_clip: self.grad_clip,
+            lr_schedule: self.lr_schedule,
+            dropout: self.dropout,
+            prefetch_params: self.prefetch_params,
+            frozen_layers: self.frozen_layers.clone(),
+        })?;
+        for &(route, rate) in &self.throttles {
+            engine.set_route_throttle(route, Some(rate));
+        }
+        Ok(RatelTrainer {
+            engine,
+            decisions,
+            measured,
+            loss_history: Vec::new(),
+        })
+    }
+}
+
+/// A built trainer: step it like `loss.backward()` in Fig. 4 — no
+/// `optimizer.step()` call exists because updates happen inside.
+pub struct RatelTrainer {
+    engine: RatelEngine,
+    decisions: Vec<ActDecision>,
+    measured: Option<MeasuredProfile>,
+    loss_history: Vec<f32>,
+}
+
+impl RatelTrainer {
+    /// One fine-tuning step; the optimizer runs inside (actively
+    /// offloaded). Records the loss in the history.
+    pub fn step(&mut self, tokens: &[usize], targets: &[usize]) -> Result<StepStats, StorageError> {
+        let stats = self.engine.train_step(tokens, targets)?;
+        self.loss_history.push(stats.loss);
+        Ok(stats)
+    }
+
+    /// Trains over a set of batches for `epochs`, returning the final
+    /// epoch's mean loss.
+    pub fn train_epochs(
+        &mut self,
+        batches: &[(Vec<usize>, Vec<usize>)],
+        epochs: usize,
+    ) -> Result<f32, StorageError> {
+        assert!(!batches.is_empty(), "need at least one batch");
+        let mut last = 0.0f32;
+        for _ in 0..epochs {
+            let mut sum = 0.0f32;
+            for (t, y) in batches {
+                sum += self.step(t, y)?.loss;
+            }
+            last = sum / batches.len() as f32;
+        }
+        Ok(last)
+    }
+
+    /// One step with gradient accumulation over micro-batches.
+    pub fn step_accumulated(
+        &mut self,
+        micro_batches: &[(Vec<usize>, Vec<usize>)],
+    ) -> Result<StepStats, StorageError> {
+        let stats = self.engine.train_step_accumulated(micro_batches)?;
+        self.loss_history.push(stats.loss);
+        Ok(stats)
+    }
+
+    /// Evaluation loss without updating.
+    pub fn eval(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32, StorageError> {
+        self.engine.eval_loss(tokens, targets)
+    }
+
+    /// Evaluation perplexity (`exp` of the mean cross-entropy).
+    pub fn perplexity(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32, StorageError> {
+        Ok(self.engine.eval_loss(tokens, targets)?.exp())
+    }
+
+    /// Greedy generation through the tiered engine.
+    pub fn generate(
+        &mut self,
+        prompt: &[usize],
+        max_new_tokens: usize,
+    ) -> Result<Vec<usize>, StorageError> {
+        self.engine.generate(prompt, max_new_tokens)
+    }
+
+    /// KV-cached greedy generation (context must fit `seq` positions).
+    pub fn generate_cached(
+        &mut self,
+        prompt: &[usize],
+        max_new_tokens: usize,
+    ) -> Result<Vec<usize>, StorageError> {
+        self.engine.generate_cached(prompt, max_new_tokens)
+    }
+
+    /// The activation decisions in effect (planned or overridden).
+    pub fn decisions(&self) -> &[ActDecision] {
+        &self.decisions
+    }
+
+    /// The profiling stage's measurements (None when decisions were
+    /// overridden).
+    pub fn measured(&self) -> Option<&MeasuredProfile> {
+        self.measured.as_ref()
+    }
+
+    /// All step losses so far.
+    pub fn loss_history(&self) -> &[f32] {
+        &self.loss_history
+    }
+
+    /// Saves a checkpoint directory.
+    pub fn save_checkpoint(&self, dir: &std::path::Path) -> Result<(), StorageError> {
+        self.engine.save_checkpoint(dir)
+    }
+
+    /// Restores a checkpoint directory.
+    pub fn load_checkpoint(&mut self, dir: &std::path::Path) -> Result<(), StorageError> {
+        self.engine.load_checkpoint(dir)
+    }
+
+    /// Direct access to the underlying engine.
+    pub fn engine(&mut self) -> &mut RatelEngine {
+        &mut self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::data::learnable_batch;
+
+    #[test]
+    fn builder_profiles_and_plans() {
+        let mut trainer = Ratel::init(GptConfig::tiny()).seed(3).build().unwrap();
+        assert_eq!(trainer.decisions().len(), GptConfig::tiny().layers);
+        assert!(trainer.measured().is_some());
+        let (t, y) = learnable_batch(&GptConfig::tiny(), 1);
+        let s = trainer.step(&t, &y).unwrap();
+        assert!(s.loss.is_finite());
+        assert_eq!(trainer.loss_history().len(), 1);
+    }
+
+    #[test]
+    fn train_epochs_reduces_loss() {
+        let mut trainer = Ratel::init(GptConfig::tiny())
+            .seed(4)
+            .learning_rate(3e-3)
+            .build()
+            .unwrap();
+        let batches: Vec<_> = (0..4).map(|s| learnable_batch(&GptConfig::tiny(), s)).collect();
+        let first = trainer.train_epochs(&batches, 1).unwrap();
+        let later = trainer.train_epochs(&batches, 8).unwrap();
+        assert!(later < first * 0.8, "{first} -> {later}");
+    }
+
+    #[test]
+    fn explicit_decisions_skip_profiling() {
+        let model = GptConfig::tiny();
+        let trainer = Ratel::init(model)
+            .activation_decisions(vec![ActDecision::Recompute; model.layers])
+            .build()
+            .unwrap();
+        assert!(trainer.measured().is_none());
+        assert!(trainer
+            .decisions()
+            .iter()
+            .all(|d| *d == ActDecision::Recompute));
+    }
+
+    #[test]
+    fn throttled_links_steer_the_plan_toward_recompute() {
+        let model = GptConfig::tiny();
+        // Glacial GPU<->host link: swapping is hopeless; the profiling
+        // stage must notice and choose recomputation.
+        let trainer = Ratel::init(model)
+            .throttle(Route::GpuToHost, 1e4)
+            .throttle(Route::HostToGpu, 1e4)
+            .probe_bytes(1 << 14)
+            .build()
+            .unwrap();
+        assert!(
+            trainer
+                .decisions()
+                .iter()
+                .all(|d| *d == ActDecision::Recompute),
+            "{:?}",
+            trainer.decisions()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation decision per block")]
+    fn wrong_decision_count_panics() {
+        let _ = Ratel::init(GptConfig::tiny())
+            .activation_decisions(vec![ActDecision::Recompute])
+            .build();
+    }
+}

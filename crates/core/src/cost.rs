@@ -1,0 +1,64 @@
+//! Cost-effectiveness accounting (§V-I, Fig. 13).
+
+use ratel_hw::price::{commodity_server_price, tokens_per_sec_per_kilodollar, DGX_A100_PRICE_USD};
+use ratel_hw::ServerConfig;
+
+/// One point of the Fig. 13 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostPoint {
+    /// Configuration label.
+    pub label: String,
+    /// Measured throughput, tokens/s.
+    pub tokens_per_sec: f64,
+    /// Server price in USD.
+    pub price_usd: f64,
+    /// Tokens/s per 1000 USD — the figure's y-axis.
+    pub tokens_per_sec_per_kusd: f64,
+}
+
+impl CostPoint {
+    /// A commodity-server point (price from Table VII component prices).
+    pub fn commodity(label: &str, server: &ServerConfig, tokens_per_sec: f64) -> Self {
+        let price = commodity_server_price(server);
+        CostPoint {
+            label: label.to_string(),
+            tokens_per_sec,
+            price_usd: price,
+            tokens_per_sec_per_kusd: tokens_per_sec_per_kilodollar(tokens_per_sec, price),
+        }
+    }
+
+    /// The DGX-A100 point (fixed list price).
+    pub fn dgx_a100(label: &str, tokens_per_sec: f64) -> Self {
+        CostPoint {
+            label: label.to_string(),
+            tokens_per_sec,
+            price_usd: DGX_A100_PRICE_USD,
+            tokens_per_sec_per_kusd: tokens_per_sec_per_kilodollar(
+                tokens_per_sec,
+                DGX_A100_PRICE_USD,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commodity_point_uses_component_prices() {
+        let server = ServerConfig::paper_default().with_gpu_count(4).with_ssd_count(6);
+        let p = CostPoint::commodity("ratel", &server, 484.0);
+        // 14098 + 4*1600 + 6*308 = 22346
+        assert!((p.price_usd - 22_346.0).abs() < 1e-6);
+        assert!((p.tokens_per_sec_per_kusd - 484.0 / 22.346).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dgx_point_uses_list_price() {
+        let p = CostPoint::dgx_a100("megatron", 5000.0);
+        assert_eq!(p.price_usd, 200_000.0);
+        assert_eq!(p.tokens_per_sec_per_kusd, 25.0);
+    }
+}

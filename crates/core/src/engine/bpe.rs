@@ -1,0 +1,243 @@
+//! A small byte-pair-encoding tokenizer.
+//!
+//! Character-level modeling wastes context on long words; BPE learns a
+//! subword vocabulary by repeatedly merging the most frequent adjacent
+//! pair. This implementation is deliberately classic (greedy merges over
+//! a word-frequency table, merge-rank encoding) and deterministic, so
+//! fine-tuning runs are reproducible. It operates on Unicode characters
+//! rather than raw bytes — the corpus defines the base alphabet.
+
+use std::collections::HashMap;
+
+/// A trained BPE tokenizer: base alphabet plus an ordered merge list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpeTokenizer {
+    /// id -> token string. Ids `0..alphabet` are single characters; later
+    /// ids are merge products in training order.
+    vocab: Vec<String>,
+    /// token string -> id.
+    lookup: HashMap<String, usize>,
+    /// Merge rank by (left id, right id): lower rank merges first.
+    merges: HashMap<(usize, usize), usize>,
+}
+
+impl BpeTokenizer {
+    /// Trains a tokenizer on `corpus` until the vocabulary reaches
+    /// `vocab_size` (or no pair repeats). Words are whitespace-delimited;
+    /// the space itself stays a base token so decoding is lossless.
+    ///
+    /// # Panics
+    /// If the corpus is empty.
+    pub fn train(corpus: &str, vocab_size: usize) -> Self {
+        assert!(!corpus.is_empty(), "empty corpus");
+        // Base alphabet: every distinct character, sorted for determinism.
+        let mut alphabet: Vec<char> = corpus.chars().collect();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        let mut vocab: Vec<String> = alphabet.iter().map(|c| c.to_string()).collect();
+        let mut lookup: HashMap<String, usize> = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+        let mut merges: HashMap<(usize, usize), usize> = HashMap::new();
+
+        // Word-frequency table; each word is a sequence of token ids.
+        // Splitting on whitespace keeps merges within words (classic BPE);
+        // the separating spaces are re-inserted by `encode`.
+        let mut words: HashMap<Vec<usize>, usize> = HashMap::new();
+        for word in corpus.split(' ') {
+            let ids: Vec<usize> = word.chars().map(|c| lookup[&c.to_string()]).collect();
+            if !ids.is_empty() {
+                *words.entry(ids).or_insert(0) += 1;
+            }
+        }
+
+        while vocab.len() < vocab_size {
+            // Count adjacent pairs.
+            let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+            for (word, freq) in &words {
+                for pair in word.windows(2) {
+                    *counts.entry((pair[0], pair[1])).or_insert(0) += freq;
+                }
+            }
+            // Deterministic tie-break: highest count, then smallest ids.
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by_key(|(&(a, b), &c)| (c, std::cmp::Reverse(a), std::cmp::Reverse(b)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break; // nothing repeats; further merges are pointless
+            }
+            let token = format!("{}{}", vocab[pair.0], vocab[pair.1]);
+            let id = vocab.len();
+            vocab.push(token.clone());
+            lookup.insert(token, id);
+            merges.insert(pair, merges.len());
+
+            // Apply the merge to every word.
+            let mut next: HashMap<Vec<usize>, usize> = HashMap::with_capacity(words.len());
+            for (word, freq) in words {
+                let merged = merge_word(&word, pair, id);
+                *next.entry(merged).or_insert(0) += freq;
+            }
+            words = next;
+        }
+
+        BpeTokenizer {
+            vocab,
+            lookup,
+            merges,
+        }
+    }
+
+    /// Vocabulary size (fits a model's `vocab` dimension).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The string form of a token id.
+    ///
+    /// # Panics
+    /// If the id is out of range.
+    pub fn token(&self, id: usize) -> &str {
+        &self.vocab[id]
+    }
+
+    /// Encodes text: per word, start from characters and apply merges in
+    /// rank order; spaces encode as their own base token.
+    ///
+    /// # Panics
+    /// If `text` contains characters absent from the training corpus.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        let space = self.lookup.get(" ").copied();
+        let mut out = Vec::new();
+        for (i, word) in text.split(' ').enumerate() {
+            if i > 0 {
+                out.push(space.expect("corpus contained no spaces"));
+            }
+            if word.is_empty() {
+                continue;
+            }
+            let mut ids: Vec<usize> = word
+                .chars()
+                .map(|c| {
+                    *self
+                        .lookup
+                        .get(&c.to_string())
+                        .unwrap_or_else(|| panic!("character {c:?} not in vocabulary"))
+                })
+                .collect();
+            // Repeatedly apply the best-ranked applicable merge.
+            loop {
+                let best = ids
+                    .windows(2)
+                    .enumerate()
+                    .filter_map(|(i, p)| {
+                        self.merges.get(&(p[0], p[1])).map(|rank| (*rank, i))
+                    })
+                    .min();
+                match best {
+                    Some((_, at)) => {
+                        let merged = self.lookup[&format!(
+                            "{}{}",
+                            self.vocab[ids[at]], self.vocab[ids[at + 1]]
+                        )];
+                        ids.splice(at..at + 2, [merged]);
+                    }
+                    None => break,
+                }
+            }
+            out.extend(ids);
+        }
+        out
+    }
+
+    /// Decodes ids back to text (lossless inverse of [`Self::encode`]).
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter().map(|&i| self.vocab[i].as_str()).collect()
+    }
+}
+
+fn merge_word(word: &[usize], pair: (usize, usize), id: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(word.len());
+    let mut i = 0;
+    while i < word.len() {
+        if i + 1 < word.len() && word[i] == pair.0 && word[i + 1] == pair.1 {
+            out.push(id);
+            i += 2;
+        } else {
+            out.push(word[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "the tensors feed the gradients and the gradients feed the optimizer \
+                          while the optimizer moves the weights and the weights move the model";
+
+    #[test]
+    fn training_grows_the_vocabulary_with_useful_merges() {
+        let bpe = BpeTokenizer::train(CORPUS, 60);
+        let base = CORPUS.chars().collect::<std::collections::HashSet<_>>().len();
+        assert!(bpe.vocab_size() > base);
+        assert!(bpe.vocab_size() <= 60);
+        // "the" is the most common word; some multi-char token covering it
+        // must exist.
+        assert!(
+            (0..bpe.vocab_size()).any(|i| bpe.token(i) == "the"),
+            "no 'the' token learned"
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trips_losslessly() {
+        let bpe = BpeTokenizer::train(CORPUS, 64);
+        for text in [CORPUS, "the optimizer", "weights and gradients", " ", "a the"] {
+            // ("a" appears inside words like "and"/"gradients".)
+            assert_eq!(bpe.decode(&bpe.encode(text)), text, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn bpe_compresses_relative_to_characters() {
+        let bpe = BpeTokenizer::train(CORPUS, 80);
+        let ids = bpe.encode(CORPUS);
+        assert!(
+            ids.len() * 2 < CORPUS.chars().count(),
+            "only {} tokens for {} chars",
+            ids.len(),
+            CORPUS.chars().count()
+        );
+        // All ids are in range.
+        assert!(ids.iter().all(|&i| i < bpe.vocab_size()));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BpeTokenizer::train(CORPUS, 50);
+        let b = BpeTokenizer::train(CORPUS, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.encode("the gradients"), b.encode("the gradients"));
+    }
+
+    #[test]
+    fn stops_when_nothing_repeats() {
+        let bpe = BpeTokenizer::train("abcdefg", 1000);
+        // No pair repeats: vocabulary stays the 7-character alphabet.
+        assert_eq!(bpe.vocab_size(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in vocabulary")]
+    fn unknown_characters_panic() {
+        BpeTokenizer::train("abc abc", 10).encode("xyz");
+    }
+}

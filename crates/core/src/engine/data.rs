@@ -1,0 +1,222 @@
+//! Synthetic fine-tuning data (§V-A: "we simply randomly initialize model
+//! parameters and datasets for evaluations that do not require model
+//! convergence" — for convergence tests we instead use a *learnable*
+//! synthetic language so the loss provably falls).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ratel_tensor::GptConfig;
+
+/// A batch of `(tokens, targets)` where targets are the next token.
+pub type Batch = (Vec<usize>, Vec<usize>);
+
+/// Uniformly random tokens — matches the paper's throughput methodology
+/// (loss stays near `ln(vocab)`).
+pub fn random_batch(config: &GptConfig, seed: u64) -> Batch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.batch * config.seq;
+    let tokens: Vec<usize> = (0..n).map(|_| rng.gen_range(0..config.vocab)).collect();
+    let targets: Vec<usize> = (0..n).map(|_| rng.gen_range(0..config.vocab)).collect();
+    (tokens, targets)
+}
+
+/// A learnable synthetic language: each sequence follows the affine walk
+/// `t_{k+1} = (a * t_k + c) mod V` with per-sequence start token, and the
+/// target is the next token. A competent model drives the loss toward 0.
+pub fn learnable_batch(config: &GptConfig, seed: u64) -> Batch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let v = config.vocab;
+    let (a, c) = (5usize, 3usize);
+    let mut tokens = Vec::with_capacity(config.batch * config.seq);
+    let mut targets = Vec::with_capacity(config.batch * config.seq);
+    for _ in 0..config.batch {
+        let mut t = rng.gen_range(0..v);
+        for _ in 0..config.seq {
+            tokens.push(t);
+            let next = (a * t + c) % v;
+            targets.push(next);
+            t = next;
+        }
+    }
+    (tokens, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_the_right_shape_and_range() {
+        let c = GptConfig::tiny();
+        for (tokens, targets) in [random_batch(&c, 1), learnable_batch(&c, 1)] {
+            assert_eq!(tokens.len(), c.batch * c.seq);
+            assert_eq!(targets.len(), c.batch * c.seq);
+            assert!(tokens.iter().all(|&t| t < c.vocab));
+            assert!(targets.iter().all(|&t| t < c.vocab));
+        }
+    }
+
+    #[test]
+    fn learnable_batch_is_a_deterministic_affine_walk() {
+        let c = GptConfig::tiny();
+        let (tokens, targets) = learnable_batch(&c, 7);
+        for i in 0..c.seq - 1 {
+            assert_eq!(targets[i], (5 * tokens[i] + 3) % c.vocab);
+            assert_eq!(tokens[i + 1], targets[i]);
+        }
+        assert_eq!(learnable_batch(&c, 7), learnable_batch(&c, 7));
+        assert_ne!(learnable_batch(&c, 7), learnable_batch(&c, 8));
+    }
+}
+
+/// A character-level vocabulary over a corpus: the minimal "tokenizer"
+/// needed to fine-tune on real text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharVocab {
+    chars: Vec<char>,
+}
+
+impl CharVocab {
+    /// Builds the sorted, deduplicated character set of `corpus`.
+    pub fn from_corpus(corpus: &str) -> Self {
+        let mut chars: Vec<char> = corpus.chars().collect();
+        chars.sort_unstable();
+        chars.dedup();
+        CharVocab { chars }
+    }
+
+    /// Number of distinct characters.
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Encodes text to token ids.
+    ///
+    /// # Panics
+    /// If `text` contains a character outside the vocabulary.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.chars()
+            .map(|c| {
+                self.chars
+                    .binary_search(&c)
+                    .unwrap_or_else(|_| panic!("character {c:?} not in vocabulary"))
+            })
+            .collect()
+    }
+
+    /// Decodes token ids back to text.
+    ///
+    /// # Panics
+    /// If any id is out of range.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter().map(|&i| self.chars[i]).collect()
+    }
+}
+
+/// Cuts next-character training batches out of a corpus: batch `k` packs
+/// `config.batch` windows of `config.seq` characters starting at evenly
+/// strided offsets, with targets shifted by one.
+///
+/// # Panics
+/// If the corpus is shorter than `seq + 1` characters or the vocabulary
+/// is larger than `config.vocab`.
+pub fn corpus_batches(
+    corpus: &str,
+    vocab: &CharVocab,
+    config: &GptConfig,
+    count: usize,
+) -> Vec<Batch> {
+    assert!(
+        vocab.len() <= config.vocab,
+        "corpus has {} distinct chars but the model vocab is {}",
+        vocab.len(),
+        config.vocab
+    );
+    token_batches(&vocab.encode(corpus), config, count)
+}
+
+/// Cuts next-token batches out of an already-tokenized stream (works for
+/// any tokenizer, e.g. [`crate::engine::bpe::BpeTokenizer`]): batch `k`
+/// packs `config.batch` windows of `config.seq` tokens at evenly strided
+/// offsets, targets shifted by one.
+///
+/// # Panics
+/// If the stream is shorter than `seq + 1` tokens or contains ids
+/// `>= config.vocab`.
+pub fn token_batches(ids: &[usize], config: &GptConfig, count: usize) -> Vec<Batch> {
+    assert!(
+        ids.iter().all(|&t| t < config.vocab),
+        "token id exceeds the model vocabulary"
+    );
+    assert!(ids.len() > config.seq + 1, "stream shorter than one window");
+    let max_start = ids.len() - config.seq - 1;
+    let total_windows = count * config.batch;
+    let stride = (max_start / total_windows.max(1)).max(1);
+    let mut batches = Vec::with_capacity(count);
+    let mut w = 0usize;
+    for _ in 0..count {
+        let mut tokens = Vec::with_capacity(config.batch * config.seq);
+        let mut targets = Vec::with_capacity(config.batch * config.seq);
+        for _ in 0..config.batch {
+            let start = (w * stride) % (max_start + 1);
+            tokens.extend_from_slice(&ids[start..start + config.seq]);
+            targets.extend_from_slice(&ids[start + 1..start + config.seq + 1]);
+            w += 1;
+        }
+        batches.push((tokens, targets));
+    }
+    batches
+}
+
+#[cfg(test)]
+mod corpus_tests {
+    use super::*;
+
+    const TEXT: &str = "the quick brown fox jumps over the lazy dog. \
+                        pack my box with five dozen liquor jugs. \
+                        how vexingly quick daft zebras jump!";
+
+    #[test]
+    fn vocab_round_trips() {
+        let v = CharVocab::from_corpus(TEXT);
+        assert!(v.len() > 20 && v.len() < 40, "{}", v.len());
+        let ids = v.encode("quick fox");
+        assert_eq!(v.decode(&ids), "quick fox");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in vocabulary")]
+    fn unknown_characters_panic() {
+        CharVocab::from_corpus("abc").encode("abcd");
+    }
+
+    #[test]
+    fn batches_are_shifted_windows() {
+        let v = CharVocab::from_corpus(TEXT);
+        let config = GptConfig {
+            vocab: 64,
+            seq: 16,
+            hidden: 32,
+            heads: 4,
+            layers: 2,
+            batch: 3,
+        };
+        let batches = corpus_batches(TEXT, &v, &config, 4);
+        assert_eq!(batches.len(), 4);
+        for (tokens, targets) in &batches {
+            assert_eq!(tokens.len(), config.batch * config.seq);
+            // Each window's target is the next character.
+            for b in 0..config.batch {
+                let t = &tokens[b * config.seq..(b + 1) * config.seq];
+                let y = &targets[b * config.seq..(b + 1) * config.seq];
+                assert_eq!(&t[1..], &y[..config.seq - 1]);
+            }
+        }
+    }
+}

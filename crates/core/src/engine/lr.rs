@@ -1,0 +1,127 @@
+//! Learning-rate schedules for fine-tuning.
+//!
+//! GPT-style fine-tuning almost always uses linear warmup followed by
+//! cosine decay; the schedule is evaluated per *wall step* (skipped
+//! overflow steps still advance it, like PyTorch's `LambdaLR` driven by
+//! the outer loop) and applied identically by the out-of-core engine and
+//! the in-memory reference.
+
+/// A learning-rate schedule mapping a 0-based step index to a multiplier
+/// of the base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Always the base learning rate.
+    Constant,
+    /// Linear warmup over `warmup_steps`, then cosine decay to
+    /// `min_factor * base` at `total_steps` (clamped afterwards).
+    WarmupCosine {
+        /// Steps of linear warmup from 0 to the base rate.
+        warmup_steps: u64,
+        /// Step at which the cosine reaches its floor.
+        total_steps: u64,
+        /// Floor as a fraction of the base rate.
+        min_factor: f32,
+    },
+    /// Linear warmup, then constant.
+    WarmupConstant {
+        /// Steps of linear warmup from 0 to the base rate.
+        warmup_steps: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier for 0-based step `step`.
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::WarmupConstant { warmup_steps } => {
+                if warmup_steps == 0 || step >= warmup_steps {
+                    1.0
+                } else {
+                    (step + 1) as f32 / warmup_steps as f32
+                }
+            }
+            LrSchedule::WarmupCosine {
+                warmup_steps,
+                total_steps,
+                min_factor,
+            } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    return (step + 1) as f32 / warmup_steps as f32;
+                }
+                if total_steps <= warmup_steps {
+                    return min_factor;
+                }
+                let progress = ((step - warmup_steps) as f32
+                    / (total_steps - warmup_steps) as f32)
+                    .min(1.0);
+                let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                min_factor + (1.0 - min_factor) * cosine
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        for s in [0u64, 1, 100, 10_000] {
+            assert_eq!(LrSchedule::Constant.factor(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_holds() {
+        let sched = LrSchedule::WarmupConstant { warmup_steps: 4 };
+        assert_eq!(sched.factor(0), 0.25);
+        assert_eq!(sched.factor(1), 0.5);
+        assert_eq!(sched.factor(3), 1.0);
+        assert_eq!(sched.factor(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_the_floor() {
+        let sched = LrSchedule::WarmupCosine {
+            warmup_steps: 2,
+            total_steps: 10,
+            min_factor: 0.1,
+        };
+        assert_eq!(sched.factor(0), 0.5);
+        assert_eq!(sched.factor(1), 1.0);
+        // Midpoint of the cosine: halfway between 1.0 and the floor.
+        let mid = sched.factor(6);
+        assert!((mid - 0.55).abs() < 1e-6, "{mid}");
+        // At and past the end: the floor.
+        assert!((sched.factor(10) - 0.1).abs() < 1e-6);
+        assert!((sched.factor(50) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_monotone_after_warmup() {
+        let sched = LrSchedule::WarmupCosine {
+            warmup_steps: 5,
+            total_steps: 50,
+            min_factor: 0.0,
+        };
+        let mut last = f32::INFINITY;
+        for s in 5..=50 {
+            let f = sched.factor(s);
+            assert!(f <= last + 1e-7, "step {s}: {f} > {last}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn degenerate_schedules_are_safe() {
+        assert_eq!(LrSchedule::WarmupConstant { warmup_steps: 0 }.factor(0), 1.0);
+        let broken = LrSchedule::WarmupCosine {
+            warmup_steps: 10,
+            total_steps: 5, // total < warmup
+            min_factor: 0.2,
+        };
+        assert_eq!(broken.factor(20), 0.2);
+    }
+}

@@ -1,0 +1,217 @@
+//! The active-gradient-offloading CPU optimizer (§IV-C), for real.
+//!
+//! Two threads implement the optimized handler pipeline of Fig. 3b:
+//!
+//! * a **prefetcher** walks the known gradient arrival order (backward is
+//!   deterministic: head, blocks in reverse, embedding) and stages each
+//!   layer's master parameters and Adam moments from the SSD tier into
+//!   host memory (`SSD→Main`), at most a small window ahead — so state
+//!   reads overlap the updater's CPU compute and write-backs;
+//! * an **updater** receives gradient notifications from the training
+//!   thread the moment each layer's G16 lands in host memory, performs
+//!   the f32 Adam step, and writes the updated P32/OS32 plus the fresh
+//!   P16 copy back to the SSD tier (`Main→SSD`).
+//!
+//! Updates are per-layer independent, so consuming them in arrival order
+//! keeps the result bit-identical to a serial optimizer — synchronous
+//! semantics with zero staleness, unlike ZeRO-Offload's one-step delayed
+//! update.
+//!
+//! With `active = false` the same updater runs, but only after the
+//! training thread has finished backward and closed the channel — the
+//! "Ratel+ZeRO" separate-stage ablation.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ratel_storage::{StorageError, Tier, TieredStore};
+use ratel_tensor::dtype::{decode_f16, decode_f32, encode_f16, encode_f32};
+use ratel_tensor::{Adam, AdamParams};
+
+use super::scaler::prepare_gradient;
+use super::{master_key, moments_key, p16_key};
+
+/// Notification that a layer's gradient blob is in host memory.
+#[derive(Debug, Clone)]
+pub struct GradMessage {
+    /// Layer id.
+    pub layer: usize,
+    /// Store key of the G16 blob.
+    pub key: String,
+}
+
+/// How many layers of master state the prefetcher may stage ahead — the
+/// host-side optimizer working window (part of Ratel's main-memory
+/// budget, see `RatelMemoryModel::host_bytes_per_param`).
+const PREFETCH_WINDOW: usize = 2;
+
+/// Handle to a running per-step optimizer.
+pub struct ActiveOptimizer {
+    grad_tx: Sender<GradMessage>,
+    updater: JoinHandle<Result<Vec<usize>, StorageError>>,
+    prefetcher: Option<JoinHandle<Result<(), StorageError>>>,
+}
+
+impl ActiveOptimizer {
+    /// Spawns the optimizer threads for one training step.
+    ///
+    /// `order` is the gradient arrival order (layer ids); `layer_steps`
+    /// holds each layer's count of *applied* Adam updates so far (skipped
+    /// overflow steps do not advance a layer's bias-correction clock).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        store: Arc<TieredStore>,
+        order: Vec<usize>,
+        adam: AdamParams,
+        layer_steps: Vec<u64>,
+        active: bool,
+        loss_scale: f32,
+        grad_clip: Option<f32>,
+    ) -> Self {
+        let (grad_tx, grad_rx) = unbounded::<GradMessage>();
+
+        let (prefetcher, staged_rx) = if active {
+            let (staged_tx, staged_rx) = bounded::<usize>(PREFETCH_WINDOW);
+            let store2 = Arc::clone(&store);
+            let order2 = order.clone();
+            let handle = std::thread::Builder::new()
+                .name("ratel-opt-prefetch".into())
+                .spawn(move || -> Result<(), StorageError> {
+                    for layer in order2 {
+                        store2.move_to(&master_key(layer), Tier::Host)?;
+                        store2.move_to(&moments_key(layer), Tier::Host)?;
+                        if staged_tx.send(layer).is_err() {
+                            break; // updater died; its error surfaces on join
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("spawn prefetcher");
+            (Some(handle), Some(staged_rx))
+        } else {
+            (None, None)
+        };
+
+        let updater = std::thread::Builder::new()
+            .name("ratel-opt-update".into())
+            .spawn(move || {
+                update_loop(
+                    store,
+                    grad_rx,
+                    staged_rx,
+                    adam,
+                    layer_steps,
+                    active,
+                    loss_scale,
+                    grad_clip,
+                )
+            })
+            .expect("spawn updater");
+
+        ActiveOptimizer {
+            grad_tx,
+            updater,
+            prefetcher,
+        }
+    }
+
+    /// Notifies the optimizer that a gradient blob is ready in host
+    /// memory. Never blocks the training thread.
+    pub fn submit(&self, msg: GradMessage) {
+        // The updater only exits after the channel closes, so a send can
+        // only fail if it panicked/errored; that error surfaces in
+        // `finish`.
+        let _ = self.grad_tx.send(msg);
+    }
+
+    /// Closes the gradient stream and waits for every update to be
+    /// written back — the synchronization point that keeps training
+    /// synchronous. Returns the layers whose update was skipped due to
+    /// gradient overflow.
+    pub fn finish(self) -> Result<Vec<usize>, StorageError> {
+        drop(self.grad_tx);
+        let updater_result = self
+            .updater
+            .join()
+            .expect("optimizer updater thread panicked");
+        if let Some(p) = self.prefetcher {
+            p.join().expect("optimizer prefetcher thread panicked")?;
+        }
+        updater_result
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update_loop(
+    store: Arc<TieredStore>,
+    grad_rx: Receiver<GradMessage>,
+    staged_rx: Option<Receiver<usize>>,
+    adam: AdamParams,
+    layer_steps: Vec<u64>,
+    active: bool,
+    loss_scale: f32,
+    grad_clip: Option<f32>,
+) -> Result<Vec<usize>, StorageError> {
+    // Returns true if the layer's update was applied, false if skipped.
+    let process = |msg: &GradMessage| -> Result<bool, StorageError> {
+        if let Some(rx) = &staged_rx {
+            // Wait for the prefetcher to stage this layer's states. Arrival
+            // order matches `order`, so this is the same layer.
+            let staged = rx.recv().ok();
+            debug_assert_eq!(staged, Some(msg.layer), "prefetch order mismatch");
+        } else {
+            // Separate-stage / no prefetcher: fetch states ourselves
+            // (serialized SSD→Main, the naive handler's first step).
+            store.move_to(&master_key(msg.layer), Tier::Host)?;
+            store.move_to(&moments_key(msg.layer), Tier::Host)?;
+        }
+
+        // CPU compute: f32 Adam over the staged states, consuming the G16
+        // gradient that backward just offloaded (unscale, overflow check,
+        // optional per-layer clip first — see `scaler`).
+        let mut grads = decode_f16(&store.read(&msg.key)?);
+        store.remove(&msg.key)?;
+        let applied = if prepare_gradient(&mut grads, loss_scale, grad_clip).is_some() {
+            let mut master = decode_f32(&store.read(&master_key(msg.layer))?);
+            let moments = decode_f32(&store.read(&moments_key(msg.layer))?);
+            let mut state = Adam::from_flat(&moments, layer_steps[msg.layer]);
+            state.step(&mut master, &grads, &adam);
+
+            // Main→SSD: write back P32 + OS32 and publish the fresh P16.
+            store.overwrite(&master_key(msg.layer), encode_f32(&master))?;
+            store.overwrite(&moments_key(msg.layer), encode_f32(&state.to_flat()))?;
+            let p16 = p16_key(msg.layer);
+            store.remove(&p16)?;
+            store.put(&p16, Tier::Host, encode_f16(&master))?;
+            store.move_to(&p16, Tier::Ssd)?;
+            true
+        } else {
+            false
+        };
+        // States return to the SSD tier either way (they were staged out).
+        store.move_to(&master_key(msg.layer), Tier::Ssd)?;
+        store.move_to(&moments_key(msg.layer), Tier::Ssd)?;
+        Ok(applied)
+    };
+
+    let mut skipped = Vec::new();
+    if active {
+        // Consume gradients as they arrive, overlapping GPU backward.
+        for msg in grad_rx.iter() {
+            if !process(&msg)? {
+                skipped.push(msg.layer);
+            }
+        }
+    } else {
+        // Separate stage: buffer everything until backward finishes (the
+        // channel closes), then run the whole optimizer.
+        let all: Vec<GradMessage> = grad_rx.iter().collect();
+        for msg in &all {
+            if !process(msg)? {
+                skipped.push(msg.layer);
+            }
+        }
+    }
+    Ok(skipped)
+}

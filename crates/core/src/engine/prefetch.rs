@@ -1,0 +1,155 @@
+//! Pipelined parameter prefetching (the `Ratel_hook` of Fig. 4).
+//!
+//! During a training step the engine touches layers in a fully
+//! deterministic order (forward 0..L+1, then backward L..0), so a
+//! prefetcher thread can stage each layer's P16 blob from the SSD tier
+//! into the GPU arena a window ahead of the compute thread, hiding the
+//! SSD→host→GPU latency behind the previous layer's kernels — the same
+//! double-buffering the memory model charges the GPU arena for
+//! (`RatelMemoryModel::gpu_bytes_per_layer_param` counts three buffers).
+//!
+//! Numerics are untouched: the staged bytes are identical to what a
+//! serial fetch would read, so prefetched and serial training remain
+//! bit-identical; only wall-clock time changes (see the
+//! `prefetch_timing` integration test).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver};
+use ratel_storage::{StorageError, Tier, TieredStore};
+
+use super::p16_key;
+
+/// How many layers ahead the prefetcher may run. One blob is in use by
+/// the compute thread while `WINDOW` more may be staged — with the
+/// in-flight one this matches the memory model's triple buffering.
+const WINDOW: usize = 2;
+
+/// A staged parameter blob announcement: `(sequence index, staged key)`.
+pub(crate) type Staged = (usize, String);
+
+/// Handle to a running parameter prefetcher.
+pub(crate) struct ParamPrefetcher {
+    rx: Receiver<Result<Staged, StorageError>>,
+    handle: Option<JoinHandle<()>>,
+    next_seq: usize,
+}
+
+impl ParamPrefetcher {
+    /// Spawns a prefetcher staging the P16 blobs of `order` (layer ids in
+    /// touch order) into the GPU tier.
+    pub(crate) fn start(store: Arc<TieredStore>, order: Vec<usize>) -> Self {
+        let (tx, rx) = bounded::<Result<Staged, StorageError>>(WINDOW);
+        let handle = std::thread::Builder::new()
+            .name("ratel-param-prefetch".into())
+            .spawn(move || {
+                for (seq, layer) in order.into_iter().enumerate() {
+                    let key = p16_key(layer);
+                    // Unique staged name per sequence position: the same
+                    // layer is staged separately for forward and backward.
+                    let staged = format!("{key}#pf{seq}");
+                    let result = store
+                        .copy_to(&key, &staged, Tier::Gpu)
+                        .map(|()| (seq, staged));
+                    let failed = result.is_err();
+                    if tx.send(result).is_err() || failed {
+                        // Consumer went away or staging failed: stop.
+                        break;
+                    }
+                }
+            })
+            .expect("spawn param prefetcher");
+        ParamPrefetcher {
+            rx,
+            handle: Some(handle),
+            next_seq: 0,
+        }
+    }
+
+    /// Blocks until the next staged blob is available and returns its
+    /// store key. The caller reads, decodes, and removes it.
+    pub(crate) fn next(&mut self) -> Result<String, StorageError> {
+        let staged = self
+            .rx
+            .recv()
+            .expect("prefetcher dropped without finishing")?;
+        assert_eq!(staged.0, self.next_seq, "prefetch order mismatch");
+        self.next_seq += 1;
+        Ok(staged.1)
+    }
+}
+
+impl Drop for ParamPrefetcher {
+    fn drop(&mut self) {
+        // Drain so the thread unblocks, then join.
+        while self.rx.try_recv().is_ok() {}
+        drop(std::mem::replace(
+            &mut self.rx,
+            bounded::<Result<Staged, StorageError>>(0).1,
+        ));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_storage::TierConfig;
+    use ratel_tensor::dtype::encode_f16;
+
+    fn store_with_layers(n: usize) -> Arc<TieredStore> {
+        let store = Arc::new(TieredStore::new(TierConfig::unbounded_temp()).unwrap());
+        for l in 0..n {
+            store
+                .put(&p16_key(l), Tier::Ssd, encode_f16(&[l as f32; 8]))
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn stages_in_order_and_cleans_up() {
+        let store = store_with_layers(3);
+        let order = vec![0usize, 1, 2, 2, 1, 0];
+        let mut pf = ParamPrefetcher::start(Arc::clone(&store), order.clone());
+        for (seq, layer) in order.iter().enumerate() {
+            let staged = pf.next().unwrap();
+            assert!(staged.contains(&format!("#pf{seq}")));
+            let bytes = store.read(&staged).unwrap();
+            assert_eq!(
+                ratel_tensor::dtype::decode_f16(&bytes),
+                vec![*layer as f32; 8]
+            );
+            store.remove(&staged).unwrap();
+        }
+        drop(pf);
+        assert_eq!(store.used(Tier::Gpu), 0);
+    }
+
+    #[test]
+    fn staging_error_surfaces_to_the_consumer() {
+        // A 1-byte GPU arena cannot hold any staged blob.
+        let config = TierConfig {
+            gpu_capacity: Some(1),
+            host_capacity: None,
+            ssd_capacity: None,
+            ssd_dir: TierConfig::unbounded_temp().ssd_dir,
+        };
+        let store = Arc::new(TieredStore::new(config).unwrap());
+        store
+            .put(&p16_key(0), Tier::Ssd, encode_f16(&[1.0; 8]))
+            .unwrap();
+        let mut pf = ParamPrefetcher::start(Arc::clone(&store), vec![0]);
+        assert!(pf.next().is_err());
+    }
+
+    #[test]
+    fn early_drop_does_not_deadlock() {
+        let store = store_with_layers(4);
+        let pf = ParamPrefetcher::start(store, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        drop(pf); // consumer abandons mid-stream
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Ratel: holistic data-movement optimization for fine-tuning 100B-scale
+//! models on a single consumer GPU (ICDE 2025 reproduction).
+//!
+//! The crate has two faces:
+//!
+//! * **Analytic/simulated** — [`profile::HardwareProfile`] (the
+//!   hardware-aware profiling stage, §IV-B), [`planner`] (the convex
+//!   iteration-time model and Algorithm 1, §IV-D), [`memory`] (feasibility
+//!   of a model/batch on a server), and [`schedule`] (builds per-layer task
+//!   graphs executed by `ratel-sim`, including the naive and optimized
+//!   active-gradient-offloading schedules of §IV-C). These regenerate the
+//!   paper's figures.
+//! * **Real execution** — [`engine`] actually fine-tunes a small GPT
+//!   through `ratel-storage` tiers: parameters and optimizer states live as
+//!   blobs in the SSD tier, activations are swapped or recomputed per the
+//!   planner's decisions, and a concurrent CPU-optimizer thread consumes
+//!   gradients the moment backward produces them (active gradient
+//!   offloading) while keeping updates fully synchronous.
+
+pub mod api;
+pub mod cost;
+pub mod engine;
+pub mod memory;
+pub mod offload;
+pub mod planner;
+pub mod profile;
+pub mod report;
+pub mod schedule;
+
+pub use api::{Ratel, RatelTrainer};
+pub use memory::RatelMemoryModel;
+pub use offload::GradOffloadMode;
+pub use planner::{ActivationPlanner, SwapPlan};
+pub use profile::HardwareProfile;
+pub use report::IterationReport;
+pub use schedule::RatelSchedule;

@@ -1,0 +1,228 @@
+//! Ratel's memory feasibility model: how much GPU memory, main memory, and
+//! SSD capacity a (model, batch) combination needs under Ratel's placement.
+//!
+//! Ratel keeps model states and (overflow) activations on the SSDs, streams
+//! one layer at a time through the GPU, and runs the optimizer out of core,
+//! so its requirements are:
+//!
+//! * **GPU**: a triple-buffered fp16 copy of the largest layer (current +
+//!   two prefetched — what lets transfers hide behind compute), that
+//!   layer's fp16 gradient, the per-layer activation working set, and a
+//!   fixed runtime overhead;
+//! * **main memory**: pinned streaming buffers plus the out-of-core
+//!   optimizer's working cache, which grow with total parameters — the
+//!   `~0.8 bytes/param` term calibrated so that Fig. 8's maxima hold
+//!   (135B-class at 128 GB, 276B-class at 256 GB);
+//! * **SSD**: the full 16P of model states plus whatever activations spill.
+//!
+//! The constants are calibrated against the paper's reported maxima (see
+//! DESIGN.md): 276B trains on a 24 GB RTX 4090 but 412B does not; 175B
+//! trains on a 16 GB RTX 4080 with 256 GB of main memory but 276B does not.
+
+use ratel_hw::ServerConfig;
+use ratel_model::{ModelProfile, ModelStates};
+
+/// Why a configuration cannot be trained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Infeasible {
+    /// The GPU cannot hold one layer's working set.
+    GpuMemory {
+        /// Bytes needed.
+        needed: f64,
+        /// Bytes present.
+        capacity: f64,
+    },
+    /// Main memory cannot hold the streaming/optimizer buffers.
+    HostMemory {
+        /// Bytes needed.
+        needed: f64,
+        /// Bytes present.
+        capacity: f64,
+    },
+    /// The SSD array cannot hold model states (or there are no SSDs).
+    SsdCapacity {
+        /// Bytes needed.
+        needed: f64,
+        /// Bytes present.
+        capacity: f64,
+    },
+}
+
+/// Ratel's memory model with its calibrated constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatelMemoryModel {
+    /// GPU bytes per parameter of the largest layer: triple-buffered fp16
+    /// weights (3 x 2) plus the fp16 layer gradient (2).
+    pub gpu_bytes_per_layer_param: f64,
+    /// GPU activation working set, bytes per token-channel (`b*s*h`).
+    pub gpu_workspace_bytes_per_tc: f64,
+    /// Fixed GPU runtime overhead (allocator, kernels, fragmentation).
+    pub gpu_overhead_bytes: f64,
+    /// Fixed host overhead: pinned staging rings, framework state.
+    pub host_base_bytes: f64,
+    /// Host bytes per *total* parameter: optimizer working cache and
+    /// gradient landing buffers.
+    pub host_bytes_per_param: f64,
+}
+
+impl Default for RatelMemoryModel {
+    fn default() -> Self {
+        RatelMemoryModel {
+            gpu_bytes_per_layer_param: 8.0,
+            gpu_workspace_bytes_per_tc: 17.0,
+            gpu_overhead_bytes: 2.3e9,
+            host_base_bytes: 12e9,
+            host_bytes_per_param: 0.8,
+        }
+    }
+}
+
+impl RatelMemoryModel {
+    /// GPU bytes needed to execute one layer at a time.
+    pub fn gpu_needed(&self, model: &ModelProfile) -> f64 {
+        let token_channels =
+            (model.batch * model.config.seq_len * model.config.hidden) as f64;
+        self.gpu_bytes_per_layer_param * model.max_layer_params()
+            + self.gpu_workspace_bytes_per_tc * token_channels
+            + self.gpu_overhead_bytes
+    }
+
+    /// Main-memory bytes Ratel itself needs (excluding swapped activations,
+    /// which are sized *to fit* whatever is left).
+    pub fn host_needed(&self, model: &ModelProfile) -> f64 {
+        self.host_base_bytes + self.host_bytes_per_param * model.total_params()
+    }
+
+    /// SSD bytes needed for model states (activation spill comes on top but
+    /// is bounded by `A_all`, which we include for safety at large batch).
+    pub fn ssd_needed(&self, model: &ModelProfile) -> f64 {
+        let states = ModelStates {
+            p32: 4.0 * model.total_params(),
+            os32: 8.0 * model.total_params(),
+            g16: 2.0 * model.total_params(),
+            p16: 2.0 * model.total_params(),
+        };
+        states.total() + model.total_act_bytes()
+    }
+
+    /// `MEM_avail` of Eq. 3: host bytes left over to accommodate swapped
+    /// activations.
+    pub fn host_activation_budget(&self, server: &ServerConfig, model: &ModelProfile) -> f64 {
+        (server.usable_main_memory() as f64 - self.host_needed(model)).max(0.0)
+    }
+
+    /// Checks whether Ratel can fine-tune `model` on `server`.
+    pub fn check(&self, server: &ServerConfig, model: &ModelProfile) -> Result<(), Infeasible> {
+        let gpu_needed = self.gpu_needed(model);
+        let gpu_cap = server.gpu.memory_bytes as f64;
+        if gpu_needed > gpu_cap {
+            return Err(Infeasible::GpuMemory {
+                needed: gpu_needed,
+                capacity: gpu_cap,
+            });
+        }
+        let host_needed = self.host_needed(model);
+        let host_cap = server.usable_main_memory() as f64;
+        if host_needed > host_cap {
+            return Err(Infeasible::HostMemory {
+                needed: host_needed,
+                capacity: host_cap,
+            });
+        }
+        let ssd_needed = self.ssd_needed(model);
+        let ssd_cap = server.ssds.capacity_bytes() as f64;
+        if ssd_needed > ssd_cap {
+            return Err(Infeasible::SsdCapacity {
+                needed: ssd_needed,
+                capacity: ssd_cap,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The largest Table IV (or given ladder) model trainable under a
+/// feasibility predicate, reported in billions of parameters (0 if none).
+pub fn max_trainable_billions<F>(ladder: &[ratel_model::ModelConfig], feasible: F) -> f64
+where
+    F: Fn(&ratel_model::ModelConfig) -> bool,
+{
+    ladder
+        .iter()
+        .filter(|m| feasible(m))
+        .map(|m| m.size_billions())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_hw::{GpuSpec, ServerConfig};
+    use ratel_model::{zoo, ModelProfile};
+
+    fn feasible(server: &ServerConfig, name: &str, batch: usize) -> bool {
+        let model = ModelProfile::new(&zoo::llm(name), batch);
+        RatelMemoryModel::default().check(server, &model).is_ok()
+    }
+
+    #[test]
+    fn paper_headline_276b_on_4090_768g() {
+        let server = ServerConfig::paper_default();
+        assert!(feasible(&server, "276B", 1));
+        assert!(!feasible(&server, "412B", 1), "412B should exceed 24 GB GPU");
+    }
+
+    #[test]
+    fn paper_headline_175b_on_4080_256g() {
+        let server = ServerConfig::consumer_256g().with_gpu(GpuSpec::rtx4080());
+        assert!(feasible(&server, "175B", 1));
+        assert!(!feasible(&server, "276B", 1));
+    }
+
+    #[test]
+    fn main_memory_bounds_large_models_fig8() {
+        // 128 GB main memory: the 135B class trains at batch 12, 175B+ do
+        // not (Fig. 8a).
+        let server = ServerConfig::paper_default().with_main_memory(128 * (1 << 30));
+        assert!(feasible(&server, "135B", 12));
+        assert!(!feasible(&server, "175B", 12));
+        // 256 GB lifts the cap to the GPU-bound 276B at small batch
+        // (Fig. 8b).
+        let server = ServerConfig::consumer_256g();
+        assert!(feasible(&server, "276B", 12));
+    }
+
+    #[test]
+    fn large_batch_shrinks_max_size_via_gpu_workspace() {
+        let server = ServerConfig::consumer_256g();
+        assert!(feasible(&server, "70B", 60));
+        assert!(!feasible(&server, "135B", 60), "Fig 8: batch 60 caps below 135B");
+    }
+
+    #[test]
+    fn no_ssds_means_no_training() {
+        let server = ServerConfig::paper_default().with_ssd_count(0);
+        assert!(!feasible(&server, "13B", 1));
+    }
+
+    #[test]
+    fn max_trainable_scans_the_ladder() {
+        let server = ServerConfig::paper_default();
+        let ladder = zoo::llm_ladder();
+        let max = max_trainable_billions(&ladder, |m| {
+            RatelMemoryModel::default()
+                .check(&server, &ModelProfile::new(m, 1))
+                .is_ok()
+        });
+        assert!((270.0..290.0).contains(&max), "max = {max}");
+    }
+
+    #[test]
+    fn activation_budget_shrinks_with_model_size() {
+        let server = ServerConfig::paper_default();
+        let m13 = ModelProfile::new(&zoo::llm("13B"), 32);
+        let m175 = ModelProfile::new(&zoo::llm("175B"), 32);
+        let mm = RatelMemoryModel::default();
+        assert!(mm.host_activation_budget(&server, &m175) < mm.host_activation_budget(&server, &m13));
+    }
+}

@@ -1,0 +1,54 @@
+//! Gradient offloading modes (§IV-C).
+//!
+//! When a layer's fp16 gradient lands in main memory, its optimizer
+//! "handler" runs three steps: `SSD→Main` (read the layer's P32+OS32),
+//! `CPU Compute` (Adam update, emit fresh P16), `Main→SSD` (write back
+//! P32+OS32+P16). The three modes differ in how handlers are scheduled
+//! relative to each other and to GPU backward propagation.
+
+/// How gradients reach the out-of-core CPU optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradOffloadMode {
+    /// ZeRO-Infinity-style: gradients spill to SSD during backward; the
+    /// whole optimizer runs as a separate stage after backward finishes
+    /// (the "Ratel+ZeRO" ablation of Fig. 7).
+    SeparateStage,
+    /// Naive active offloading: the optimizer consumes gradients during
+    /// backward, but each layer's handler serializes its three steps and
+    /// handlers run one after another (Fig. 3a).
+    NaiveActive,
+    /// Optimized active offloading: handlers of consecutive layers are
+    /// software-pipelined — `Main→SSD` of layer *i* is issued after
+    /// `SSD→Main` of layer *i−1*, overlapping CPU compute with SSD I/O in
+    /// both directions (Fig. 3b).
+    OptimizedActive,
+}
+
+impl GradOffloadMode {
+    /// All modes, for ablation sweeps.
+    pub const ALL: [GradOffloadMode; 3] = [
+        GradOffloadMode::SeparateStage,
+        GradOffloadMode::NaiveActive,
+        GradOffloadMode::OptimizedActive,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            GradOffloadMode::SeparateStage => "Ratel+ZeRO",
+            GradOffloadMode::NaiveActive => "Ratel Naive",
+            GradOffloadMode::OptimizedActive => "Ratel Optimized",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(GradOffloadMode::OptimizedActive.name(), "Ratel Optimized");
+        assert_eq!(GradOffloadMode::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,525 @@
+//! Holistic traffic-aware activation swapping management (§IV-D).
+//!
+//! The planner decides *which* activations to swap out of the GPU (vs.
+//! recompute during backward) and *where* swapped bytes live (host RAM up
+//! to `MEM_avail`, overflow on the SSDs), by minimizing the analytic
+//! iteration-time model of Eq. 1–5:
+//!
+//! ```text
+//! T_iter = T_f + T_b
+//! T_f = max(FLOP_f/THP,  A_G2M/BW_G,  2P/BW_G,  2P/BW_S2M + αA_G2M/BW_M2S)
+//! T_b = max((2FLOP_f+FLOP_r)/THP,  2P/BW_G,  (2P+A_G2M)/BW_G,
+//!           (14P+αA_G2M)/BW_S2M + 14P/BW_M2S)
+//! ```
+//!
+//! with `αA_G2M = max(0, A_G2M − MEM_avail)` (Eq. 3). Activation units are
+//! considered in decreasing *offloading benefit* `OB = FLOP/A` (Eq. 6),
+//! which makes `FLOP_r` convex in `A_G2M` and therefore `T_iter` convex
+//! (the paper's Theorems 1–4); Algorithm 1 walks the curve and stops at the
+//! inflection point, with `A_interBlock` as the mandatory floor (the
+//! checkpoints cannot be recomputed — below them backward would OOM).
+
+use ratel_model::{ActivationUnit, ModelProfile, UnitKind};
+
+use crate::profile::HardwareProfile;
+
+/// Which resource bounds a stage in the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// GPU compute (`FLOP/THP` term).
+    GpuCompute,
+    /// GPU -> main memory PCIe direction.
+    PcieG2M,
+    /// Main memory -> GPU PCIe direction.
+    PcieM2G,
+    /// The (simplex) SSD array.
+    Ssd,
+}
+
+/// Analytic stage/iteration times for one candidate plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterTime {
+    /// `T_f` (seconds).
+    pub forward: f64,
+    /// `T_b` (seconds; the optimizer is hidden inside it).
+    pub backward: f64,
+    /// Which resource bounds the forward stage.
+    pub forward_bound: Bound,
+    /// Which resource bounds the backward stage.
+    pub backward_bound: Bound,
+}
+
+impl IterTime {
+    /// `T_iter = T_f + T_b` (Eq. 1).
+    pub fn total(&self) -> f64 {
+        self.forward + self.backward
+    }
+}
+
+/// Which of the paper's three convexity cases the plan landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanCase {
+    /// Iteration time rises with any extra swap: keep the minimum safe
+    /// amount (`A_interBlock`).
+    PcieBound,
+    /// Iteration time falls all the way: swap everything (GPU-bound).
+    GpuBound,
+    /// Interior optimum found at the inflection point.
+    Inflection,
+}
+
+/// A reference to one swappable activation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitRef {
+    /// Owning layer id.
+    pub layer: usize,
+    /// Which half of the layer.
+    pub kind: UnitKind,
+}
+
+/// Where a swapped unit's bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapTarget {
+    /// Accommodated by main memory.
+    Host,
+    /// Spilled to the SSD array.
+    Ssd,
+}
+
+/// The planner's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapPlan {
+    /// Swapped intra-layer units with their placement, in benefit order.
+    pub swapped: Vec<(UnitRef, SwapTarget)>,
+    /// `A_G2M`: total bytes swapped out of the GPU (checkpoints included).
+    pub a_g2m: f64,
+    /// `αA_G2M`: bytes of that total living on the SSDs.
+    pub spill_bytes: f64,
+    /// `FLOP_r`: remaining recomputation FLOPs during backward.
+    pub flop_r: f64,
+    /// Predicted stage times at the chosen point.
+    pub predicted: IterTime,
+    /// Which convexity case the search ended in.
+    pub case: PlanCase,
+}
+
+impl SwapPlan {
+    /// `α`: fraction of swapped bytes on SSD (0 when everything fits in
+    /// host memory).
+    pub fn alpha(&self) -> f64 {
+        if self.a_g2m == 0.0 {
+            0.0
+        } else {
+            self.spill_bytes / self.a_g2m
+        }
+    }
+
+    /// Whether a given unit is swapped (vs. recomputed).
+    pub fn swaps(&self, layer: usize, kind: UnitKind) -> bool {
+        self.swapped
+            .iter()
+            .any(|(u, _)| u.layer == layer && u.kind == kind)
+    }
+}
+
+/// The activation planner: the iteration-time model plus Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ActivationPlanner<'a> {
+    profile: &'a HardwareProfile,
+    model: &'a ModelProfile,
+    /// When false (the Ratel+CpuAct ablation of §V-E), swapped activations
+    /// may only live in main memory: `A_G2M` is capped at `MEM_avail`.
+    pub allow_ssd_spill: bool,
+}
+
+impl<'a> ActivationPlanner<'a> {
+    /// Creates a planner over a profiled model and hardware.
+    pub fn new(profile: &'a HardwareProfile, model: &'a ModelProfile) -> Self {
+        ActivationPlanner {
+            profile,
+            model,
+            allow_ssd_spill: true,
+        }
+    }
+
+    /// Evaluates Eq. 1–5 at a candidate `(A_G2M, FLOP_r)` point.
+    pub fn iter_time(&self, a_g2m: f64, flop_r: f64) -> IterTime {
+        let p = self.model.total_params();
+        let hw = self.profile;
+        let flop_f = self.model.forward_flops();
+        let spill = (a_g2m - hw.mem_avail).max(0.0);
+
+        let (forward, forward_bound) = max_bound(&[
+            (flop_f / hw.thp_gpu, Bound::GpuCompute),
+            (a_g2m / hw.bw_gpu, Bound::PcieG2M),
+            (2.0 * p / hw.bw_gpu, Bound::PcieM2G),
+            (2.0 * p / hw.bw_s2m + spill / hw.bw_m2s, Bound::Ssd),
+        ]);
+        // Eq. 5, with per-traffic-class SSD bandwidths: the 12P state read
+        // and 14P state write run at chunked-I/O efficiency, while the 2P
+        // parameter refetch and the activation spill stream sequentially.
+        let eff = hw.state_io_efficiency;
+        let (backward, backward_bound) = max_bound(&[
+            ((2.0 * flop_f + flop_r) / hw.thp_gpu, Bound::GpuCompute),
+            (2.0 * p / hw.bw_gpu, Bound::PcieG2M),
+            ((2.0 * p + a_g2m) / hw.bw_gpu, Bound::PcieM2G),
+            (
+                (2.0 * p + spill) / hw.bw_s2m
+                    + 12.0 * p / (eff * hw.bw_s2m)
+                    + 14.0 * p / (eff * hw.bw_m2s),
+                Bound::Ssd,
+            ),
+        ]);
+        IterTime {
+            forward,
+            backward,
+            forward_bound,
+            backward_bound,
+        }
+    }
+
+    /// Total recompute FLOPs when nothing intra-layer is swapped.
+    pub fn full_recompute_flops(&self) -> f64 {
+        self.model
+            .layers
+            .iter()
+            .flat_map(|l| l.units.iter())
+            .map(|u| u.recompute_flops)
+            .sum()
+    }
+
+    fn units(&self) -> Vec<&'a ActivationUnit> {
+        self.model.units_by_benefit()
+    }
+
+    /// Maximum `A_G2M` this planner may choose (everything, or `MEM_avail`
+    /// when SSD spill is disabled).
+    pub fn max_swap_bytes(&self) -> f64 {
+        let all = self.model.inter_act_bytes()
+            + self
+                .units()
+                .iter()
+                .map(|u| u.bytes)
+                .sum::<f64>();
+        if self.allow_ssd_spill {
+            all
+        } else {
+            all.min(self.profile.mem_avail)
+        }
+    }
+
+    /// Algorithm 1: walk units in benefit order, tracking the convex
+    /// `T_iter`, and stop past the inflection point.
+    pub fn plan(&self) -> SwapPlan {
+        let inter = self.model.inter_act_bytes();
+        let mut a_g2m = inter; // mandatory checkpoint floor
+        let mut flop_r = self.full_recompute_flops();
+        let mut swapped: Vec<UnitRef> = Vec::new();
+
+        let mut best_time = self.iter_time(a_g2m, flop_r);
+        let mut t_min = best_time.total();
+        let mut improved_past_floor = false;
+        let mut exhausted = true;
+
+        for unit in self.units() {
+            let next_a = a_g2m + unit.bytes;
+            if !self.allow_ssd_spill && next_a > self.profile.mem_avail {
+                // Host-only swapping (Ratel+CpuAct): no more room.
+                exhausted = false;
+                break;
+            }
+            let next_flop_r = flop_r - unit.recompute_flops;
+            let t = self.iter_time(next_a, next_flop_r);
+            if t.total() >= t_min {
+                // Past the inflection point (A_G2M is already above the
+                // floor here since the floor was the starting point).
+                exhausted = false;
+                break;
+            }
+            t_min = t.total();
+            best_time = t;
+            a_g2m = next_a;
+            flop_r = next_flop_r;
+            swapped.push(UnitRef {
+                layer: unit.layer,
+                kind: unit.kind,
+            });
+            improved_past_floor = true;
+        }
+
+        let case = if !improved_past_floor {
+            PlanCase::PcieBound
+        } else if exhausted {
+            PlanCase::GpuBound
+        } else {
+            PlanCase::Inflection
+        };
+
+        self.finish(swapped, a_g2m, flop_r, best_time, case)
+    }
+
+    /// Builds the plan that swaps the highest-benefit units until `A_G2M`
+    /// reaches at least `target` bytes (checkpoints always included) —
+    /// used to sweep the Fig. 9b curve and by static baselines.
+    pub fn plan_with_swap_bytes(&self, target: f64) -> SwapPlan {
+        let inter = self.model.inter_act_bytes();
+        let mut a_g2m = inter;
+        let mut flop_r = self.full_recompute_flops();
+        let mut swapped = Vec::new();
+        for unit in self.units() {
+            if a_g2m >= target {
+                break;
+            }
+            a_g2m += unit.bytes;
+            flop_r -= unit.recompute_flops;
+            swapped.push(UnitRef {
+                layer: unit.layer,
+                kind: unit.kind,
+            });
+        }
+        let t = self.iter_time(a_g2m, flop_r);
+        self.finish(swapped, a_g2m, flop_r, t, PlanCase::Inflection)
+    }
+
+    /// Exhaustively evaluates every prefix of the benefit order and returns
+    /// the best — the brute-force oracle Algorithm 1 must match (used by
+    /// tests; `plan` is O(n) thanks to convexity, this is too but without
+    /// early exit).
+    pub fn exhaustive_best(&self) -> SwapPlan {
+        let inter = self.model.inter_act_bytes();
+        let mut a_g2m = inter;
+        let mut flop_r = self.full_recompute_flops();
+        let mut best = (a_g2m, flop_r, self.iter_time(a_g2m, flop_r), 0usize);
+        for (i, unit) in self.units().iter().enumerate() {
+            a_g2m += unit.bytes;
+            flop_r -= unit.recompute_flops;
+            if !self.allow_ssd_spill && a_g2m > self.profile.mem_avail {
+                break;
+            }
+            let t = self.iter_time(a_g2m, flop_r);
+            if t.total() < best.2.total() {
+                best = (a_g2m, flop_r, t, i + 1);
+            }
+        }
+        let swapped = self.units()[..best.3]
+            .iter()
+            .map(|u| UnitRef {
+                layer: u.layer,
+                kind: u.kind,
+            })
+            .collect();
+        self.finish(swapped, best.0, best.1, best.2, PlanCase::Inflection)
+    }
+
+    /// Assigns placements (Eq. 3): host memory first, SSD overflow.
+    fn finish(
+        &self,
+        swapped: Vec<UnitRef>,
+        a_g2m: f64,
+        flop_r: f64,
+        predicted: IterTime,
+        case: PlanCase,
+    ) -> SwapPlan {
+        let spill_bytes = if self.allow_ssd_spill {
+            (a_g2m - self.profile.mem_avail).max(0.0)
+        } else {
+            0.0
+        };
+        // Checkpoints occupy host budget first; then swapped units in
+        // benefit order until the budget runs out.
+        let mut host_left = (self.profile.mem_avail - self.model.inter_act_bytes()).max(0.0);
+        let units = self.units();
+        let placed = swapped
+            .into_iter()
+            .map(|r| {
+                let bytes = units
+                    .iter()
+                    .find(|u| u.layer == r.layer && u.kind == r.kind)
+                    .map(|u| u.bytes)
+                    .unwrap_or(0.0);
+                if bytes <= host_left {
+                    host_left -= bytes;
+                    (r, SwapTarget::Host)
+                } else {
+                    (r, SwapTarget::Ssd)
+                }
+            })
+            .collect();
+        SwapPlan {
+            swapped: placed,
+            a_g2m,
+            spill_bytes,
+            flop_r,
+            predicted,
+            case,
+        }
+    }
+}
+
+fn max_bound(terms: &[(f64, Bound)]) -> (f64, Bound) {
+    let mut best = terms[0];
+    for &t in &terms[1..] {
+        if t.0 > best.0 {
+            best = t;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_hw::ServerConfig;
+    use ratel_model::{zoo, ModelProfile};
+
+    fn setup(batch: usize) -> (HardwareProfile, ModelProfile) {
+        let server = ServerConfig::paper_default();
+        let model = ModelProfile::new(&zoo::llm("13B"), batch);
+        let profile = HardwareProfile::measure(&server, &model, batch);
+        (profile, model)
+    }
+
+    #[test]
+    fn iteration_time_is_in_the_right_ballpark() {
+        // Fig. 1c: Ratel fine-tunes 13B at batch 32 in ~25 s per iteration
+        // on the paper's server. The analytic model should land within a
+        // factor of ~1.5 (it assumes perfect overlap).
+        let (profile, model) = setup(32);
+        let planner = ActivationPlanner::new(&profile, &model);
+        let plan = planner.plan();
+        let t = plan.predicted.total();
+        assert!((12.0..35.0).contains(&t), "T_iter = {t:.1}s");
+    }
+
+    #[test]
+    fn algorithm1_matches_exhaustive_search() {
+        for batch in [8usize, 16, 24, 32, 48, 64] {
+            let (profile, model) = setup(batch);
+            let planner = ActivationPlanner::new(&profile, &model);
+            let plan = planner.plan();
+            let best = planner.exhaustive_best();
+            assert!(
+                (plan.predicted.total() - best.predicted.total()).abs() < 1e-9,
+                "batch {batch}: alg1 {:.4} vs oracle {:.4}",
+                plan.predicted.total(),
+                best.predicted.total()
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_time_curve_is_convex_along_benefit_order() {
+        let (profile, model) = setup(32);
+        let planner = ActivationPlanner::new(&profile, &model);
+        // Sample T_iter at every prefix point.
+        let mut points = vec![(
+            model.inter_act_bytes(),
+            planner
+                .iter_time(model.inter_act_bytes(), planner.full_recompute_flops())
+                .total(),
+        )];
+        let mut a = model.inter_act_bytes();
+        let mut fr = planner.full_recompute_flops();
+        for u in model.units_by_benefit() {
+            a += u.bytes;
+            fr -= u.recompute_flops;
+            points.push((a, planner.iter_time(a, fr).total()));
+        }
+        // Discrete convexity: slopes are non-decreasing.
+        let mut last_slope = f64::NEG_INFINITY;
+        for w in points.windows(2) {
+            let slope = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            assert!(
+                slope >= last_slope - 1e-12,
+                "slope decreased: {last_slope} -> {slope}"
+            );
+            last_slope = slope;
+        }
+    }
+
+    #[test]
+    fn swap_floor_is_the_checkpoints() {
+        let (profile, model) = setup(32);
+        let planner = ActivationPlanner::new(&profile, &model);
+        let plan = planner.plan();
+        assert!(plan.a_g2m >= model.inter_act_bytes());
+    }
+
+    #[test]
+    fn spill_goes_to_ssd_only_beyond_mem_avail() {
+        let (profile, model) = setup(32);
+        let planner = ActivationPlanner::new(&profile, &model);
+        let plan = planner.plan();
+        if plan.a_g2m <= profile.mem_avail {
+            assert_eq!(plan.spill_bytes, 0.0);
+            assert_eq!(plan.alpha(), 0.0);
+        } else {
+            assert!(plan.spill_bytes > 0.0);
+            assert!(plan.alpha() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn host_only_planner_respects_mem_avail() {
+        // Shrink memory so the cap binds.
+        let server = ServerConfig::paper_default().with_main_memory(64 * (1 << 30));
+        let model = ModelProfile::new(&zoo::llm("13B"), 64);
+        let profile = HardwareProfile::measure(&server, &model, 64);
+        let mut planner = ActivationPlanner::new(&profile, &model);
+        planner.allow_ssd_spill = false;
+        let plan = planner.plan();
+        assert!(plan.a_g2m <= profile.mem_avail.max(model.inter_act_bytes()) + 1.0);
+        assert_eq!(plan.spill_bytes, 0.0);
+        // The unrestricted planner can swap strictly more.
+        let free = ActivationPlanner::new(&profile, &model).plan();
+        assert!(free.max_swap_vs(&plan));
+    }
+
+    impl SwapPlan {
+        fn max_swap_vs(&self, other: &SwapPlan) -> bool {
+            self.a_g2m >= other.a_g2m
+        }
+    }
+
+    #[test]
+    fn larger_batch_swaps_more() {
+        // Bigger batches make GPU compute longer relative to PCIe, so
+        // swapping (instead of recomputing) pays off more (Fig. 9b).
+        let (p8, m8) = setup(8);
+        let (p64, m64) = setup(64);
+        let plan8 = ActivationPlanner::new(&p8, &m8).plan();
+        let plan64 = ActivationPlanner::new(&p64, &m64).plan();
+        let frac8 = plan8.a_g2m / (m8.total_act_bytes());
+        let frac64 = plan64.a_g2m / (m64.total_act_bytes());
+        assert!(
+            frac64 >= frac8,
+            "swap fraction should grow with batch: {frac8} vs {frac64}"
+        );
+    }
+
+    #[test]
+    fn plan_with_swap_bytes_hits_the_target() {
+        let (profile, model) = setup(32);
+        let planner = ActivationPlanner::new(&profile, &model);
+        let target = 80e9;
+        let plan = planner.plan_with_swap_bytes(target);
+        assert!(plan.a_g2m >= target);
+        // Not overshooting by more than one unit.
+        let max_unit = model
+            .units_by_benefit()
+            .iter()
+            .map(|u| u.bytes)
+            .fold(0.0, f64::max);
+        assert!(plan.a_g2m <= target + max_unit + 1.0);
+    }
+
+    #[test]
+    fn recompute_flops_shrink_as_swap_grows() {
+        let (profile, model) = setup(32);
+        let planner = ActivationPlanner::new(&profile, &model);
+        let a = planner.plan_with_swap_bytes(20e9);
+        let b = planner.plan_with_swap_bytes(150e9);
+        assert!(b.flop_r < a.flop_r);
+        assert!(b.a_g2m > a.a_g2m);
+    }
+}

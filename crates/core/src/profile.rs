@@ -1,0 +1,103 @@
+//! Hardware-aware profiling (§IV-B).
+//!
+//! In the paper, Ratel's first training iteration runs instrumented: it
+//! offloads conservatively (inter-block activations only), records each
+//! layer's compute time and every link's achieved bandwidth, and reads the
+//! minimum unallocated main memory. Here the "measurement" is taken from
+//! the server specification plus Ratel's own memory model — the same
+//! numbers a real profiling pass would converge to on that hardware — and
+//! is packaged as the `Table I` quantities every later component consumes.
+
+use ratel_hw::ServerConfig;
+use ratel_model::ModelProfile;
+
+use crate::memory::RatelMemoryModel;
+
+/// The measurements the profiling stage provides (Table I symbols).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareProfile {
+    /// `THP_G`: sustained GPU throughput in FLOP/s at the profiled batch.
+    pub thp_gpu: f64,
+    /// `BW_G`: per-direction GPU<->main-memory PCIe bandwidth, bytes/s.
+    pub bw_gpu: f64,
+    /// `BW_S2M`: aggregate SSD read bandwidth, bytes/s.
+    pub bw_s2m: f64,
+    /// `BW_M2S`: aggregate SSD write bandwidth, bytes/s.
+    pub bw_m2s: f64,
+    /// `MEM_avail`: main-memory bytes free to accommodate swapped
+    /// activations after Ratel's own buffers (Eq. 3).
+    pub mem_avail: f64,
+    /// CPU Adam update rate, parameters/second (used by the simulator for
+    /// the active-offloading handler; the analytic model follows the paper
+    /// and omits it from Eq. 5).
+    pub cpu_adam_params_per_sec: f64,
+    /// Fraction of sequential SSD bandwidth achieved by optimizer-*state*
+    /// I/O. Master states are updated in optimizer-chunk granularity, so
+    /// their reads/writes are shorter and less sequential than parameter
+    /// or activation streaming; profiling measures roughly half of peak
+    /// for them (this is what makes ZeRO-Infinity's 13B optimizer stage
+    /// take ~23 s in Fig. 1a rather than the ~11 s sequential bandwidth
+    /// would suggest).
+    pub state_io_efficiency: f64,
+}
+
+/// Default optimizer-state I/O efficiency (see
+/// [`HardwareProfile::state_io_efficiency`]).
+pub const STATE_IO_EFFICIENCY: f64 = 0.7;
+
+impl HardwareProfile {
+    /// Runs the profiling stage for `model` at `batch` on `server`.
+    pub fn measure(server: &ServerConfig, model: &ModelProfile, batch: usize) -> Self {
+        let mem = RatelMemoryModel::default();
+        HardwareProfile {
+            thp_gpu: server.gpu.effective_flops(batch),
+            bw_gpu: server.pcie.bandwidth_per_dir,
+            bw_s2m: server.ssds.read_bw(),
+            bw_m2s: server.ssds.write_bw(),
+            mem_avail: mem.host_activation_budget(server, model),
+            cpu_adam_params_per_sec: server.cpu.adam_params_per_sec,
+            state_io_efficiency: STATE_IO_EFFICIENCY,
+        }
+    }
+
+    /// Seconds of CPU Adam time for `params` parameters.
+    pub fn cpu_adam_seconds(&self, params: f64) -> f64 {
+        params / self.cpu_adam_params_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_model::{zoo, ModelProfile};
+
+    #[test]
+    fn profile_reflects_server_specs() {
+        let server = ServerConfig::paper_default();
+        let model = ModelProfile::new(&zoo::llm("13B"), 32);
+        let p = HardwareProfile::measure(&server, &model, 32);
+        assert!((p.bw_gpu - 21e9).abs() < 1e-3);
+        assert!((p.bw_s2m - 32e9).abs() < 1e-3);
+        assert!(p.thp_gpu > 0.9 * server.gpu.measured_flops);
+        assert!(p.mem_avail > 0.0);
+    }
+
+    #[test]
+    fn fewer_ssds_lower_ssd_bandwidth_only() {
+        let model = ModelProfile::new(&zoo::llm("13B"), 32);
+        let full = HardwareProfile::measure(&ServerConfig::paper_default(), &model, 32);
+        let few =
+            HardwareProfile::measure(&ServerConfig::paper_default().with_ssd_count(3), &model, 32);
+        assert!(few.bw_s2m < full.bw_s2m);
+        assert_eq!(few.bw_gpu, full.bw_gpu);
+        assert_eq!(few.thp_gpu, full.thp_gpu);
+    }
+
+    #[test]
+    fn small_memory_shrinks_activation_budget() {
+        let model = ModelProfile::new(&zoo::llm("13B"), 32);
+        let big = HardwareProfile::measure(&ServerConfig::paper_default(), &model, 32);
+        let small = HardwareProfile::measure(&ServerConfig::consumer_256g(), &model, 32);
+        assert!(small.mem_avail < big.mem_avail);
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulated-iteration reports: the quantities the paper's figures plot.
+
+use ratel_model::ModelProfile;
+use ratel_sim::{ResourceId, SimReport, Stage};
+
+/// Summary of one simulated training iteration.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// Wall-clock seconds for the iteration.
+    pub iteration_seconds: f64,
+    /// Tokens (or images) processed per second — Fig. 5a/5b's y-axis.
+    pub throughput_items_per_sec: f64,
+    /// Achieved model FLOP/s (forward+backward+recompute FLOPs over the
+    /// iteration time) — Fig. 5c/10b's y-axis.
+    pub tflops: f64,
+    /// Fraction of the iteration the GPU was busy — Fig. 2b's y-axis.
+    pub gpu_busy_fraction: f64,
+    /// Fraction of the iteration spent in the optimizer stage window
+    /// (meaningful for separate-stage schedules) — Fig. 2c's y-axis.
+    pub optimizer_fraction: f64,
+    /// Stage windows `(forward, backward, optimizer)` in seconds.
+    pub stage_seconds: [f64; 3],
+    /// The raw simulator report for detailed breakdowns.
+    pub sim: SimReport,
+}
+
+impl IterationReport {
+    /// Builds a report from a finished simulation.
+    ///
+    /// `items_per_iteration` is tokens for LLMs, images for DiT;
+    /// `total_flops` should include recomputation so TFLOPS reflects
+    /// useful + redundant work the GPU actually did.
+    pub fn new(
+        sim: SimReport,
+        model: &ModelProfile,
+        items_per_iteration: f64,
+        total_flops: f64,
+        gpu: ResourceId,
+    ) -> Self {
+        let t = sim.makespan;
+        let gpu_busy = if t > 0.0 {
+            sim.resources[gpu.0].busy / t
+        } else {
+            0.0
+        };
+        let opt_window = sim.stage(Stage::Optimizer).duration();
+        let _ = model;
+        IterationReport {
+            iteration_seconds: t,
+            throughput_items_per_sec: if t > 0.0 { items_per_iteration / t } else { 0.0 },
+            tflops: if t > 0.0 { total_flops / t / 1e12 } else { 0.0 },
+            gpu_busy_fraction: gpu_busy,
+            optimizer_fraction: if t > 0.0 { opt_window / t } else { 0.0 },
+            stage_seconds: [
+                sim.stage(Stage::Forward).duration(),
+                sim.stage(Stage::Backward).duration(),
+                opt_window,
+            ],
+            sim,
+        }
+    }
+}

@@ -1,0 +1,930 @@
+//! Builds per-layer training-iteration task graphs for the discrete-event
+//! simulator.
+//!
+//! One generic builder serves Ratel *and* every baseline, because the
+//! paper's systems differ only in placement and ordering decisions:
+//! where parameters are fetched from, which activations are offloaded
+//! where, whether gradients spill to SSD, where the optimizer runs, and
+//! how its per-layer handlers are scheduled against backward propagation
+//! (§IV-C's three modes). Each of those is a field of [`LayerTask`] /
+//! [`IterationSpec`]; the builder emits the corresponding task DAG over
+//! the server's five resource classes (GPU compute, PCIe G2M, PCIe M2G,
+//! the simplex SSD array, CPU compute).
+
+use ratel_model::{ModelProfile, ModelKind};
+use ratel_sim::{simulate, ResourceId, Stage, TaskGraph, TaskId};
+
+use crate::offload::GradOffloadMode;
+use crate::planner::{SwapPlan, SwapTarget};
+use crate::profile::HardwareProfile;
+use crate::report::IterationReport;
+
+/// Where a layer's fp16 parameters live between iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSource {
+    /// On the SSDs (Ratel, ZeRO-Infinity, G10): fetched SSD->host->GPU.
+    Ssd,
+    /// In main memory (ZeRO-Offload): fetched host->GPU.
+    Host,
+    /// Resident in GPU memory (FlashNeuron, Megatron): no fetch.
+    Gpu,
+}
+
+/// How (and where) the optimizer for a layer executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Out-of-core CPU Adam: read master states from SSD, update on CPU,
+    /// write states + fresh P16 back (the paper's handler).
+    CpuOutOfCore {
+        /// Bytes read from SSD (P32+OS32 = 12 bytes/param, plus spilled
+        /// gradients for ZeRO-Infinity).
+        read_bytes: f64,
+        /// Bytes written to SSD (P32+OS32+P16 = 14 bytes/param).
+        write_bytes: f64,
+        /// Parameters updated (drives CPU time).
+        cpu_params: f64,
+    },
+    /// CPU Adam over states resident in main memory (ZeRO-Offload): no
+    /// SSD I/O, only CPU time.
+    CpuInMemory {
+        /// Parameters updated.
+        cpu_params: f64,
+    },
+    /// In-GPU Adam over SSD-resident states (G10): massive transfers in
+    /// both directions around a tiny GPU kernel (§III-C issue 1).
+    GpuOverSsd {
+        /// Bytes staged SSD->host->GPU (12 bytes/param).
+        fetch_bytes: f64,
+        /// Bytes staged GPU->host->SSD (14 bytes/param).
+        writeback_bytes: f64,
+        /// GPU FLOPs of the update kernel.
+        gpu_flops: f64,
+    },
+    /// In-GPU Adam over GPU-resident states (FlashNeuron): just a kernel.
+    GpuResident {
+        /// GPU FLOPs of the update kernel.
+        gpu_flops: f64,
+    },
+    /// The layer has no trainable parameters worth an update (tied head).
+    None,
+}
+
+/// One schedulable layer of the iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTask {
+    /// Display label.
+    pub label: String,
+    /// fp16 parameter bytes moved per fetch (2 bytes/param).
+    pub p16_bytes: f64,
+    /// Where the fp16 parameters are fetched from.
+    pub param_source: ParamSource,
+    /// Forward GPU FLOPs.
+    pub fwd_flops: f64,
+    /// Backward GPU FLOPs (2x forward + this layer's recomputation).
+    pub bwd_flops: f64,
+    /// Activation bytes offloaded GPU->host that stay in host memory.
+    pub act_to_host_bytes: f64,
+    /// Activation bytes offloaded GPU->host->SSD (read back in backward).
+    pub act_to_ssd_bytes: f64,
+    /// fp16 gradient bytes offloaded GPU->host (0 for in-GPU optimizers).
+    pub grad_bytes: f64,
+    /// Whether gradients additionally spill host->SSD (ZeRO-Infinity).
+    pub grad_spill_to_ssd: bool,
+    /// The optimizer handler for this layer.
+    pub optimizer: OptimizerKind,
+}
+
+/// Resource rates of the simulated server (from the profiling stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkRates {
+    /// GPU compute, FLOP/s.
+    pub thp_gpu: f64,
+    /// GPU->host PCIe, bytes/s.
+    pub bw_g2m: f64,
+    /// Host->GPU PCIe, bytes/s.
+    pub bw_m2g: f64,
+    /// SSD array read, bytes/s.
+    pub ssd_read: f64,
+    /// SSD array write, bytes/s.
+    pub ssd_write: f64,
+    /// CPU Adam, parameters/s.
+    pub cpu_params_per_sec: f64,
+    /// Optimizer-state I/O efficiency (chunked reads/writes reach only a
+    /// fraction of sequential SSD bandwidth).
+    pub state_io_efficiency: f64,
+}
+
+impl LinkRates {
+    /// Rates from a hardware profile.
+    pub fn from_profile(p: &HardwareProfile) -> Self {
+        LinkRates {
+            thp_gpu: p.thp_gpu,
+            bw_g2m: p.bw_gpu,
+            bw_m2g: p.bw_gpu,
+            ssd_read: p.bw_s2m,
+            ssd_write: p.bw_m2s,
+            cpu_params_per_sec: p.cpu_adam_params_per_sec,
+            state_io_efficiency: p.state_io_efficiency,
+        }
+    }
+}
+
+/// A complete iteration to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationSpec {
+    /// Layers in forward execution order.
+    pub layers: Vec<LayerTask>,
+    /// Gradient-offloading schedule (§IV-C).
+    pub mode: GradOffloadMode,
+    /// Server resource rates.
+    pub rates: LinkRates,
+    /// Number of data-parallel GPUs sharing the SSD array and CPU (§V-G).
+    pub gpus: usize,
+    /// Items (tokens or images) processed per iteration, all GPUs.
+    pub items_per_iteration: f64,
+    /// Fixed per-layer overhead added to each forward/backward compute
+    /// task — framework hook/synchronization cost. 0 for Ratel; the
+    /// DeepSpeed/Colossal baselines pay ~0.15 s per layer per stage,
+    /// which is what stretches ZeRO-Infinity's 13B forward stage to ~14 s
+    /// in Fig. 1a despite only ~6 s of kernel time.
+    pub per_layer_overhead_seconds: f64,
+}
+
+/// Resource handles of a built iteration graph.
+#[derive(Debug, Clone)]
+pub struct ScheduleResources {
+    /// GPU compute, one per GPU.
+    pub gpu: Vec<ResourceId>,
+    /// GPU->host PCIe, one per GPU.
+    pub g2m: Vec<ResourceId>,
+    /// Host->GPU PCIe, one per GPU.
+    pub m2g: Vec<ResourceId>,
+    /// The shared SSD array.
+    pub ssd: ResourceId,
+    /// The shared CPU.
+    pub cpu: ResourceId,
+}
+
+impl IterationSpec {
+    /// Builds the task DAG for one iteration. Returns the graph, its
+    /// resources, and the total GPU FLOPs scheduled (for TFLOPS
+    /// reporting).
+    pub fn build(&self) -> (TaskGraph, ScheduleResources, f64) {
+        self.build_iterations(1)
+    }
+
+    /// Builds `iterations` back-to-back training iterations in one DAG,
+    /// with the synchronous-update dependency between them: iteration
+    /// k+1 may not fetch a layer's P16 until iteration k's optimizer
+    /// handler has written it back. This exposes the steady-state
+    /// pipelining (activation tails and prefetches of adjacent
+    /// iterations overlap) while keeping the paper's no-staleness
+    /// semantics.
+    pub fn build_iterations(&self, iterations: usize) -> (TaskGraph, ScheduleResources, f64) {
+        assert!(self.gpus >= 1, "need at least one GPU");
+        assert!(iterations >= 1, "need at least one iteration");
+        let r = &self.rates;
+        let mut g = TaskGraph::new();
+        let gpu: Vec<ResourceId> = (0..self.gpus)
+            .map(|i| g.add_resource(format!("gpu{i}")))
+            .collect();
+        let g2m: Vec<ResourceId> = (0..self.gpus)
+            .map(|i| g.add_resource(format!("pcie-g2m{i}")))
+            .collect();
+        let m2g: Vec<ResourceId> = (0..self.gpus)
+            .map(|i| g.add_resource(format!("pcie-m2g{i}")))
+            .collect();
+        let ssd = g.add_resource("ssd");
+        let cpu = g.add_resource("cpu");
+        // Framework hook/staging stalls serialize with the compute chain
+        // but do not occupy the GPU's execution units, so they live on
+        // their own per-GPU resource and stay out of GPU-busy accounting.
+        let stall: Vec<ResourceId> = (0..self.gpus)
+            .map(|i| g.add_resource(format!("stall{i}")))
+            .collect();
+
+        let n = self.layers.len();
+        let mut total_gpu_flops = 0.0;
+        // Per-layer optimizer write-back of the previous iteration (the
+        // cross-iteration synchronization point).
+        let mut prev_updates: Vec<Option<TaskId>> = vec![None; n];
+
+        for _iter in 0..iterations {
+        let mut this_updates: Vec<Option<TaskId>> = vec![None; n];
+        // ----- Forward -----
+        // fwd[gpu][layer]
+        let mut fwd: Vec<Vec<TaskId>> = vec![Vec::with_capacity(n); self.gpus];
+        // Activation offload tasks, for backward-fetch dependencies:
+        // act_offloaded[gpu][layer] = G2M offload; act_spilled[layer] = SSD
+        // write (one per layer per GPU, flattened in insertion order).
+        let mut act_offloaded: Vec<Vec<Option<TaskId>>> = vec![vec![None; n]; self.gpus];
+        let mut act_spilled: Vec<Vec<Option<TaskId>>> = vec![vec![None; n]; self.gpus];
+        for (li, layer) in self.layers.iter().enumerate() {
+            // Parameter fetch: one SSD read staged to host, then a per-GPU
+            // host->GPU copy.
+            let updated: Vec<TaskId> = prev_updates[li].into_iter().collect();
+            let host_ready: Option<TaskId> = match layer.param_source {
+                ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task(
+                    ssd,
+                    layer.p16_bytes / r.ssd_read,
+                    Stage::Forward,
+                    &updated,
+                )),
+                _ => None,
+            };
+            for gi in 0..self.gpus {
+                let fetch: Option<TaskId> = match layer.param_source {
+                    ParamSource::Gpu => None,
+                    ParamSource::Ssd | ParamSource::Host if layer.p16_bytes > 0.0 => {
+                        let deps: Vec<TaskId> = host_ready.into_iter().chain(updated.iter().copied()).collect();
+                        Some(g.add_task(
+                            m2g[gi],
+                            layer.p16_bytes / r.bw_m2g,
+                            Stage::Forward,
+                            &deps,
+                        ))
+                    }
+                    _ => None,
+                };
+                let mut deps: Vec<TaskId> = fetch.into_iter().collect();
+                if fetch.is_none() {
+                    // GPU-resident parameters: compute still waits for the
+                    // previous iteration's in-place update.
+                    deps.extend(updated.iter().copied());
+                }
+                if li > 0 {
+                    deps.push(fwd[gi][li - 1]);
+                }
+                let deps = if self.per_layer_overhead_seconds > 0.0 {
+                    vec![g.add_task(
+                        stall[gi],
+                        self.per_layer_overhead_seconds,
+                        Stage::Forward,
+                        &deps,
+                    )]
+                } else {
+                    deps
+                };
+                let f = g.add_task(gpu[gi], layer.fwd_flops / r.thp_gpu, Stage::Forward, &deps);
+                total_gpu_flops += layer.fwd_flops;
+                fwd[gi].push(f);
+
+                // Activation offload (host-resident + SSD-spilled share the
+                // same G2M hop; the spill continues to the SSDs).
+                let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
+                if act_bytes > 0.0 {
+                    let off =
+                        g.add_task(g2m[gi], act_bytes / r.bw_g2m, Stage::Forward, &[f]);
+                    act_offloaded[gi][li] = Some(off);
+                    if layer.act_to_ssd_bytes > 0.0 {
+                        act_spilled[gi][li] = Some(g.add_task(
+                            ssd,
+                            layer.act_to_ssd_bytes / r.ssd_write,
+                            Stage::Forward,
+                            &[off],
+                        ));
+                    }
+                }
+            }
+        }
+
+        // ----- Backward (+ optimizer handlers) -----
+        // Backward starts at the loss: it depends on the last forward task.
+        let mut prev_bwd: Vec<Option<TaskId>> =
+            (0..self.gpus).map(|gi| fwd[gi].last().copied()).collect();
+        let mut last_grad_landed: Vec<TaskId> = Vec::new();
+        // Handler chaining state for the §IV-C modes.
+        let mut prev_handler_write: Option<TaskId> = None; // naive: full serialization
+        let mut prev_handler_read: Option<TaskId> = None; // optimized: write after prev read
+        let mut deferred: Vec<(usize, Vec<TaskId>)> = Vec::new(); // separate stage
+
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let mut grad_ready_all: Vec<TaskId> = Vec::new();
+            for gi in 0..self.gpus {
+                // Refetch parameters for backward (Eq. 5's extra 2P terms).
+                let host_ready: Option<TaskId> = match layer.param_source {
+                    ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task(
+                        ssd,
+                        layer.p16_bytes / r.ssd_read,
+                        Stage::Backward,
+                        &[],
+                    )),
+                    _ => None,
+                };
+                let fetch_p: Option<TaskId> = match layer.param_source {
+                    ParamSource::Gpu => None,
+                    _ if layer.p16_bytes > 0.0 => {
+                        let deps: Vec<TaskId> = host_ready.into_iter().collect();
+                        Some(g.add_task(
+                            m2g[gi],
+                            layer.p16_bytes / r.bw_m2g,
+                            Stage::Backward,
+                            &deps,
+                        ))
+                    }
+                    _ => None,
+                };
+                // Fetch swapped activations back (SSD spill first).
+                let mut act_dep: Option<TaskId> = None;
+                let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
+                if act_bytes > 0.0 {
+                    let ssd_read: Option<TaskId> = if layer.act_to_ssd_bytes > 0.0 {
+                        // The spill must have been written before it can be
+                        // read back.
+                        let deps: Vec<TaskId> = act_spilled[gi][li].into_iter().collect();
+                        Some(g.add_task(
+                            ssd,
+                            layer.act_to_ssd_bytes / r.ssd_read,
+                            Stage::Backward,
+                            &deps,
+                        ))
+                    } else {
+                        None
+                    };
+                    let mut deps: Vec<TaskId> = ssd_read.into_iter().collect();
+                    deps.extend(act_offloaded[gi][li]);
+                    act_dep = Some(g.add_task(
+                        m2g[gi],
+                        act_bytes / r.bw_m2g,
+                        Stage::Backward,
+                        &deps,
+                    ));
+                }
+
+                let mut deps: Vec<TaskId> = Vec::new();
+                deps.extend(fetch_p);
+                deps.extend(act_dep);
+                deps.extend(prev_bwd[gi]);
+                let deps = if self.per_layer_overhead_seconds > 0.0 {
+                    vec![g.add_task(
+                        stall[gi],
+                        self.per_layer_overhead_seconds,
+                        Stage::Backward,
+                        &deps,
+                    )]
+                } else {
+                    deps
+                };
+                let b = g.add_task(gpu[gi], layer.bwd_flops / r.thp_gpu, Stage::Backward, &deps);
+                total_gpu_flops += layer.bwd_flops;
+                prev_bwd[gi] = Some(b);
+
+                // Gradient offload GPU->host.
+                if layer.grad_bytes > 0.0 {
+                    let go = g.add_task(
+                        g2m[gi],
+                        layer.grad_bytes / r.bw_g2m,
+                        Stage::Backward,
+                        &[b],
+                    );
+                    let landed = if layer.grad_spill_to_ssd {
+                        g.add_task(
+                            ssd,
+                            layer.grad_bytes / r.ssd_write,
+                            Stage::Backward,
+                            &[go],
+                        )
+                    } else {
+                        go
+                    };
+                    grad_ready_all.push(landed);
+                    last_grad_landed.push(landed);
+                } else {
+                    grad_ready_all.push(b);
+                    last_grad_landed.push(b);
+                }
+            }
+
+            // Multi-GPU gradient reduction on the CPU before the handler.
+            let handler_input: Vec<TaskId> = if self.gpus > 1 && layer.grad_bytes > 0.0 {
+                let reduce_params =
+                    layer.grad_bytes / 2.0 * (self.gpus as f64 - 1.0);
+                vec![g.add_task(
+                    cpu,
+                    reduce_params / (4.0 * r.cpu_params_per_sec),
+                    Stage::Backward,
+                    &grad_ready_all,
+                )]
+            } else {
+                grad_ready_all.clone()
+            };
+
+            match self.mode {
+                GradOffloadMode::SeparateStage => {
+                    deferred.push((li, handler_input));
+                }
+                GradOffloadMode::NaiveActive | GradOffloadMode::OptimizedActive => {
+                    let (read, write) = self.add_handler(
+                        &mut g,
+                        ssd,
+                        cpu,
+                        gpu[0],
+                        &g2m[0],
+                        &m2g[0],
+                        li,
+                        &handler_input,
+                        prev_handler_write,
+                        prev_handler_read,
+                        Stage::Backward,
+                    );
+                    prev_handler_read = read;
+                    prev_handler_write = write;
+                    this_updates[li] = write;
+                }
+            }
+        }
+
+        // ----- Separate optimizer stage (barrier after backward) -----
+        if self.mode == GradOffloadMode::SeparateStage {
+            let barrier = last_grad_landed;
+            let mut prev_write: Option<TaskId> = None;
+            let mut prev_read: Option<TaskId> = None;
+            for (li, mut inputs) in deferred {
+                inputs.extend(barrier.iter().copied());
+                let (read, write) = self.add_handler(
+                    &mut g,
+                    ssd,
+                    cpu,
+                    gpu[0],
+                    &g2m[0],
+                    &m2g[0],
+                    li,
+                    &inputs,
+                    prev_write,
+                    prev_read,
+                    Stage::Optimizer,
+                );
+                // The separate stage serializes each chunk's read ->
+                // compute -> write like DeepSpeed's synchronous swapper;
+                // only the *optimized* active mode pipelines them.
+                prev_read = read;
+                prev_write = write;
+                this_updates[li] = write;
+            }
+        }
+
+        prev_updates = this_updates;
+        } // per-iteration loop
+        let _ = prev_updates;
+
+        (
+            g,
+            ScheduleResources {
+                gpu,
+                g2m,
+                m2g,
+                ssd,
+                cpu,
+            },
+            total_gpu_flops,
+        )
+    }
+
+    /// Emits one optimizer handler (§IV-C): returns `(read, write)` task
+    /// ids for chaining.
+    #[allow(clippy::too_many_arguments)]
+    fn add_handler(
+        &self,
+        g: &mut TaskGraph,
+        ssd: ResourceId,
+        cpu: ResourceId,
+        gpu0: ResourceId,
+        g2m0: &ResourceId,
+        m2g0: &ResourceId,
+        li: usize,
+        inputs: &[TaskId],
+        prev_write: Option<TaskId>,
+        prev_read: Option<TaskId>,
+        stage: Stage,
+    ) -> (Option<TaskId>, Option<TaskId>) {
+        let r = &self.rates;
+        match self.layers[li].optimizer {
+            OptimizerKind::CpuOutOfCore {
+                read_bytes,
+                write_bytes,
+                cpu_params,
+            } => {
+                // SSD->Main: in naive mode (and in the ZeRO-style separate
+                // stage) this handler may not start until the previous
+                // handler fully finished (Fig. 3a).
+                let serialize =
+                    self.mode == GradOffloadMode::NaiveActive || stage == Stage::Optimizer;
+                let mut read_deps: Vec<TaskId> = inputs.to_vec();
+                if serialize {
+                    read_deps.extend(prev_write);
+                }
+                let eff = r.state_io_efficiency;
+                let read =
+                    g.add_task(ssd, read_bytes / (eff * r.ssd_read), stage, &read_deps);
+                let compute = g.add_task(
+                    cpu,
+                    cpu_params / r.cpu_params_per_sec,
+                    stage,
+                    &[read],
+                );
+                // Main->SSD: optimized mode issues it after the *previous*
+                // handler's SSD->Main (Fig. 3b), which lets the FIFO SSD
+                // overlap it with this handler's CPU compute.
+                let mut write_deps = vec![compute];
+                if self.mode == GradOffloadMode::OptimizedActive {
+                    write_deps.extend(prev_read);
+                }
+                let write =
+                    g.add_task(ssd, write_bytes / (eff * r.ssd_write), stage, &write_deps);
+                (Some(read), Some(write))
+            }
+            OptimizerKind::CpuInMemory { cpu_params } => {
+                let mut deps: Vec<TaskId> = inputs.to_vec();
+                if self.mode == GradOffloadMode::NaiveActive || stage == Stage::Optimizer {
+                    deps.extend(prev_write);
+                }
+                let compute =
+                    g.add_task(cpu, cpu_params / r.cpu_params_per_sec, stage, &deps);
+                (Some(compute), Some(compute))
+            }
+            OptimizerKind::GpuOverSsd {
+                fetch_bytes,
+                writeback_bytes,
+                gpu_flops,
+            } => {
+                let read = g.add_task(ssd, fetch_bytes / r.ssd_read, stage, inputs);
+                let up = g.add_task(*m2g0, fetch_bytes / r.bw_m2g, stage, &[read]);
+                let kernel = g.add_task(gpu0, gpu_flops / r.thp_gpu, stage, &[up]);
+                let down = g.add_task(*g2m0, writeback_bytes / r.bw_g2m, stage, &[kernel]);
+                let write = g.add_task(ssd, writeback_bytes / r.ssd_write, stage, &[down]);
+                (Some(read), Some(write))
+            }
+            OptimizerKind::GpuResident { gpu_flops } => {
+                let kernel = g.add_task(gpu0, gpu_flops / r.thp_gpu, stage, inputs);
+                (Some(kernel), Some(kernel))
+            }
+            OptimizerKind::None => (prev_read, prev_write),
+        }
+    }
+
+    /// Simulates `n` back-to-back iterations and reports *per-iteration*
+    /// figures (makespan divided by `n`); stage windows span the whole
+    /// run. Useful to check that the single-iteration numbers hold in
+    /// steady state.
+    pub fn simulate_iterations(&self, model: &ModelProfile, n: usize) -> IterationReport {
+        let (graph, res, flops) = self.build_iterations(n);
+        let sim = simulate(&graph);
+        let mut report = IterationReport::new(
+            sim,
+            model,
+            self.items_per_iteration * n as f64,
+            flops,
+            res.gpu[0],
+        );
+        report.iteration_seconds /= n as f64;
+        if self.gpus > 1 {
+            let busy: f64 = res
+                .gpu
+                .iter()
+                .map(|r| report.sim.resources[r.0].busy)
+                .sum();
+            report.gpu_busy_fraction = busy
+                / (self.gpus as f64
+                    * (report.iteration_seconds * n as f64).max(f64::MIN_POSITIVE));
+        }
+        report
+    }
+
+    /// Simulates the iteration and summarizes it.
+    pub fn simulate(&self, model: &ModelProfile) -> IterationReport {
+        let (graph, res, flops) = self.build();
+        let sim = simulate(&graph);
+        // Aggregate GPU busy over all GPUs for the utilization number.
+        let mut report = IterationReport::new(sim, model, self.items_per_iteration, flops, res.gpu[0]);
+        if self.gpus > 1 {
+            let busy: f64 = res
+                .gpu
+                .iter()
+                .map(|r| report.sim.resources[r.0].busy)
+                .sum();
+            report.gpu_busy_fraction =
+                busy / (self.gpus as f64 * report.iteration_seconds.max(f64::MIN_POSITIVE));
+        }
+        report
+    }
+}
+
+/// Ratel's own schedule: planner decisions + active gradient offloading.
+#[derive(Debug, Clone)]
+pub struct RatelSchedule<'a> {
+    /// Profiled hardware.
+    pub profile: &'a HardwareProfile,
+    /// Profiled model.
+    pub model: &'a ModelProfile,
+    /// The activation plan (from [`crate::planner::ActivationPlanner`]).
+    pub plan: &'a SwapPlan,
+    /// Gradient-offloading mode.
+    pub mode: GradOffloadMode,
+    /// Data-parallel GPU count.
+    pub gpus: usize,
+}
+
+impl<'a> RatelSchedule<'a> {
+    /// Lowers the plan into an [`IterationSpec`].
+    pub fn to_spec(&self) -> IterationSpec {
+        // Distribute the host activation budget: checkpoints first (they
+        // are placed in host by construction), then swapped units by plan.
+        let mut layers = Vec::with_capacity(self.model.layers.len());
+        for layer in &self.model.layers {
+            let mut host = layer.inter_act_bytes;
+            let mut ssd = 0.0;
+            let mut recompute = 0.0;
+            for unit in &layer.units {
+                if let Some((_, target)) = self
+                    .plan
+                    .swapped
+                    .iter()
+                    .find(|(u, _)| u.layer == unit.layer && u.kind == unit.kind)
+                {
+                    match target {
+                        SwapTarget::Host => host += unit.bytes,
+                        SwapTarget::Ssd => ssd += unit.bytes,
+                    }
+                } else {
+                    recompute += unit.recompute_flops;
+                }
+            }
+            let params = layer.params;
+            layers.push(LayerTask {
+                label: layer.label.clone(),
+                p16_bytes: 2.0 * params,
+                param_source: ParamSource::Ssd,
+                fwd_flops: layer.forward_flops,
+                bwd_flops: 2.0 * layer.forward_flops + recompute,
+                act_to_host_bytes: host,
+                act_to_ssd_bytes: ssd,
+                grad_bytes: 2.0 * params,
+                grad_spill_to_ssd: false,
+                optimizer: if params > 0.0 {
+                    OptimizerKind::CpuOutOfCore {
+                        read_bytes: 12.0 * params,
+                        write_bytes: 14.0 * params,
+                        cpu_params: params,
+                    }
+                } else {
+                    OptimizerKind::None
+                },
+            });
+        }
+        let items = match self.model.config.kind {
+            ModelKind::DecoderLm => {
+                (self.model.batch * self.model.config.seq_len * self.gpus) as f64
+            }
+            ModelKind::DiT => (self.model.batch * self.gpus) as f64,
+        };
+        IterationSpec {
+            layers,
+            mode: self.mode,
+            rates: LinkRates::from_profile(self.profile),
+            gpus: self.gpus,
+            items_per_iteration: items,
+            per_layer_overhead_seconds: 0.0,
+        }
+    }
+
+    /// Builds and simulates one iteration.
+    pub fn simulate(&self) -> IterationReport {
+        self.to_spec().simulate(self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::ActivationPlanner;
+    use ratel_hw::ServerConfig;
+    use ratel_model::zoo;
+
+    fn ratel_report(batch: usize, mode: GradOffloadMode) -> IterationReport {
+        let server = ServerConfig::paper_default();
+        let model = ModelProfile::new(&zoo::llm("13B"), batch);
+        let profile = HardwareProfile::measure(&server, &model, batch);
+        let plan = ActivationPlanner::new(&profile, &model).plan();
+        RatelSchedule {
+            profile: &profile,
+            model: &model,
+            plan: &plan,
+            mode,
+            gpus: 1,
+        }
+        .simulate()
+    }
+
+    #[test]
+    fn simulated_iteration_is_near_the_paper_figure() {
+        // Fig. 1c: 13B @ batch 32 -> ~25 s per iteration.
+        let r = ratel_report(32, GradOffloadMode::OptimizedActive);
+        assert!(
+            (15.0..40.0).contains(&r.iteration_seconds),
+            "T = {:.1}s",
+            r.iteration_seconds
+        );
+        // Throughput around 1.3k tokens/s (Fig. 5a's Ratel bar).
+        assert!(
+            (800.0..2200.0).contains(&r.throughput_items_per_sec),
+            "tok/s = {:.0}",
+            r.throughput_items_per_sec
+        );
+    }
+
+    #[test]
+    fn optimized_beats_naive_beats_separate_stage() {
+        // Fig. 7a at large batches: Optimized > Naive > Ratel+ZeRO. (At
+        // batch 8 the paper itself observes the gaps nearly vanish, so the
+        // naive-vs-zero ordering is only asserted for batch >= 32.)
+        for batch in [32usize, 64] {
+            let opt = ratel_report(batch, GradOffloadMode::OptimizedActive);
+            let naive = ratel_report(batch, GradOffloadMode::NaiveActive);
+            let zero = ratel_report(batch, GradOffloadMode::SeparateStage);
+            assert!(
+                opt.throughput_items_per_sec > naive.throughput_items_per_sec,
+                "b={batch}: opt {:.0} <= naive {:.0}",
+                opt.throughput_items_per_sec,
+                naive.throughput_items_per_sec
+            );
+            assert!(
+                naive.throughput_items_per_sec > zero.throughput_items_per_sec,
+                "b={batch}: naive {:.0} <= zero {:.0}",
+                naive.throughput_items_per_sec,
+                zero.throughput_items_per_sec
+            );
+        }
+        // Optimized wins at small batch too, just by less.
+        let opt8 = ratel_report(8, GradOffloadMode::OptimizedActive);
+        let zero8 = ratel_report(8, GradOffloadMode::SeparateStage);
+        assert!(opt8.throughput_items_per_sec > zero8.throughput_items_per_sec);
+    }
+
+    #[test]
+    fn active_offloading_gain_shrinks_at_small_batch() {
+        // Fig. 7's second observation: at batch 8 the gap narrows because
+        // backward is short relative to the optimizer, leaving little to
+        // overlap.
+        let gain = |b: usize| {
+            ratel_report(b, GradOffloadMode::OptimizedActive).throughput_items_per_sec
+                / ratel_report(b, GradOffloadMode::SeparateStage).throughput_items_per_sec
+        };
+        let g8 = gain(8);
+        let g32 = gain(32);
+        assert!(g32 > g8, "gain should grow with batch: {g8:.2} vs {g32:.2}");
+    }
+
+    #[test]
+    fn gpu_stays_busy_with_optimized_offloading() {
+        let r = ratel_report(32, GradOffloadMode::OptimizedActive);
+        assert!(
+            r.gpu_busy_fraction > 0.5,
+            "GPU busy only {:.0}%",
+            r.gpu_busy_fraction * 100.0
+        );
+    }
+
+    #[test]
+    fn separate_stage_has_an_optimizer_window() {
+        let r = ratel_report(32, GradOffloadMode::SeparateStage);
+        assert!(r.stage_seconds[2] > 0.0);
+        // Optimizer stage takes a meaningful share (Fig. 2c: 30-60%).
+        assert!(
+            r.optimizer_fraction > 0.15,
+            "optimizer fraction {:.2}",
+            r.optimizer_fraction
+        );
+    }
+
+    #[test]
+    fn two_gpus_scale_sublinearly_but_positively() {
+        let server = ServerConfig::paper_default();
+        let model = ModelProfile::new(&zoo::llm("13B"), 32);
+        let profile = HardwareProfile::measure(&server, &model, 32);
+        let plan = ActivationPlanner::new(&profile, &model).plan();
+        let one = RatelSchedule {
+            profile: &profile,
+            model: &model,
+            plan: &plan,
+            mode: GradOffloadMode::OptimizedActive,
+            gpus: 1,
+        }
+        .simulate();
+        let two = RatelSchedule {
+            profile: &profile,
+            model: &model,
+            plan: &plan,
+            mode: GradOffloadMode::OptimizedActive,
+            gpus: 2,
+        }
+        .simulate();
+        let speedup = two.throughput_items_per_sec / one.throughput_items_per_sec;
+        assert!(
+            speedup > 1.2 && speedup < 2.01,
+            "2-GPU speedup {speedup:.2} out of range"
+        );
+    }
+
+    #[test]
+    fn more_ssds_help_until_another_bottleneck() {
+        // Fig. 10a shape: near-linear 1->3, clearly sub-linear 6->12 as the
+        // bottleneck shifts toward GPU compute (the paper uses the largest
+        // trainable batch; 48 is feasible for 135B on the 4090).
+        let model = ModelProfile::new(&zoo::llm("135B"), 48);
+        let tok = |ssds: usize| {
+            let server = ServerConfig::paper_default().with_ssd_count(ssds);
+            let profile = HardwareProfile::measure(&server, &model, 48);
+            let plan = ActivationPlanner::new(&profile, &model).plan();
+            RatelSchedule {
+                profile: &profile,
+                model: &model,
+                plan: &plan,
+                mode: GradOffloadMode::OptimizedActive,
+                gpus: 1,
+            }
+            .simulate()
+            .throughput_items_per_sec
+        };
+        let t1 = tok(1);
+        let t3 = tok(3);
+        let t6 = tok(6);
+        let t12 = tok(12);
+        let low_ratio = t3 / t1;
+        let high_ratio = t12 / t6;
+        assert!(low_ratio > 2.0, "1->3 SSDs should be near-linear: {low_ratio:.2}");
+        assert!(
+            low_ratio > 1.5 * high_ratio,
+            "scaling should flatten: 1->3 gives {low_ratio:.2}x, 6->12 gives {high_ratio:.2}x"
+        );
+        assert!(t12 >= t6 && t6 >= t3 && t3 >= t1);
+    }
+}
+
+#[cfg(test)]
+mod multi_iteration_tests {
+    use super::*;
+    use crate::planner::ActivationPlanner;
+    use ratel_hw::ServerConfig;
+    use ratel_model::zoo;
+
+    fn spec(mode: GradOffloadMode) -> (IterationSpec, ModelProfile) {
+        let server = ServerConfig::paper_default();
+        let model = ModelProfile::new(&zoo::llm("13B"), 32);
+        let profile = HardwareProfile::measure(&server, &model, 32);
+        let plan = ActivationPlanner::new(&profile, &model).plan();
+        let spec = RatelSchedule {
+            profile: &profile,
+            model: &model,
+            plan: &plan,
+            mode,
+            gpus: 1,
+        }
+        .to_spec();
+        (spec, model)
+    }
+
+    #[test]
+    fn steady_state_matches_single_iteration_within_tolerance() {
+        let (spec, model) = spec(GradOffloadMode::OptimizedActive);
+        let one = spec.simulate(&model).iteration_seconds;
+        let steady = spec.simulate_iterations(&model, 4).iteration_seconds;
+        // The synchronous dependency (next forward waits for this
+        // iteration's last update) prevents big cross-iteration gains;
+        // adjacent-iteration transfer overlap can shave a little.
+        assert!(
+            steady <= one * 1.05,
+            "steady state slower than single shot: {steady:.1} vs {one:.1}"
+        );
+        assert!(
+            steady >= one * 0.75,
+            "implausible cross-iteration speedup: {steady:.1} vs {one:.1}"
+        );
+    }
+
+    #[test]
+    fn iterations_cannot_collapse_into_each_other() {
+        // With the separate-stage mode, k iterations must take at least
+        // k times the optimizer stage (it is serialized against both
+        // neighbors).
+        let (spec, model) = spec(GradOffloadMode::SeparateStage);
+        let one = spec.simulate(&model);
+        let three = spec.simulate_iterations(&model, 3);
+        let opt_window = one.stage_seconds[2];
+        assert!(
+            three.iteration_seconds * 3.0 >= 3.0 * opt_window,
+            "optimizer stages overlapped: {:.1}s total vs {:.1}s of optimizer alone",
+            three.iteration_seconds * 3.0,
+            3.0 * opt_window
+        );
+    }
+
+    #[test]
+    fn multi_iteration_graph_grows_linearly() {
+        let (spec, _) = spec(GradOffloadMode::OptimizedActive);
+        let (g1, _, f1) = spec.build_iterations(1);
+        let (g3, _, f3) = spec.build_iterations(3);
+        assert_eq!(g3.len(), 3 * g1.len());
+        assert!((f3 - 3.0 * f1).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,56 @@
+//! CPU specifications and the out-of-core Adam throughput model.
+//!
+//! The paper's server uses two Xeon Gold 5320 CPUs (Table III). The only CPU
+//! property the training pipeline depends on is how fast the vectorized CPU
+//! Adam (ZeRO-Offload style) can update parameters: each update reads the
+//! fp32 master parameter and the two fp32 optimizer moments, writes them
+//! back, and emits a new fp16 copy — a memory-bandwidth-bound streaming loop.
+
+/// A CPU (socket pair) as used in the evaluation server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Total physical cores across sockets.
+    pub cores: usize,
+    /// Parameters updated per second by the vectorized CPU Adam.
+    pub adam_params_per_sec: f64,
+}
+
+impl CpuSpec {
+    /// Dual Intel Xeon Gold 5320 @ 2.20 GHz (Table III): 2 x 26 cores.
+    ///
+    /// The Adam rate is calibrated so that a 13B-parameter update takes
+    /// ~24 s of CPU time: together with the optimizer-state SSD I/O this
+    /// reproduces the ~23 s ZeRO-Infinity optimizer stage of Fig. 1a and
+    /// the 30-60% optimizer proportions of Fig. 2c on this budget CPU
+    /// pair (the update streams ~48 bytes per parameter through DDR4,
+    /// which is memory-bandwidth- not FLOP-bound).
+    pub fn dual_xeon_5320() -> Self {
+        CpuSpec {
+            name: "2x Xeon Gold 5320",
+            cores: 52,
+            adam_params_per_sec: 0.55e9,
+        }
+    }
+
+    /// Seconds of CPU time to Adam-update `params` parameters.
+    pub fn adam_seconds(&self, params: f64) -> f64 {
+        params / self.adam_params_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_time_scales_linearly() {
+        let cpu = CpuSpec::dual_xeon_5320();
+        let t13 = cpu.adam_seconds(13e9);
+        let t26 = cpu.adam_seconds(26e9);
+        assert!((t26 / t13 - 2.0).abs() < 1e-12);
+        // 13B update around 24 seconds, per the calibration note.
+        assert!(t13 > 20.0 && t13 < 28.0, "t13 = {t13}");
+    }
+}

@@ -1,0 +1,115 @@
+//! GPU specifications.
+//!
+//! `measured_flops` corresponds to the paper's "Measured Peak TFLOPS": the
+//! sustained mixed-precision throughput of a transformer block benchmarked
+//! *inside* the GPU with no PCIe traffic (green line of Fig. 5c), not the
+//! marketing tensor-core number. Small batches do not saturate the GPU, so
+//! [`GpuSpec::effective_flops`] applies a saturation curve in the batch size.
+
+use crate::units::{GIB, TFLOP};
+
+/// A GPU model as used in the paper's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. "RTX 4090".
+    pub name: &'static str,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Sustained transformer-block throughput in FLOP/s at full saturation.
+    pub measured_flops: f64,
+    /// Whether the device supports GPUDirect Storage. Consumer GPUs do not,
+    /// which is why G10 cannot run on them (§III-C issue 3).
+    pub gpudirect: bool,
+    /// Unit price in USD (Table VII where given).
+    pub price_usd: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA GeForce RTX 4090: 24 GB, the paper's primary device.
+    pub fn rtx4090() -> Self {
+        GpuSpec {
+            name: "RTX 4090",
+            memory_bytes: 24 * GIB,
+            measured_flops: 160.0 * TFLOP,
+            gpudirect: false,
+            price_usd: 1_600.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090: 24 GB, roughly 0.44x the 4090's throughput.
+    pub fn rtx3090() -> Self {
+        GpuSpec {
+            name: "RTX 3090",
+            memory_bytes: 24 * GIB,
+            measured_flops: 71.0 * TFLOP,
+            gpudirect: false,
+            price_usd: 1_000.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 4080: only 16 GB of device memory.
+    pub fn rtx4080() -> Self {
+        GpuSpec {
+            name: "RTX 4080",
+            memory_bytes: 16 * GIB,
+            measured_flops: 97.0 * TFLOP,
+            gpudirect: false,
+            price_usd: 1_200.0,
+        }
+    }
+
+    /// NVIDIA A100-80G (DGX building block), used by the Megatron-LM
+    /// cost-effectiveness baseline (§V-I). Data-center GPUs support
+    /// GPUDirect.
+    pub fn a100_80g() -> Self {
+        GpuSpec {
+            name: "A100-80G",
+            memory_bytes: 80 * GIB,
+            measured_flops: 290.0 * TFLOP,
+            gpudirect: true,
+            price_usd: 14_177.0,
+        }
+    }
+
+    /// Sustained FLOP/s at a given micro-batch size.
+    ///
+    /// Kernel launch overheads and partially filled SMs make small batches
+    /// less efficient; the `b / (b + 2)` saturation curve reaches 80% at
+    /// batch 8 and ~97% at batch 64, mirroring the batch sensitivity visible
+    /// in Fig. 5a and Fig. 7.
+    pub fn effective_flops(&self, batch_size: usize) -> f64 {
+        let b = batch_size.max(1) as f64;
+        self.measured_flops * (b / (b + 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_paper_capacities() {
+        assert_eq!(GpuSpec::rtx4090().memory_bytes, 24 * GIB);
+        assert_eq!(GpuSpec::rtx4080().memory_bytes, 16 * GIB);
+        assert_eq!(GpuSpec::a100_80g().memory_bytes, 80 * GIB);
+        assert!(!GpuSpec::rtx4090().gpudirect);
+        assert!(GpuSpec::a100_80g().gpudirect);
+    }
+
+    #[test]
+    fn effective_flops_saturates_with_batch() {
+        let gpu = GpuSpec::rtx4090();
+        let small = gpu.effective_flops(1);
+        let medium = gpu.effective_flops(8);
+        let large = gpu.effective_flops(64);
+        assert!(small < medium && medium < large);
+        assert!(large <= gpu.measured_flops);
+        assert!(large > 0.95 * gpu.measured_flops);
+    }
+
+    #[test]
+    fn effective_flops_handles_zero_batch() {
+        let gpu = GpuSpec::rtx4090();
+        assert_eq!(gpu.effective_flops(0), gpu.effective_flops(1));
+    }
+}

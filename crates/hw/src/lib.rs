@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Hardware catalog and bandwidth models for the Ratel reproduction.
+//!
+//! This crate describes the *evaluation server* of the paper (Table III) and
+//! the component price list (Table VII) as plain data types. Every figure in
+//! the paper is a function of the resource topology captured here:
+//!
+//! * a GPU with a measured transformer-block peak throughput (the green line
+//!   of Fig. 5c),
+//! * a full-duplex PCIe 4.0 link between GPU and main memory (21 GB/s per
+//!   direction in the paper's measurements),
+//! * an array of NVMe SSDs whose aggregate bandwidth scales with the number
+//!   of drives up to a host-side cap (32 GB/s for 12 drives), treated as
+//!   *simplex* — reads and writes share the array (Eq. 2 of the paper),
+//! * CPUs executing the out-of-core Adam optimizer at a fixed parameter
+//!   update rate.
+//!
+//! All bandwidths are bytes/second, capacities are bytes, compute rates are
+//! FLOP/s, and times are seconds (`f64`).
+
+pub mod cpu;
+pub mod gpu;
+pub mod pcie;
+pub mod price;
+pub mod server;
+pub mod ssd;
+pub mod units;
+
+pub use cpu::CpuSpec;
+pub use gpu::GpuSpec;
+pub use pcie::PcieLink;
+pub use server::ServerConfig;
+pub use ssd::{SsdArray, SsdSpec};

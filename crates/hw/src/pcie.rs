@@ -1,0 +1,50 @@
+//! PCIe link model.
+//!
+//! The GPU is attached over PCIe 4.0 x16. The paper measures ~21 GB/s of
+//! effective bandwidth per direction and stresses that the link is *full
+//! duplex*: GPU-to-main and main-to-GPU transfer times are accounted
+//! separately (Eq. 2), unlike the simplex SSD array.
+
+use crate::units::GB;
+
+/// A point-to-point full-duplex link with symmetric per-direction bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieLink {
+    /// Effective bandwidth of each direction, bytes/second.
+    pub bandwidth_per_dir: f64,
+}
+
+impl PcieLink {
+    /// PCIe 4.0 x16 as measured on the evaluation server (Fig. 1a: 21 GB/s).
+    pub fn gen4_x16() -> Self {
+        PcieLink {
+            bandwidth_per_dir: 21.0 * GB as f64,
+        }
+    }
+
+    /// PCIe 3.0 x16 (RTX 3090 servers are sometimes gen3-limited; kept for
+    /// sensitivity studies).
+    pub fn gen3_x16() -> Self {
+        PcieLink {
+            bandwidth_per_dir: 12.0 * GB as f64,
+        }
+    }
+
+    /// Seconds to move `bytes` in one direction.
+    pub fn transfer_seconds(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth_per_dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen4_transfer_time() {
+        let link = PcieLink::gen4_x16();
+        // 2 bytes/param for a 13B fp16 copy = 26 GB, ~1.24 s per direction.
+        let t = link.transfer_seconds(26e9);
+        assert!((t - 26.0 / 21.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Component and server prices (Table VII) for the cost-effectiveness
+//! comparison (§V-I, Fig. 13).
+
+use crate::server::ServerConfig;
+
+/// Price of a DGX-A100 server with 8 NVLink A100-80G GPUs (Table VII).
+pub const DGX_A100_PRICE_USD: f64 = 200_000.0;
+
+/// Price of the commodity 4U chassis without GPUs or SSDs (Table VII).
+pub const COMMODITY_4U_BASE_USD: f64 = 14_098.0;
+
+/// Price of one NVIDIA RTX 4090 (Table VII).
+pub const RTX_4090_PRICE_USD: f64 = 1_600.0;
+
+/// Price of one Intel P5510 SSD (Table VII).
+pub const P5510_PRICE_USD: f64 = 308.0;
+
+/// Total price of a commodity server configuration: chassis + GPUs + SSDs.
+pub fn commodity_server_price(config: &ServerConfig) -> f64 {
+    COMMODITY_4U_BASE_USD
+        + config.gpu.price_usd * config.gpu_count as f64
+        + config.ssds.spec.price_usd * config.ssds.count as f64
+}
+
+/// Cost-effectiveness metric of Fig. 13: throughput (tokens/s) per 1000 USD
+/// of server price.
+pub fn tokens_per_sec_per_kilodollar(tokens_per_sec: f64, server_price_usd: f64) -> f64 {
+    tokens_per_sec / (server_price_usd / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::GIB;
+
+    #[test]
+    fn four_gpu_twelve_ssd_server_price() {
+        let config = ServerConfig::paper_default().with_gpu_count(4);
+        let price = commodity_server_price(&config);
+        // 14098 + 4*1600 + 12*308 = 24194
+        assert!((price - 24_194.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_effectiveness_is_per_kilodollar() {
+        let v = tokens_per_sec_per_kilodollar(500.0, 25_000.0);
+        assert!((v - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssd_count_changes_price_linearly() {
+        let base = ServerConfig::paper_default()
+            .with_gpu_count(4)
+            .with_main_memory(768 * GIB);
+        let p6 = commodity_server_price(&base.with_ssd_count(6));
+        let p12 = commodity_server_price(&base.with_ssd_count(12));
+        assert!((p12 - p6 - 6.0 * P5510_PRICE_USD).abs() < 1e-9);
+    }
+}

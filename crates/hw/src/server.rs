@@ -1,0 +1,122 @@
+//! Whole-server configurations (Table III and its variants).
+
+use crate::cpu::CpuSpec;
+use crate::gpu::GpuSpec;
+use crate::pcie::PcieLink;
+use crate::ssd::SsdArray;
+use crate::units::GIB;
+
+/// A commodity server hosting one or more identical GPUs, main memory, and
+/// an SSD array — the universe every experiment runs in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// GPU model installed.
+    pub gpu: GpuSpec,
+    /// Number of identical GPUs (1 for most experiments; 2/4 for §V-G).
+    pub gpu_count: usize,
+    /// Main memory capacity in bytes. The paper pins memory to emulate
+    /// smaller capacities (§V-B), which we model by just lowering this.
+    pub main_memory_bytes: u64,
+    /// CPU (socket pair) executing the out-of-core optimizer.
+    pub cpu: CpuSpec,
+    /// GPU <-> main memory link (per GPU; each GPU has its own x16 slot).
+    pub pcie: PcieLink,
+    /// The NVMe SSD array, shared by all GPUs.
+    pub ssds: SsdArray,
+}
+
+impl ServerConfig {
+    /// The paper's evaluation server (Table III): RTX 4090, 768 GB DDR4,
+    /// PCIe 4.0, 12x Intel P5510.
+    pub fn paper_default() -> Self {
+        ServerConfig {
+            gpu: GpuSpec::rtx4090(),
+            gpu_count: 1,
+            main_memory_bytes: 768 * GIB,
+            cpu: CpuSpec::dual_xeon_5320(),
+            pcie: PcieLink::gen4_x16(),
+            ssds: SsdArray::p5510_array(12),
+        }
+    }
+
+    /// The headline low-cost configuration: RTX 4090 + 256 GB main memory.
+    pub fn consumer_256g() -> Self {
+        ServerConfig {
+            main_memory_bytes: 256 * GIB,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Returns a copy with a different main-memory capacity (bytes).
+    pub fn with_main_memory(&self, bytes: u64) -> Self {
+        ServerConfig {
+            main_memory_bytes: bytes,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different GPU model.
+    pub fn with_gpu(&self, gpu: GpuSpec) -> Self {
+        ServerConfig { gpu, ..self.clone() }
+    }
+
+    /// Returns a copy with `count` GPUs (multi-GPU experiments, §V-G).
+    pub fn with_gpu_count(&self, count: usize) -> Self {
+        ServerConfig {
+            gpu_count: count,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with `count` SSDs (Fig. 10 / Fig. 13 sweeps).
+    pub fn with_ssd_count(&self, count: usize) -> Self {
+        let mut next = self.clone();
+        next.ssds.count = count;
+        next
+    }
+
+    /// Main memory left for the training system after the OS reservation.
+    ///
+    /// The paper's profiling stage measures "minimum unallocated main
+    /// memory" (`MEM_avail`); a few GiB always belong to the kernel, the
+    /// page cache floor, and the CUDA runtime.
+    pub fn usable_main_memory(&self) -> u64 {
+        const OS_RESERVED: u64 = 8 * GIB;
+        self.main_memory_bytes.saturating_sub(OS_RESERVED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_iii() {
+        let s = ServerConfig::paper_default();
+        assert_eq!(s.gpu.name, "RTX 4090");
+        assert_eq!(s.main_memory_bytes, 768 * GIB);
+        assert_eq!(s.ssds.count, 12);
+        assert_eq!(s.gpu_count, 1);
+    }
+
+    #[test]
+    fn builders_adjust_single_fields() {
+        let s = ServerConfig::paper_default()
+            .with_main_memory(128 * GIB)
+            .with_ssd_count(3)
+            .with_gpu(GpuSpec::rtx4080())
+            .with_gpu_count(4);
+        assert_eq!(s.main_memory_bytes, 128 * GIB);
+        assert_eq!(s.ssds.count, 3);
+        assert_eq!(s.gpu.name, "RTX 4080");
+        assert_eq!(s.gpu_count, 4);
+    }
+
+    #[test]
+    fn usable_memory_reserves_for_os() {
+        let s = ServerConfig::paper_default().with_main_memory(16 * GIB);
+        assert_eq!(s.usable_main_memory(), 8 * GIB);
+        let tiny = s.with_main_memory(4 * GIB);
+        assert_eq!(tiny.usable_main_memory(), 0);
+    }
+}

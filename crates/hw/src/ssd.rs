@@ -1,0 +1,137 @@
+//! NVMe SSD and SSD-array models.
+//!
+//! The evaluation server carries up to 12 Intel P5510 3.84 TB drives behind
+//! PCIe switches. Two properties matter to the pipeline:
+//!
+//! * aggregate bandwidth grows with the drive count but is capped by the
+//!   host-side switch uplink (~32 GB/s measured for 12 drives, Fig. 1a),
+//!   which is why Fig. 10a scales near-linearly from 1 to 3 drives and
+//!   flattens from 6 to 12;
+//! * the array is accounted as *simplex*: reads and writes share the array,
+//!   so the paper computes "SSD I/O time as a whole" (note under Eq. 2).
+
+use crate::units::{GB, TB};
+
+/// A single NVMe SSD model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsdSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Usable capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Sequential read bandwidth, bytes/second.
+    pub read_bw: f64,
+    /// Sequential write bandwidth, bytes/second.
+    pub write_bw: f64,
+    /// Unit price in USD (Table VII).
+    pub price_usd: f64,
+}
+
+impl SsdSpec {
+    /// Intel P5510 3.84 TB (Table III / Table VII).
+    ///
+    /// Per-drive effective rates are calibrated so that 12 drives reach the
+    /// paper's measured 32 GB/s aggregate under the host cap.
+    pub fn p5510() -> Self {
+        SsdSpec {
+            name: "Intel P5510 3.84TB",
+            capacity_bytes: (3.84 * TB as f64) as u64,
+            read_bw: 3.2 * GB as f64,
+            write_bw: 2.8 * GB as f64,
+            price_usd: 308.0,
+        }
+    }
+}
+
+/// An array of identical SSDs striped for aggregate bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsdArray {
+    /// The drive model.
+    pub spec: SsdSpec,
+    /// Number of drives (0 allowed: a server with no SSDs cannot offload to
+    /// NVMe at all, which is how FlashNeuron/G10 feasibility checks fail).
+    pub count: usize,
+    /// Host-side uplink cap shared by all drives, bytes/second per
+    /// direction of the host link (reads and writes both cross it).
+    pub host_cap: f64,
+}
+
+impl SsdArray {
+    /// The paper's array: `count` P5510 drives behind a 32 GB/s host uplink.
+    pub fn p5510_array(count: usize) -> Self {
+        SsdArray {
+            spec: SsdSpec::p5510(),
+            count,
+            host_cap: 32.0 * GB as f64,
+        }
+    }
+
+    /// Total usable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.spec.capacity_bytes * self.count as u64
+    }
+
+    /// Aggregate SSD-to-main-memory (read) bandwidth, `BW_S2M` in Table I.
+    pub fn read_bw(&self) -> f64 {
+        (self.spec.read_bw * self.count as f64).min(self.host_cap)
+    }
+
+    /// Aggregate main-memory-to-SSD (write) bandwidth, `BW_M2S` in Table I.
+    pub fn write_bw(&self) -> f64 {
+        (self.spec.write_bw * self.count as f64).min(self.host_cap)
+    }
+
+    /// Seconds to serve a simplex workload of `read_bytes` reads and
+    /// `write_bytes` writes: the array serves one direction at a time, so
+    /// the times add (this is exactly how `T_S` terms are summed in
+    /// Eq. 2/4/5).
+    pub fn io_seconds(&self, read_bytes: f64, write_bytes: f64) -> f64 {
+        if self.count == 0 {
+            if read_bytes == 0.0 && write_bytes == 0.0 {
+                return 0.0;
+            }
+            return f64::INFINITY;
+        }
+        read_bytes / self.read_bw() + write_bytes / self.write_bw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_drives_hit_the_host_cap() {
+        let arr = SsdArray::p5510_array(12);
+        assert_eq!(arr.read_bw(), 32.0 * GB as f64);
+        assert_eq!(arr.write_bw(), 32.0 * GB as f64);
+    }
+
+    #[test]
+    fn small_arrays_scale_linearly() {
+        let one = SsdArray::p5510_array(1);
+        let three = SsdArray::p5510_array(3);
+        assert!((three.read_bw() / one.read_bw() - 3.0).abs() < 1e-9);
+        assert!((three.write_bw() / one.write_bw() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_scales_with_count() {
+        let arr = SsdArray::p5510_array(12);
+        assert_eq!(arr.capacity_bytes(), 12 * SsdSpec::p5510().capacity_bytes);
+    }
+
+    #[test]
+    fn empty_array_cannot_serve_io() {
+        let arr = SsdArray::p5510_array(0);
+        assert_eq!(arr.io_seconds(0.0, 0.0), 0.0);
+        assert!(arr.io_seconds(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn simplex_io_adds_directions() {
+        let arr = SsdArray::p5510_array(12);
+        let t = arr.io_seconds(32e9, 32e9);
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+}

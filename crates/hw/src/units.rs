@@ -1,0 +1,75 @@
+//! Size and rate unit helpers.
+//!
+//! The paper mixes decimal ("GB/s" on links) and binary ("24 GB device
+//! memory") conventions; we follow the common systems practice of decimal
+//! gigabytes for bandwidths and binary gibibytes for memory capacities, and
+//! expose both so call sites state which one they mean.
+
+/// Decimal kilobyte (1e3 bytes).
+pub const KB: u64 = 1_000;
+/// Decimal megabyte (1e6 bytes).
+pub const MB: u64 = 1_000_000;
+/// Decimal gigabyte (1e9 bytes).
+pub const GB: u64 = 1_000_000_000;
+/// Decimal terabyte (1e12 bytes).
+pub const TB: u64 = 1_000_000_000_000;
+
+/// Binary kibibyte (2^10 bytes).
+pub const KIB: u64 = 1 << 10;
+/// Binary mebibyte (2^20 bytes).
+pub const MIB: u64 = 1 << 20;
+/// Binary gibibyte (2^30 bytes).
+pub const GIB: u64 = 1 << 30;
+/// Binary tebibyte (2^40 bytes).
+pub const TIB: u64 = 1 << 40;
+
+/// One teraFLOP (1e12 floating point operations).
+pub const TFLOP: f64 = 1e12;
+
+/// Billion (model sizes are quoted in billions of parameters).
+pub const BILLION: f64 = 1e9;
+
+/// Formats a byte count with a human-readable decimal suffix ("213.0 GB").
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= TB as f64 {
+        format!("{:.2} TB", b / TB as f64)
+    } else if b >= GB as f64 {
+        format!("{:.1} GB", b / GB as f64)
+    } else if b >= MB as f64 {
+        format!("{:.1} MB", b / MB as f64)
+    } else if b >= KB as f64 {
+        format!("{:.1} KB", b / KB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a FLOP/s rate as TFLOPS.
+pub fn fmt_tflops(flops_per_sec: f64) -> String {
+    format!("{:.1} TFLOPS", flops_per_sec / TFLOP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_and_binary_units_differ() {
+        assert_eq!(GB, 1_000_000_000);
+        assert_eq!(GIB, 1_073_741_824);
+    }
+
+    #[test]
+    fn formats_bytes_across_magnitudes() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * KB), "2.0 KB");
+        assert_eq!(fmt_bytes(213 * GB), "213.0 GB");
+        assert_eq!(fmt_bytes(46 * TB + 80 * GB), "46.08 TB");
+    }
+
+    #[test]
+    fn formats_tflops() {
+        assert_eq!(fmt_tflops(160.0 * TFLOP), "160.0 TFLOPS");
+    }
+}

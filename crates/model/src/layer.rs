@@ -1,0 +1,273 @@
+//! Per-layer profiles: the granularity at which Ratel schedules transfers
+//! and at which Algorithm 1 decides swap-vs-recompute.
+//!
+//! The paper treats "a layer's activations" as the swappable unit and sorts
+//! layers by *offloading benefit* `OB = FLOP_layer / A_layer` (Eq. 6). In a
+//! uniform decoder every block is identical, so to expose the benefit
+//! ordering the profile splits each block into its attention half and its
+//! MLP half, which have genuinely different FLOP-per-byte ratios (the MLP
+//! half is denser: ~16 h FLOPs per token-channel over ~14 bytes vs. the
+//! attention half's ~8 h + 4 s over ~16 bytes). The embedding produces a
+//! large activation that is nearly free to recompute, giving it the lowest
+//! benefit of all — exactly the tensor you want to recompute, not swap.
+
+use crate::config::{
+    ModelConfig, ModelKind, ACT_INTRA_ATTN_BYTES, ACT_INTRA_MLP_BYTES,
+};
+
+/// Which part of a layer an activation unit belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// Token/patch embedding output (recompute = a lookup, nearly free).
+    Embedding,
+    /// Attention half of a block (QKV, scores, output projection inputs).
+    Attention,
+    /// MLP half of a block (fc1/fc2 inputs, GELU input).
+    Mlp,
+}
+
+/// One swappable group of intra-layer activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationUnit {
+    /// Index of the owning layer in [`ModelProfile::layers`].
+    pub layer: usize,
+    /// Which half of the layer this unit covers.
+    pub kind: UnitKind,
+    /// Activation bytes this unit stores.
+    pub bytes: f64,
+    /// GPU FLOPs required to rematerialize the unit during backward if it
+    /// was discarded instead of swapped.
+    pub recompute_flops: f64,
+}
+
+impl ActivationUnit {
+    /// Offloading benefit `OB = FLOP / A` (Eq. 6): recompute FLOPs saved per
+    /// byte of swap traffic. Higher benefit means swap first.
+    pub fn offloading_benefit(&self) -> f64 {
+        if self.bytes == 0.0 {
+            0.0
+        } else {
+            self.recompute_flops / self.bytes
+        }
+    }
+}
+
+/// Static profile of one schedulable layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerProfile {
+    /// Position in execution order (0 = embedding, then blocks, then head).
+    pub id: usize,
+    /// Human-readable label ("block 17", "embedding", "head").
+    pub label: String,
+    /// Trainable parameters in this layer.
+    pub params: f64,
+    /// Forward FLOPs at the profiled batch size.
+    pub forward_flops: f64,
+    /// Inter-layer (checkpoint) activation bytes this layer outputs; always
+    /// swapped — the `A_interBlock` floor of Algorithm 1.
+    pub inter_act_bytes: f64,
+    /// Intra-layer activation units (swap-or-recompute candidates).
+    pub units: Vec<ActivationUnit>,
+}
+
+impl LayerProfile {
+    /// Total intra-layer (recomputable) activation bytes.
+    pub fn intra_act_bytes(&self) -> f64 {
+        self.units.iter().map(|u| u.bytes).sum()
+    }
+}
+
+/// The whole model as a list of schedulable layers at a fixed batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// The architecture this profile was derived from.
+    pub config: ModelConfig,
+    /// Batch size the activation/FLOP numbers assume.
+    pub batch: usize,
+    /// Layers in execution order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl ModelProfile {
+    /// Builds the per-layer profile of `config` at batch size `batch`.
+    pub fn new(config: &ModelConfig, batch: usize) -> Self {
+        let b = batch as f64;
+        let s = config.seq_len as f64;
+        let h = config.hidden as f64;
+        let token_channels = b * s * h;
+
+        let mut layers = Vec::with_capacity(config.layers + 2);
+
+        // Embedding layer: large output activation, trivially recomputable.
+        let embed_flops = 2.0 * b * s * h; // add + scale per token-channel
+        layers.push(LayerProfile {
+            id: 0,
+            label: "embedding".to_string(),
+            params: config.embedding_params(),
+            forward_flops: embed_flops,
+            inter_act_bytes: 2.0 * token_channels,
+            units: vec![ActivationUnit {
+                layer: 0,
+                kind: UnitKind::Embedding,
+                bytes: 2.0 * token_channels,
+                recompute_flops: embed_flops,
+            }],
+        });
+
+        // Transformer blocks. Attention-half FLOPs: QKV (6 b s h^2) + scores
+        // and values (4 b s^2 h) + output projection (2 b s h^2); MLP-half:
+        // 16 b s h^2.
+        let attn_flops = 8.0 * b * s * h * h + 4.0 * b * s * s * h;
+        let mlp_flops = 16.0 * b * s * h * h;
+        for i in 0..config.layers {
+            let id = i + 1;
+            layers.push(LayerProfile {
+                id,
+                label: format!("block {i}"),
+                params: config.block_params(),
+                forward_flops: attn_flops + mlp_flops,
+                inter_act_bytes: 2.0 * token_channels,
+                units: vec![
+                    ActivationUnit {
+                        layer: id,
+                        kind: UnitKind::Attention,
+                        bytes: ACT_INTRA_ATTN_BYTES * token_channels,
+                        recompute_flops: attn_flops,
+                    },
+                    ActivationUnit {
+                        layer: id,
+                        kind: UnitKind::Mlp,
+                        bytes: ACT_INTRA_MLP_BYTES * token_channels,
+                        recompute_flops: mlp_flops,
+                    },
+                ],
+            });
+        }
+
+        // Output head: logits are consumed immediately by the loss, so no
+        // stored activation; parameters are tied with the embedding for LMs.
+        let head_params = match config.kind {
+            ModelKind::DecoderLm => 0.0,
+            ModelKind::DiT => 2.0 * h * 8.0,
+        };
+        layers.push(LayerProfile {
+            id: config.layers + 1,
+            label: "head".to_string(),
+            params: head_params,
+            forward_flops: config.head_forward_flops(batch),
+            inter_act_bytes: 0.0,
+            units: Vec::new(),
+        });
+
+        ModelProfile {
+            config: config.clone(),
+            batch,
+            layers,
+        }
+    }
+
+    /// Total trainable parameters across layers.
+    pub fn total_params(&self) -> f64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// `FLOP_f`: total forward FLOPs.
+    pub fn forward_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.forward_flops).sum()
+    }
+
+    /// `A_all`: total activation bytes (inter + intra).
+    pub fn total_act_bytes(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.inter_act_bytes + l.intra_act_bytes())
+            .sum()
+    }
+
+    /// `A_interBlock`: total checkpoint bytes (the minimum swap amount).
+    pub fn inter_act_bytes(&self) -> f64 {
+        self.layers.iter().map(|l| l.inter_act_bytes).sum()
+    }
+
+    /// Largest per-layer parameter count — sizes the GPU staging buffers
+    /// and the host-side optimizer working set.
+    pub fn max_layer_params(&self) -> f64 {
+        self.layers.iter().map(|l| l.params).fold(0.0, f64::max)
+    }
+
+    /// All intra-layer activation units, sorted by descending offloading
+    /// benefit — the order Algorithm 1 walks (line 6).
+    pub fn units_by_benefit(&self) -> Vec<&ActivationUnit> {
+        let mut units: Vec<&ActivationUnit> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.units.iter())
+            .collect();
+        units.sort_by(|a, b| {
+            b.offloading_benefit()
+                .partial_cmp(&a.offloading_benefit())
+                .expect("benefits are finite")
+                .then(a.layer.cmp(&b.layer))
+        });
+        units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile13b() -> ModelProfile {
+        ModelProfile::new(&ModelConfig::decoder_lm("13B", 40, 40, 5120), 32)
+    }
+
+    #[test]
+    fn profile_totals_match_config() {
+        let p = profile13b();
+        let c = &p.config;
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
+        assert!(rel(p.total_params(), c.total_params()) < 0.01);
+        assert!(rel(p.forward_flops(), c.forward_flops(32)) < 0.01);
+        // Inter bytes include the embedding output checkpoint, so allow a
+        // one-layer tolerance against the block-only config estimate.
+        assert!(rel(p.inter_act_bytes(), c.inter_block_act_bytes(32)) < 0.05);
+        assert!(rel(p.total_act_bytes(), c.total_act_bytes(32)) < 0.05);
+    }
+
+    #[test]
+    fn layer_count_is_blocks_plus_embedding_and_head() {
+        let p = profile13b();
+        assert_eq!(p.layers.len(), 42);
+        assert_eq!(p.layers[0].label, "embedding");
+        assert_eq!(p.layers[41].label, "head");
+    }
+
+    #[test]
+    fn benefit_ordering_prefers_mlp_then_attention_then_embedding() {
+        let p = profile13b();
+        let units = p.units_by_benefit();
+        // First all MLP halves, then all attention halves, embedding last.
+        assert_eq!(units.first().unwrap().kind, UnitKind::Mlp);
+        assert_eq!(units.last().unwrap().kind, UnitKind::Embedding);
+        let first_attn = units.iter().position(|u| u.kind == UnitKind::Attention).unwrap();
+        let last_mlp = units.iter().rposition(|u| u.kind == UnitKind::Mlp).unwrap();
+        assert!(last_mlp < first_attn);
+    }
+
+    #[test]
+    fn benefit_is_monotone_in_sorted_order() {
+        let p = profile13b();
+        let units = p.units_by_benefit();
+        for w in units.windows(2) {
+            assert!(w[0].offloading_benefit() >= w[1].offloading_benefit());
+        }
+    }
+
+    #[test]
+    fn head_has_no_stored_activation() {
+        let p = profile13b();
+        let head = p.layers.last().unwrap();
+        assert!(head.units.is_empty());
+        assert_eq!(head.inter_act_bytes, 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Analytic model descriptions for the Ratel reproduction.
+//!
+//! Everything the paper's planner and its figures need to know about a model
+//! is *static*: how many parameters each layer holds, how many FLOPs its
+//! forward pass costs, and how many bytes of activations it produces. This
+//! crate provides:
+//!
+//! * [`config::ModelConfig`] — decoder-only LLM (Table IV) and DiT (Table VI)
+//!   architectures with exact parameter/FLOP/activation accounting,
+//! * [`zoo`] — the paper's evaluation ladder of models,
+//! * [`footprint`] — the Table II tensor inventory (P32/OS32/G16/P16/A16)
+//!   with sizes and lifecycles,
+//! * [`layer`] — per-layer [`layer::LayerProfile`]s (the unit Algorithm 1
+//!   sorts by offloading benefit) and whole-model [`layer::ModelProfile`]s.
+
+pub mod config;
+pub mod footprint;
+pub mod layer;
+pub mod zoo;
+
+pub use config::{ModelConfig, ModelKind};
+pub use footprint::{ModelStates, TensorKind};
+pub use layer::{ActivationUnit, LayerProfile, ModelProfile, UnitKind};

@@ -1,0 +1,270 @@
+//! The discrete-event execution engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::report::SimReport;
+
+/// A ready task waiting in a resource's queue, ordered by (ready time, id)
+/// so execution is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Waiting {
+    ready: f64,
+    id: TaskId,
+}
+
+impl Eq for Waiting {}
+
+impl Ord for Waiting {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ready
+            .partial_cmp(&other.ready)
+            .expect("ready times are finite")
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Waiting {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A completion event in the global event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    at: f64,
+    id: TaskId,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .partial_cmp(&other.at)
+            .expect("times are finite")
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Executes `graph` to completion and returns timing and utilization data.
+///
+/// Each resource serves its ready queue one task at a time in
+/// (ready-time, insertion) order — a FIFO DMA/stream model. The simulation
+/// is deterministic for a given graph.
+pub fn simulate(graph: &TaskGraph) -> SimReport {
+    let n = graph.tasks.len();
+    let mut indegree: Vec<usize> = graph.tasks.iter().map(|t| t.deps.len()).collect();
+    let mut successors: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        for d in &t.deps {
+            successors[d.0].push(TaskId(i));
+        }
+    }
+
+    let mut queues: Vec<BinaryHeap<Reverse<Waiting>>> =
+        (0..graph.resources.len()).map(|_| BinaryHeap::new()).collect();
+    let mut resource_free = vec![0.0_f64; graph.resources.len()];
+    let mut resource_busy = vec![false; graph.resources.len()];
+
+    let mut start = vec![f64::NAN; n];
+    let mut finish = vec![f64::NAN; n];
+    let mut events: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+
+    let try_start = |r: usize,
+                         now: f64,
+                         queues: &mut Vec<BinaryHeap<Reverse<Waiting>>>,
+                         resource_free: &mut Vec<f64>,
+                         resource_busy: &mut Vec<bool>,
+                         start: &mut Vec<f64>,
+                         finish: &mut Vec<f64>,
+                         events: &mut BinaryHeap<Reverse<Completion>>| {
+        if resource_busy[r] {
+            return;
+        }
+        if let Some(Reverse(w)) = queues[r].pop() {
+            let begin = now.max(resource_free[r]).max(w.ready);
+            let end = begin + graph.tasks[w.id.0].service;
+            start[w.id.0] = begin;
+            finish[w.id.0] = end;
+            resource_busy[r] = true;
+            resource_free[r] = end;
+            events.push(Reverse(Completion { at: end, id: w.id }));
+        }
+    };
+
+    // Seed: tasks with no dependencies are ready at t=0.
+    for (i, t) in graph.tasks.iter().enumerate() {
+        if t.deps.is_empty() {
+            queues[t.resource.0].push(Reverse(Waiting {
+                ready: 0.0,
+                id: TaskId(i),
+            }));
+        }
+    }
+    for r in 0..graph.resources.len() {
+        try_start(
+            r,
+            0.0,
+            &mut queues,
+            &mut resource_free,
+            &mut resource_busy,
+            &mut start,
+            &mut finish,
+            &mut events,
+        );
+    }
+
+    let mut completed = 0usize;
+    while let Some(Reverse(Completion { at, id })) = events.pop() {
+        completed += 1;
+        let r = graph.tasks[id.0].resource.0;
+        resource_busy[r] = false;
+        for &succ in &successors[id.0] {
+            indegree[succ.0] -= 1;
+            if indegree[succ.0] == 0 {
+                let sr = graph.tasks[succ.0].resource.0;
+                queues[sr].push(Reverse(Waiting { ready: at, id: succ }));
+                try_start(
+                    sr,
+                    at,
+                    &mut queues,
+                    &mut resource_free,
+                    &mut resource_busy,
+                    &mut start,
+                    &mut finish,
+                    &mut events,
+                );
+            }
+        }
+        try_start(
+            r,
+            at,
+            &mut queues,
+            &mut resource_free,
+            &mut resource_busy,
+            &mut start,
+            &mut finish,
+            &mut events,
+        );
+    }
+
+    assert_eq!(
+        completed, n,
+        "deadlock: {} of {n} tasks completed (cycle or orphaned dependency)",
+        completed
+    );
+
+    SimReport::build(graph, &start, &finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Stage, TaskGraph};
+
+    #[test]
+    fn empty_graph_has_zero_makespan() {
+        let g = TaskGraph::new();
+        let r = simulate(&g);
+        assert_eq!(r.makespan, 0.0);
+    }
+
+    #[test]
+    fn serial_chain_sums_service_times() {
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("gpu");
+        let a = g.add_task(gpu, 1.0, Stage::Forward, &[]);
+        let b = g.add_task(gpu, 2.0, Stage::Forward, &[a]);
+        let _ = g.add_task(gpu, 3.0, Stage::Forward, &[b]);
+        assert_eq!(simulate(&g).makespan, 6.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_distinct_resources_overlap() {
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("gpu");
+        let pcie = g.add_resource("pcie");
+        g.add_task(gpu, 4.0, Stage::Forward, &[]);
+        g.add_task(pcie, 3.0, Stage::Forward, &[]);
+        assert_eq!(simulate(&g).makespan, 4.0);
+    }
+
+    #[test]
+    fn contention_serializes_on_one_resource() {
+        let mut g = TaskGraph::new();
+        let pcie = g.add_resource("pcie");
+        g.add_task(pcie, 2.0, Stage::Forward, &[]);
+        g.add_task(pcie, 2.0, Stage::Forward, &[]);
+        g.add_task(pcie, 2.0, Stage::Forward, &[]);
+        assert_eq!(simulate(&g).makespan, 6.0);
+    }
+
+    #[test]
+    fn fifo_order_is_by_ready_time() {
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("gpu");
+        let pcie = g.add_resource("pcie");
+        // Producer chain: a (1s) then b (3s) on gpu; transfers depend on
+        // each and contend on pcie. t_a is ready at 1, t_b at 4.
+        let a = g.add_task(gpu, 1.0, Stage::Forward, &[]);
+        let b = g.add_task(gpu, 3.0, Stage::Forward, &[a]);
+        let ta = g.add_task(pcie, 5.0, Stage::Forward, &[a]);
+        let tb = g.add_task(pcie, 1.0, Stage::Forward, &[b]);
+        let r = simulate(&g);
+        // ta starts at 1 and holds pcie until 6; tb then runs 6..7.
+        assert_eq!(r.task_start(ta), 1.0);
+        assert_eq!(r.task_finish(ta), 6.0);
+        assert_eq!(r.task_start(tb), 6.0);
+        assert_eq!(r.makespan, 7.0);
+    }
+
+    #[test]
+    fn pipelining_overlaps_compute_and_transfer() {
+        // Classic two-stage pipeline: n layers of (compute 1s -> transfer
+        // 1s). Makespan should be n + 1, not 2n.
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("gpu");
+        let pcie = g.add_resource("pcie");
+        let mut prev_compute = None;
+        for _ in 0..8 {
+            let deps: Vec<_> = prev_compute.into_iter().collect();
+            let c = g.add_task(gpu, 1.0, Stage::Forward, &deps);
+            g.add_task(pcie, 1.0, Stage::Forward, &[c]);
+            prev_compute = Some(c);
+        }
+        assert_eq!(simulate(&g).makespan, 9.0);
+    }
+
+    #[test]
+    fn diamond_dependencies_join_correctly() {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let src = g.add_task(r1, 1.0, Stage::Forward, &[]);
+        let left = g.add_task(r1, 2.0, Stage::Forward, &[src]);
+        let right = g.add_task(r2, 5.0, Stage::Forward, &[src]);
+        let join = g.add_task(r1, 1.0, Stage::Backward, &[left, right]);
+        let r = simulate(&g);
+        assert_eq!(r.task_start(join), 6.0);
+        assert_eq!(r.makespan, 7.0);
+    }
+
+    #[test]
+    fn zero_service_tasks_are_fine() {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("a");
+        let a = g.add_task(r1, 0.0, Stage::Forward, &[]);
+        let b = g.add_task(r1, 1.0, Stage::Forward, &[a]);
+        let r = simulate(&g);
+        assert_eq!(r.task_finish(b), 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Task-graph construction.
+
+/// Identifies a resource registered with a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub usize);
+
+/// Identifies a task within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// The training stage a task is attributed to, for breakdown reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Forward propagation.
+    Forward,
+    /// Backward propagation (includes recomputation).
+    Backward,
+    /// Optimizer execution (SSD state I/O + CPU Adam).
+    Optimizer,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 3] = [Stage::Forward, Stage::Backward, Stage::Optimizer];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Forward => "forward",
+            Stage::Backward => "backward",
+            Stage::Optimizer => "optimizer",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Task {
+    pub(crate) resource: ResourceId,
+    /// Service time in seconds on the bound resource.
+    pub(crate) service: f64,
+    pub(crate) stage: Stage,
+    pub(crate) deps: Vec<TaskId>,
+    pub(crate) label: Option<String>,
+}
+
+/// A DAG of tasks over named resources.
+///
+/// Dependencies must refer to already-added tasks, which makes the graph
+/// acyclic by construction.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    pub(crate) resources: Vec<String>,
+    pub(crate) tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource and returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(name.into());
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Adds a task bound to `resource` that occupies it for `service`
+    /// seconds once started, attributed to `stage`, ready after `deps`.
+    ///
+    /// # Panics
+    /// If `resource` or any dependency is unknown, or `service` is not a
+    /// finite non-negative number.
+    pub fn add_task(
+        &mut self,
+        resource: ResourceId,
+        service: f64,
+        stage: Stage,
+        deps: &[TaskId],
+    ) -> TaskId {
+        assert!(
+            resource.0 < self.resources.len(),
+            "unknown resource {resource:?}"
+        );
+        assert!(
+            service.is_finite() && service >= 0.0,
+            "invalid service time {service} (resource {})",
+            self.resources[resource.0]
+        );
+        let id = TaskId(self.tasks.len());
+        for d in deps {
+            assert!(d.0 < id.0, "dependency {d:?} of {id:?} does not exist yet");
+        }
+        self.tasks.push(Task {
+            resource,
+            service,
+            stage,
+            deps: deps.to_vec(),
+            label: None,
+        });
+        id
+    }
+
+    /// Attaches a human-readable label to a task (shown in timelines).
+    pub fn set_label(&mut self, task: TaskId, label: impl Into<String>) {
+        self.tasks[task.0].label = Some(label.into());
+    }
+
+    /// The label of a task, if any.
+    pub fn label(&self, task: TaskId) -> Option<&str> {
+        self.tasks[task.0].label.as_deref()
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Name of a registered resource.
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resources[id.0]
+    }
+
+    /// Total service time bound to `resource` — a lower bound on the
+    /// makespan contribution of that resource.
+    pub fn total_service(&self, resource: ResourceId) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.resource == resource)
+            .map(|t| t.service)
+            .sum()
+    }
+
+    /// Length of the longest dependency chain (sum of service times) — a
+    /// lower bound on the makespan.
+    pub fn critical_path(&self) -> f64 {
+        let mut finish = vec![0.0_f64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t
+                .deps
+                .iter()
+                .map(|d| finish[d.0])
+                .fold(0.0_f64, f64::max);
+            finish[i] = ready + t.service;
+        }
+        finish.into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_graph() {
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("gpu");
+        let a = g.add_task(gpu, 1.0, Stage::Forward, &[]);
+        let b = g.add_task(gpu, 2.0, Stage::Forward, &[a]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.total_service(gpu), 3.0);
+        assert_eq!(g.critical_path(), 3.0);
+        assert_eq!(b, TaskId(1));
+    }
+
+    #[test]
+    fn critical_path_takes_the_longest_chain() {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_task(r1, 1.0, Stage::Forward, &[]);
+        let b = g.add_task(r2, 5.0, Stage::Forward, &[]);
+        let _c = g.add_task(r1, 1.0, Stage::Backward, &[a, b]);
+        assert_eq!(g.critical_path(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependencies_are_rejected() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        g.add_task(r, 1.0, Stage::Forward, &[TaskId(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid service time")]
+    fn nan_service_is_rejected() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        g.add_task(r, f64::NAN, Stage::Forward, &[]);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! A three-tier tensor store: "GPU" arena, host pool, and an SSD volume
+//! backed by real files.
+//!
+//! This is the substrate the *real* out-of-core engine runs on. It mirrors
+//! the paper's memory hierarchy at API level:
+//!
+//! * every blob lives in exactly one tier at a time;
+//! * the GPU and host tiers have hard byte capacities — exceeding one is an
+//!   out-of-memory error, which is how the maximum-trainable-size
+//!   experiments fail honestly;
+//! * the SSD tier stores each blob as a file on disk, so offloaded model
+//!   states and activations really leave memory;
+//! * consumer GPUs have no GPUDirect (§III-C), so a GPU→SSD move is
+//!   forcibly two hops (GPU→Host, Host→SSD) and both hops are metered;
+//! * all inter-tier traffic is counted per route, letting tests assert the
+//!   exact byte flows the paper reasons about (e.g. "the optimizer reads
+//!   12P and writes 14P per iteration").
+
+pub mod error;
+pub mod store;
+pub mod traffic;
+
+pub use error::StorageError;
+pub use store::{Tier, TierConfig, TieredStore};
+pub use traffic::{Route, TrafficSnapshot};

@@ -1,0 +1,230 @@
+//! Data types and software IEEE-754 binary16 conversion.
+//!
+//! Consumer GPUs compute LLM fine-tuning in half precision; the paper's
+//! Table II stores P16/G16/A16 at 2 bytes per element. We emulate that
+//! storage format in software: values are converted to binary16 on the way
+//! into a storage tier and back to `f32` on the way out, so offloaded
+//! tensors really occupy 2 bytes per element and really lose the same
+//! precision a GPU transfer would.
+
+/// Element type of a stored tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE float (master weights, optimizer moments).
+    F32,
+    /// 16-bit IEEE float (parameter copies, gradients, activations).
+    F16,
+}
+
+impl DType {
+    /// Bytes per element.
+    pub fn size(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+        }
+    }
+}
+
+/// Converts an `f32` to IEEE-754 binary16 bits with round-to-nearest-even,
+/// handling subnormals, overflow to infinity, and NaN.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a quiet NaN payload bit if any mantissa bit set.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+
+    // Re-bias the exponent from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> infinity
+    }
+    if unbiased >= -14 {
+        // Normal half. Round the 23-bit mantissa to 10 bits (RNE).
+        let mant16 = mant >> 13;
+        let rest = mant & 0x1fff;
+        let half = 0x1000;
+        let mut out = ((unbiased + 15) as u32) << 10 | mant16;
+        if rest > half || (rest == half && (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent, which is still correct
+        }
+        return sign | out as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal half: shift in the implicit leading 1, then round.
+        let full = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let mant16 = full >> shift;
+        let rest = full & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut out = mant16;
+        if rest > half || (rest == half && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts IEEE-754 binary16 bits back to `f32` (exact).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mant = (bits & 0x03ff) as u32;
+
+    let out = if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: value = mant * 2^-24. Normalize into f32.
+            let mut m = mant;
+            let mut e = -14i32;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13) // Inf / NaN
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Rounds an `f32` through binary16 and back — the precision a value has
+/// after being stored in a half-precision tier.
+pub fn round_to_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Encodes a slice of `f32` into little-endian binary16 bytes.
+pub fn encode_f16(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian binary16 bytes into `f32`.
+///
+/// # Panics
+/// If `bytes.len()` is odd.
+pub fn decode_f16(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len().is_multiple_of(2), "odd f16 byte length {}", bytes.len());
+    bytes
+        .chunks_exact(2)
+        .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
+        .collect()
+}
+
+/// Encodes a slice of `f32` into little-endian f32 bytes (for master
+/// states stored at full precision).
+pub fn encode_f32(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian f32 bytes.
+///
+/// # Panics
+/// If `bytes.len()` is not a multiple of 4.
+pub fn decode_f32(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len().is_multiple_of(4), "bad f32 byte length {}", bytes.len());
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_round_trip() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.25, -3.5] {
+            assert_eq!(round_to_f16(v), v, "{v}");
+        }
+        assert!(f32_to_f16_bits(-0.0) & 0x8000 != 0);
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // max finite half
+        assert_eq!(f32_to_f16_bits(65536.0), 0x7c00); // overflow -> inf
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f16_bits_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7c00), f32::INFINITY);
+    }
+
+    #[test]
+    fn nan_survives() {
+        let bits = f32_to_f16_bits(f32::NAN);
+        assert_eq!(bits & 0x7c00, 0x7c00);
+        assert_ne!(bits & 0x03ff, 0);
+        assert!(f16_bits_to_f32(bits).is_nan());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive subnormal half = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(round_to_f16(tiny), tiny);
+        // Largest subnormal = (1023/1024) * 2^-14.
+        let big_sub = 1023.0 / 1024.0 * 2.0f32.powi(-14);
+        assert_eq!(round_to_f16(big_sub), big_sub);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(round_to_f16(2.0f32.powi(-26)), 0.0);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half
+        // (1 + 2^-10); RNE picks the even mantissa, i.e. 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(round_to_f16(halfway), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(round_to_f16(above), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let vals = vec![0.0f32, 1.5, -2.25, 100.0];
+        assert_eq!(decode_f16(&encode_f16(&vals)), vals);
+        assert_eq!(decode_f32(&encode_f32(&vals)), vals);
+        assert_eq!(encode_f16(&vals).len(), 8);
+        assert_eq!(encode_f32(&vals).len(), 16);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_for_normals() {
+        let mut x = 1e-3f32;
+        while x < 6e4 {
+            let r = round_to_f16(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel <= 1.0 / 1024.0, "x={x} r={r} rel={rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd f16 byte length")]
+    fn odd_byte_length_panics() {
+        decode_f16(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,1558 @@
+//! Transformer layers with explicit forward/backward and flat parameter
+//! access.
+//!
+//! Every layer exposes its parameters as one flat `Vec<f32>` (and accepts
+//! gradients in the same order), because that is the unit the out-of-core
+//! engine moves between tiers and the unit the CPU Adam updates. Saved
+//! activations are separate structs with half-precision (de)serialization
+//! so they can be offloaded byte-for-byte like the paper's A16 tensors.
+
+use crate::ops::{
+    add_bias, apply_mask, bias_grad, cross_entropy, cross_entropy_backward, dropout_mask,
+    embedding_gather, embedding_scatter_add, gelu, gelu_backward, layernorm, layernorm_backward,
+    matmul, matmul_at, matmul_bt, softmax_backward, softmax_rows, DropoutSpec, LayerNormStats,
+};
+use crate::tensor::Tensor;
+
+/// Common flat-parameter access for movable layers.
+pub trait ParamLayer {
+    /// Number of scalar parameters.
+    fn param_count(&self) -> usize;
+    /// Copies all parameters into one flat vector (fixed field order).
+    fn params_flat(&self) -> Vec<f32>;
+    /// Loads parameters from a flat vector produced by
+    /// [`ParamLayer::params_flat`].
+    ///
+    /// # Panics
+    /// If the length does not match [`ParamLayer::param_count`].
+    fn set_params_flat(&mut self, flat: &[f32]);
+}
+
+fn push_tensor(out: &mut Vec<f32>, t: &Tensor) {
+    out.extend_from_slice(t.data());
+}
+
+fn take_tensor(t: &mut Tensor, flat: &[f32], offset: &mut usize) {
+    let n = t.len();
+    t.data_mut().copy_from_slice(&flat[*offset..*offset + n]);
+    *offset += n;
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// A dense layer `y = x @ w + b` with `w: [in, out]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Weight matrix `[in, out]`.
+    pub w: Tensor,
+    /// Bias `[out]`.
+    pub b: Tensor,
+}
+
+/// Gradients of a [`Linear`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGrads {
+    /// `dL/dw`.
+    pub dw: Tensor,
+    /// `dL/db`.
+    pub db: Tensor,
+}
+
+impl Linear {
+    /// GPT-style init: normal(0, 0.02) weights, zero bias.
+    pub fn new(dim_in: usize, dim_out: usize, seed: u64) -> Self {
+        Linear {
+            w: Tensor::randn(&[dim_in, dim_out], 0.02, seed),
+            b: Tensor::zeros(&[dim_out]),
+        }
+    }
+
+    /// `y = x @ w + b`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut y = matmul(x, &self.w);
+        add_bias(&mut y, &self.b);
+        y
+    }
+
+    /// Returns `(dx, grads)` given the forward input `x`.
+    pub fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, LinearGrads) {
+        let dx = matmul_bt(dy, &self.w);
+        let dw = matmul_at(x, dy);
+        let db = bias_grad(dy);
+        (dx, LinearGrads { dw, db })
+    }
+}
+
+impl ParamLayer for Linear {
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        push_tensor(&mut out, &self.w);
+        push_tensor(&mut out, &self.b);
+        out
+    }
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "Linear param length");
+        let mut off = 0;
+        take_tensor(&mut self.w, flat, &mut off);
+        take_tensor(&mut self.b, flat, &mut off);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+/// Layer normalization with learned scale and shift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNorm {
+    /// Scale `[h]`.
+    pub gamma: Tensor,
+    /// Shift `[h]`.
+    pub beta: Tensor,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity init (gamma 1, beta 0).
+    pub fn new(h: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::full(&[h], 1.0),
+            beta: Tensor::zeros(&[h]),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalizes rows; returns output and per-row stats for the backward.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, LayerNormStats) {
+        layernorm(x, &self.gamma, &self.beta, self.eps)
+    }
+
+    /// Returns `(dx, dgamma, dbeta)`.
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        stats: &LayerNormStats,
+        dy: &Tensor,
+    ) -> (Tensor, Tensor, Tensor) {
+        layernorm_backward(x, &self.gamma, stats, dy)
+    }
+}
+
+impl ParamLayer for LayerNorm {
+    fn param_count(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        push_tensor(&mut out, &self.gamma);
+        push_tensor(&mut out, &self.beta);
+        out
+    }
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "LayerNorm param length");
+        let mut off = 0;
+        take_tensor(&mut self.gamma, flat, &mut off);
+        take_tensor(&mut self.beta, flat, &mut off);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-head causal self-attention
+// ---------------------------------------------------------------------------
+
+/// Multi-head causal self-attention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHeadAttention {
+    /// Fused QKV projection `[h, 3h]` (+ bias).
+    pub wqkv: Linear,
+    /// Output projection `[h, h]` (+ bias).
+    pub wo: Linear,
+    /// Number of attention heads.
+    pub heads: usize,
+}
+
+/// Activations saved by an attention forward, consumed by its backward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttnSaved {
+    /// Fused QKV output `[b*s, 3h]`.
+    pub qkv: Tensor,
+    /// Post-softmax attention probabilities, one `[s, s]` matrix per
+    /// (batch, head) pair, flattened as `[b*heads*s, s]`.
+    pub probs: Tensor,
+    /// Concatenated per-head context `[b*s, h]` (input to `wo`).
+    pub ctx: Tensor,
+}
+
+impl MultiHeadAttention {
+    /// Creates attention over `h` channels split into `heads` heads.
+    ///
+    /// # Panics
+    /// If `h` is not divisible by `heads`.
+    pub fn new(h: usize, heads: usize, seed: u64) -> Self {
+        assert_eq!(h % heads, 0, "hidden {h} not divisible by heads {heads}");
+        MultiHeadAttention {
+            wqkv: Linear::new(h, 3 * h, seed),
+            wo: Linear::new(h, h, seed.wrapping_add(1)),
+            heads,
+        }
+    }
+
+    fn dims(&self, x: &Tensor, batch: usize, seq: usize) -> (usize, usize) {
+        let h = x.shape()[1];
+        assert_eq!(x.shape()[0], batch * seq, "attention input rows");
+        (h, h / self.heads)
+    }
+
+    /// Causal attention forward over `x: [b*s, h]`.
+    pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, AttnSaved) {
+        let (h, d) = self.dims(x, batch, seq);
+        let qkv = self.wqkv.forward(x);
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let mut ctx = vec![0.0f32; batch * seq * h];
+        let mut probs_all = vec![0.0f32; batch * self.heads * seq * seq];
+
+        for bi in 0..batch {
+            for hd in 0..self.heads {
+                let q = head_slice(&qkv, bi, seq, h, 0, hd, d);
+                let k = head_slice(&qkv, bi, seq, h, 1, hd, d);
+                let v = head_slice(&qkv, bi, seq, h, 2, hd, d);
+                // scores[s,s] = q @ k^T * scale, causal-masked.
+                let mut scores = matmul_bt(&q, &k).scale(scale);
+                apply_causal_mask(&mut scores, seq);
+                let p = softmax_rows(&scores);
+                let c = matmul(&p, &v); // [s, d]
+                // Write back ctx rows and prob block.
+                for t in 0..seq {
+                    let dst = (bi * seq + t) * h + hd * d;
+                    ctx[dst..dst + d].copy_from_slice(&c.data()[t * d..(t + 1) * d]);
+                }
+                let pb = (bi * self.heads + hd) * seq * seq;
+                probs_all[pb..pb + seq * seq].copy_from_slice(p.data());
+            }
+        }
+
+        let ctx = Tensor::from_vec(&[batch * seq, h], ctx);
+        let out = self.wo.forward(&ctx);
+        (
+            out,
+            AttnSaved {
+                qkv,
+                probs: Tensor::from_vec(&[batch * self.heads * seq, seq], probs_all),
+                ctx,
+            },
+        )
+    }
+
+    /// Backward; returns `(dx, d_wqkv, d_wo)` given the forward input `x`.
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        saved: &AttnSaved,
+        dy: &Tensor,
+        batch: usize,
+        seq: usize,
+    ) -> (Tensor, LinearGrads, LinearGrads) {
+        let (h, d) = self.dims(x, batch, seq);
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let (dctx, dwo) = self.wo.backward(&saved.ctx, dy);
+
+        let mut dqkv = vec![0.0f32; batch * seq * 3 * h];
+        for bi in 0..batch {
+            for hd in 0..self.heads {
+                let q = head_slice(&saved.qkv, bi, seq, h, 0, hd, d);
+                let k = head_slice(&saved.qkv, bi, seq, h, 1, hd, d);
+                let v = head_slice(&saved.qkv, bi, seq, h, 2, hd, d);
+                let pb = (bi * self.heads + hd) * seq * seq;
+                let p = Tensor::from_vec(&[seq, seq], saved.probs.data()[pb..pb + seq * seq].to_vec());
+
+                // Slice this head's dctx.
+                let mut dc = vec![0.0f32; seq * d];
+                for t in 0..seq {
+                    let src = (bi * seq + t) * h + hd * d;
+                    dc[t * d..(t + 1) * d].copy_from_slice(&dctx.data()[src..src + d]);
+                }
+                let dc = Tensor::from_vec(&[seq, d], dc);
+
+                let dv = matmul_at(&p, &dc); // p^T @ dc
+                let dp = matmul_bt(&dc, &v); // dc @ v^T
+                let dscores = softmax_backward(&p, &dp).scale(scale);
+                let dq = matmul(&dscores, &k); // [s, d]
+                let dk = matmul_at(&dscores, &q); // dscores^T @ q
+
+                // Scatter into dqkv.
+                for t in 0..seq {
+                    let row = (bi * seq + t) * 3 * h;
+                    let qdst = row + hd * d;
+                    let kdst = row + h + hd * d;
+                    let vdst = row + 2 * h + hd * d;
+                    dqkv[qdst..qdst + d].copy_from_slice(&dq.data()[t * d..(t + 1) * d]);
+                    dqkv[kdst..kdst + d].copy_from_slice(&dk.data()[t * d..(t + 1) * d]);
+                    dqkv[vdst..vdst + d].copy_from_slice(&dv.data()[t * d..(t + 1) * d]);
+                }
+            }
+        }
+
+        let dqkv = Tensor::from_vec(&[batch * seq, 3 * h], dqkv);
+        let (dx, dwqkv) = self.wqkv.backward(x, &dqkv);
+        (dx, dwqkv, dwo)
+    }
+}
+
+impl ParamLayer for MultiHeadAttention {
+    fn param_count(&self) -> usize {
+        self.wqkv.param_count() + self.wo.param_count()
+    }
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = self.wqkv.params_flat();
+        out.extend(self.wo.params_flat());
+        out
+    }
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "attention param length");
+        let n1 = self.wqkv.param_count();
+        self.wqkv.set_params_flat(&flat[..n1]);
+        self.wo.set_params_flat(&flat[n1..]);
+    }
+}
+
+/// Extracts one head's `[s, d]` q/k/v slice (`which`: 0=q, 1=k, 2=v).
+fn head_slice(
+    qkv: &Tensor,
+    batch_idx: usize,
+    seq: usize,
+    h: usize,
+    which: usize,
+    head: usize,
+    d: usize,
+) -> Tensor {
+    let mut out = vec![0.0f32; seq * d];
+    for t in 0..seq {
+        let src = (batch_idx * seq + t) * 3 * h + which * h + head * d;
+        out[t * d..(t + 1) * d].copy_from_slice(&qkv.data()[src..src + d]);
+    }
+    Tensor::from_vec(&[seq, d], out)
+}
+
+fn apply_causal_mask(scores: &mut Tensor, seq: usize) {
+    let data = scores.data_mut();
+    for t in 0..seq {
+        for u in (t + 1)..seq {
+            data[t * seq + u] = f32::NEG_INFINITY;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MLP
+// ---------------------------------------------------------------------------
+
+/// The transformer feed-forward block: `fc2(gelu(fc1(x)))` with a 4x
+/// expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// Expansion projection `[h, 4h]`.
+    pub fc1: Linear,
+    /// Contraction projection `[4h, h]`.
+    pub fc2: Linear,
+}
+
+/// Activations saved by an MLP forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpSaved {
+    /// `fc1` output before GELU `[b*s, 4h]`.
+    pub pre: Tensor,
+    /// GELU output `[b*s, 4h]` (input to `fc2`).
+    pub act: Tensor,
+}
+
+impl Mlp {
+    /// Creates the feed-forward block for hidden size `h`.
+    pub fn new(h: usize, seed: u64) -> Self {
+        Mlp {
+            fc1: Linear::new(h, 4 * h, seed),
+            fc2: Linear::new(4 * h, h, seed.wrapping_add(1)),
+        }
+    }
+
+    /// Forward pass; saves the pre-GELU and post-GELU activations.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, MlpSaved) {
+        let pre = self.fc1.forward(x);
+        let act = gelu(&pre);
+        let y = self.fc2.forward(&act);
+        (y, MlpSaved { pre, act })
+    }
+
+    /// Backward; returns `(dx, d_fc1, d_fc2)` given the forward input `x`.
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        saved: &MlpSaved,
+        dy: &Tensor,
+    ) -> (Tensor, LinearGrads, LinearGrads) {
+        let (dact, dfc2) = self.fc2.backward(&saved.act, dy);
+        let dpre = gelu_backward(&saved.pre, &dact);
+        let (dx, dfc1) = self.fc1.backward(x, &dpre);
+        (dx, dfc1, dfc2)
+    }
+}
+
+impl ParamLayer for Mlp {
+    fn param_count(&self) -> usize {
+        self.fc1.param_count() + self.fc2.param_count()
+    }
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = self.fc1.params_flat();
+        out.extend(self.fc2.params_flat());
+        out
+    }
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "mlp param length");
+        let n1 = self.fc1.param_count();
+        self.fc1.set_params_flat(&flat[..n1]);
+        self.fc2.set_params_flat(&flat[n1..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transformer block
+// ---------------------------------------------------------------------------
+
+/// A pre-norm transformer block:
+/// `x + attn(ln1(x))` followed by `(+) mlp(ln2(.))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformerBlock {
+    /// Pre-attention layer norm.
+    pub ln1: LayerNorm,
+    /// Self-attention.
+    pub attn: MultiHeadAttention,
+    /// Pre-MLP layer norm.
+    pub ln2: LayerNorm,
+    /// Feed-forward.
+    pub mlp: Mlp,
+    /// Micro-batch size the block was built for.
+    pub batch: usize,
+    /// Sequence length the block was built for.
+    pub seq: usize,
+}
+
+/// Everything a block's backward needs besides its input — the "A16
+/// intra-block activations" of the paper, offloadable as one blob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSaved {
+    /// `ln1` output `[b*s, h]`.
+    pub x1: Tensor,
+    /// `ln1` statistics.
+    pub ln1_stats: LayerNormStats,
+    /// Attention intermediates.
+    pub attn: AttnSaved,
+    /// Residual after attention `[b*s, h]`.
+    pub x2: Tensor,
+    /// `ln2` output `[b*s, h]`.
+    pub x3: Tensor,
+    /// `ln2` statistics.
+    pub ln2_stats: LayerNormStats,
+    /// MLP intermediates.
+    pub mlp: MlpSaved,
+}
+
+/// Gradients of one transformer block in flat-parameter order.
+pub type BlockGrads = Vec<f32>;
+
+/// Derives block `block`'s dropout spec for a given training step: the
+/// same `(p, step_seed, block)` triple always produces the same masks, so
+/// swapped and recomputed backward paths agree, and the out-of-core
+/// engine and the in-memory reference agree.
+pub fn block_dropout_spec(p: f32, step_seed: u64, block: usize) -> DropoutSpec {
+    DropoutSpec {
+        p,
+        seed: step_seed ^ ((block as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    }
+}
+
+impl TransformerBlock {
+    /// Creates a block for `(batch, seq, h, heads)` with a deterministic
+    /// seed.
+    pub fn new(batch: usize, seq: usize, h: usize, heads: usize, seed: u64) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(h),
+            attn: MultiHeadAttention::new(h, heads, seed),
+            ln2: LayerNorm::new(h),
+            mlp: Mlp::new(h, seed.wrapping_add(100)),
+            batch,
+            seq,
+        }
+    }
+
+    /// Forward pass over `x: [b*s, h]`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, BlockSaved) {
+        self.forward_with(x, None)
+    }
+
+    /// Forward with optional residual dropout after the attention and MLP
+    /// sublayers (GPT-2 style). The masks are *not* stored with the saved
+    /// activations: they are regenerated from `spec.seed` during backward
+    /// — and during recomputation — which is exactly how checkpointing
+    /// systems keep dropout deterministic across rematerialization.
+    pub fn forward_with(&self, x: &Tensor, dropout: Option<DropoutSpec>) -> (Tensor, BlockSaved) {
+        let (x1, ln1_stats) = self.ln1.forward(x);
+        let (a, attn_saved) = self.attn.forward(&x1, self.batch, self.seq);
+        let a = match dropout {
+            Some(spec) => apply_mask(&a, &dropout_mask(a.len(), spec)),
+            None => a,
+        };
+        let x2 = x.add(&a);
+        let (x3, ln2_stats) = self.ln2.forward(&x2);
+        let (m, mlp_saved) = self.mlp.forward(&x3);
+        let m = match dropout {
+            Some(spec) => apply_mask(
+                &m,
+                &dropout_mask(m.len(), DropoutSpec { p: spec.p, seed: spec.seed ^ 0x9e37_79b9 }),
+            ),
+            None => m,
+        };
+        let y = x2.add(&m);
+        (
+            y,
+            BlockSaved {
+                x1,
+                ln1_stats,
+                attn: attn_saved,
+                x2,
+                x3,
+                ln2_stats,
+                mlp: mlp_saved,
+            },
+        )
+    }
+
+    /// Backward pass. Needs the forward input `x` plus the saved
+    /// activations; returns `(dx, flat_grads)` with gradients laid out in
+    /// [`ParamLayer::params_flat`] order.
+    pub fn backward(&self, x: &Tensor, saved: &BlockSaved, dy: &Tensor) -> (Tensor, BlockGrads) {
+        self.backward_with(x, saved, dy, None)
+    }
+
+    /// Backward matching [`TransformerBlock::forward_with`]: the dropout
+    /// masks are regenerated from the same spec and applied to the
+    /// sublayer gradients.
+    pub fn backward_with(
+        &self,
+        x: &Tensor,
+        saved: &BlockSaved,
+        dy: &Tensor,
+        dropout: Option<DropoutSpec>,
+    ) -> (Tensor, BlockGrads) {
+        // y = x2 + drop(mlp(ln2(x2)))
+        let dm = match dropout {
+            Some(spec) => apply_mask(
+                dy,
+                &dropout_mask(dy.len(), DropoutSpec { p: spec.p, seed: spec.seed ^ 0x9e37_79b9 }),
+            ),
+            None => dy.clone(),
+        };
+        let (dx3, dfc1, dfc2) = self.mlp.backward(&saved.x3, &saved.mlp, &dm);
+        let (dx2_ln, dg2, db2) = self.ln2.backward(&saved.x2, &saved.ln2_stats, &dx3);
+        let mut dx2 = dy.clone();
+        dx2.add_assign(&dx2_ln);
+        // x2 = x + drop(attn(ln1(x)))
+        let da = match dropout {
+            Some(spec) => apply_mask(&dx2, &dropout_mask(dx2.len(), spec)),
+            None => dx2.clone(),
+        };
+        let (dx1, dwqkv, dwo) = self
+            .attn
+            .backward(&saved.x1, &saved.attn, &da, self.batch, self.seq);
+        let (dx_ln, dg1, db1) = self.ln1.backward(x, &saved.ln1_stats, &dx1);
+        let mut dx = dx2;
+        dx.add_assign(&dx_ln);
+
+        // Flat grads in params_flat order: ln1, attn(wqkv, wo), ln2, mlp.
+        let mut grads = Vec::with_capacity(self.param_count());
+        push_tensor(&mut grads, &dg1);
+        push_tensor(&mut grads, &db1);
+        push_tensor(&mut grads, &dwqkv.dw);
+        push_tensor(&mut grads, &dwqkv.db);
+        push_tensor(&mut grads, &dwo.dw);
+        push_tensor(&mut grads, &dwo.db);
+        push_tensor(&mut grads, &dg2);
+        push_tensor(&mut grads, &db2);
+        push_tensor(&mut grads, &dfc1.dw);
+        push_tensor(&mut grads, &dfc1.db);
+        push_tensor(&mut grads, &dfc2.dw);
+        push_tensor(&mut grads, &dfc2.db);
+        (dx, grads)
+    }
+}
+
+impl ParamLayer for TransformerBlock {
+    fn param_count(&self) -> usize {
+        self.ln1.param_count()
+            + self.attn.param_count()
+            + self.ln2.param_count()
+            + self.mlp.param_count()
+    }
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = self.ln1.params_flat();
+        out.extend(self.attn.params_flat());
+        out.extend(self.ln2.params_flat());
+        out.extend(self.mlp.params_flat());
+        out
+    }
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "block param length");
+        let mut off = 0;
+        for part in [
+            &mut self.ln1 as &mut dyn ParamLayer,
+            &mut self.attn,
+            &mut self.ln2,
+            &mut self.mlp,
+        ] {
+            let n = part.param_count();
+            part.set_params_flat(&flat[off..off + n]);
+            off += n;
+        }
+    }
+}
+
+impl BlockSaved {
+    /// Total stored activation elements (for accounting).
+    pub fn element_count(&self) -> usize {
+        self.x1.len()
+            + self.ln1_stats.mean.len()
+            + self.ln1_stats.rstd.len()
+            + self.attn.qkv.len()
+            + self.attn.probs.len()
+            + self.attn.ctx.len()
+            + self.x2.len()
+            + self.x3.len()
+            + self.ln2_stats.mean.len()
+            + self.ln2_stats.rstd.len()
+            + self.mlp.pre.len()
+            + self.mlp.act.len()
+    }
+
+    /// Serializes all saved activations as half-precision bytes — the A16
+    /// offload format.
+    pub fn to_f16_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.element_count() * 2);
+        for t in self.tensors() {
+            out.extend(crate::dtype::encode_f16(t));
+        }
+        out
+    }
+
+    /// Reconstructs saved activations from half-precision bytes.
+    ///
+    /// # Panics
+    /// If the byte length does not match the shapes implied by
+    /// `(batch, seq, h, heads)`.
+    pub fn from_f16_bytes(
+        bytes: &[u8],
+        batch: usize,
+        seq: usize,
+        h: usize,
+        heads: usize,
+    ) -> BlockSaved {
+        let rows = batch * seq;
+        let vals = crate::dtype::decode_f16(bytes);
+        let mut off = 0usize;
+        let mut take = |n: usize| {
+            let v = vals[off..off + n].to_vec();
+            off += n;
+            v
+        };
+        let x1 = Tensor::from_vec(&[rows, h], take(rows * h));
+        let ln1_stats = LayerNormStats {
+            mean: take(rows),
+            rstd: take(rows),
+        };
+        let qkv = Tensor::from_vec(&[rows, 3 * h], take(rows * 3 * h));
+        let probs = Tensor::from_vec(&[batch * heads * seq, seq], take(batch * heads * seq * seq));
+        let ctx = Tensor::from_vec(&[rows, h], take(rows * h));
+        let x2 = Tensor::from_vec(&[rows, h], take(rows * h));
+        let x3 = Tensor::from_vec(&[rows, h], take(rows * h));
+        let ln2_stats = LayerNormStats {
+            mean: take(rows),
+            rstd: take(rows),
+        };
+        let pre = Tensor::from_vec(&[rows, 4 * h], take(rows * 4 * h));
+        let act = Tensor::from_vec(&[rows, 4 * h], take(rows * 4 * h));
+        assert_eq!(off, vals.len(), "activation blob length mismatch");
+        BlockSaved {
+            x1,
+            ln1_stats,
+            attn: AttnSaved { qkv, probs, ctx },
+            x2,
+            x3,
+            ln2_stats,
+            mlp: MlpSaved { pre, act },
+        }
+    }
+
+    /// Rounds every saved value through binary16 in place — applied right
+    /// after forward so that swapped and recomputed-from-f16-input paths
+    /// see identical data.
+    pub fn quantize_f16(&mut self) {
+        let q = |t: &mut Tensor| *t = t.quantize_f16();
+        q(&mut self.x1);
+        q(&mut self.attn.qkv);
+        q(&mut self.attn.probs);
+        q(&mut self.attn.ctx);
+        q(&mut self.x2);
+        q(&mut self.x3);
+        q(&mut self.mlp.pre);
+        q(&mut self.mlp.act);
+        for v in self
+            .ln1_stats
+            .mean
+            .iter_mut()
+            .chain(self.ln1_stats.rstd.iter_mut())
+            .chain(self.ln2_stats.mean.iter_mut())
+            .chain(self.ln2_stats.rstd.iter_mut())
+        {
+            *v = crate::dtype::round_to_f16(*v);
+        }
+    }
+
+    fn tensors(&self) -> [&[f32]; 12] {
+        [
+            self.x1.data(),
+            &self.ln1_stats.mean,
+            &self.ln1_stats.rstd,
+            self.attn.qkv.data(),
+            self.attn.probs.data(),
+            self.attn.ctx.data(),
+            self.x2.data(),
+            self.x3.data(),
+            &self.ln2_stats.mean,
+            &self.ln2_stats.rstd,
+            self.mlp.pre.data(),
+            self.mlp.act.data(),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Embedding and head
+// ---------------------------------------------------------------------------
+
+/// Token + learned positional embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    /// Token table `[vocab, h]`.
+    pub tokens: Tensor,
+    /// Positional table `[seq, h]`.
+    pub positions: Tensor,
+}
+
+impl Embedding {
+    /// Creates embeddings for `(vocab, seq, h)`.
+    pub fn new(vocab: usize, seq: usize, h: usize, seed: u64) -> Self {
+        Embedding {
+            tokens: Tensor::randn(&[vocab, h], 0.02, seed),
+            positions: Tensor::randn(&[seq, h], 0.01, seed.wrapping_add(1)),
+        }
+    }
+
+    /// Embeds `ids: [b*s]` (sequence-major within each sample).
+    pub fn forward(&self, ids: &[usize], batch: usize, seq: usize) -> Tensor {
+        assert_eq!(ids.len(), batch * seq, "id count");
+        let mut x = embedding_gather(&self.tokens, ids);
+        let h = self.tokens.shape()[1];
+        for bi in 0..batch {
+            for t in 0..seq {
+                let row = (bi * seq + t) * h;
+                let pos = &self.positions.data()[t * h..(t + 1) * h];
+                for (v, &p) in x.data_mut()[row..row + h].iter_mut().zip(pos) {
+                    *v += p;
+                }
+            }
+        }
+        x
+    }
+
+    /// Embeds a single token at absolute position `pos` (incremental
+    /// decoding path).
+    ///
+    /// # Panics
+    /// If the token or position is out of range.
+    pub fn forward_at(&self, token: usize, pos: usize) -> Tensor {
+        let h = self.tokens.shape()[1];
+        assert!(token < self.tokens.shape()[0], "token {token} out of vocab");
+        assert!(pos < self.positions.shape()[0], "position {pos} out of range");
+        let data: Vec<f32> = self.tokens.data()[token * h..(token + 1) * h]
+            .iter()
+            .zip(&self.positions.data()[pos * h..(pos + 1) * h])
+            .map(|(t, p)| t + p)
+            .collect();
+        Tensor::from_vec(&[1, h], data)
+    }
+
+    /// Backward: returns flat gradients (tokens then positions).
+    pub fn backward(&self, ids: &[usize], batch: usize, seq: usize, dy: &Tensor) -> Vec<f32> {
+        let h = self.tokens.shape()[1];
+        let dtok = embedding_scatter_add(self.tokens.shape(), ids, dy);
+        let mut dpos = vec![0.0f32; seq * h];
+        for bi in 0..batch {
+            for t in 0..seq {
+                let row = (bi * seq + t) * h;
+                for j in 0..h {
+                    dpos[t * h + j] += dy.data()[row + j];
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.param_count());
+        push_tensor(&mut out, &dtok);
+        out.extend_from_slice(&dpos);
+        out
+    }
+}
+
+impl ParamLayer for Embedding {
+    fn param_count(&self) -> usize {
+        self.tokens.len() + self.positions.len()
+    }
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        push_tensor(&mut out, &self.tokens);
+        push_tensor(&mut out, &self.positions);
+        out
+    }
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "embedding param length");
+        let mut off = 0;
+        take_tensor(&mut self.tokens, flat, &mut off);
+        take_tensor(&mut self.positions, flat, &mut off);
+    }
+}
+
+/// Final layer norm plus (untied) LM head projection and loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossEntropy {
+    /// Final layer norm.
+    pub ln_f: LayerNorm,
+    /// Output projection `[h, vocab]` (untied from the embedding so the
+    /// head is a self-contained movable layer).
+    pub w_out: Tensor,
+}
+
+/// Activations saved by the head forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadSaved {
+    /// `ln_f` output.
+    pub xf: Tensor,
+    /// `ln_f` statistics.
+    pub ln_stats: LayerNormStats,
+    /// Softmax probabilities (consumed immediately by the backward, like
+    /// the paper's loss values).
+    pub probs: Tensor,
+}
+
+impl CrossEntropy {
+    /// Creates the head for `(h, vocab)`.
+    pub fn new(h: usize, vocab: usize, seed: u64) -> Self {
+        CrossEntropy {
+            ln_f: LayerNorm::new(h),
+            w_out: Tensor::randn(&[h, vocab], 0.02, seed),
+        }
+    }
+
+    /// Computes the vocabulary logits for every position (inference path:
+    /// no targets, nothing saved).
+    pub fn logits(&self, x: &Tensor) -> Tensor {
+        let (xf, _) = self.ln_f.forward(x);
+        matmul(&xf, &self.w_out)
+    }
+
+    /// Computes mean loss against `targets`; saves what backward needs.
+    pub fn forward(&self, x: &Tensor, targets: &[usize]) -> (f32, HeadSaved) {
+        let (xf, ln_stats) = self.ln_f.forward(x);
+        let logits = matmul(&xf, &self.w_out);
+        let (loss, probs) = cross_entropy(&logits, targets);
+        (
+            loss,
+            HeadSaved {
+                xf,
+                ln_stats,
+                probs,
+            },
+        )
+    }
+
+    /// Backward; returns `(dx, flat_grads)` given the forward input `x`.
+    pub fn backward(&self, x: &Tensor, saved: &HeadSaved, targets: &[usize]) -> (Tensor, Vec<f32>) {
+        self.backward_scaled(x, saved, targets, 1.0)
+    }
+
+    /// Backward with *loss scaling*: the loss gradient is multiplied by
+    /// `scale` before propagating, so small gradients survive the f16
+    /// G16 format; the optimizer divides by the same factor.
+    pub fn backward_scaled(
+        &self,
+        x: &Tensor,
+        saved: &HeadSaved,
+        targets: &[usize],
+        scale: f32,
+    ) -> (Tensor, Vec<f32>) {
+        let mut dlogits = cross_entropy_backward(&saved.probs, targets);
+        if scale != 1.0 {
+            dlogits = dlogits.scale(scale);
+        }
+        let dw = matmul_at(&saved.xf, &dlogits);
+        let dxf = matmul_bt(&dlogits, &self.w_out);
+        let (dx, dgamma, dbeta) = self.ln_f.backward(x, &saved.ln_stats, &dxf);
+        let mut grads = Vec::with_capacity(self.param_count());
+        push_tensor(&mut grads, &dgamma);
+        push_tensor(&mut grads, &dbeta);
+        push_tensor(&mut grads, &dw);
+        (dx, grads)
+    }
+}
+
+impl ParamLayer for CrossEntropy {
+    fn param_count(&self) -> usize {
+        self.ln_f.param_count() + self.w_out.len()
+    }
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = self.ln_f.params_flat();
+        push_tensor(&mut out, &self.w_out);
+        out
+    }
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "head param length");
+        let n = self.ln_f.param_count();
+        self.ln_f.set_params_flat(&flat[..n]);
+        let mut off = n;
+        take_tensor(&mut self.w_out, flat, &mut off);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole model
+// ---------------------------------------------------------------------------
+
+/// Shape of a small executable GPT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GptConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Micro-batch size.
+    pub batch: usize,
+}
+
+impl GptConfig {
+    /// A tiny config used across tests and examples.
+    pub fn tiny() -> Self {
+        GptConfig {
+            vocab: 64,
+            seq: 16,
+            hidden: 32,
+            heads: 4,
+            layers: 3,
+            batch: 2,
+        }
+    }
+}
+
+/// A complete small GPT: embedding, `L` transformer blocks, head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GptModel {
+    /// The shape this model was built with.
+    pub config: GptConfig,
+    /// Token + positional embedding.
+    pub embedding: Embedding,
+    /// Transformer blocks.
+    pub blocks: Vec<TransformerBlock>,
+    /// Final norm + LM head + loss.
+    pub head: CrossEntropy,
+}
+
+impl GptModel {
+    /// Builds a model with deterministic per-layer seeds derived from
+    /// `seed`.
+    pub fn new(config: GptConfig, seed: u64) -> Self {
+        let blocks = (0..config.layers)
+            .map(|i| {
+                TransformerBlock::new(
+                    config.batch,
+                    config.seq,
+                    config.hidden,
+                    config.heads,
+                    seed.wrapping_add(1000 + i as u64 * 17),
+                )
+            })
+            .collect();
+        GptModel {
+            config,
+            embedding: Embedding::new(config.vocab, config.seq, config.hidden, seed),
+            blocks,
+            head: CrossEntropy::new(config.hidden, config.vocab, seed.wrapping_add(7)),
+        }
+    }
+
+    /// Total parameters across all movable layers.
+    pub fn param_count(&self) -> usize {
+        self.embedding.param_count()
+            + self.blocks.iter().map(|b| b.param_count()).sum::<usize>()
+            + self.head.param_count()
+    }
+
+    /// Straight-line forward+backward with everything in memory: returns
+    /// `(loss, per-layer flat gradients)` ordered embedding, blocks 0..L,
+    /// head. This is the reference the out-of-core engine must match.
+    ///
+    /// `quantize_activations` applies the A16 rounding right after each
+    /// block's forward, mirroring what offloading does, so the two paths
+    /// stay bit-identical.
+    pub fn train_step_reference(
+        &self,
+        tokens: &[usize],
+        targets: &[usize],
+        quantize_activations: bool,
+    ) -> (f32, Vec<Vec<f32>>) {
+        self.train_step_reference_scaled(tokens, targets, quantize_activations, 1.0)
+    }
+
+    /// [`GptModel::train_step_reference`] with a loss-scaling factor: all
+    /// returned gradients are multiplied by `scale` (the caller unscales
+    /// after the f16 round trip, as mixed-precision training does).
+    pub fn train_step_reference_scaled(
+        &self,
+        tokens: &[usize],
+        targets: &[usize],
+        quantize_activations: bool,
+        scale: f32,
+    ) -> (f32, Vec<Vec<f32>>) {
+        self.train_step_reference_opts(tokens, targets, quantize_activations, scale, None)
+    }
+
+    /// The full-option reference step: loss scaling plus optional
+    /// residual dropout, given as `(p, step_seed)`.
+    pub fn train_step_reference_opts(
+        &self,
+        tokens: &[usize],
+        targets: &[usize],
+        quantize_activations: bool,
+        scale: f32,
+        dropout: Option<(f32, u64)>,
+    ) -> (f32, Vec<Vec<f32>>) {
+        let c = self.config;
+        let mut x = self.embedding.forward(tokens, c.batch, c.seq);
+        if quantize_activations {
+            x = x.quantize_f16();
+        }
+        let mut inputs = Vec::with_capacity(c.layers);
+        let mut saves = Vec::with_capacity(c.layers);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let spec = dropout.map(|(p, seed)| block_dropout_spec(p, seed, bi));
+            let (y, mut saved) = block.forward_with(&x, spec);
+            let mut y = y;
+            if quantize_activations {
+                saved.quantize_f16();
+                y = y.quantize_f16();
+            }
+            inputs.push(x);
+            saves.push(saved);
+            x = y;
+        }
+        let (loss, head_saved) = self.head.forward(&x, targets);
+        let (mut dx, head_grads) = self.head.backward_scaled(&x, &head_saved, targets, scale);
+
+        let mut block_grads: Vec<Vec<f32>> = Vec::with_capacity(c.layers);
+        for i in (0..c.layers).rev() {
+            let spec = dropout.map(|(p, seed)| block_dropout_spec(p, seed, i));
+            let (dprev, grads) = self.blocks[i].backward_with(&inputs[i], &saves[i], &dx, spec);
+            block_grads.push(grads);
+            dx = dprev;
+        }
+        block_grads.reverse();
+
+        let embed_grads = self.embedding.backward(tokens, c.batch, c.seq, &dx);
+
+        let mut all = Vec::with_capacity(c.layers + 2);
+        all.push(embed_grads);
+        all.extend(block_grads);
+        all.push(head_grads);
+        (loss, all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::LayerNormStats;
+
+    fn finite(vs: &[f32]) -> bool {
+        vs.iter().all(|v| v.is_finite())
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        let lin = Linear::new(4, 3, 21);
+        let x = Tensor::randn(&[5, 4], 1.0, 22);
+        let probe = Tensor::randn(&[5, 3], 1.0, 23);
+        let (dx, grads) = lin.backward(&x, &probe);
+        let loss = |xx: &Tensor| -> f64 {
+            lin.forward(xx)
+                .data()
+                .iter()
+                .zip(probe.data())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((loss(&xp) - loss(&xm)) / (2.0 * eps as f64)) as f32;
+            let ana = dx.data()[i];
+            assert!((num - ana).abs() < 2e-2, "{num} vs {ana}");
+        }
+        assert!(finite(grads.dw.data()) && finite(grads.db.data()));
+    }
+
+    #[test]
+    fn attention_gradient_check_against_finite_differences() {
+        let (batch, seq, h, heads) = (1usize, 4usize, 8usize, 2usize);
+        let attn = MultiHeadAttention::new(h, heads, 31);
+        let x = Tensor::randn(&[batch * seq, h], 0.5, 32);
+        let probe = Tensor::randn(&[batch * seq, h], 1.0, 33);
+        let (_, saved) = attn.forward(&x, batch, seq);
+        let (dx, _, _) = attn.backward(&x, &saved, &probe, batch, seq);
+        let loss = |xx: &Tensor| -> f64 {
+            attn.forward(xx, batch, seq)
+                .0
+                .data()
+                .iter()
+                .zip(probe.data())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((loss(&xp) - loss(&xm)) / (2.0 * eps as f64)) as f32;
+            let ana = dx.data()[i];
+            let denom = num.abs().max(ana.abs()).max(1.0);
+            assert!(
+                (num - ana).abs() / denom < 3e-2,
+                "elem {i}: numeric {num} analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        let (batch, seq, h, heads) = (1usize, 6usize, 8usize, 2usize);
+        let attn = MultiHeadAttention::new(h, heads, 41);
+        let x = Tensor::randn(&[seq, h], 1.0, 42);
+        let (y1, _) = attn.forward(&x, batch, seq);
+        // Changing a *later* token must not change earlier outputs.
+        let mut x2 = x.clone();
+        for j in 0..h {
+            x2.data_mut()[(seq - 1) * h + j] += 5.0;
+        }
+        let (y2, _) = attn.forward(&x2, batch, seq);
+        for t in 0..seq - 1 {
+            for j in 0..h {
+                assert_eq!(
+                    y1.data()[t * h + j],
+                    y2.data()[t * h + j],
+                    "token {t} leaked future information"
+                );
+            }
+        }
+        // And the last token's output does change.
+        assert_ne!(
+            &y1.data()[(seq - 1) * h..],
+            &y2.data()[(seq - 1) * h..]
+        );
+    }
+
+    #[test]
+    fn block_gradient_check() {
+        let (batch, seq, h, heads) = (1usize, 3usize, 8usize, 2usize);
+        let block = TransformerBlock::new(batch, seq, h, heads, 51);
+        let x = Tensor::randn(&[batch * seq, h], 0.5, 52);
+        let probe = Tensor::randn(&[batch * seq, h], 1.0, 53);
+        let (_, saved) = block.forward(&x);
+        let (dx, grads) = block.backward(&x, &saved, &probe);
+        assert_eq!(grads.len(), block.param_count());
+        assert!(finite(&grads));
+        let loss = |xx: &Tensor| -> f64 {
+            block
+                .forward(xx)
+                .0
+                .data()
+                .iter()
+                .zip(probe.data())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((loss(&xp) - loss(&xm)) / (2.0 * eps as f64)) as f32;
+            let ana = dx.data()[i];
+            let denom = num.abs().max(ana.abs()).max(1.0);
+            assert!(
+                (num - ana).abs() / denom < 3e-2,
+                "elem {i}: numeric {num} analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn params_flat_round_trips() {
+        let mut block = TransformerBlock::new(2, 4, 16, 4, 61);
+        let flat = block.params_flat();
+        assert_eq!(flat.len(), block.param_count());
+        let mut clone = TransformerBlock::new(2, 4, 16, 4, 999);
+        assert_ne!(clone.params_flat(), flat);
+        clone.set_params_flat(&flat);
+        assert_eq!(clone.params_flat(), flat);
+        // Mutating through set preserves structure.
+        let zeros = vec![0.0f32; flat.len()];
+        block.set_params_flat(&zeros);
+        assert_eq!(block.params_flat(), zeros);
+    }
+
+    #[test]
+    fn block_saved_f16_round_trip() {
+        let (batch, seq, h, heads) = (2usize, 4usize, 16usize, 4usize);
+        let block = TransformerBlock::new(batch, seq, h, heads, 71);
+        let x = Tensor::randn(&[batch * seq, h], 0.5, 72);
+        let (_, mut saved) = block.forward(&x);
+        saved.quantize_f16();
+        let bytes = saved.to_f16_bytes();
+        assert_eq!(bytes.len(), saved.element_count() * 2);
+        let restored = BlockSaved::from_f16_bytes(&bytes, batch, seq, h, heads);
+        assert_eq!(restored, saved);
+    }
+
+    #[test]
+    fn recompute_equals_saved_backward() {
+        // The core recomputation invariant: running forward again from the
+        // (quantized) input produces the same saved activations, hence the
+        // same gradients.
+        let (batch, seq, h, heads) = (2usize, 4usize, 16usize, 4usize);
+        let block = TransformerBlock::new(batch, seq, h, heads, 81);
+        let x = Tensor::randn(&[batch * seq, h], 0.5, 82).quantize_f16();
+        let probe = Tensor::randn(&[batch * seq, h], 1.0, 83);
+        let (_, saved) = block.forward(&x);
+        let (_, recomputed) = block.forward(&x);
+        assert_eq!(saved, recomputed);
+        let (dx1, g1) = block.backward(&x, &saved, &probe);
+        let (dx2, g2) = block.backward(&x, &recomputed, &probe);
+        assert_eq!(dx1, dx2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn embedding_forward_backward_shapes() {
+        let emb = Embedding::new(16, 4, 8, 91);
+        let ids = vec![1usize, 2, 3, 4, 5, 6, 7, 8];
+        let x = emb.forward(&ids, 2, 4);
+        assert_eq!(x.shape(), &[8, 8]);
+        let dy = Tensor::full(&[8, 8], 1.0);
+        let g = emb.backward(&ids, 2, 4, &dy);
+        assert_eq!(g.len(), emb.param_count());
+    }
+
+    #[test]
+    fn model_reference_step_decreases_loss_with_sgd() {
+        let config = GptConfig::tiny();
+        let mut model = GptModel::new(config, 1234);
+        let n = config.batch * config.seq;
+        let tokens: Vec<usize> = (0..n).map(|i| i % config.vocab).collect();
+        let targets: Vec<usize> = (0..n).map(|i| (i + 1) % config.vocab).collect();
+        let (loss0, grads) = model.train_step_reference(&tokens, &targets, false);
+        assert!(loss0.is_finite());
+        // Manual SGD step on every layer.
+        let lr = 0.5f32;
+        let apply = |layer: &mut dyn ParamLayer, g: &[f32]| {
+            let mut p = layer.params_flat();
+            for (pv, gv) in p.iter_mut().zip(g) {
+                *pv -= lr * gv;
+            }
+            layer.set_params_flat(&p);
+        };
+        apply(&mut model.embedding, &grads[0]);
+        for (i, block) in model.blocks.iter_mut().enumerate() {
+            apply(block, &grads[i + 1]);
+        }
+        apply(&mut model.head, &grads[config.layers + 1]);
+        let (loss1, _) = model.train_step_reference(&tokens, &targets, false);
+        assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn quantized_reference_is_deterministic() {
+        let config = GptConfig::tiny();
+        let model = GptModel::new(config, 99);
+        let n = config.batch * config.seq;
+        let tokens: Vec<usize> = (0..n).map(|i| (i * 7) % config.vocab).collect();
+        let targets: Vec<usize> = (0..n).map(|i| (i * 7 + 1) % config.vocab).collect();
+        let (l1, g1) = model.train_step_reference(&tokens, &targets, true);
+        let (l2, g2) = model.train_step_reference(&tokens, &targets, true);
+        assert_eq!(l1, l2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn layernorm_stats_survive_blob_round_trip() {
+        let stats = LayerNormStats {
+            mean: vec![0.5, -0.25],
+            rstd: vec![1.0, 2.0],
+        };
+        // Values exactly representable in f16 survive quantization.
+        let mut s2 = stats.clone();
+        for v in s2.mean.iter_mut().chain(s2.rstd.iter_mut()) {
+            *v = crate::dtype::round_to_f16(*v);
+        }
+        assert_eq!(stats, s2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (KV-cached) inference
+// ---------------------------------------------------------------------------
+
+/// Per-block key/value cache for incremental decoding (batch 1): keys and
+/// values of every past position, laid out `[heads][t][d]`. Like any other
+/// tensor in this system it serializes to half-precision bytes, so the
+/// out-of-core engine can *offload the KV cache* between tiers — the
+/// inference-side analogue of activation swapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCache {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    heads: usize,
+    head_dim: usize,
+    tokens: usize,
+}
+
+impl KvCache {
+    /// An empty cache for `heads` heads of dimension `head_dim`.
+    pub fn new(heads: usize, head_dim: usize) -> Self {
+        KvCache {
+            k: Vec::new(),
+            v: Vec::new(),
+            heads,
+            head_dim,
+            tokens: 0,
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.tokens
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens == 0
+    }
+
+    /// Serializes to half-precision bytes (`[k..., v...]`).
+    pub fn to_f16_bytes(&self) -> Vec<u8> {
+        let mut out = crate::dtype::encode_f16(&self.k);
+        out.extend(crate::dtype::encode_f16(&self.v));
+        out
+    }
+
+    /// Restores a cache of `tokens` positions from
+    /// [`KvCache::to_f16_bytes`] output.
+    pub fn from_f16_bytes(bytes: &[u8], heads: usize, head_dim: usize, tokens: usize) -> Self {
+        let vals = crate::dtype::decode_f16(bytes);
+        let n = heads * tokens * head_dim;
+        assert_eq!(vals.len(), 2 * n, "kv blob length");
+        KvCache {
+            k: vals[..n].to_vec(),
+            v: vals[n..].to_vec(),
+            heads,
+            head_dim,
+            tokens,
+        }
+    }
+
+    fn head_k(&self, head: usize) -> &[f32] {
+        let per_head = self.tokens * self.head_dim;
+        &self.k[head * per_head..(head + 1) * per_head]
+    }
+    fn head_v(&self, head: usize) -> &[f32] {
+        let per_head = self.tokens * self.head_dim;
+        &self.v[head * per_head..(head + 1) * per_head]
+    }
+
+    /// Appends one position's per-head keys/values (layout `[3h]` fused
+    /// qkv row; k at offset h, v at 2h).
+    fn append(&mut self, qkv_row: &[f32], h: usize) {
+        let d = self.head_dim;
+        // Rebuild per-head contiguous layout with the new token appended.
+        let t = self.tokens;
+        let mut k = vec![0.0f32; self.heads * (t + 1) * d];
+        let mut v = vec![0.0f32; self.heads * (t + 1) * d];
+        for hd in 0..self.heads {
+            let old = t * d;
+            k[hd * (t + 1) * d..hd * (t + 1) * d + old]
+                .copy_from_slice(&self.k[hd * old..(hd + 1) * old]);
+            v[hd * (t + 1) * d..hd * (t + 1) * d + old]
+                .copy_from_slice(&self.v[hd * old..(hd + 1) * old]);
+            k[hd * (t + 1) * d + old..hd * (t + 1) * d + old + d]
+                .copy_from_slice(&qkv_row[h + hd * d..h + (hd + 1) * d]);
+            v[hd * (t + 1) * d + old..hd * (t + 1) * d + old + d]
+                .copy_from_slice(&qkv_row[2 * h + hd * d..2 * h + (hd + 1) * d]);
+        }
+        self.k = k;
+        self.v = v;
+        self.tokens = t + 1;
+    }
+}
+
+impl MultiHeadAttention {
+    /// Incremental attention for one new token (batch 1): appends the
+    /// token's K/V to the cache and attends over all cached positions.
+    /// Equivalent to the last row of [`MultiHeadAttention::forward`] over
+    /// the full sequence.
+    pub fn forward_cached(&self, x_t: &Tensor, cache: &mut KvCache) -> Tensor {
+        let h = x_t.shape()[1];
+        assert_eq!(x_t.shape()[0], 1, "incremental path is batch 1");
+        let d = h / self.heads;
+        assert_eq!(cache.head_dim, d, "cache head_dim");
+        let qkv = self.wqkv.forward(x_t);
+        cache.append(qkv.data(), h);
+        let t = cache.tokens;
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let mut ctx = vec![0.0f32; h];
+        for hd in 0..self.heads {
+            let q = &qkv.data()[hd * d..(hd + 1) * d];
+            let keys = cache.head_k(hd);
+            let vals = cache.head_v(hd);
+            // scores over all t cached positions (the new one included).
+            let mut scores: Vec<f32> = (0..t)
+                .map(|p| {
+                    let krow = &keys[p * d..(p + 1) * d];
+                    q.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale
+                })
+                .collect();
+            // Softmax (stable).
+            let max = scores.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut sum = 0.0f32;
+            for s in scores.iter_mut() {
+                *s = (*s - max).exp();
+                sum += *s;
+            }
+            let inv = 1.0 / sum;
+            let out = &mut ctx[hd * d..(hd + 1) * d];
+            for (p, &s) in scores.iter().enumerate() {
+                let w = s * inv;
+                let vrow = &vals[p * d..(p + 1) * d];
+                for (o, &vv) in out.iter_mut().zip(vrow) {
+                    *o += w * vv;
+                }
+            }
+        }
+        self.wo.forward(&Tensor::from_vec(&[1, h], ctx))
+    }
+}
+
+impl TransformerBlock {
+    /// Incremental block forward for one token (batch 1), using and
+    /// updating the KV cache. Matches the last row of
+    /// [`TransformerBlock::forward`] over the full context.
+    pub fn forward_cached(&self, x_t: &Tensor, cache: &mut KvCache) -> Tensor {
+        let (x1, _) = self.ln1.forward(x_t);
+        let a = self.attn.forward_cached(&x1, cache);
+        let x2 = x_t.add(&a);
+        let (x3, _) = self.ln2.forward(&x2);
+        let (m, _) = self.mlp.forward(&x3);
+        x2.add(&m)
+    }
+}
+
+#[cfg(test)]
+mod kv_cache_tests {
+    use super::*;
+
+    #[test]
+    fn incremental_attention_matches_full_forward() {
+        let (seq, h, heads) = (6usize, 16usize, 4usize);
+        let attn = MultiHeadAttention::new(h, heads, 3);
+        let x = Tensor::randn(&[seq, h], 0.7, 4);
+        let (full, _) = attn.forward(&x, 1, seq);
+        let mut cache = KvCache::new(heads, h / heads);
+        for t in 0..seq {
+            let row = Tensor::from_vec(&[1, h], x.data()[t * h..(t + 1) * h].to_vec());
+            let inc = attn.forward_cached(&row, &mut cache);
+            for j in 0..h {
+                let a = full.data()[t * h + j];
+                let b = inc.data()[j];
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "token {t} channel {j}: {a} vs {b}"
+                );
+            }
+        }
+        assert_eq!(cache.len(), seq);
+    }
+
+    #[test]
+    fn incremental_block_matches_full_forward() {
+        let (seq, h, heads) = (5usize, 16usize, 4usize);
+        let block = TransformerBlock::new(1, seq, h, heads, 7);
+        let x = Tensor::randn(&[seq, h], 0.5, 8);
+        let (full, _) = block.forward(&x);
+        let mut cache = KvCache::new(heads, h / heads);
+        for t in 0..seq {
+            let row = Tensor::from_vec(&[1, h], x.data()[t * h..(t + 1) * h].to_vec());
+            let inc = block.forward_cached(&row, &mut cache);
+            for j in 0..h {
+                let a = full.data()[t * h + j];
+                let b = inc.data()[j];
+                assert!((a - b).abs() < 1e-4, "token {t} ch {j}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kv_cache_blob_round_trips() {
+        let (h, heads) = (16usize, 4usize);
+        let attn = MultiHeadAttention::new(h, heads, 11);
+        let mut cache = KvCache::new(heads, h / heads);
+        for t in 0..4 {
+            let row = Tensor::randn(&[1, h], 0.5, 20 + t);
+            attn.forward_cached(&row, &mut cache);
+        }
+        // Quantize then round-trip: restoring must be exact.
+        let bytes = cache.to_f16_bytes();
+        let restored = KvCache::from_f16_bytes(&bytes, heads, h / heads, cache.len());
+        assert_eq!(restored.to_f16_bytes(), bytes);
+        assert_eq!(restored.len(), 4);
+    }
+}

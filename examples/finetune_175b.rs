@@ -1,0 +1,90 @@
+//! The paper's headline scenario: fine-tune a 175B model on one consumer
+//! GPU with 256 GB of main memory.
+//!
+//! This example checks feasibility under every system's memory model,
+//! runs Ratel's profiling + planner + schedule through the simulator,
+//! and prints the per-stage breakdown — the Fig. 1c view of the flagship
+//! configuration.
+//!
+//! Run with: `cargo run --release --example finetune_175b`
+
+use ratel_repro::prelude::*;
+
+fn main() {
+    // RTX 4090 (24 GB), 256 GB DDR4, 12 NVMe SSDs — "reachable by most
+    // researchers" (§V-B).
+    let server = ServerConfig::consumer_256g();
+    let model = zoo::llm("175B");
+    let batch = 8;
+
+    println!(
+        "server: {} | {} GiB main memory | {} SSDs",
+        server.gpu.name,
+        server.main_memory_bytes >> 30,
+        server.ssds.count
+    );
+    println!("model:  {} ({:.1}B parameters)\n", model.name, model.size_billions());
+
+    // Who can even train this?
+    for sys in System::ALL {
+        let ok = sys.feasible(&server, &model, 1);
+        println!(
+            "  {:<14} {}",
+            sys.name(),
+            if ok { "feasible" } else { "cannot train 175B here" }
+        );
+    }
+
+    // Ratel's pipeline: profile -> plan -> schedule -> simulate.
+    let profile = ModelProfile::new(&model, batch);
+    let hw = HardwareProfile::measure(&server, &profile, batch);
+    let planner = ActivationPlanner::new(&hw, &profile);
+    let plan = planner.plan();
+    println!(
+        "\nplanner: swap {:.0} GB of activations ({:.0}% of A_all), {:.0} GB on SSD (alpha {:.2}), \
+         recompute {:.0} TFLOP ({:?})",
+        plan.a_g2m / 1e9,
+        100.0 * plan.a_g2m / profile.total_act_bytes(),
+        plan.spill_bytes / 1e9,
+        plan.alpha(),
+        plan.flop_r / 1e12,
+        plan.case,
+    );
+
+    let report = RatelSchedule {
+        profile: &hw,
+        model: &profile,
+        plan: &plan,
+        mode: GradOffloadMode::OptimizedActive,
+        gpus: 1,
+    }
+    .simulate();
+    println!(
+        "\niteration: {:.1} s  ({:.0} tokens/s, {:.0} TFLOPS, GPU busy {:.0}%)",
+        report.iteration_seconds,
+        report.throughput_items_per_sec,
+        report.tflops,
+        report.gpu_busy_fraction * 100.0
+    );
+    println!(
+        "stages:   forward {:.1} s | backward (optimizer hidden inside) {:.1} s",
+        report.stage_seconds[0], report.stage_seconds[1]
+    );
+
+    // What the ablations cost at this scale (Fig. 7b).
+    for mode in GradOffloadMode::ALL {
+        let r = RatelSchedule {
+            profile: &hw,
+            model: &profile,
+            plan: &plan,
+            mode,
+            gpus: 1,
+        }
+        .simulate();
+        println!(
+            "  {:<16} {:>6.0} tokens/s",
+            mode.name(),
+            r.throughput_items_per_sec
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Explore the holistic activation planner (§IV-D): walk the convex
+//! iteration-time curve, show the offloading-benefit ordering, and watch
+//! Algorithm 1 land on each batch size's case (the Fig. 9b experiment,
+//! interactively).
+//!
+//! Run with: `cargo run --release --example planner_explore`
+
+use ratel_repro::prelude::*;
+
+fn main() {
+    let server = ServerConfig::paper_default();
+    let model_cfg = zoo::llm("13B");
+
+    for batch in [24usize, 36, 48, 60] {
+        let profile = ModelProfile::new(&model_cfg, batch);
+        let hw = HardwareProfile::measure(&server, &profile, batch);
+        let planner = ActivationPlanner::new(&hw, &profile);
+
+        println!("== 13B @ batch {batch} ==");
+        println!(
+            "  A_all = {:.0} GB, A_interBlock = {:.0} GB, MEM_avail = {:.0} GB",
+            profile.total_act_bytes() / 1e9,
+            profile.inter_act_bytes() / 1e9,
+            hw.mem_avail / 1e9
+        );
+
+        // Sample the convex curve along the benefit order.
+        let mut a = profile.inter_act_bytes();
+        let mut flop_r = planner.full_recompute_flops();
+        print!("  T_iter(A_G2M):");
+        let units = profile.units_by_benefit();
+        let stride = (units.len() / 6).max(1);
+        print!(" [{:>4.0} GB -> {:>5.1} s]", a / 1e9, planner.iter_time(a, flop_r).total());
+        for (i, u) in units.iter().enumerate() {
+            a += u.bytes;
+            flop_r -= u.recompute_flops;
+            if (i + 1) % stride == 0 || i + 1 == units.len() {
+                print!(" [{:>4.0} GB -> {:>5.1} s]", a / 1e9, planner.iter_time(a, flop_r).total());
+            }
+        }
+        println!();
+
+        let plan = planner.plan();
+        println!(
+            "  Algorithm 1: swap {:.0} GB ({} units), alpha = {:.2}, predicted T_iter = {:.1} s, case {:?}",
+            plan.a_g2m / 1e9,
+            plan.swapped.len(),
+            plan.alpha(),
+            plan.predicted.total(),
+            plan.case
+        );
+
+        // Check the prediction against the discrete-event simulator.
+        let measured = RatelSchedule {
+            profile: &hw,
+            model: &profile,
+            plan: &plan,
+            mode: GradOffloadMode::OptimizedActive,
+            gpus: 1,
+        }
+        .simulate();
+        println!(
+            "  simulator:  measured T_iter = {:.1} s ({:.0} tokens/s)\n",
+            measured.iteration_seconds, measured.throughput_items_per_sec
+        );
+    }
+
+    // The benefit ordering itself (Eq. 6): MLP halves first, attention
+    // halves second, the embedding output last.
+    let profile = ModelProfile::new(&model_cfg, 32);
+    let units = profile.units_by_benefit();
+    println!("offloading-benefit ordering (first 3 and last 3 of {} units):", units.len());
+    for u in units.iter().take(3).chain(units.iter().rev().take(3).rev()) {
+        println!(
+            "  layer {:>3} {:?}: {:.0} FLOP/byte",
+            u.layer,
+            u.kind,
+            u.offloading_benefit()
+        );
+    }
+}

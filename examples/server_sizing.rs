@@ -1,0 +1,77 @@
+//! A downstream-user tool built on the reproduction: size the cheapest
+//! commodity server for a fine-tuning job.
+//!
+//! Given a model and a target throughput, sweep GPU count, main-memory
+//! capacity, and SSD count; keep configurations where Ratel's memory
+//! model says the job fits and the simulator says the throughput target
+//! is met; rank by Table VII component prices. This is Fig. 13's
+//! cost-effectiveness analysis turned into a planning tool.
+//!
+//! Run with: `cargo run --release --example server_sizing`
+
+use ratel_repro::hw::price::commodity_server_price;
+use ratel_repro::hw::units::GIB;
+use ratel_repro::prelude::*;
+
+struct Candidate {
+    label: String,
+    tokens_per_sec: f64,
+    price: f64,
+}
+
+fn size_for(model_name: &str, target_tokens_per_sec: f64) {
+    let model = zoo::llm(model_name);
+    let batches = [8usize, 16, 32, 64];
+    let mut feasible: Vec<Candidate> = Vec::new();
+
+    for gpus in [1usize, 2, 4] {
+        for mem_gib in [128u64, 256, 512, 768] {
+            for ssds in [2usize, 3, 6, 12] {
+                let server = ServerConfig::paper_default()
+                    .with_gpu_count(gpus)
+                    .with_main_memory(mem_gib * GIB)
+                    .with_ssd_count(ssds);
+                let Some((batch, report)) =
+                    System::Ratel.best_over_batches(&server, &model, &batches)
+                else {
+                    continue;
+                };
+                if report.throughput_items_per_sec < target_tokens_per_sec {
+                    continue;
+                }
+                feasible.push(Candidate {
+                    label: format!(
+                        "{gpus}x4090, {mem_gib:>3} GiB RAM, {ssds:>2} SSDs (batch {batch}/GPU)"
+                    ),
+                    tokens_per_sec: report.throughput_items_per_sec,
+                    price: commodity_server_price(&server),
+                });
+            }
+        }
+    }
+
+    feasible.sort_by(|a, b| a.price.partial_cmp(&b.price).unwrap());
+    println!(
+        "== cheapest servers fine-tuning {model_name} at >= {target_tokens_per_sec:.0} tokens/s ==",
+    );
+    if feasible.is_empty() {
+        println!("  no commodity configuration reaches the target\n");
+        return;
+    }
+    for c in feasible.iter().take(5) {
+        println!(
+            "  ${:>6.0}  {}  -> {:>6.0} tokens/s  ({:.1} tok/s per k$)",
+            c.price,
+            c.label,
+            c.tokens_per_sec,
+            c.tokens_per_sec / (c.price / 1000.0)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    size_for("13B", 1000.0);
+    size_for("70B", 200.0);
+    size_for("175B", 50.0);
+}

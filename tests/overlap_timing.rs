@@ -1,0 +1,156 @@
+//! Wall-clock demonstration of active gradient offloading on the *real*
+//! engine: with the SSD routes throttled to realistic-feeling speeds, the
+//! concurrent optimizer hides its state I/O behind backward compute, so
+//! the active engine finishes measurably faster than the separate-stage
+//! ablation — the paper's Fig. 7 effect reproduced with actual threads
+//! and actual sleeping I/O, not just in the simulator.
+
+use ratel_repro::core::engine::scaler::ScalePolicy;
+use ratel_repro::prelude::*;
+use ratel_repro::storage::Route;
+
+/// Wall-clock measurements cannot share a machine: the two timing tests
+/// serialize on this lock so they do not skew each other.
+static TIMING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn build(active: bool) -> RatelEngine {
+    let model = GptConfig {
+        vocab: 128,
+        seq: 32,
+        hidden: 64,
+        heads: 4,
+        layers: 4,
+        batch: 4,
+    };
+    let engine = RatelEngine::new(EngineConfig {
+        model,
+        seed: 33,
+        adam: AdamParams::default(),
+        act_decisions: vec![ActDecision::SwapToHost; model.layers],
+        gpu_capacity: None,
+        host_capacity: None,
+        active_offload: active,
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+            dropout: None,
+            prefetch_params: false,
+            frozen_layers: Vec::new(),
+    })
+    .unwrap();
+    // Throttle the SSD routes so optimizer-state I/O takes real time
+    // (~0.4 s per step of sleeping across reads+writes for this model).
+    engine.set_route_throttle(Route::SsdToHost, Some(20e6));
+    engine.set_route_throttle(Route::HostToSsd, Some(20e6));
+    engine
+}
+
+#[test]
+fn active_offloading_is_faster_in_wall_clock_time() {
+    let _serial = TIMING_LOCK.lock().unwrap();
+    let model = GptConfig {
+        vocab: 128,
+        seq: 32,
+        hidden: 64,
+        heads: 4,
+        layers: 4,
+        batch: 4,
+    };
+    let (tokens, targets) = random_batch(&model, 1);
+
+    let time_steps = |active: bool| -> (f64, f32) {
+        let mut engine = build(active);
+        // Warm-up step (also confirms both modes work when throttled).
+        engine.train_step(&tokens, &targets).unwrap();
+        let t0 = std::time::Instant::now();
+        let mut loss = 0.0;
+        for _ in 0..3 {
+            loss = engine.train_step(&tokens, &targets).unwrap().loss;
+        }
+        (t0.elapsed().as_secs_f64() / 3.0, loss)
+    };
+
+    let (active_secs, active_loss) = time_steps(true);
+    let (separate_secs, separate_loss) = time_steps(false);
+
+    // Identical numerics, different wall-clock.
+    assert_eq!(active_loss, separate_loss);
+    assert!(
+        active_secs < separate_secs * 0.92,
+        "no overlap win: active {active_secs:.3}s vs separate {separate_secs:.3}s"
+    );
+    println!(
+        "active {active_secs:.3}s/step vs separate {separate_secs:.3}s/step \
+         ({:.2}x speedup from overlap)",
+        separate_secs / active_secs
+    );
+}
+
+/// Parameter prefetching: identical numerics, faster wall clock when the
+/// parameter-fetch routes are throttled.
+#[test]
+fn param_prefetch_hides_fetch_latency() {
+    let _serial = TIMING_LOCK.lock().unwrap();
+    let model = GptConfig {
+        vocab: 128,
+        seq: 32,
+        hidden: 64,
+        heads: 4,
+        layers: 4,
+        batch: 4,
+    };
+    let mk = |prefetch: bool| {
+        let engine = RatelEngine::new(EngineConfig {
+            model,
+            seed: 44,
+            adam: AdamParams::default(),
+            act_decisions: vec![ActDecision::Recompute; model.layers],
+            gpu_capacity: None,
+            host_capacity: None,
+            active_offload: false, // isolate the parameter pipeline
+            loss_scale: ScalePolicy::None,
+            grad_clip: None,
+            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+            dropout: None,
+            prefetch_params: prefetch,
+            frozen_layers: Vec::new(),
+        })
+        .unwrap();
+        // Throttle only the host->GPU hop: parameter staging is its sole
+        // heavy user in this configuration (~860 KB of P16 per step, i.e.
+        // ~1.7 s of transfer against ~1.3 s of compute), so the prefetch
+        // win is isolated from optimizer-state traffic.
+        engine.set_route_throttle(Route::HostToGpu, Some(0.5e6));
+        engine
+    };
+    let (tokens, targets) = random_batch(&model, 2);
+
+    let run = |prefetch: bool| -> (f64, f32, Vec<f32>) {
+        let mut e = mk(prefetch);
+        e.train_step(&tokens, &targets).unwrap(); // warm-up
+        let t0 = std::time::Instant::now();
+        let mut loss = 0.0;
+        for _ in 0..3 {
+            loss = e.train_step(&tokens, &targets).unwrap().loss;
+        }
+        (
+            t0.elapsed().as_secs_f64() / 3.0,
+            loss,
+            e.master_params(2).unwrap(),
+        )
+    };
+    let (serial_secs, serial_loss, serial_params) = run(false);
+    let (pf_secs, pf_loss, pf_params) = run(true);
+
+    assert_eq!(serial_loss, pf_loss, "prefetch must not change numerics");
+    assert_eq!(serial_params, pf_params);
+    assert!(
+        pf_secs < serial_secs * 0.8,
+        "prefetch won nothing: {pf_secs:.3}s vs {serial_secs:.3}s"
+    );
+    println!(
+        "prefetch {pf_secs:.3}s/step vs serial {serial_secs:.3}s/step \
+         ({:.2}x)",
+        serial_secs / pf_secs
+    );
+}

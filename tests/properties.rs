@@ -1,0 +1,423 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates: f16 codec, Adam, the simulator, the planner's
+//! convexity/optimality, and the tiered store.
+
+use proptest::prelude::*;
+
+use ratel_repro::core::planner::ActivationPlanner;
+use ratel_repro::core::profile::HardwareProfile;
+use ratel_repro::model::{ModelConfig, ModelProfile};
+use ratel_repro::sim::{simulate, Stage, TaskGraph};
+use ratel_repro::storage::{Tier, TierConfig, TieredStore};
+use ratel_repro::tensor::dtype::{decode_f16, encode_f16, round_to_f16};
+use ratel_repro::tensor::{Adam, AdamParams};
+
+proptest! {
+    /// Half-precision encode/decode is a projection: applying it twice
+    /// equals applying it once, and it never increases magnitude error
+    /// beyond one ULP of the half format.
+    #[test]
+    fn f16_round_trip_is_idempotent(v in -1e5f32..1e5f32) {
+        let once = round_to_f16(v);
+        let twice = round_to_f16(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+        let bytes = encode_f16(&[v]);
+        prop_assert_eq!(decode_f16(&bytes)[0].to_bits(), once.to_bits());
+    }
+
+    /// f16 rounding is monotone: a <= b implies round(a) <= round(b).
+    #[test]
+    fn f16_rounding_is_monotone(a in -6e4f32..6e4f32, b in -6e4f32..6e4f32) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(round_to_f16(lo) <= round_to_f16(hi));
+    }
+
+    /// Adam with zero gradients and no weight decay never moves params.
+    #[test]
+    fn adam_fixed_point_at_zero_gradient(params in proptest::collection::vec(-10f32..10.0, 1..32)) {
+        let mut adam = Adam::new(params.len());
+        let mut p = params.clone();
+        let g = vec![0.0f32; params.len()];
+        for _ in 0..5 {
+            adam.step(&mut p, &g, &AdamParams::default());
+        }
+        prop_assert_eq!(p, params);
+    }
+
+    /// Adam state round-trips through the flat blob after arbitrary steps.
+    #[test]
+    fn adam_blob_round_trip(
+        grads in proptest::collection::vec(-1f32..1.0, 4..16),
+        steps in 1usize..5,
+    ) {
+        let n = grads.len();
+        let mut adam = Adam::new(n);
+        let mut p = vec![0.5f32; n];
+        for _ in 0..steps {
+            adam.step(&mut p, &grads, &AdamParams::default());
+        }
+        let restored = Adam::from_flat(&adam.to_flat(), adam.t);
+        prop_assert_eq!(restored, adam);
+    }
+
+    /// Simulator invariants for random fork-join graphs: the makespan is
+    /// at least the critical path, at least each resource's total work,
+    /// and at most the total work of all tasks (serial execution).
+    #[test]
+    fn simulator_makespan_bounds(
+        services in proptest::collection::vec((0.01f64..5.0, 0usize..3), 1..40),
+        extra_dep in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut g = TaskGraph::new();
+        let resources = [
+            g.add_resource("r0"),
+            g.add_resource("r1"),
+            g.add_resource("r2"),
+        ];
+        let mut prev = None;
+        let mut total = 0.0;
+        for (i, &(service, r)) in services.iter().enumerate() {
+            let mut deps = Vec::new();
+            if extra_dep.get(i).copied().unwrap_or(false) {
+                if let Some(p) = prev {
+                    deps.push(p);
+                }
+            }
+            let t = g.add_task(resources[r], service, Stage::Forward, &deps);
+            total += service;
+            prev = Some(t);
+        }
+        let report = simulate(&g);
+        prop_assert!(report.makespan >= g.critical_path() - 1e-9);
+        for r in resources {
+            prop_assert!(report.makespan >= g.total_service(r) - 1e-9);
+        }
+        prop_assert!(report.makespan <= total + 1e-9);
+    }
+
+    /// Planner: the iteration-time curve along the benefit order is
+    /// convex for arbitrary (sane) hardware profiles, and Algorithm 1
+    /// matches the exhaustive prefix minimum.
+    #[test]
+    fn planner_convex_and_optimal(
+        thp_tflops in 20f64..400.0,
+        bw_gpu_gb in 5f64..64.0,
+        ssd_read_gb in 1f64..40.0,
+        ssd_write_gb in 1f64..40.0,
+        mem_avail_gb in 1f64..800.0,
+        batch in 1usize..64,
+        layers in 2usize..24,
+        hidden_k in 1usize..8,
+    ) {
+        let model_cfg = ModelConfig::decoder_lm("prop", layers, 8, hidden_k * 1024);
+        let model = ModelProfile::new(&model_cfg, batch);
+        let hw = HardwareProfile {
+            thp_gpu: thp_tflops * 1e12,
+            bw_gpu: bw_gpu_gb * 1e9,
+            bw_s2m: ssd_read_gb * 1e9,
+            bw_m2s: ssd_write_gb * 1e9,
+            mem_avail: mem_avail_gb * 1e9,
+            cpu_adam_params_per_sec: 0.55e9,
+            state_io_efficiency: 0.7,
+        };
+        let planner = ActivationPlanner::new(&hw, &model);
+
+        // Convexity of T_iter along the benefit-ordered curve.
+        let mut a = model.inter_act_bytes();
+        let mut fr = planner.full_recompute_flops();
+        let mut points = vec![(a, planner.iter_time(a, fr).total())];
+        for u in model.units_by_benefit() {
+            a += u.bytes;
+            fr -= u.recompute_flops;
+            points.push((a, planner.iter_time(a, fr).total()));
+        }
+        let mut last_slope = f64::NEG_INFINITY;
+        for w in points.windows(2) {
+            let slope = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            prop_assert!(slope >= last_slope - 1e-9, "slope {last_slope} -> {slope}");
+            last_slope = slope;
+        }
+
+        // Algorithm 1 == exhaustive prefix search.
+        let alg = planner.plan();
+        let oracle = planner.exhaustive_best();
+        prop_assert!((alg.predicted.total() - oracle.predicted.total()).abs() < 1e-6);
+        // The floor is respected and the spill never exceeds A_G2M.
+        prop_assert!(alg.a_g2m >= model.inter_act_bytes() - 1.0);
+        prop_assert!(alg.spill_bytes <= alg.a_g2m + 1.0);
+    }
+
+    /// Tiered store: any sequence of put/move/remove keeps usage exactly
+    /// equal to the sum of live blob sizes per tier.
+    #[test]
+    fn store_usage_accounting_is_exact(
+        ops in proptest::collection::vec((0usize..3, 0usize..6, 1usize..2048), 1..60),
+    ) {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        let tiers = [Tier::Gpu, Tier::Host, Tier::Ssd];
+        let mut live: std::collections::HashMap<String, (Tier, usize)> =
+            std::collections::HashMap::new();
+        for (i, &(op, slot, size)) in ops.iter().enumerate() {
+            let key = format!("k{slot}");
+            match op {
+                0 => {
+                    let tier = tiers[i % 3];
+                    if store.put(&key, tier, vec![0u8; size]).is_ok() {
+                        live.insert(key, (tier, size));
+                    }
+                }
+                1 => {
+                    let target = tiers[(i + 1) % 3];
+                    if store.move_to(&key, target).is_ok() {
+                        if let Some(e) = live.get_mut(&key) {
+                            e.0 = target;
+                        }
+                    }
+                }
+                _ => {
+                    if store.remove(&key).is_ok() {
+                        live.remove(&key);
+                    }
+                }
+            }
+            for tier in tiers {
+                let expected: u64 = live
+                    .values()
+                    .filter(|(t, _)| *t == tier)
+                    .map(|(_, s)| *s as u64)
+                    .sum();
+                prop_assert_eq!(store.used(tier), expected);
+            }
+        }
+    }
+}
+
+mod engine_equivalence {
+    use proptest::prelude::*;
+    use ratel_repro::core::engine::data::random_batch;
+    use ratel_repro::core::engine::lr::LrSchedule;
+    use ratel_repro::core::engine::reference::ReferenceTrainer;
+    use ratel_repro::core::engine::scaler::ScalePolicy;
+    use ratel_repro::core::engine::{ActDecision, EngineConfig, RatelEngine};
+    use ratel_repro::tensor::{AdamParams, GptConfig};
+
+    fn decision_strategy() -> impl Strategy<Value = ActDecision> {
+        prop_oneof![
+            Just(ActDecision::SwapToHost),
+            Just(ActDecision::SwapToSsd),
+            Just(ActDecision::Recompute),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The flagship invariant under fuzzing: for random activation
+        /// policies, loss-scaling settings, clipping, offload modes, and
+        /// seeds, the out-of-core engine is bit-identical to in-memory
+        /// training.
+        #[test]
+        fn offloaded_training_equals_reference_under_random_configs(
+            decisions in proptest::collection::vec(decision_strategy(), 3),
+            seed in 0u64..1000,
+            active in any::<bool>(),
+            scale_pow in 0u32..12,
+            clip in proptest::option::of(0.01f32..2.0),
+            lr_milli in 1u32..20,
+            freeze_mask in 0u8..32,
+        ) {
+            let model = GptConfig {
+                vocab: 64,
+                seq: 8,
+                hidden: 16,
+                heads: 2,
+                layers: 3,
+                batch: 2,
+            };
+            let adam = AdamParams {
+                lr: lr_milli as f32 * 1e-3,
+                ..Default::default()
+            };
+            let policy = if scale_pow == 0 {
+                ScalePolicy::None
+            } else {
+                ScalePolicy::Static((1u64 << scale_pow) as f32)
+            };
+            // Freeze a random subset of the 5 layers (never all of them).
+            let frozen: Vec<usize> = (0..5usize)
+                .filter(|i| freeze_mask & (1 << i) != 0 && freeze_mask != 31)
+                .collect();
+            let mut engine = RatelEngine::new(EngineConfig {
+                model,
+                seed,
+                adam,
+                act_decisions: decisions,
+                gpu_capacity: None,
+                host_capacity: None,
+                active_offload: active,
+                loss_scale: policy,
+                grad_clip: clip,
+                lr_schedule: LrSchedule::WarmupConstant { warmup_steps: 2 },
+                dropout: None,
+                prefetch_params: seed % 2 == 0,
+                frozen_layers: frozen.clone(),
+            }).unwrap();
+            let mut reference =
+                ReferenceTrainer::with_policy(model, seed, adam, policy, clip)
+                    .with_lr_schedule(LrSchedule::WarmupConstant { warmup_steps: 2 })
+                    .with_frozen_layers(frozen);
+            for s in 0..3 {
+                let (t, y) = random_batch(&model, seed.wrapping_mul(31) + s);
+                let stats = engine.train_step(&t, &y).unwrap();
+                let ref_loss = reference.train_step(&t, &y);
+                prop_assert_eq!(stats.loss, ref_loss);
+            }
+            for l in 0..engine.layer_count() {
+                prop_assert_eq!(
+                    engine.master_params(l).unwrap(),
+                    reference.master_params(l).to_vec()
+                );
+            }
+        }
+    }
+}
+
+mod tensor_math {
+    use proptest::prelude::*;
+    use ratel_repro::tensor::ops::{
+        gelu, layernorm, matmul, matmul_at, matmul_bt, softmax_rows,
+    };
+    use ratel_repro::tensor::Tensor;
+
+    fn tensor(rows: usize, cols: usize, vals: &[f32]) -> Tensor {
+        Tensor::from_vec(&[rows, cols], vals[..rows * cols].to_vec())
+    }
+
+    proptest! {
+        /// Matmul distributes over addition: A(B + C) = AB + AC.
+        #[test]
+        fn matmul_distributes_over_addition(
+            a in proptest::collection::vec(-2f32..2.0, 12),
+            b in proptest::collection::vec(-2f32..2.0, 12),
+            c in proptest::collection::vec(-2f32..2.0, 12),
+        ) {
+            let a = tensor(3, 4, &a);
+            let b = tensor(4, 3, &b);
+            let c = tensor(4, 3, &c);
+            let lhs = matmul(&a, &b.add(&c));
+            let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+
+        /// The transpose variants agree with explicit transposition:
+        /// (A^T B)^T = B^T A, checked via matmul_at and matmul_bt.
+        #[test]
+        fn transpose_variants_are_consistent(
+            a in proptest::collection::vec(-2f32..2.0, 12),
+            b in proptest::collection::vec(-2f32..2.0, 12),
+        ) {
+            let a = tensor(4, 3, &a); // [k=4, m=3]
+            let b = tensor(4, 3, &b); // [k=4, n=3]
+            let atb = matmul_at(&a, &b); // [3, 3] = a^T b
+            // b^T a = (a^T b)^T: compute via matmul_bt(b^T? ...) — check
+            // element symmetry directly.
+            let bta = matmul_at(&b, &a);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let x = atb.data()[i * 3 + j];
+                    let y = bta.data()[j * 3 + i];
+                    prop_assert!((x - y).abs() < 1e-4);
+                }
+            }
+            // matmul_bt(a^T... sanity: a[4,3] bt with b[4? ] — covered in
+            // unit tests; here assert shape contract only.
+            let x = tensor(3, 4, &[0.5; 12]);
+            let y = matmul_bt(&x, &tensor(2, 4, &[0.25; 12]));
+            prop_assert_eq!(y.shape(), &[3usize, 2][..]);
+        }
+
+        /// Softmax is invariant to adding a constant to a row.
+        #[test]
+        fn softmax_shift_invariance(
+            vals in proptest::collection::vec(-5f32..5.0, 8),
+            shift in -10f32..10.0,
+        ) {
+            let x = tensor(2, 4, &vals);
+            let shifted = Tensor::from_vec(
+                &[2, 4],
+                x.data().iter().map(|v| v + shift).collect(),
+            );
+            let p1 = softmax_rows(&x);
+            let p2 = softmax_rows(&shifted);
+            for (a, b) in p1.data().iter().zip(p2.data()) {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+        }
+
+        /// LayerNorm output is invariant to affine rescaling of its input
+        /// row (with identity gamma/beta).
+        #[test]
+        fn layernorm_affine_invariance(
+            vals in proptest::collection::vec(-3f32..3.0, 8),
+            scale in 0.5f32..4.0,
+            shift in -5f32..5.0,
+        ) {
+            // Skip degenerate near-constant rows (rstd blows up).
+            let spread = vals.iter().cloned().fold(f32::MIN, f32::max)
+                - vals.iter().cloned().fold(f32::MAX, f32::min);
+            prop_assume!(spread > 0.5);
+            let gamma = Tensor::full(&[8], 1.0);
+            let beta = Tensor::zeros(&[8]);
+            let x = tensor(1, 8, &vals);
+            let y = Tensor::from_vec(
+                &[1, 8],
+                x.data().iter().map(|v| v * scale + shift).collect(),
+            );
+            let (n1, _) = layernorm(&x, &gamma, &beta, 1e-6);
+            let (n2, _) = layernorm(&y, &gamma, &beta, 1e-6);
+            for (a, b) in n1.data().iter().zip(n2.data()) {
+                prop_assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+            }
+        }
+
+        /// GELU is monotone non-decreasing above ~-0.75 and bounded below.
+        #[test]
+        fn gelu_basic_shape(v in -0.7f32..10.0, delta in 0.001f32..1.0) {
+            let x = Tensor::from_vec(&[1, 2], vec![v, v + delta]);
+            let y = gelu(&x);
+            prop_assert!(y.data()[1] >= y.data()[0] - 1e-6);
+            prop_assert!(y.data()[0] >= -0.2);
+        }
+    }
+}
+
+mod model_scaling {
+    use proptest::prelude::*;
+    use ratel_repro::model::{ModelConfig, ModelProfile};
+
+    proptest! {
+        /// Activation bytes scale linearly in batch; FLOPs scale linearly
+        /// in batch and superlinearly in hidden size.
+        #[test]
+        fn analytic_scaling_laws(
+            layers in 2usize..32,
+            hidden_k in 1usize..8,
+            batch in 1usize..32,
+        ) {
+            let h = hidden_k * 512;
+            let m = ModelConfig::decoder_lm("p", layers, 8, h);
+            let p1 = ModelProfile::new(&m, batch);
+            let p2 = ModelProfile::new(&m, batch * 2);
+            let rel = |a: f64, b: f64| (a - b).abs() / b;
+            prop_assert!(rel(p2.total_act_bytes(), 2.0 * p1.total_act_bytes()) < 1e-9);
+            prop_assert!(rel(p2.forward_flops(), 2.0 * p1.forward_flops()) < 1e-9);
+            // Hidden doubling: params ~4x (12h^2 dominates for big h).
+            let m2 = ModelConfig::decoder_lm("q", layers, 8, 2 * h);
+            let q = ModelProfile::new(&m2, batch);
+            let ratio = q.total_params() / p1.total_params();
+            prop_assert!((2.0..4.5).contains(&ratio), "{ratio}");
+        }
+    }
+}
