@@ -280,7 +280,11 @@ mod tests {
         let profile = ModelProfile::new(&m, 32);
         let hw = HardwareProfile::measure(&ServerConfig::paper_default(), &profile, 32);
         let plan = ActStrategy::G10.plan(&hw, &profile);
-        assert!(plan.flop_r < 1e9, "G10 must not recompute: {:.2e}", plan.flop_r);
+        assert!(
+            plan.flop_r < 1e9,
+            "G10 must not recompute: {:.2e}",
+            plan.flop_r
+        );
         let total = profile.total_act_bytes();
         assert!((plan.a_g2m - total).abs() / total < 0.01);
     }

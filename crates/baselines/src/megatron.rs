@@ -35,8 +35,7 @@ pub fn feasible(model: &ModelConfig, batch: usize) -> bool {
     // Megatron checkpoints activations (keeps the inter-layer tensors,
     // recomputes within blocks), so only the checkpoints count here; the
     // recompute cost is folded into `simulate`'s 3.3x forward factor.
-    let per_gpu =
-        (16.0 * p + profile.inter_act_bytes()) / DGX_GPUS as f64 + 4e9;
+    let per_gpu = (16.0 * p + profile.inter_act_bytes()) / DGX_GPUS as f64 + 4e9;
     per_gpu <= GpuSpec::a100_80g().memory_bytes as f64
 }
 
@@ -54,8 +53,7 @@ pub fn simulate(model: &ModelConfig, batch: usize) -> Option<MegatronReport> {
     // (2 forward + 2 backward), ring cost 2(g-1)/g per byte.
     let msg = (batch * model.seq_len * model.hidden) as f64 * 2.0;
     let g = DGX_GPUS as f64;
-    let allreduce =
-        4.0 * model.layers as f64 * msg * (2.0 * (g - 1.0) / g) / (NVLINK_BUS_BW * g);
+    let allreduce = 4.0 * model.layers as f64 * msg * (2.0 * (g - 1.0) / g) / (NVLINK_BUS_BW * g);
     let t = compute + allreduce;
     Some(MegatronReport {
         iteration_seconds: t,

@@ -567,7 +567,9 @@ mod tests {
         // Fig. 1b: G10's optimizer stage moves 14P per direction while the
         // GPU kernel takes ~0.1 s.
         let dgx_ish = server().with_gpu(GpuSpec::a100_80g());
-        let r = System::G10.simulate(&dgx_ish, &zoo::llm("13B"), 32).unwrap();
+        let r = System::G10
+            .simulate(&dgx_ish, &zoo::llm("13B"), 32)
+            .unwrap();
         // Optimizer window must dominate a pure-kernel estimate by far.
         assert!(
             r.stage_seconds[2] > 5.0,

@@ -1,10 +1,10 @@
 //! Benchmarks of the real out-of-core engine: a full training step under
 //! each activation policy, against the in-memory reference.
 
-use ratel::engine::scaler::ScalePolicy;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ratel::engine::data::random_batch;
 use ratel::engine::reference::ReferenceTrainer;
+use ratel::engine::scaler::ScalePolicy;
 use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
 use ratel_tensor::{AdamParams, GptConfig};
 
@@ -104,13 +104,11 @@ fn bench_engine_features(c: &mut Criterion) {
 
     c.bench_function("engine/profiling_stage", |b| {
         b.iter(|| {
-            let store = ratel_storage::TieredStore::new(
-                ratel_storage::TierConfig::unbounded_temp(),
-            )
-            .unwrap();
+            let store =
+                ratel_storage::TieredStore::new(ratel_storage::TierConfig::unbounded_temp())
+                    .unwrap();
             std::hint::black_box(
-                ratel::engine::profiler::MeasuredProfile::measure(model, &store, 1 << 16)
-                    .unwrap(),
+                ratel::engine::profiler::MeasuredProfile::measure(model, &store, 1 << 16).unwrap(),
             )
         })
     });

@@ -45,7 +45,14 @@ pub fn run_seqlen() -> Table {
     let server = paper_server();
     let mut t = Table::new(
         "Extension: sequence length sweep, 13B, 32k tokens/iteration",
-        &["seq len", "batch", "T_iter (s)", "token/s", "swap fraction", "planner case"],
+        &[
+            "seq len",
+            "batch",
+            "T_iter (s)",
+            "token/s",
+            "swap fraction",
+            "planner case",
+        ],
     );
     for seq in [512usize, 1024, 2048, 4096] {
         let batch = 32 * 1024 / seq;
@@ -74,7 +81,12 @@ pub fn run_pcie() -> Table {
     let model = ModelProfile::new(&zoo::llm("13B"), 32);
     let mut t = Table::new(
         "Extension: GPU link bandwidth sweep, 13B, batch 32",
-        &["PCIe GB/s per dir", "T_iter (s)", "swap fraction", "planner case"],
+        &[
+            "PCIe GB/s per dir",
+            "T_iter (s)",
+            "swap fraction",
+            "planner case",
+        ],
     );
     for gbps in [4.0f64, 8.0, 16.0, 21.0, 32.0, 64.0, 128.0] {
         let mut hw = HardwareProfile::measure(&server, &model, 32);

@@ -20,7 +20,11 @@ pub fn run() -> Vec<Table> {
     let batch = 32;
     let mut out = Vec::new();
     let cases = [
-        ("Fig 1a: ZeRO-Infinity", System::ZeroInfinity, paper_server()),
+        (
+            "Fig 1a: ZeRO-Infinity",
+            System::ZeroInfinity,
+            paper_server(),
+        ),
         (
             "Fig 1b: G10 (GPUDirect assumed, as in the paper's simulation)",
             System::G10,
@@ -32,7 +36,12 @@ pub fn run() -> Vec<Table> {
         let mut t = Table::new(
             format!("{title} — 13B, batch 32, 12 SSDs"),
             &[
-                "stage", "seconds", "PCIe M2G %", "PCIe G2M %", "SSD %", "GPU %",
+                "stage",
+                "seconds",
+                "PCIe M2G %",
+                "PCIe G2M %",
+                "SSD %",
+                "GPU %",
             ],
         );
         if let Some(r) = system.simulate(&server, &model, batch) {

@@ -89,9 +89,8 @@ mod tests {
         let t = run_b();
         // At 3 SSDs, batch 64 achieves a higher fraction of its final
         // (12-SSD) TFLOPS than batch 32 does.
-        let col = |idx: usize| -> Vec<f64> {
-            t.rows.iter().map(|r| r[idx].parse().unwrap()).collect()
-        };
+        let col =
+            |idx: usize| -> Vec<f64> { t.rows.iter().map(|r| r[idx].parse().unwrap()).collect() };
         let b32 = col(1);
         let b64 = col(3);
         let frac32 = b32[2] / b32[4];

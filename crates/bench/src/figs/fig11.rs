@@ -71,7 +71,13 @@ mod tests {
                 .filter_map(|r| r[2].parse::<f64>().ok())
                 .fold(0.0, f64::max)
         };
-        assert!(best(&tables[2]) > best(&tables[0]), "13B: 4-GPU best should win");
-        assert!(best(&tables[3]) > best(&tables[1]), "70B: 4-GPU best should win");
+        assert!(
+            best(&tables[2]) > best(&tables[0]),
+            "13B: 4-GPU best should win"
+        );
+        assert!(
+            best(&tables[3]) > best(&tables[1]),
+            "70B: 4-GPU best should win"
+        );
     }
 }

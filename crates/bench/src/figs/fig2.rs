@@ -28,7 +28,11 @@ pub fn run_a() -> Table {
     for gib in MEM_GIB {
         let server = paper_server().with_main_memory(gib * GIB);
         let mut row = vec![gib.to_string()];
-        for sys in [System::FlashNeuron, System::ColossalAi, System::ZeroInfinity] {
+        for sys in [
+            System::FlashNeuron,
+            System::ColossalAi,
+            System::ZeroInfinity,
+        ] {
             row.push(fnum(sys.max_trainable_billions(&server, &ladder, 1), 1));
         }
         t.row(row);

@@ -20,7 +20,13 @@ fn throughput_table(title: &str, server: &ServerConfig, batches: &[usize]) -> Ta
     let model = zoo::llm("13B");
     let mut t = Table::new(
         title,
-        &["batch", "Colossal-AI", "ZeRO-Infinity", "ZeRO-Offload", "Ratel"],
+        &[
+            "batch",
+            "Colossal-AI",
+            "ZeRO-Infinity",
+            "ZeRO-Offload",
+            "Ratel",
+        ],
     );
     for &b in batches {
         let mut row = vec![b.to_string()];

@@ -14,7 +14,10 @@ use crate::table::{fnum, Table};
 pub fn run(rtx4080: bool) -> Table {
     let ladder = zoo::llm_ladder();
     let (title, gpu) = if rtx4080 {
-        ("Fig 6b: max trainable size (B) vs main memory, RTX 4080", GpuSpec::rtx4080())
+        (
+            "Fig 6b: max trainable size (B) vs main memory, RTX 4080",
+            GpuSpec::rtx4080(),
+        )
     } else {
         (
             "Fig 6a: max trainable size (B) vs main memory, RTX 4090/3090",
@@ -33,7 +36,9 @@ pub fn run(rtx4080: bool) -> Table {
         ],
     );
     for gib in [128u64, 256, 384, 512, 640, 768] {
-        let server = paper_server().with_gpu(gpu.clone()).with_main_memory(gib * GIB);
+        let server = paper_server()
+            .with_gpu(gpu.clone())
+            .with_main_memory(gib * GIB);
         let mut row = vec![gib.to_string()];
         for sys in [
             System::FlashNeuron,

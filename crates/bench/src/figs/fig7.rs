@@ -28,7 +28,10 @@ pub fn throughput(model_name: &str, batch: usize, mode: GradOffloadMode) -> f64 
 }
 
 fn table(title: &str, model: &str, batches: &[usize]) -> Table {
-    let mut t = Table::new(title, &["batch", "Ratel+ZeRO", "Ratel Naive", "Ratel Optimized"]);
+    let mut t = Table::new(
+        title,
+        &["batch", "Ratel+ZeRO", "Ratel Naive", "Ratel Optimized"],
+    );
     for &b in batches {
         t.row(vec![
             b.to_string(),

@@ -23,11 +23,25 @@ pub fn run_a() -> Vec<Table> {
     let model = zoo::llm("70B");
     let mut tput = Table::new(
         "Fig 9a: throughput (token/s), 70B, strategies at their adopted batch",
-        &["main memory (GiB)", "Ratel+ZeRO", "Ratel+Cap", "Ratel+G10", "Ratel+CM", "Ratel+Optimized"],
+        &[
+            "main memory (GiB)",
+            "Ratel+ZeRO",
+            "Ratel+Cap",
+            "Ratel+G10",
+            "Ratel+CM",
+            "Ratel+Optimized",
+        ],
     );
     let mut batches = Table::new(
         "Table V: adopted batch size per strategy (70B)",
-        &["main memory (GiB)", "Ratel+ZeRO", "Ratel+Cap", "Ratel+G10", "Ratel+CM", "Ratel+Optimized"],
+        &[
+            "main memory (GiB)",
+            "Ratel+ZeRO",
+            "Ratel+Cap",
+            "Ratel+G10",
+            "Ratel+CM",
+            "Ratel+Optimized",
+        ],
     );
     for gib in [128u64, 256, 512] {
         let server = paper_server().with_main_memory(gib * GIB);
@@ -173,7 +187,10 @@ mod tests {
         let large = chosen(60);
         let small_frac = small.a_g2m / ModelProfile::new(&zoo::llm("13B"), 24).total_act_bytes();
         let large_frac = large.a_g2m / ModelProfile::new(&zoo::llm("13B"), 60).total_act_bytes();
-        assert!(small_frac < large_frac, "{small_frac:.2} vs {large_frac:.2}");
+        assert!(
+            small_frac < large_frac,
+            "{small_frac:.2} vs {large_frac:.2}"
+        );
         assert_ne!(large.case, PlanCase::PcieBound);
     }
 }

@@ -1,11 +1,11 @@
 //! One module per reproduced figure/table.
 
+pub mod extensions;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
-pub mod extensions;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
@@ -24,8 +24,30 @@ use crate::table::Table;
 
 /// All figure ids in order, for `repro all`.
 pub const ALL: &[&str] = &[
-    "fig1", "fig2a", "fig2b", "fig2c", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7",
-    "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12", "fig13", "tables", "summary", "sensitivity", "ext-seqlen", "ext-pcie", "ext-lora",
+    "fig1",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "fig13",
+    "tables",
+    "summary",
+    "sensitivity",
+    "ext-seqlen",
+    "ext-pcie",
+    "ext-lora",
 ];
 
 /// Runs one figure by id; returns its tables.

@@ -45,7 +45,6 @@ fn ratel_peak(cpu_rate: f64, state_eff: f64) -> f64 {
         .fold(0.0, f64::max)
 }
 
-
 /// The sensitivity sweep table.
 pub fn run() -> Table {
     let server = paper_server();
@@ -104,6 +103,9 @@ mod tests {
         let t = run();
         let first: f64 = t.rows.first().unwrap()[2].parse().unwrap(); // slowest corner
         let last: f64 = t.rows.last().unwrap()[2].parse().unwrap(); // fastest corner
-        assert!(last > first, "batch-32 throughput must react to constants: {first} vs {last}");
+        assert!(
+            last > first,
+            "batch-32 throughput must react to constants: {first} vs {last}"
+        );
     }
 }

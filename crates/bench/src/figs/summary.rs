@@ -1,11 +1,11 @@
 //! `repro summary`: the paper's headline claims computed end-to-end —
 //! the one-screen paper-vs-measured digest EXPERIMENTS.md is built from.
 
+use ratel::cost::CostPoint;
 use ratel_baselines::{megatron, System};
 use ratel_hw::units::GIB;
 use ratel_hw::GpuSpec;
 use ratel_model::zoo;
-use ratel::cost::CostPoint;
 
 use crate::paper_server;
 use crate::table::{fnum, Table};
@@ -34,7 +34,12 @@ pub fn run() -> Table {
     t.row(vec![
         "175B trains on 16-24 GB GPU + 256 GB host (only Ratel)".into(),
         "yes".into(),
-        if ratel_175 && others_cant { "yes" } else { "NO" }.into(),
+        if ratel_175 && others_cant {
+            "yes"
+        } else {
+            "NO"
+        }
+        .into(),
     ]);
 
     // Claim: max size ratio vs ZeRO-Infinity at 768 GB.
@@ -44,7 +49,10 @@ pub fn run() -> Table {
     t.row(vec![
         "max size vs ZeRO-Infinity @768GB".into(),
         "276B vs 135B (2.04x)".into(),
-        format!("{ratel_max:.0}B vs {zero_max:.0}B ({:.2}x)", ratel_max / zero_max),
+        format!(
+            "{ratel_max:.0}B vs {zero_max:.0}B ({:.2}x)",
+            ratel_max / zero_max
+        ),
     ]);
 
     // Claim 2: peak 13B throughput ratios.

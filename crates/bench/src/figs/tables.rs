@@ -67,8 +67,14 @@ pub fn run() -> Vec<Table> {
     }
 
     let mut t7 = Table::new("Table VII: component prices", &["component", "price ($)"]);
-    t7.row(vec!["DGX-A100 (8x A100-80G)".into(), fnum(DGX_A100_PRICE_USD, 0)]);
-    t7.row(vec!["Commodity 4U server (no GPUs/SSDs)".into(), fnum(COMMODITY_4U_BASE_USD, 0)]);
+    t7.row(vec![
+        "DGX-A100 (8x A100-80G)".into(),
+        fnum(DGX_A100_PRICE_USD, 0),
+    ]);
+    t7.row(vec![
+        "Commodity 4U server (no GPUs/SSDs)".into(),
+        fnum(COMMODITY_4U_BASE_USD, 0),
+    ]);
     t7.row(vec!["NVIDIA RTX 4090".into(), fnum(RTX_4090_PRICE_USD, 0)]);
     t7.row(vec!["Intel P5510 SSD".into(), fnum(P5510_PRICE_USD, 0)]);
     t7.row(vec![

@@ -1,39 +1,107 @@
-//! `repro trace`: an ASCII Gantt view of one Ratel iteration — the
-//! Fig. 1c picture rendered from the simulator's timeline. Useful for
-//! eyeballing where each resource is busy and how the optimizer handlers
-//! hide inside backward propagation.
+//! `ratel-bench trace`: timeline views of simulated Ratel iterations —
+//! the Fig. 1c picture rendered from the simulator's recorded timeline.
+//!
+//! Built on the shared exporter in [`ratel_sim::trace`]: an ASCII Gantt
+//! with per-resource utilization for the terminal, a per-stage
+//! utilization table, a bubble (idle-gap) analysis of the critical
+//! resource, and Chrome trace-event JSON (`--out trace.json`) loadable
+//! in `chrome://tracing` or Perfetto.
 
 use ratel::offload::GradOffloadMode;
 use ratel::planner::ActivationPlanner;
 use ratel::profile::HardwareProfile;
 use ratel::schedule::RatelSchedule;
 use ratel_model::{zoo, ModelProfile};
-use ratel_sim::simulate;
+use ratel_sim::{ascii_timeline, bubble_summary, simulate, utilization_table, SimReport};
 
 use crate::paper_server;
 
-/// Renders the Gantt chart for `model_name` at `batch` under `mode`.
-pub fn render(model_name: &str, batch: usize, mode: GradOffloadMode, width: usize) -> String {
+/// What to trace: one simulated Ratel configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Table IV model name ("13B", "70B", ...).
+    pub model: String,
+    /// Per-GPU batch size.
+    pub batch: usize,
+    /// Gradient-offloading mode.
+    pub mode: GradOffloadMode,
+    /// Data-parallel GPU count.
+    pub gpus: usize,
+    /// Back-to-back iterations in one DAG.
+    pub iterations: usize,
+    /// ASCII chart width in character cells.
+    pub width: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            model: "13B".to_string(),
+            batch: 32,
+            mode: GradOffloadMode::OptimizedActive,
+            gpus: 1,
+            iterations: 1,
+            width: 100,
+        }
+    }
+}
+
+/// Parses a `--mode` value ("optimized", "naive", "separate"/"zero").
+pub fn parse_mode(s: &str) -> Option<GradOffloadMode> {
+    match s.to_ascii_lowercase().as_str() {
+        "optimized" | "active" => Some(GradOffloadMode::OptimizedActive),
+        "naive" => Some(GradOffloadMode::NaiveActive),
+        "separate" | "zero" | "separate-stage" => Some(GradOffloadMode::SeparateStage),
+        _ => None,
+    }
+}
+
+/// Plans, builds, and simulates the configured iteration(s).
+pub fn report(cfg: &TraceConfig) -> SimReport {
     let server = paper_server();
-    let model = ModelProfile::new(&zoo::llm(model_name), batch);
-    let hw = HardwareProfile::measure(&server, &model, batch);
+    let model = ModelProfile::new(&zoo::llm(&cfg.model), cfg.batch);
+    let hw = HardwareProfile::measure(&server, &model, cfg.batch);
     let plan = ActivationPlanner::new(&hw, &model).plan();
     let spec = RatelSchedule {
         profile: &hw,
         model: &model,
         plan: &plan,
-        mode,
-        gpus: 1,
+        mode: cfg.mode,
+        gpus: cfg.gpus,
     }
     .to_spec();
-    let (graph, _, _) = spec.build();
-    let report = simulate(&graph);
+    let (graph, _, _) = spec.build_iterations(cfg.iterations);
+    simulate(&graph)
+}
+
+/// Renders the terminal view of a trace: header, ASCII timeline,
+/// utilization breakdown, and the critical resource's longest bubbles.
+pub fn render_report(cfg: &TraceConfig, report: &SimReport) -> String {
     format!(
-        "{} — {model_name} @ batch {batch} ({:.1}s/iter)\n{}",
-        mode.name(),
+        "{} — {} @ batch {} x{} GPU(s), {} iteration(s) ({:.1}s total)\n{}\n{}\n{}",
+        cfg.mode.name(),
+        cfg.model,
+        cfg.batch,
+        cfg.gpus,
+        cfg.iterations,
         report.makespan,
-        report.render_gantt(width)
+        ascii_timeline(report, cfg.width),
+        utilization_table(report),
+        bubble_summary(report, 5),
     )
+}
+
+/// Renders one mode with the default 13B @ 32 configuration.
+pub fn render(model_name: &str, batch: usize, mode: GradOffloadMode, width: usize) -> String {
+    let cfg = TraceConfig {
+        model: model_name.to_string(),
+        batch,
+        mode,
+        width,
+        ..TraceConfig::default()
+    };
+    let r = report(&cfg);
+    render_report(&cfg, &r)
 }
 
 /// The default trace: 13B @ 32 under all three offload modes.
@@ -59,5 +127,36 @@ mod tests {
         // the SSD/CPU rows); the optimized chart hides it in backward.
         assert!(s.matches('O').count() > 10);
         assert!(s.contains("gpu0"));
+        // The shared exporter's extra sections are present.
+        assert!(s.contains("critical resource:"));
+        assert!(s.contains("resource"));
+        assert!(s.contains("util"));
+    }
+
+    #[test]
+    fn mode_parsing_covers_aliases() {
+        assert_eq!(
+            parse_mode("optimized"),
+            Some(GradOffloadMode::OptimizedActive)
+        );
+        assert_eq!(parse_mode("Naive"), Some(GradOffloadMode::NaiveActive));
+        assert_eq!(parse_mode("zero"), Some(GradOffloadMode::SeparateStage));
+        assert_eq!(parse_mode("separate"), Some(GradOffloadMode::SeparateStage));
+        assert!(parse_mode("bogus").is_none());
+    }
+
+    #[test]
+    fn chrome_export_of_a_real_schedule_is_labeled() {
+        let cfg = TraceConfig {
+            iterations: 2,
+            width: 60,
+            ..TraceConfig::default()
+        };
+        let r = report(&cfg);
+        let json = ratel_sim::chrome_trace_json(&r);
+        // Multi-iteration labels land in the trace slices.
+        assert!(json.contains("\"name\":\"i0 fwd L0\""));
+        assert!(json.contains("\"name\":\"i1 opt-write L0\""));
+        assert!(json.contains("\"args\":{\"name\":\"ssd\"}"));
     }
 }

@@ -1,21 +1,85 @@
-//! `repro`: regenerates the Ratel paper's tables and figures.
+//! `repro` / `ratel-bench`: regenerates the Ratel paper's tables and
+//! figures, and exports simulator timelines.
 //!
-//! Usage: `repro <figure-id>... | all | list`. Output goes to stdout and,
-//! as CSV, to `./results/`.
+//! Usage: `repro <figure-id>... | all | list | trace [options]`. Figure
+//! output goes to stdout and, as CSV, to `./results/`; `trace` prints an
+//! ASCII timeline with utilization/bubble analysis and can write Chrome
+//! trace-event JSON (`--out trace.json`) for `chrome://tracing`/Perfetto.
 
 use std::path::Path;
 
 use ratel_bench::figs;
+use ratel_bench::figs::trace::{parse_mode, render_report, TraceConfig};
+
+const TRACE_USAGE: &str = "usage: ratel-bench trace [--model 13B] [--batch 32] \
+[--mode optimized|naive|separate] [--gpus 1] [--iters 1] [--width 100] [--out trace.json]";
+
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = TraceConfig::default();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    let parse = |flag: &str, v: &str| -> Result<usize, String> {
+        v.parse::<usize>()
+            .map_err(|_| format!("{flag} expects a positive integer, got {v:?}"))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "help" {
+            return Err(TRACE_USAGE.to_string());
+        }
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value\n{TRACE_USAGE}"))?;
+        match flag {
+            "--model" => {
+                let ladder = ratel_model::zoo::llm_ladder();
+                if !ladder.iter().any(|m| m.name == *v) {
+                    let names: Vec<&str> = ladder.iter().map(|m| m.name.as_str()).collect();
+                    return Err(format!("unknown model {v:?} ({})", names.join("|")));
+                }
+                cfg.model = v.clone();
+            }
+            "--batch" => cfg.batch = parse(flag, v)?,
+            "--mode" => {
+                cfg.mode = parse_mode(v)
+                    .ok_or_else(|| format!("unknown mode {v:?} (optimized|naive|separate)"))?
+            }
+            "--gpus" => cfg.gpus = parse(flag, v)?.max(1),
+            "--iters" => cfg.iterations = parse(flag, v)?.max(1),
+            "--width" => cfg.width = parse(flag, v)?,
+            "--out" => out = Some(v.clone()),
+            _ => return Err(format!("unknown flag {flag:?}\n{TRACE_USAGE}")),
+        }
+        i += 2;
+    }
+    let report = figs::trace::report(&cfg);
+    print!("{}", render_report(&cfg, &report));
+    if let Some(path) = out {
+        let json = ratel_sim::chrome_trace_json(&report);
+        std::fs::write(&path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote {path} — load it in chrome://tracing or https://ui.perfetto.dev");
+    }
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <figure-id>... | all | list");
+        eprintln!("usage: repro <figure-id>... | all | list | trace [options]");
         eprintln!("figure ids: {}", figs::ALL.join(" "));
+        eprintln!("{TRACE_USAGE}");
         std::process::exit(2);
     }
     if args[0] == "trace" {
-        print!("{}", ratel_bench::figs::trace::run());
+        if args.len() == 1 {
+            // Bare `trace`: the default all-modes ASCII overview.
+            print!("{}", figs::trace::run());
+            return;
+        }
+        if let Err(e) = trace_cmd(&args[1..]) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
         return;
     }
     if args[0] == "list" {

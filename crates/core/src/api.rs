@@ -188,8 +188,7 @@ impl Ratel {
                 for &(route, rate) in &self.throttles {
                     scratch.set_throttle(route, Some(rate));
                 }
-                let measured =
-                    MeasuredProfile::measure(self.model, &scratch, self.probe_bytes)?;
+                let measured = MeasuredProfile::measure(self.model, &scratch, self.probe_bytes)?;
                 // MEM_avail: what the host pool can devote to activations
                 // (half of it, leaving room for staging and gradients), or
                 // effectively unbounded when uncapped.
@@ -359,7 +358,9 @@ mod tests {
             .learning_rate(3e-3)
             .build()
             .unwrap();
-        let batches: Vec<_> = (0..4).map(|s| learnable_batch(&GptConfig::tiny(), s)).collect();
+        let batches: Vec<_> = (0..4)
+            .map(|s| learnable_batch(&GptConfig::tiny(), s))
+            .collect();
         let first = trainer.train_epochs(&batches, 1).unwrap();
         let later = trainer.train_epochs(&batches, 8).unwrap();
         assert!(later < first * 0.8, "{first} -> {later}");

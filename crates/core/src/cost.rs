@@ -48,7 +48,9 @@ mod tests {
 
     #[test]
     fn commodity_point_uses_component_prices() {
-        let server = ServerConfig::paper_default().with_gpu_count(4).with_ssd_count(6);
+        let server = ServerConfig::paper_default()
+            .with_gpu_count(4)
+            .with_ssd_count(6);
         let p = CostPoint::commodity("ratel", &server, 484.0);
         // 14098 + 4*1600 + 6*308 = 22346
         assert!((p.price_usd - 22_346.0).abs() < 1e-6);

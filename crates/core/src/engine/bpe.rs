@@ -135,16 +135,12 @@ impl BpeTokenizer {
                 let best = ids
                     .windows(2)
                     .enumerate()
-                    .filter_map(|(i, p)| {
-                        self.merges.get(&(p[0], p[1])).map(|rank| (*rank, i))
-                    })
+                    .filter_map(|(i, p)| self.merges.get(&(p[0], p[1])).map(|rank| (*rank, i)))
                     .min();
                 match best {
                     Some((_, at)) => {
-                        let merged = self.lookup[&format!(
-                            "{}{}",
-                            self.vocab[ids[at]], self.vocab[ids[at + 1]]
-                        )];
+                        let merged = self.lookup
+                            [&format!("{}{}", self.vocab[ids[at]], self.vocab[ids[at + 1]])];
                         ids.splice(at..at + 2, [merged]);
                     }
                     None => break,
@@ -186,7 +182,10 @@ mod tests {
     #[test]
     fn training_grows_the_vocabulary_with_useful_merges() {
         let bpe = BpeTokenizer::train(CORPUS, 60);
-        let base = CORPUS.chars().collect::<std::collections::HashSet<_>>().len();
+        let base = CORPUS
+            .chars()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         assert!(bpe.vocab_size() > base);
         assert!(bpe.vocab_size() <= 60);
         // "the" is the most common word; some multi-char token covering it
@@ -200,7 +199,13 @@ mod tests {
     #[test]
     fn encode_decode_round_trips_losslessly() {
         let bpe = BpeTokenizer::train(CORPUS, 64);
-        for text in [CORPUS, "the optimizer", "weights and gradients", " ", "a the"] {
+        for text in [
+            CORPUS,
+            "the optimizer",
+            "weights and gradients",
+            " ",
+            "a the",
+        ] {
             // ("a" appears inside words like "and"/"gradients".)
             assert_eq!(bpe.decode(&bpe.encode(text)), text, "{text:?}");
         }

@@ -52,9 +52,8 @@ impl LrSchedule {
                 if total_steps <= warmup_steps {
                     return min_factor;
                 }
-                let progress = ((step - warmup_steps) as f32
-                    / (total_steps - warmup_steps) as f32)
-                    .min(1.0);
+                let progress =
+                    ((step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32).min(1.0);
                 let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                 min_factor + (1.0 - min_factor) * cosine
             }
@@ -116,7 +115,10 @@ mod tests {
 
     #[test]
     fn degenerate_schedules_are_safe() {
-        assert_eq!(LrSchedule::WarmupConstant { warmup_steps: 0 }.factor(0), 1.0);
+        assert_eq!(
+            LrSchedule::WarmupConstant { warmup_steps: 0 }.factor(0),
+            1.0
+        );
         let broken = LrSchedule::WarmupCosine {
             warmup_steps: 10,
             total_steps: 5, // total < warmup

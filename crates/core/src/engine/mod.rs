@@ -401,25 +401,24 @@ impl RatelEngine {
         // the active optimizer.
         let optimizer = self.start_optimizer(scale);
         let (tokens, targets) = &micro_batches[n - 1];
-        loss_sum +=
-            self.forward_backward(tokens, targets, scale, |eng, layer, mut grads| {
-                if eng.is_frozen(layer) {
-                    return Ok(());
+        loss_sum += self.forward_backward(tokens, targets, scale, |eng, layer, mut grads| {
+            if eng.is_frozen(layer) {
+                return Ok(());
+            }
+            let akey = accum_key(layer);
+            if eng.store.contains(&akey) {
+                let acc = decode_f32(&eng.store.read(&akey)?);
+                eng.store.remove(&akey)?;
+                for (g, a) in grads.iter_mut().zip(&acc) {
+                    *g = (round_to_f16(*g) + a) * inv_n;
                 }
-                let akey = accum_key(layer);
-                if eng.store.contains(&akey) {
-                    let acc = decode_f32(&eng.store.read(&akey)?);
-                    eng.store.remove(&akey)?;
-                    for (g, a) in grads.iter_mut().zip(&acc) {
-                        *g = (round_to_f16(*g) + a) * inv_n;
-                    }
-                } else if n > 1 {
-                    for g in grads.iter_mut() {
-                        *g = round_to_f16(*g) * inv_n;
-                    }
+            } else if n > 1 {
+                for g in grads.iter_mut() {
+                    *g = round_to_f16(*g) * inv_n;
                 }
-                eng.emit_gradient(layer, grads, &optimizer)
-            })?;
+            }
+            eng.emit_gradient(layer, grads, &optimizer)
+        })?;
         self.finish_step(optimizer, t0, loss_sum * inv_n, scale)
     }
 
@@ -573,8 +572,7 @@ impl RatelEngine {
                     s
                 }
             };
-            let (dprev, grads) =
-                self.model.blocks[b].backward_with(&input, &saved, &dx, spec);
+            let (dprev, grads) = self.model.blocks[b].backward_with(&input, &saved, &dx, spec);
             dx = dprev;
             on_grad(self, b + 1, grads)?;
         }
@@ -878,15 +876,21 @@ impl RatelEngine {
     /// to `dir`. The P16 copies are derivable and not stored.
     pub fn save_checkpoint(&self, dir: &std::path::Path) -> Result<(), StorageError> {
         std::fs::create_dir_all(dir)?;
-        let mut manifest = format!("step {}
-", self.step);
+        let mut manifest = format!(
+            "step {}
+",
+            self.step
+        );
         for layer in 0..self.layer_count() {
             let master = self.store.read(&master_key(layer))?;
             let moments = self.store.read(&moments_key(layer))?;
             std::fs::write(dir.join(format!("layer{layer}.master")), master)?;
             std::fs::write(dir.join(format!("layer{layer}.moments")), moments)?;
-            manifest.push_str(&format!("layer {layer} {}
-", self.layer_steps[layer]));
+            manifest.push_str(&format!(
+                "layer {layer} {}
+",
+                self.layer_steps[layer]
+            ));
         }
         std::fs::write(dir.join("manifest.txt"), manifest)?;
         Ok(())
@@ -911,7 +915,11 @@ impl RatelEngine {
             let mut parts = line.split_whitespace();
             assert_eq!(parts.next(), Some("layer"), "manifest layer line");
             let layer: usize = parts.next().expect("layer id").parse().expect("layer id");
-            let steps: u64 = parts.next().expect("layer steps").parse().expect("layer steps");
+            let steps: u64 = parts
+                .next()
+                .expect("layer steps")
+                .parse()
+                .expect("layer steps");
             assert!(layer < self.layer_count(), "checkpoint has extra layers");
             self.layer_steps[layer] = steps;
         }
@@ -1107,7 +1115,13 @@ mod tests {
             Err(e) => e,
         };
         assert!(
-            matches!(err, StorageError::OutOfMemory { tier: Tier::Gpu, .. }),
+            matches!(
+                err,
+                StorageError::OutOfMemory {
+                    tier: Tier::Gpu,
+                    ..
+                }
+            ),
             "expected GPU OOM, got {err}"
         );
     }

@@ -112,12 +112,15 @@ impl ReferenceTrainer {
         let mut hp = self.hp;
         hp.lr *= self.lr_schedule.factor(self.wall_step);
         self.wall_step += 1;
-        let dropout = self
-            .dropout
-            .map(|p| (p, self.base_seed ^ self.wall_step.wrapping_mul(0x517C_C1B7_2722_0A95)));
-        let (loss, grads) =
-            self.model
-                .train_step_reference_opts(tokens, targets, true, scale, dropout);
+        let dropout = self.dropout.map(|p| {
+            (
+                p,
+                self.base_seed ^ self.wall_step.wrapping_mul(0x517C_C1B7_2722_0A95),
+            )
+        });
+        let (loss, grads) = self
+            .model
+            .train_step_reference_opts(tokens, targets, true, scale, dropout);
         let mut overflowed = false;
         for (i, g) in grads.iter().enumerate() {
             if self.frozen.contains(&i) {
@@ -158,9 +161,9 @@ impl ReferenceTrainer {
         let mut loss_sum = 0.0f32;
         let mut accum: Vec<Vec<f32>> = Vec::new();
         for (tokens, targets) in micro_batches {
-            let (loss, grads) =
-                self.model
-                    .train_step_reference_scaled(tokens, targets, true, scale);
+            let (loss, grads) = self
+                .model
+                .train_step_reference_scaled(tokens, targets, true, scale);
             loss_sum += loss;
             if accum.is_empty() {
                 accum = grads

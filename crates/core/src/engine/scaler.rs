@@ -117,7 +117,11 @@ pub fn prepare_gradient(grads: &mut [f32], scale: f32, clip: Option<f32>) -> Opt
         return None;
     }
     if let Some(max_norm) = clip {
-        let norm = grads.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+        let norm = grads
+            .iter()
+            .map(|g| (*g as f64) * (*g as f64))
+            .sum::<f64>()
+            .sqrt() as f32;
         if norm > max_norm {
             let factor = max_norm / norm;
             for g in grads.iter_mut() {

@@ -80,8 +80,7 @@ impl Default for RatelMemoryModel {
 impl RatelMemoryModel {
     /// GPU bytes needed to execute one layer at a time.
     pub fn gpu_needed(&self, model: &ModelProfile) -> f64 {
-        let token_channels =
-            (model.batch * model.config.seq_len * model.config.hidden) as f64;
+        let token_channels = (model.batch * model.config.seq_len * model.config.hidden) as f64;
         self.gpu_bytes_per_layer_param * model.max_layer_params()
             + self.gpu_workspace_bytes_per_tc * token_channels
             + self.gpu_overhead_bytes
@@ -169,7 +168,10 @@ mod tests {
     fn paper_headline_276b_on_4090_768g() {
         let server = ServerConfig::paper_default();
         assert!(feasible(&server, "276B", 1));
-        assert!(!feasible(&server, "412B", 1), "412B should exceed 24 GB GPU");
+        assert!(
+            !feasible(&server, "412B", 1),
+            "412B should exceed 24 GB GPU"
+        );
     }
 
     #[test]
@@ -196,7 +198,10 @@ mod tests {
     fn large_batch_shrinks_max_size_via_gpu_workspace() {
         let server = ServerConfig::consumer_256g();
         assert!(feasible(&server, "70B", 60));
-        assert!(!feasible(&server, "135B", 60), "Fig 8: batch 60 caps below 135B");
+        assert!(
+            !feasible(&server, "135B", 60),
+            "Fig 8: batch 60 caps below 135B"
+        );
     }
 
     #[test]
@@ -223,6 +228,8 @@ mod tests {
         let m13 = ModelProfile::new(&zoo::llm("13B"), 32);
         let m175 = ModelProfile::new(&zoo::llm("175B"), 32);
         let mm = RatelMemoryModel::default();
-        assert!(mm.host_activation_budget(&server, &m175) < mm.host_activation_budget(&server, &m13));
+        assert!(
+            mm.host_activation_budget(&server, &m175) < mm.host_activation_budget(&server, &m13)
+        );
     }
 }

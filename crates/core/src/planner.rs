@@ -19,6 +19,8 @@
 //! inflection point, with `A_interBlock` as the mandatory floor (the
 //! checkpoints cannot be recomputed — below them backward would OOM).
 
+use std::collections::HashMap;
+
 use ratel_model::{ActivationUnit, ModelProfile, UnitKind};
 
 use crate::profile::HardwareProfile;
@@ -195,12 +197,7 @@ impl<'a> ActivationPlanner<'a> {
     /// Maximum `A_G2M` this planner may choose (everything, or `MEM_avail`
     /// when SSD spill is disabled).
     pub fn max_swap_bytes(&self) -> f64 {
-        let all = self.model.inter_act_bytes()
-            + self
-                .units()
-                .iter()
-                .map(|u| u.bytes)
-                .sum::<f64>();
+        let all = self.model.inter_act_bytes() + self.units().iter().map(|u| u.bytes).sum::<f64>();
         if self.allow_ssd_spill {
             all
         } else {
@@ -312,6 +309,9 @@ impl<'a> ActivationPlanner<'a> {
     }
 
     /// Assigns placements (Eq. 3): host memory first, SSD overflow.
+    /// `spill_bytes` is derived from the placements actually made, so it
+    /// stays consistent with `swapped` even when unit granularity keeps
+    /// host memory from packing exactly to `MEM_avail`.
     fn finish(
         &self,
         swapped: Vec<UnitRef>,
@@ -320,27 +320,24 @@ impl<'a> ActivationPlanner<'a> {
         predicted: IterTime,
         case: PlanCase,
     ) -> SwapPlan {
-        let spill_bytes = if self.allow_ssd_spill {
-            (a_g2m - self.profile.mem_avail).max(0.0)
-        } else {
-            0.0
-        };
         // Checkpoints occupy host budget first; then swapped units in
         // benefit order until the budget runs out.
         let mut host_left = (self.profile.mem_avail - self.model.inter_act_bytes()).max(0.0);
-        let units = self.units();
+        let bytes_of: HashMap<(usize, UnitKind), f64> = self
+            .units()
+            .iter()
+            .map(|u| ((u.layer, u.kind), u.bytes))
+            .collect();
+        let mut spill_bytes = 0.0;
         let placed = swapped
             .into_iter()
             .map(|r| {
-                let bytes = units
-                    .iter()
-                    .find(|u| u.layer == r.layer && u.kind == r.kind)
-                    .map(|u| u.bytes)
-                    .unwrap_or(0.0);
+                let bytes = bytes_of.get(&(r.layer, r.kind)).copied().unwrap_or(0.0);
                 if bytes <= host_left {
                     host_left -= bytes;
                     (r, SwapTarget::Host)
                 } else {
+                    spill_bytes += bytes;
                     (r, SwapTarget::Ssd)
                 }
             })
@@ -389,6 +386,47 @@ mod tests {
         let plan = planner.plan();
         let t = plan.predicted.total();
         assert!((12.0..35.0).contains(&t), "T_iter = {t:.1}s");
+    }
+
+    #[test]
+    fn placement_totals_match_plan_accounting() {
+        // The per-unit placements and the plan's aggregate numbers must
+        // describe the same plan: host + SSD + checkpoints = A_G2M, the
+        // SSD share = spill_bytes, and host placements fit MEM_avail.
+        for batch in [8usize, 24, 32, 64, 96] {
+            let (profile, model) = setup(batch);
+            let plan = ActivationPlanner::new(&profile, &model).plan();
+            let bytes_of: HashMap<(usize, UnitKind), f64> = model
+                .units_by_benefit()
+                .iter()
+                .map(|u| ((u.layer, u.kind), u.bytes))
+                .collect();
+            let mut host = 0.0;
+            let mut ssd = 0.0;
+            for (r, target) in &plan.swapped {
+                let b = bytes_of[&(r.layer, r.kind)];
+                match target {
+                    SwapTarget::Host => host += b,
+                    SwapTarget::Ssd => ssd += b,
+                }
+            }
+            let inter = model.inter_act_bytes();
+            assert!(
+                (inter + host + ssd - plan.a_g2m).abs() < 1.0,
+                "batch {batch}: placements sum to {} but a_g2m is {}",
+                inter + host + ssd,
+                plan.a_g2m
+            );
+            assert!(
+                (ssd - plan.spill_bytes).abs() < 1.0,
+                "batch {batch}: SSD placements {ssd} vs spill_bytes {}",
+                plan.spill_bytes
+            );
+            assert!(
+                inter + host <= profile.mem_avail + 1.0,
+                "batch {batch}: host placements overflow MEM_avail"
+            );
+        }
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl IterationReport {
         let _ = model;
         IterationReport {
             iteration_seconds: t,
-            throughput_items_per_sec: if t > 0.0 { items_per_iteration / t } else { 0.0 },
+            throughput_items_per_sec: if t > 0.0 {
+                items_per_iteration / t
+            } else {
+                0.0
+            },
             tflops: if t > 0.0 { total_flops / t / 1e12 } else { 0.0 },
             gpu_busy_fraction: gpu_busy,
             optimizer_fraction: if t > 0.0 { opt_window / t } else { 0.0 },

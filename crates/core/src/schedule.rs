@@ -11,7 +11,7 @@
 //! the server's five resource classes (GPU compute, PCIe G2M, PCIe M2G,
 //! the simplex SSD array, CPU compute).
 
-use ratel_model::{ModelProfile, ModelKind};
+use ratel_model::{ModelKind, ModelProfile};
 use ratel_sim::{simulate, ResourceId, Stage, TaskGraph, TaskId};
 
 use crate::offload::GradOffloadMode;
@@ -209,212 +209,295 @@ impl IterationSpec {
         // cross-iteration synchronization point).
         let mut prev_updates: Vec<Option<TaskId>> = vec![None; n];
 
-        for _iter in 0..iterations {
-        let mut this_updates: Vec<Option<TaskId>> = vec![None; n];
-        // ----- Forward -----
-        // fwd[gpu][layer]
-        let mut fwd: Vec<Vec<TaskId>> = vec![Vec::with_capacity(n); self.gpus];
-        // Activation offload tasks, for backward-fetch dependencies:
-        // act_offloaded[gpu][layer] = G2M offload; act_spilled[layer] = SSD
-        // write (one per layer per GPU, flattened in insertion order).
-        let mut act_offloaded: Vec<Vec<Option<TaskId>>> = vec![vec![None; n]; self.gpus];
-        let mut act_spilled: Vec<Vec<Option<TaskId>>> = vec![vec![None; n]; self.gpus];
-        for (li, layer) in self.layers.iter().enumerate() {
-            // Parameter fetch: one SSD read staged to host, then a per-GPU
-            // host->GPU copy.
-            let updated: Vec<TaskId> = prev_updates[li].into_iter().collect();
-            let host_ready: Option<TaskId> = match layer.param_source {
-                ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task(
-                    ssd,
-                    layer.p16_bytes / r.ssd_read,
-                    Stage::Forward,
-                    &updated,
-                )),
-                _ => None,
+        for iter in 0..iterations {
+            // Timeline labels: `fwd L12`, `opt-read L7`, … with an `iN `
+            // prefix when the DAG spans several iterations and a ` gN`
+            // suffix when it spans several GPUs.
+            let pfx = if iterations > 1 {
+                format!("i{iter} ")
+            } else {
+                String::new()
             };
-            for gi in 0..self.gpus {
-                let fetch: Option<TaskId> = match layer.param_source {
-                    ParamSource::Gpu => None,
-                    ParamSource::Ssd | ParamSource::Host if layer.p16_bytes > 0.0 => {
-                        let deps: Vec<TaskId> = host_ready.into_iter().chain(updated.iter().copied()).collect();
-                        Some(g.add_task(
-                            m2g[gi],
-                            layer.p16_bytes / r.bw_m2g,
-                            Stage::Forward,
-                            &deps,
-                        ))
-                    }
-                    _ => None,
-                };
-                let mut deps: Vec<TaskId> = fetch.into_iter().collect();
-                if fetch.is_none() {
-                    // GPU-resident parameters: compute still waits for the
-                    // previous iteration's in-place update.
-                    deps.extend(updated.iter().copied());
-                }
-                if li > 0 {
-                    deps.push(fwd[gi][li - 1]);
-                }
-                let deps = if self.per_layer_overhead_seconds > 0.0 {
-                    vec![g.add_task(
-                        stall[gi],
-                        self.per_layer_overhead_seconds,
-                        Stage::Forward,
-                        &deps,
-                    )]
+            let gsfx = |gi: usize| {
+                if self.gpus > 1 {
+                    format!(" g{gi}")
                 } else {
-                    deps
-                };
-                let f = g.add_task(gpu[gi], layer.fwd_flops / r.thp_gpu, Stage::Forward, &deps);
-                total_gpu_flops += layer.fwd_flops;
-                fwd[gi].push(f);
-
-                // Activation offload (host-resident + SSD-spilled share the
-                // same G2M hop; the spill continues to the SSDs).
-                let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
-                if act_bytes > 0.0 {
-                    let off =
-                        g.add_task(g2m[gi], act_bytes / r.bw_g2m, Stage::Forward, &[f]);
-                    act_offloaded[gi][li] = Some(off);
-                    if layer.act_to_ssd_bytes > 0.0 {
-                        act_spilled[gi][li] = Some(g.add_task(
-                            ssd,
-                            layer.act_to_ssd_bytes / r.ssd_write,
-                            Stage::Forward,
-                            &[off],
-                        ));
-                    }
+                    String::new()
                 }
-            }
-        }
-
-        // ----- Backward (+ optimizer handlers) -----
-        // Backward starts at the loss: it depends on the last forward task.
-        let mut prev_bwd: Vec<Option<TaskId>> =
-            (0..self.gpus).map(|gi| fwd[gi].last().copied()).collect();
-        let mut last_grad_landed: Vec<TaskId> = Vec::new();
-        // Handler chaining state for the §IV-C modes.
-        let mut prev_handler_write: Option<TaskId> = None; // naive: full serialization
-        let mut prev_handler_read: Option<TaskId> = None; // optimized: write after prev read
-        let mut deferred: Vec<(usize, Vec<TaskId>)> = Vec::new(); // separate stage
-
-        for li in (0..self.layers.len()).rev() {
-            let layer = &self.layers[li];
-            let mut grad_ready_all: Vec<TaskId> = Vec::new();
-            for gi in 0..self.gpus {
-                // Refetch parameters for backward (Eq. 5's extra 2P terms).
+            };
+            let mut this_updates: Vec<Option<TaskId>> = vec![None; n];
+            // ----- Forward -----
+            // fwd[gpu][layer]
+            let mut fwd: Vec<Vec<TaskId>> = vec![Vec::with_capacity(n); self.gpus];
+            // Activation offload tasks, for backward-fetch dependencies:
+            // act_offloaded[gpu][layer] = G2M offload; act_spilled[layer] = SSD
+            // write (one per layer per GPU, flattened in insertion order).
+            let mut act_offloaded: Vec<Vec<Option<TaskId>>> = vec![vec![None; n]; self.gpus];
+            let mut act_spilled: Vec<Vec<Option<TaskId>>> = vec![vec![None; n]; self.gpus];
+            for (li, layer) in self.layers.iter().enumerate() {
+                // Parameter fetch: one SSD read staged to host, then a per-GPU
+                // host->GPU copy.
+                let updated: Vec<TaskId> = prev_updates[li].into_iter().collect();
                 let host_ready: Option<TaskId> = match layer.param_source {
-                    ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task(
+                    ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task_labeled(
                         ssd,
                         layer.p16_bytes / r.ssd_read,
-                        Stage::Backward,
-                        &[],
+                        Stage::Forward,
+                        &updated,
+                        format!("{pfx}fwd-read L{li}"),
                     )),
                     _ => None,
                 };
-                let fetch_p: Option<TaskId> = match layer.param_source {
-                    ParamSource::Gpu => None,
-                    _ if layer.p16_bytes > 0.0 => {
-                        let deps: Vec<TaskId> = host_ready.into_iter().collect();
-                        Some(g.add_task(
-                            m2g[gi],
-                            layer.p16_bytes / r.bw_m2g,
-                            Stage::Backward,
-                            &deps,
-                        ))
+                for gi in 0..self.gpus {
+                    let fetch: Option<TaskId> = match layer.param_source {
+                        ParamSource::Gpu => None,
+                        ParamSource::Ssd | ParamSource::Host if layer.p16_bytes > 0.0 => {
+                            let deps: Vec<TaskId> = host_ready
+                                .into_iter()
+                                .chain(updated.iter().copied())
+                                .collect();
+                            Some(g.add_task_labeled(
+                                m2g[gi],
+                                layer.p16_bytes / r.bw_m2g,
+                                Stage::Forward,
+                                &deps,
+                                format!("{pfx}fwd-fetch L{li}{}", gsfx(gi)),
+                            ))
+                        }
+                        _ => None,
+                    };
+                    let mut deps: Vec<TaskId> = fetch.into_iter().collect();
+                    if fetch.is_none() {
+                        // GPU-resident parameters: compute still waits for the
+                        // previous iteration's in-place update.
+                        deps.extend(updated.iter().copied());
                     }
-                    _ => None,
-                };
-                // Fetch swapped activations back (SSD spill first).
-                let mut act_dep: Option<TaskId> = None;
-                let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
-                if act_bytes > 0.0 {
-                    let ssd_read: Option<TaskId> = if layer.act_to_ssd_bytes > 0.0 {
-                        // The spill must have been written before it can be
-                        // read back.
-                        let deps: Vec<TaskId> = act_spilled[gi][li].into_iter().collect();
-                        Some(g.add_task(
-                            ssd,
-                            layer.act_to_ssd_bytes / r.ssd_read,
-                            Stage::Backward,
+                    if li > 0 {
+                        deps.push(fwd[gi][li - 1]);
+                    }
+                    let deps = if self.per_layer_overhead_seconds > 0.0 {
+                        vec![g.add_task_labeled(
+                            stall[gi],
+                            self.per_layer_overhead_seconds,
+                            Stage::Forward,
                             &deps,
-                        ))
+                            format!("{pfx}fwd-hook L{li}{}", gsfx(gi)),
+                        )]
                     } else {
-                        None
+                        deps
                     };
-                    let mut deps: Vec<TaskId> = ssd_read.into_iter().collect();
-                    deps.extend(act_offloaded[gi][li]);
-                    act_dep = Some(g.add_task(
-                        m2g[gi],
-                        act_bytes / r.bw_m2g,
-                        Stage::Backward,
+                    let f = g.add_task_labeled(
+                        gpu[gi],
+                        layer.fwd_flops / r.thp_gpu,
+                        Stage::Forward,
                         &deps,
-                    ));
-                }
-
-                let mut deps: Vec<TaskId> = Vec::new();
-                deps.extend(fetch_p);
-                deps.extend(act_dep);
-                deps.extend(prev_bwd[gi]);
-                let deps = if self.per_layer_overhead_seconds > 0.0 {
-                    vec![g.add_task(
-                        stall[gi],
-                        self.per_layer_overhead_seconds,
-                        Stage::Backward,
-                        &deps,
-                    )]
-                } else {
-                    deps
-                };
-                let b = g.add_task(gpu[gi], layer.bwd_flops / r.thp_gpu, Stage::Backward, &deps);
-                total_gpu_flops += layer.bwd_flops;
-                prev_bwd[gi] = Some(b);
-
-                // Gradient offload GPU->host.
-                if layer.grad_bytes > 0.0 {
-                    let go = g.add_task(
-                        g2m[gi],
-                        layer.grad_bytes / r.bw_g2m,
-                        Stage::Backward,
-                        &[b],
+                        format!("{pfx}fwd L{li}{}", gsfx(gi)),
                     );
-                    let landed = if layer.grad_spill_to_ssd {
-                        g.add_task(
-                            ssd,
-                            layer.grad_bytes / r.ssd_write,
-                            Stage::Backward,
-                            &[go],
-                        )
-                    } else {
-                        go
-                    };
-                    grad_ready_all.push(landed);
-                    last_grad_landed.push(landed);
-                } else {
-                    grad_ready_all.push(b);
-                    last_grad_landed.push(b);
+                    total_gpu_flops += layer.fwd_flops;
+                    fwd[gi].push(f);
+
+                    // Activation offload (host-resident + SSD-spilled share the
+                    // same G2M hop; the spill continues to the SSDs).
+                    let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
+                    if act_bytes > 0.0 {
+                        let off = g.add_task_labeled(
+                            g2m[gi],
+                            act_bytes / r.bw_g2m,
+                            Stage::Forward,
+                            &[f],
+                            format!("{pfx}act-off L{li}{}", gsfx(gi)),
+                        );
+                        act_offloaded[gi][li] = Some(off);
+                        if layer.act_to_ssd_bytes > 0.0 {
+                            act_spilled[gi][li] = Some(g.add_task_labeled(
+                                ssd,
+                                layer.act_to_ssd_bytes / r.ssd_write,
+                                Stage::Forward,
+                                &[off],
+                                format!("{pfx}act-spill L{li}{}", gsfx(gi)),
+                            ));
+                        }
+                    }
                 }
             }
 
-            // Multi-GPU gradient reduction on the CPU before the handler.
-            let handler_input: Vec<TaskId> = if self.gpus > 1 && layer.grad_bytes > 0.0 {
-                let reduce_params =
-                    layer.grad_bytes / 2.0 * (self.gpus as f64 - 1.0);
-                vec![g.add_task(
-                    cpu,
-                    reduce_params / (4.0 * r.cpu_params_per_sec),
-                    Stage::Backward,
-                    &grad_ready_all,
-                )]
-            } else {
-                grad_ready_all.clone()
-            };
+            // ----- Backward (+ optimizer handlers) -----
+            // Backward starts at the loss: it depends on the last forward task.
+            let mut prev_bwd: Vec<Option<TaskId>> =
+                (0..self.gpus).map(|gi| fwd[gi].last().copied()).collect();
+            let mut last_grad_landed: Vec<TaskId> = Vec::new();
+            // Handler chaining state for the §IV-C modes.
+            let mut prev_handler_write: Option<TaskId> = None; // naive: full serialization
+            let mut prev_handler_read: Option<TaskId> = None; // optimized: write after prev read
+            let mut deferred: Vec<(usize, Vec<TaskId>)> = Vec::new(); // separate stage
 
-            match self.mode {
-                GradOffloadMode::SeparateStage => {
-                    deferred.push((li, handler_input));
+            for li in (0..self.layers.len()).rev() {
+                let layer = &self.layers[li];
+                let mut grad_ready_all: Vec<TaskId> = Vec::new();
+                // Refetch parameters for backward (Eq. 5's extra 2P terms):
+                // like the forward fetch, one SSD read stages the layer to
+                // host memory and every GPU copies from that staging buffer —
+                // the SSD traffic must not scale with the GPU count. The
+                // refetch reads what the *previous* iteration's handler wrote
+                // back, so it also waits on that write (no staleness).
+                let updated: Vec<TaskId> = prev_updates[li].into_iter().collect();
+                let host_ready: Option<TaskId> = match layer.param_source {
+                    ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task_labeled(
+                        ssd,
+                        layer.p16_bytes / r.ssd_read,
+                        Stage::Backward,
+                        &updated,
+                        format!("{pfx}bwd-read L{li}"),
+                    )),
+                    _ => None,
+                };
+                for gi in 0..self.gpus {
+                    let fetch_p: Option<TaskId> = match layer.param_source {
+                        ParamSource::Gpu => None,
+                        _ if layer.p16_bytes > 0.0 => {
+                            let deps: Vec<TaskId> = host_ready
+                                .into_iter()
+                                .chain(updated.iter().copied())
+                                .collect();
+                            Some(g.add_task_labeled(
+                                m2g[gi],
+                                layer.p16_bytes / r.bw_m2g,
+                                Stage::Backward,
+                                &deps,
+                                format!("{pfx}bwd-fetch L{li}{}", gsfx(gi)),
+                            ))
+                        }
+                        _ => None,
+                    };
+                    // Fetch swapped activations back (SSD spill first).
+                    let mut act_dep: Option<TaskId> = None;
+                    let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
+                    if act_bytes > 0.0 {
+                        let ssd_read: Option<TaskId> = if layer.act_to_ssd_bytes > 0.0 {
+                            // The spill must have been written before it can be
+                            // read back.
+                            let deps: Vec<TaskId> = act_spilled[gi][li].into_iter().collect();
+                            Some(g.add_task_labeled(
+                                ssd,
+                                layer.act_to_ssd_bytes / r.ssd_read,
+                                Stage::Backward,
+                                &deps,
+                                format!("{pfx}act-load L{li}{}", gsfx(gi)),
+                            ))
+                        } else {
+                            None
+                        };
+                        let mut deps: Vec<TaskId> = ssd_read.into_iter().collect();
+                        deps.extend(act_offloaded[gi][li]);
+                        act_dep = Some(g.add_task_labeled(
+                            m2g[gi],
+                            act_bytes / r.bw_m2g,
+                            Stage::Backward,
+                            &deps,
+                            format!("{pfx}act-up L{li}{}", gsfx(gi)),
+                        ));
+                    }
+
+                    let mut deps: Vec<TaskId> = Vec::new();
+                    deps.extend(fetch_p);
+                    deps.extend(act_dep);
+                    deps.extend(prev_bwd[gi]);
+                    let deps = if self.per_layer_overhead_seconds > 0.0 {
+                        vec![g.add_task_labeled(
+                            stall[gi],
+                            self.per_layer_overhead_seconds,
+                            Stage::Backward,
+                            &deps,
+                            format!("{pfx}bwd-hook L{li}{}", gsfx(gi)),
+                        )]
+                    } else {
+                        deps
+                    };
+                    let b = g.add_task_labeled(
+                        gpu[gi],
+                        layer.bwd_flops / r.thp_gpu,
+                        Stage::Backward,
+                        &deps,
+                        format!("{pfx}bwd L{li}{}", gsfx(gi)),
+                    );
+                    total_gpu_flops += layer.bwd_flops;
+                    prev_bwd[gi] = Some(b);
+
+                    // Gradient offload GPU->host.
+                    if layer.grad_bytes > 0.0 {
+                        let go = g.add_task_labeled(
+                            g2m[gi],
+                            layer.grad_bytes / r.bw_g2m,
+                            Stage::Backward,
+                            &[b],
+                            format!("{pfx}grad-off L{li}{}", gsfx(gi)),
+                        );
+                        let landed = if layer.grad_spill_to_ssd {
+                            g.add_task_labeled(
+                                ssd,
+                                layer.grad_bytes / r.ssd_write,
+                                Stage::Backward,
+                                &[go],
+                                format!("{pfx}grad-spill L{li}{}", gsfx(gi)),
+                            )
+                        } else {
+                            go
+                        };
+                        grad_ready_all.push(landed);
+                        last_grad_landed.push(landed);
+                    } else {
+                        grad_ready_all.push(b);
+                        last_grad_landed.push(b);
+                    }
                 }
-                GradOffloadMode::NaiveActive | GradOffloadMode::OptimizedActive => {
+
+                // Multi-GPU gradient reduction on the CPU before the handler.
+                let handler_input: Vec<TaskId> = if self.gpus > 1 && layer.grad_bytes > 0.0 {
+                    let reduce_params = layer.grad_bytes / 2.0 * (self.gpus as f64 - 1.0);
+                    vec![g.add_task_labeled(
+                        cpu,
+                        reduce_params / (4.0 * r.cpu_params_per_sec),
+                        Stage::Backward,
+                        &grad_ready_all,
+                        format!("{pfx}reduce L{li}"),
+                    )]
+                } else {
+                    grad_ready_all.clone()
+                };
+
+                match self.mode {
+                    GradOffloadMode::SeparateStage => {
+                        deferred.push((li, handler_input));
+                    }
+                    GradOffloadMode::NaiveActive | GradOffloadMode::OptimizedActive => {
+                        let (read, write) = self.add_handler(
+                            &mut g,
+                            ssd,
+                            cpu,
+                            gpu[0],
+                            &g2m[0],
+                            &m2g[0],
+                            li,
+                            &handler_input,
+                            prev_handler_write,
+                            prev_handler_read,
+                            Stage::Backward,
+                            &pfx,
+                        );
+                        prev_handler_read = read;
+                        prev_handler_write = write;
+                        this_updates[li] = write;
+                    }
+                }
+            }
+
+            // ----- Separate optimizer stage (barrier after backward) -----
+            if self.mode == GradOffloadMode::SeparateStage {
+                let barrier = last_grad_landed;
+                let mut prev_write: Option<TaskId> = None;
+                let mut prev_read: Option<TaskId> = None;
+                for (li, mut inputs) in deferred {
+                    inputs.extend(barrier.iter().copied());
                     let (read, write) = self.add_handler(
                         &mut g,
                         ssd,
@@ -423,48 +506,22 @@ impl IterationSpec {
                         &g2m[0],
                         &m2g[0],
                         li,
-                        &handler_input,
-                        prev_handler_write,
-                        prev_handler_read,
-                        Stage::Backward,
+                        &inputs,
+                        prev_write,
+                        prev_read,
+                        Stage::Optimizer,
+                        &pfx,
                     );
-                    prev_handler_read = read;
-                    prev_handler_write = write;
+                    // The separate stage serializes each chunk's read ->
+                    // compute -> write like DeepSpeed's synchronous swapper;
+                    // only the *optimized* active mode pipelines them.
+                    prev_read = read;
+                    prev_write = write;
                     this_updates[li] = write;
                 }
             }
-        }
 
-        // ----- Separate optimizer stage (barrier after backward) -----
-        if self.mode == GradOffloadMode::SeparateStage {
-            let barrier = last_grad_landed;
-            let mut prev_write: Option<TaskId> = None;
-            let mut prev_read: Option<TaskId> = None;
-            for (li, mut inputs) in deferred {
-                inputs.extend(barrier.iter().copied());
-                let (read, write) = self.add_handler(
-                    &mut g,
-                    ssd,
-                    cpu,
-                    gpu[0],
-                    &g2m[0],
-                    &m2g[0],
-                    li,
-                    &inputs,
-                    prev_write,
-                    prev_read,
-                    Stage::Optimizer,
-                );
-                // The separate stage serializes each chunk's read ->
-                // compute -> write like DeepSpeed's synchronous swapper;
-                // only the *optimized* active mode pipelines them.
-                prev_read = read;
-                prev_write = write;
-                this_updates[li] = write;
-            }
-        }
-
-        prev_updates = this_updates;
+            prev_updates = this_updates;
         } // per-iteration loop
         let _ = prev_updates;
 
@@ -497,6 +554,7 @@ impl IterationSpec {
         prev_write: Option<TaskId>,
         prev_read: Option<TaskId>,
         stage: Stage,
+        pfx: &str,
     ) -> (Option<TaskId>, Option<TaskId>) {
         let r = &self.rates;
         match self.layers[li].optimizer {
@@ -515,13 +573,19 @@ impl IterationSpec {
                     read_deps.extend(prev_write);
                 }
                 let eff = r.state_io_efficiency;
-                let read =
-                    g.add_task(ssd, read_bytes / (eff * r.ssd_read), stage, &read_deps);
-                let compute = g.add_task(
+                let read = g.add_task_labeled(
+                    ssd,
+                    read_bytes / (eff * r.ssd_read),
+                    stage,
+                    &read_deps,
+                    format!("{pfx}opt-read L{li}"),
+                );
+                let compute = g.add_task_labeled(
                     cpu,
                     cpu_params / r.cpu_params_per_sec,
                     stage,
                     &[read],
+                    format!("{pfx}opt-cpu L{li}"),
                 );
                 // Main->SSD: optimized mode issues it after the *previous*
                 // handler's SSD->Main (Fig. 3b), which lets the FIFO SSD
@@ -530,8 +594,13 @@ impl IterationSpec {
                 if self.mode == GradOffloadMode::OptimizedActive {
                     write_deps.extend(prev_read);
                 }
-                let write =
-                    g.add_task(ssd, write_bytes / (eff * r.ssd_write), stage, &write_deps);
+                let write = g.add_task_labeled(
+                    ssd,
+                    write_bytes / (eff * r.ssd_write),
+                    stage,
+                    &write_deps,
+                    format!("{pfx}opt-write L{li}"),
+                );
                 (Some(read), Some(write))
             }
             OptimizerKind::CpuInMemory { cpu_params } => {
@@ -539,8 +608,13 @@ impl IterationSpec {
                 if self.mode == GradOffloadMode::NaiveActive || stage == Stage::Optimizer {
                     deps.extend(prev_write);
                 }
-                let compute =
-                    g.add_task(cpu, cpu_params / r.cpu_params_per_sec, stage, &deps);
+                let compute = g.add_task_labeled(
+                    cpu,
+                    cpu_params / r.cpu_params_per_sec,
+                    stage,
+                    &deps,
+                    format!("{pfx}opt-cpu L{li}"),
+                );
                 (Some(compute), Some(compute))
             }
             OptimizerKind::GpuOverSsd {
@@ -548,15 +622,51 @@ impl IterationSpec {
                 writeback_bytes,
                 gpu_flops,
             } => {
-                let read = g.add_task(ssd, fetch_bytes / r.ssd_read, stage, inputs);
-                let up = g.add_task(*m2g0, fetch_bytes / r.bw_m2g, stage, &[read]);
-                let kernel = g.add_task(gpu0, gpu_flops / r.thp_gpu, stage, &[up]);
-                let down = g.add_task(*g2m0, writeback_bytes / r.bw_g2m, stage, &[kernel]);
-                let write = g.add_task(ssd, writeback_bytes / r.ssd_write, stage, &[down]);
+                let read = g.add_task_labeled(
+                    ssd,
+                    fetch_bytes / r.ssd_read,
+                    stage,
+                    inputs,
+                    format!("{pfx}opt-read L{li}"),
+                );
+                let up = g.add_task_labeled(
+                    *m2g0,
+                    fetch_bytes / r.bw_m2g,
+                    stage,
+                    &[read],
+                    format!("{pfx}opt-up L{li}"),
+                );
+                let kernel = g.add_task_labeled(
+                    gpu0,
+                    gpu_flops / r.thp_gpu,
+                    stage,
+                    &[up],
+                    format!("{pfx}opt-kernel L{li}"),
+                );
+                let down = g.add_task_labeled(
+                    *g2m0,
+                    writeback_bytes / r.bw_g2m,
+                    stage,
+                    &[kernel],
+                    format!("{pfx}opt-down L{li}"),
+                );
+                let write = g.add_task_labeled(
+                    ssd,
+                    writeback_bytes / r.ssd_write,
+                    stage,
+                    &[down],
+                    format!("{pfx}opt-write L{li}"),
+                );
                 (Some(read), Some(write))
             }
             OptimizerKind::GpuResident { gpu_flops } => {
-                let kernel = g.add_task(gpu0, gpu_flops / r.thp_gpu, stage, inputs);
+                let kernel = g.add_task_labeled(
+                    gpu0,
+                    gpu_flops / r.thp_gpu,
+                    stage,
+                    inputs,
+                    format!("{pfx}opt-kernel L{li}"),
+                );
                 (Some(kernel), Some(kernel))
             }
             OptimizerKind::None => (prev_read, prev_write),
@@ -579,14 +689,9 @@ impl IterationSpec {
         );
         report.iteration_seconds /= n as f64;
         if self.gpus > 1 {
-            let busy: f64 = res
-                .gpu
-                .iter()
-                .map(|r| report.sim.resources[r.0].busy)
-                .sum();
+            let busy: f64 = res.gpu.iter().map(|r| report.sim.resources[r.0].busy).sum();
             report.gpu_busy_fraction = busy
-                / (self.gpus as f64
-                    * (report.iteration_seconds * n as f64).max(f64::MIN_POSITIVE));
+                / (self.gpus as f64 * (report.iteration_seconds * n as f64).max(f64::MIN_POSITIVE));
         }
         report
     }
@@ -596,13 +701,10 @@ impl IterationSpec {
         let (graph, res, flops) = self.build();
         let sim = simulate(&graph);
         // Aggregate GPU busy over all GPUs for the utilization number.
-        let mut report = IterationReport::new(sim, model, self.items_per_iteration, flops, res.gpu[0]);
+        let mut report =
+            IterationReport::new(sim, model, self.items_per_iteration, flops, res.gpu[0]);
         if self.gpus > 1 {
-            let busy: f64 = res
-                .gpu
-                .iter()
-                .map(|r| report.sim.resources[r.0].busy)
-                .sum();
+            let busy: f64 = res.gpu.iter().map(|r| report.sim.resources[r.0].busy).sum();
             report.gpu_busy_fraction =
                 busy / (self.gpus as f64 * report.iteration_seconds.max(f64::MIN_POSITIVE));
         }
@@ -630,18 +732,19 @@ impl<'a> RatelSchedule<'a> {
     pub fn to_spec(&self) -> IterationSpec {
         // Distribute the host activation budget: checkpoints first (they
         // are placed in host by construction), then swapped units by plan.
+        let placement: std::collections::HashMap<(usize, ratel_model::UnitKind), SwapTarget> = self
+            .plan
+            .swapped
+            .iter()
+            .map(|(u, target)| ((u.layer, u.kind), *target))
+            .collect();
         let mut layers = Vec::with_capacity(self.model.layers.len());
         for layer in &self.model.layers {
             let mut host = layer.inter_act_bytes;
             let mut ssd = 0.0;
             let mut recompute = 0.0;
             for unit in &layer.units {
-                if let Some((_, target)) = self
-                    .plan
-                    .swapped
-                    .iter()
-                    .find(|(u, _)| u.layer == unit.layer && u.kind == unit.kind)
-                {
+                if let Some(target) = placement.get(&(unit.layer, unit.kind)) {
                     match target {
                         SwapTarget::Host => host += unit.bytes,
                         SwapTarget::Ssd => ssd += unit.bytes,
@@ -852,7 +955,10 @@ mod tests {
         let t12 = tok(12);
         let low_ratio = t3 / t1;
         let high_ratio = t12 / t6;
-        assert!(low_ratio > 2.0, "1->3 SSDs should be near-linear: {low_ratio:.2}");
+        assert!(
+            low_ratio > 2.0,
+            "1->3 SSDs should be near-linear: {low_ratio:.2}"
+        );
         assert!(
             low_ratio > 1.5 * high_ratio,
             "scaling should flatten: 1->3 gives {low_ratio:.2}x, 6->12 gives {high_ratio:.2}x"
@@ -926,5 +1032,138 @@ mod multi_iteration_tests {
         let (g3, _, f3) = spec.build_iterations(3);
         assert_eq!(g3.len(), 3 * g1.len());
         assert!((f3 - 3.0 * f1).abs() < 1e-3);
+    }
+}
+
+#[cfg(test)]
+mod scheduling_correctness_tests {
+    use super::*;
+    use ratel_sim::simulate;
+
+    /// Unit rates make every task's service time equal to its byte/flop
+    /// count, so timeline positions are easy to reason about.
+    fn unit_rates() -> LinkRates {
+        LinkRates {
+            thp_gpu: 1.0,
+            bw_g2m: 1.0,
+            bw_m2g: 1.0,
+            ssd_read: 1.0,
+            ssd_write: 1.0,
+            cpu_params_per_sec: 1.0,
+            state_io_efficiency: 1.0,
+        }
+    }
+
+    fn layer() -> LayerTask {
+        LayerTask {
+            label: "blk".into(),
+            p16_bytes: 2.0,
+            param_source: ParamSource::Ssd,
+            fwd_flops: 1.0,
+            bwd_flops: 2.0,
+            act_to_host_bytes: 1.0,
+            // Zero SSD activation spill: the remaining SSD traffic
+            // (parameter staging, optimizer state) must not scale with
+            // the GPU count.
+            act_to_ssd_bytes: 0.0,
+            grad_bytes: 2.0,
+            grad_spill_to_ssd: false,
+            optimizer: OptimizerKind::CpuOutOfCore {
+                read_bytes: 12.0,
+                write_bytes: 14.0,
+                cpu_params: 1.0,
+            },
+        }
+    }
+
+    fn spec(gpus: usize, layers: usize, mode: GradOffloadMode) -> IterationSpec {
+        IterationSpec {
+            layers: (0..layers).map(|_| layer()).collect(),
+            mode,
+            rates: unit_rates(),
+            gpus,
+            items_per_iteration: 1.0,
+            per_layer_overhead_seconds: 0.0,
+        }
+    }
+
+    fn find<'a>(sim: &'a ratel_sim::SimReport, label: &str) -> &'a ratel_sim::TimelineEntry {
+        sim.timeline()
+            .iter()
+            .find(|e| e.label.as_deref() == Some(label))
+            .unwrap_or_else(|| panic!("no task labeled `{label}`"))
+    }
+
+    #[test]
+    fn backward_refetch_waits_for_previous_iterations_update() {
+        // Iteration k+1 re-reads the P16 the iteration-k handler wrote
+        // back; scheduling the refetch before the write-back would feed
+        // backward stale parameters.
+        let s = spec(1, 3, GradOffloadMode::OptimizedActive);
+        let (g, _, _) = s.build_iterations(2);
+        let sim = simulate(&g);
+        for li in 0..3 {
+            let write = find(&sim, &format!("i0 opt-write L{li}"));
+            for kind in ["fwd-read", "bwd-read", "bwd-fetch"] {
+                let refetch = find(&sim, &format!("i1 {kind} L{li}"));
+                assert!(
+                    refetch.start >= write.finish - 1e-9,
+                    "i1 {kind} L{li} starts at {:.3} before i0 opt-write L{li} \
+                     finishes at {:.3} (stale parameters)",
+                    refetch.start,
+                    write.finish
+                );
+            }
+        }
+        // The dependency is load-bearing for the makespan: the final
+        // backward chain of iteration 1 cannot start before iteration
+        // 0's layer-0 write-back lands.
+        let last_write = find(&sim, "i0 opt-write L0").finish;
+        let final_bwd = find(&sim, "i1 bwd L0");
+        assert!(final_bwd.finish >= last_write + 2.0 + 2.0 + 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn backward_ssd_staging_is_shared_across_gpus() {
+        // Like the forward fetch, the backward refetch stages each layer
+        // from SSD to host once; GPUs copy from the shared staging
+        // buffer. Total SSD service must be GPU-count invariant.
+        for mode in GradOffloadMode::ALL {
+            let (g1, r1, _) = spec(1, 4, mode).build();
+            let (g4, r4, _) = spec(4, 4, mode).build();
+            let s1 = g1.total_service(r1.ssd);
+            let s4 = g4.total_service(r4.ssd);
+            assert!(
+                (s1 - s4).abs() < 1e-9,
+                "{}: SSD service scales with GPU count: {s1:.3} (1 GPU) vs {s4:.3} (4 GPUs)",
+                mode.name()
+            );
+        }
+    }
+
+    #[test]
+    fn backward_staging_is_one_read_per_layer() {
+        let s = spec(3, 2, GradOffloadMode::OptimizedActive);
+        let (g, _, _) = s.build();
+        let sim = simulate(&g);
+        for li in 0..2 {
+            let reads = sim
+                .timeline()
+                .iter()
+                .filter(|e| e.label.as_deref() == Some(&format!("bwd-read L{li}")[..]))
+                .count();
+            assert_eq!(reads, 1, "layer {li}: expected one shared staging read");
+            // ...feeding one host->GPU copy per GPU.
+            let copies = sim
+                .timeline()
+                .iter()
+                .filter(|e| {
+                    e.label
+                        .as_deref()
+                        .is_some_and(|l| l.starts_with(&format!("bwd-fetch L{li} ")))
+                })
+                .count();
+            assert_eq!(copies, 3);
+        }
     }
 }

@@ -57,7 +57,10 @@ impl ServerConfig {
 
     /// Returns a copy with a different GPU model.
     pub fn with_gpu(&self, gpu: GpuSpec) -> Self {
-        ServerConfig { gpu, ..self.clone() }
+        ServerConfig {
+            gpu,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with `count` GPUs (multi-GPU experiments, §V-G).

@@ -113,7 +113,9 @@ impl ModelConfig {
     /// Total trainable parameters `P` (Table I). The LM head is tied with
     /// the token embedding, as in GPT-2/OPT.
     pub fn total_params(&self) -> f64 {
-        self.block_params() * self.layers as f64 + self.embedding_params() + 2.0 * self.hidden as f64
+        self.block_params() * self.layers as f64
+            + self.embedding_params()
+            + 2.0 * self.hidden as f64
     }
 
     /// Model size in billions of parameters (the paper's headline unit).
@@ -158,8 +160,7 @@ impl ModelConfig {
 
     /// `A_all` of Table I: total activation bytes at batch `b`.
     pub fn total_act_bytes(&self, batch: usize) -> f64 {
-        (self.block_intra_act_bytes(batch) + self.block_inter_act_bytes(batch))
-            * self.layers as f64
+        (self.block_intra_act_bytes(batch) + self.block_inter_act_bytes(batch)) * self.layers as f64
     }
 
     /// `A_interBlock` of Table I: total checkpoint bytes at batch `b` — the

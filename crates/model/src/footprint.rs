@@ -132,7 +132,11 @@ mod tests {
         let m = ModelConfig::decoder_lm("13B", 40, 40, 5120);
         let s = ModelStates::of(&m);
         assert!((s.optimizer_write() - 14.0 * m.total_params()).abs() < 1.0);
-        assert!((175e9..190e9).contains(&s.optimizer_write()), "{}", s.optimizer_write());
+        assert!(
+            (175e9..190e9).contains(&s.optimizer_write()),
+            "{}",
+            s.optimizer_write()
+        );
         assert!((200e9..215e9).contains(&s.total()));
     }
 }

@@ -11,9 +11,7 @@
 //! large activation that is nearly free to recompute, giving it the lowest
 //! benefit of all — exactly the tensor you want to recompute, not swap.
 
-use crate::config::{
-    ModelConfig, ModelKind, ACT_INTRA_ATTN_BYTES, ACT_INTRA_MLP_BYTES,
-};
+use crate::config::{ModelConfig, ModelKind, ACT_INTRA_ATTN_BYTES, ACT_INTRA_MLP_BYTES};
 
 /// Which part of a layer an activation unit belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -198,11 +196,8 @@ impl ModelProfile {
     /// All intra-layer activation units, sorted by descending offloading
     /// benefit — the order Algorithm 1 walks (line 6).
     pub fn units_by_benefit(&self) -> Vec<&ActivationUnit> {
-        let mut units: Vec<&ActivationUnit> = self
-            .layers
-            .iter()
-            .flat_map(|l| l.units.iter())
-            .collect();
+        let mut units: Vec<&ActivationUnit> =
+            self.layers.iter().flat_map(|l| l.units.iter()).collect();
         units.sort_by(|a, b| {
             b.offloading_benefit()
                 .partial_cmp(&a.offloading_benefit())
@@ -249,7 +244,10 @@ mod tests {
         // First all MLP halves, then all attention halves, embedding last.
         assert_eq!(units.first().unwrap().kind, UnitKind::Mlp);
         assert_eq!(units.last().unwrap().kind, UnitKind::Embedding);
-        let first_attn = units.iter().position(|u| u.kind == UnitKind::Attention).unwrap();
+        let first_attn = units
+            .iter()
+            .position(|u| u.kind == UnitKind::Attention)
+            .unwrap();
         let last_mlp = units.iter().rposition(|u| u.kind == UnitKind::Mlp).unwrap();
         assert!(last_mlp < first_attn);
     }

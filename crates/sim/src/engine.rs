@@ -70,8 +70,9 @@ pub fn simulate(graph: &TaskGraph) -> SimReport {
         }
     }
 
-    let mut queues: Vec<BinaryHeap<Reverse<Waiting>>> =
-        (0..graph.resources.len()).map(|_| BinaryHeap::new()).collect();
+    let mut queues: Vec<BinaryHeap<Reverse<Waiting>>> = (0..graph.resources.len())
+        .map(|_| BinaryHeap::new())
+        .collect();
     let mut resource_free = vec![0.0_f64; graph.resources.len()];
     let mut resource_busy = vec![false; graph.resources.len()];
 
@@ -80,13 +81,13 @@ pub fn simulate(graph: &TaskGraph) -> SimReport {
     let mut events: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
 
     let try_start = |r: usize,
-                         now: f64,
-                         queues: &mut Vec<BinaryHeap<Reverse<Waiting>>>,
-                         resource_free: &mut Vec<f64>,
-                         resource_busy: &mut Vec<bool>,
-                         start: &mut Vec<f64>,
-                         finish: &mut Vec<f64>,
-                         events: &mut BinaryHeap<Reverse<Completion>>| {
+                     now: f64,
+                     queues: &mut Vec<BinaryHeap<Reverse<Waiting>>>,
+                     resource_free: &mut Vec<f64>,
+                     resource_busy: &mut Vec<bool>,
+                     start: &mut Vec<f64>,
+                     finish: &mut Vec<f64>,
+                     events: &mut BinaryHeap<Reverse<Completion>>| {
         if resource_busy[r] {
             return;
         }
@@ -132,7 +133,10 @@ pub fn simulate(graph: &TaskGraph) -> SimReport {
             indegree[succ.0] -= 1;
             if indegree[succ.0] == 0 {
                 let sr = graph.tasks[succ.0].resource.0;
-                queues[sr].push(Reverse(Waiting { ready: at, id: succ }));
+                queues[sr].push(Reverse(Waiting {
+                    ready: at,
+                    id: succ,
+                }));
                 try_start(
                     sr,
                     at,

@@ -101,6 +101,20 @@ impl TaskGraph {
         id
     }
 
+    /// [`add_task`](Self::add_task) plus a timeline label in one call.
+    pub fn add_task_labeled(
+        &mut self,
+        resource: ResourceId,
+        service: f64,
+        stage: Stage,
+        deps: &[TaskId],
+        label: impl Into<String>,
+    ) -> TaskId {
+        let id = self.add_task(resource, service, stage, deps);
+        self.set_label(id, label);
+        id
+    }
+
     /// Attaches a human-readable label to a task (shown in timelines).
     pub fn set_label(&mut self, task: TaskId, label: impl Into<String>) {
         self.tasks[task.0].label = Some(label.into());
@@ -141,11 +155,7 @@ impl TaskGraph {
     pub fn critical_path(&self) -> f64 {
         let mut finish = vec![0.0_f64; self.tasks.len()];
         for (i, t) in self.tasks.iter().enumerate() {
-            let ready = t
-                .deps
-                .iter()
-                .map(|d| finish[d.0])
-                .fold(0.0_f64, f64::max);
+            let ready = t.deps.iter().map(|d| finish[d.0]).fold(0.0_f64, f64::max);
             finish[i] = ready + t.service;
         }
         finish.into_iter().fold(0.0, f64::max)

@@ -13,12 +13,19 @@
 //! The engine reports the makespan, per-resource busy time, and per-stage
 //! windows/utilizations — exactly the quantities in the paper's Fig. 1
 //! stage breakdowns ("PCIe_G2M: 47%", "Optimizer (23s)") and the GPU-busy
-//! percentages of Fig. 2b/2c.
+//! percentages of Fig. 2b/2c. The recorded per-task timeline additionally
+//! feeds the [`trace`] module: Chrome trace-event JSON export, ASCII
+//! timelines, and an idle-gap ("bubble") analyzer.
 
 pub mod engine;
 pub mod graph;
 pub mod report;
+pub mod trace;
 
 pub use engine::simulate;
 pub use graph::{ResourceId, Stage, TaskGraph, TaskId};
 pub use report::{ResourceUsage, SimReport, StageReport, TimelineEntry};
+pub use trace::{
+    analyze_bubbles, ascii_timeline, bubble_summary, bubbles, chrome_trace_json, critical_resource,
+    utilization_breakdown, utilization_table, Bubble, BubbleReport, UtilizationRow,
+};

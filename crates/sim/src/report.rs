@@ -37,7 +37,9 @@ impl StageReport {
 pub struct TimelineEntry {
     /// The task.
     pub task: TaskId,
-    /// Resource it ran on (name as registered).
+    /// Resource it ran on.
+    pub resource_id: ResourceId,
+    /// Resource name as registered with the graph.
     pub resource: String,
     /// Stage tag.
     pub stage: Stage,
@@ -47,6 +49,20 @@ pub struct TimelineEntry {
     pub finish: f64,
     /// Optional label from the graph builder.
     pub label: Option<String>,
+}
+
+impl TimelineEntry {
+    /// Seconds the task occupied its resource.
+    pub fn duration(&self) -> f64 {
+        (self.finish - self.start).max(0.0)
+    }
+
+    /// The label, or a generated `task N` fallback.
+    pub fn display_label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("task {}", self.task.0))
+    }
 }
 
 /// The full result of simulating a task graph.
@@ -104,6 +120,7 @@ impl SimReport {
             .enumerate()
             .map(|(i, t)| TimelineEntry {
                 task: TaskId(i),
+                resource_id: t.resource,
                 resource: graph.resources[t.resource.0].clone(),
                 stage: t.stage,
                 start: start[i],
@@ -165,7 +182,12 @@ impl SimReport {
                     *cell = glyph;
                 }
             }
-            let _ = writeln!(out, "{:>name_w$}  {}", res.name, row.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>name_w$}  {}",
+                res.name,
+                row.iter().collect::<String>()
+            );
             let _ = ri;
         }
         out
@@ -282,9 +304,15 @@ mod timeline_tests {
     fn gantt_rows_cover_busy_spans() {
         let r = demo_report();
         let chart = r.render_gantt(60);
-        let gpu_row = chart.lines().find(|l| l.trim_start().starts_with("gpu")).unwrap();
+        let gpu_row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("gpu"))
+            .unwrap();
         assert!(gpu_row.contains('F') && gpu_row.contains('B'));
-        let pcie_row = chart.lines().find(|l| l.trim_start().starts_with("pcie")).unwrap();
+        let pcie_row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("pcie"))
+            .unwrap();
         assert!(pcie_row.contains('F') && !pcie_row.contains('B'));
     }
 }

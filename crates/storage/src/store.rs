@@ -124,13 +124,19 @@ impl TieredStore {
     /// Caps `route` at `bytes_per_sec` (None removes the cap). Transfers
     /// over a capped route block the calling thread for `bytes / rate`.
     pub fn set_throttle(&self, route: Route, bytes_per_sec: Option<f64>) {
-        let idx = Route::ALL.iter().position(|r| *r == route).expect("known route");
+        let idx = Route::ALL
+            .iter()
+            .position(|r| *r == route)
+            .expect("known route");
         self.throttle.lock()[idx] = bytes_per_sec;
     }
 
     /// Sleeps according to the route's throttle, if any.
     fn apply_throttle(&self, route: Route, bytes: u64) {
-        let idx = Route::ALL.iter().position(|r| *r == route).expect("known route");
+        let idx = Route::ALL
+            .iter()
+            .position(|r| *r == route)
+            .expect("known route");
         let rate = self.throttle.lock()[idx];
         if let Some(rate) = rate {
             if rate > 0.0 {
@@ -532,7 +538,10 @@ mod tests {
             store.move_to("nope", Tier::Gpu),
             Err(StorageError::NotFound(_))
         ));
-        assert!(matches!(store.remove("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(
+            store.remove("nope"),
+            Err(StorageError::NotFound(_))
+        ));
     }
 
     #[test]

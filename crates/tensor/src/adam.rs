@@ -90,7 +90,10 @@ impl Adam {
     /// # Panics
     /// If the buffer length is odd or disagrees with `n`.
     pub fn from_flat(flat: &[f32], t: u64) -> Self {
-        assert!(flat.len().is_multiple_of(2), "flat Adam state must be [m..., v...]");
+        assert!(
+            flat.len().is_multiple_of(2),
+            "flat Adam state must be [m..., v...]"
+        );
         let n = flat.len() / 2;
         Adam {
             m: flat[..n].to_vec(),

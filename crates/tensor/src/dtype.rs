@@ -119,7 +119,11 @@ pub fn encode_f16(values: &[f32]) -> Vec<u8> {
 /// # Panics
 /// If `bytes.len()` is odd.
 pub fn decode_f16(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len().is_multiple_of(2), "odd f16 byte length {}", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(2),
+        "odd f16 byte length {}",
+        bytes.len()
+    );
     bytes
         .chunks_exact(2)
         .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
@@ -141,7 +145,11 @@ pub fn encode_f32(values: &[f32]) -> Vec<u8> {
 /// # Panics
 /// If `bytes.len()` is not a multiple of 4.
 pub fn decode_f32(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len().is_multiple_of(4), "bad f32 byte length {}", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "bad f32 byte length {}",
+        bytes.len()
+    );
     bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))

@@ -228,7 +228,7 @@ impl MultiHeadAttention {
                 apply_causal_mask(&mut scores, seq);
                 let p = softmax_rows(&scores);
                 let c = matmul(&p, &v); // [s, d]
-                // Write back ctx rows and prob block.
+                                        // Write back ctx rows and prob block.
                 for t in 0..seq {
                     let dst = (bi * seq + t) * h + hd * d;
                     ctx[dst..dst + d].copy_from_slice(&c.data()[t * d..(t + 1) * d]);
@@ -271,7 +271,8 @@ impl MultiHeadAttention {
                 let k = head_slice(&saved.qkv, bi, seq, h, 1, hd, d);
                 let v = head_slice(&saved.qkv, bi, seq, h, 2, hd, d);
                 let pb = (bi * self.heads + hd) * seq * seq;
-                let p = Tensor::from_vec(&[seq, seq], saved.probs.data()[pb..pb + seq * seq].to_vec());
+                let p =
+                    Tensor::from_vec(&[seq, seq], saved.probs.data()[pb..pb + seq * seq].to_vec());
 
                 // Slice this head's dctx.
                 let mut dc = vec![0.0f32; seq * d];
@@ -514,7 +515,13 @@ impl TransformerBlock {
         let m = match dropout {
             Some(spec) => apply_mask(
                 &m,
-                &dropout_mask(m.len(), DropoutSpec { p: spec.p, seed: spec.seed ^ 0x9e37_79b9 }),
+                &dropout_mask(
+                    m.len(),
+                    DropoutSpec {
+                        p: spec.p,
+                        seed: spec.seed ^ 0x9e37_79b9,
+                    },
+                ),
             ),
             None => m,
         };
@@ -554,7 +561,13 @@ impl TransformerBlock {
         let dm = match dropout {
             Some(spec) => apply_mask(
                 dy,
-                &dropout_mask(dy.len(), DropoutSpec { p: spec.p, seed: spec.seed ^ 0x9e37_79b9 }),
+                &dropout_mask(
+                    dy.len(),
+                    DropoutSpec {
+                        p: spec.p,
+                        seed: spec.seed ^ 0x9e37_79b9,
+                    },
+                ),
             ),
             None => dy.clone(),
         };
@@ -567,9 +580,9 @@ impl TransformerBlock {
             Some(spec) => apply_mask(&dx2, &dropout_mask(dx2.len(), spec)),
             None => dx2.clone(),
         };
-        let (dx1, dwqkv, dwo) = self
-            .attn
-            .backward(&saved.x1, &saved.attn, &da, self.batch, self.seq);
+        let (dx1, dwqkv, dwo) =
+            self.attn
+                .backward(&saved.x1, &saved.attn, &da, self.batch, self.seq);
         let (dx_ln, dg1, db1) = self.ln1.backward(x, &saved.ln1_stats, &dx1);
         let mut dx = dx2;
         dx.add_assign(&dx_ln);
@@ -787,7 +800,10 @@ impl Embedding {
     pub fn forward_at(&self, token: usize, pos: usize) -> Tensor {
         let h = self.tokens.shape()[1];
         assert!(token < self.tokens.shape()[0], "token {token} out of vocab");
-        assert!(pos < self.positions.shape()[0], "position {pos} out of range");
+        assert!(
+            pos < self.positions.shape()[0],
+            "position {pos} out of range"
+        );
         let data: Vec<f32> = self.tokens.data()[token * h..(token + 1) * h]
             .iter()
             .zip(&self.positions.data()[pos * h..(pos + 1) * h])
@@ -1184,10 +1200,7 @@ mod tests {
             }
         }
         // And the last token's output does change.
-        assert_ne!(
-            &y1.data()[(seq - 1) * h..],
-            &y2.data()[(seq - 1) * h..]
-        );
+        assert_ne!(&y1.data()[(seq - 1) * h..], &y2.data()[(seq - 1) * h..]);
     }
 
     #[test]
@@ -1513,10 +1526,7 @@ mod kv_cache_tests {
             for j in 0..h {
                 let a = full.data()[t * h + j];
                 let b = inc.data()[j];
-                assert!(
-                    (a - b).abs() < 1e-4,
-                    "token {t} channel {j}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-4, "token {t} channel {j}: {a} vs {b}");
             }
         }
         assert_eq!(cache.len(), seq);

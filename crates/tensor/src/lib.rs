@@ -30,7 +30,8 @@ pub use adam::{Adam, AdamParams};
 pub use dtype::{f16_bits_to_f32, f32_to_f16_bits, DType};
 pub use layers::{
     block_dropout_spec, AttnSaved, BlockSaved, CrossEntropy, Embedding, GptConfig, GptModel,
-    HeadSaved, KvCache, LayerNorm, Linear, Mlp, MlpSaved, MultiHeadAttention, ParamLayer, TransformerBlock,
+    HeadSaved, KvCache, LayerNorm, Linear, Mlp, MlpSaved, MultiHeadAttention, ParamLayer,
+    TransformerBlock,
 };
 pub use ops::DropoutSpec;
 pub use tensor::Tensor;

@@ -315,7 +315,12 @@ pub fn cross_entropy_backward(probs: &Tensor, targets: &[usize]) -> Tensor {
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(t.shape().len(), 2, "{what} must be 2-D, got {:?}", t.shape());
+    assert_eq!(
+        t.shape().len(),
+        2,
+        "{what} must be 2-D, got {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1])
 }
 

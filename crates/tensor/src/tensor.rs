@@ -194,8 +194,12 @@ mod tests {
     fn randn_has_roughly_unit_scale() {
         let t = Tensor::randn(&[10_000], 1.0, 7);
         let mean = t.sum() / t.len() as f64;
-        let var: f64 =
-            t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / t.len() as f64;
+        let var: f64 = t
+            .data()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / t.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

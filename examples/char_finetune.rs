@@ -13,7 +13,8 @@ use ratel_repro::prelude::*;
 
 // A small training corpus (original text, heavy on repetition so a tiny
 // model can learn its patterns quickly).
-const CORPUS: &str = "the ratel moves the tensors to the ssd and hides the optimizer behind the backward pass. \
+const CORPUS: &str =
+    "the ratel moves the tensors to the ssd and hides the optimizer behind the backward pass. \
 the ratel moves the tensors to the ssd and hides the optimizer behind the backward pass. \
 the ratel moves the tensors to the ssd and hides the optimizer behind the backward pass. \
 the ratel moves the tensors to the ssd and hides the optimizer behind the backward pass. \

@@ -33,7 +33,10 @@ fn main() {
 
     // Where does Ratel's advantage come from? Show the planner's decision
     // for the largest DiT both approaches can discuss.
-    let model = zoo::dit_ladder().into_iter().find(|m| m.name == "DiT-10B").unwrap();
+    let model = zoo::dit_ladder()
+        .into_iter()
+        .find(|m| m.name == "DiT-10B")
+        .unwrap();
     let batch = System::Ratel
         .max_batch(&server, &model, &batches)
         .expect("Ratel trains DiT-10B");

@@ -23,7 +23,11 @@ fn main() {
         server.main_memory_bytes >> 30,
         server.ssds.count
     );
-    println!("model:  {} ({:.1}B parameters)\n", model.name, model.size_billions());
+    println!(
+        "model:  {} ({:.1}B parameters)\n",
+        model.name,
+        model.size_billions()
+    );
 
     // Who can even train this?
     for sys in System::ALL {
@@ -31,7 +35,11 @@ fn main() {
         println!(
             "  {:<14} {}",
             sys.name(),
-            if ok { "feasible" } else { "cannot train 175B here" }
+            if ok {
+                "feasible"
+            } else {
+                "cannot train 175B here"
+            }
         );
     }
 

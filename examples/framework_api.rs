@@ -63,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prompt.push((5 * prompt.last().unwrap() + 3) % model.vocab);
     }
     let generated = trainer.generate(&prompt, 6)?;
-    println!("prompt tail {:?} -> generated {:?}", &prompt[4..], generated);
+    println!(
+        "prompt tail {:?} -> generated {:?}",
+        &prompt[4..],
+        generated
+    );
     let dir = std::env::temp_dir().join("ratel-framework-api-ckpt");
     trainer.save_checkpoint(&dir)?;
     println!("checkpoint saved to {}", dir.display());

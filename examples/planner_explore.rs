@@ -30,12 +30,20 @@ fn main() {
         print!("  T_iter(A_G2M):");
         let units = profile.units_by_benefit();
         let stride = (units.len() / 6).max(1);
-        print!(" [{:>4.0} GB -> {:>5.1} s]", a / 1e9, planner.iter_time(a, flop_r).total());
+        print!(
+            " [{:>4.0} GB -> {:>5.1} s]",
+            a / 1e9,
+            planner.iter_time(a, flop_r).total()
+        );
         for (i, u) in units.iter().enumerate() {
             a += u.bytes;
             flop_r -= u.recompute_flops;
             if (i + 1) % stride == 0 || i + 1 == units.len() {
-                print!(" [{:>4.0} GB -> {:>5.1} s]", a / 1e9, planner.iter_time(a, flop_r).total());
+                print!(
+                    " [{:>4.0} GB -> {:>5.1} s]",
+                    a / 1e9,
+                    planner.iter_time(a, flop_r).total()
+                );
             }
         }
         println!();
@@ -69,7 +77,10 @@ fn main() {
     // halves second, the embedding output last.
     let profile = ModelProfile::new(&model_cfg, 32);
     let units = profile.units_by_benefit();
-    println!("offloading-benefit ordering (first 3 and last 3 of {} units):", units.len());
+    println!(
+        "offloading-benefit ordering (first 3 and last 3 of {} units):",
+        units.len()
+    );
     for u in units.iter().take(3).chain(units.iter().rev().take(3).rev()) {
         println!(
             "  layer {:>3} {:?}: {:.0} FLOP/byte",

@@ -40,12 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gpu_capacity: Some(8 << 20), // an 8 MiB "GPU"
         host_capacity: None,
         active_offload: true,
-            loss_scale: ScalePolicy::None,
-            grad_clip: None,
-            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+        lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     };
 
     let mut engine = RatelEngine::new(config)?;
@@ -76,29 +76,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Prove the "no staleness" claim: replay the same schedule in memory
     // and compare the final master weights bit for bit.
-    let mut reference = ReferenceTrainer::new(model, 7, AdamParams { lr: 3e-3, ..Default::default() });
+    let mut reference = ReferenceTrainer::new(
+        model,
+        7,
+        AdamParams {
+            lr: 3e-3,
+            ..Default::default()
+        },
+    );
     let mut engine2 = RatelEngine::new(EngineConfig {
         model,
         seed: 7,
-        adam: AdamParams { lr: 3e-3, ..Default::default() },
+        adam: AdamParams {
+            lr: 3e-3,
+            ..Default::default()
+        },
         act_decisions: vec![ActDecision::SwapToSsd; 4],
         gpu_capacity: None,
         host_capacity: None,
         active_offload: true,
-            loss_scale: ScalePolicy::None,
-            grad_clip: None,
-            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+        lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     })?;
     for _ in 0..3 {
         engine2.train_step(&tokens, &targets)?;
         reference.train_step(&tokens, &targets);
     }
-    let identical = (0..engine2.layer_count()).all(|l| {
-        engine2.master_params(l).unwrap() == reference.master_params(l)
-    });
+    let identical = (0..engine2.layer_count())
+        .all(|l| engine2.master_params(l).unwrap() == reference.master_params(l));
     println!("offloaded == in-memory training, bit for bit: {identical}");
     assert!(identical);
     Ok(())

@@ -37,8 +37,8 @@ pub use ratel_tensor as tensor;
 pub mod prelude {
     pub use ratel::engine::data::{corpus_batches, learnable_batch, random_batch, CharVocab};
     pub use ratel::engine::lr::LrSchedule;
-    pub use ratel::engine::scaler::ScalePolicy;
     pub use ratel::engine::reference::ReferenceTrainer;
+    pub use ratel::engine::scaler::ScalePolicy;
     pub use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
     pub use ratel::offload::GradOffloadMode;
     pub use ratel::planner::{ActivationPlanner, SwapPlan};

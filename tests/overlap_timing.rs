@@ -32,10 +32,10 @@ fn build(active: bool) -> RatelEngine {
         active_offload: active,
         loss_scale: ScalePolicy::None,
         grad_clip: None,
-            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
-            dropout: None,
-            prefetch_params: false,
-            frozen_layers: Vec::new(),
+        lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+        dropout: None,
+        prefetch_params: false,
+        frozen_layers: Vec::new(),
     })
     .unwrap();
     // Throttle the SSD routes so optimizer-state I/O takes real time

@@ -42,10 +42,14 @@ fn claim_2_throughput_advantage_on_13b() {
             .unwrap_or(0.0)
     };
     let ratel = best(System::Ratel);
-    let best_baseline = [System::ZeroInfinity, System::ZeroOffload, System::ColossalAi]
-        .into_iter()
-        .map(best)
-        .fold(0.0, f64::max);
+    let best_baseline = [
+        System::ZeroInfinity,
+        System::ZeroOffload,
+        System::ColossalAi,
+    ]
+    .into_iter()
+    .map(best)
+    .fold(0.0, f64::max);
     let gain = ratel / best_baseline;
     assert!(
         gain >= 2.0,
@@ -63,7 +67,9 @@ fn claim_3_cost_effectiveness_beats_dgx() {
     let model = zoo::llm("30B");
     let batches = [8usize, 16, 32, 64];
     // Ratel on the 4x4090 / 6-SSD sweet spot.
-    let server = ServerConfig::paper_default().with_gpu_count(4).with_ssd_count(6);
+    let server = ServerConfig::paper_default()
+        .with_gpu_count(4)
+        .with_ssd_count(6);
     let ratel_tput = System::Ratel
         .best_over_batches(&server, &model, &batches)
         .unwrap()
@@ -94,7 +100,11 @@ fn max_trainable_size_doubles_zero_infinity() {
     let ratel = System::Ratel.max_trainable_billions(&server, &ladder, 1);
     let zero = System::ZeroInfinity.max_trainable_billions(&server, &ladder, 1);
     assert!((270.0..290.0).contains(&ratel), "ratel max {ratel}");
-    assert!((1.8..2.3).contains(&(ratel / zero)), "ratio {}", ratel / zero);
+    assert!(
+        (1.8..2.3).contains(&(ratel / zero)),
+        "ratio {}",
+        ratel / zero
+    );
 }
 
 /// The planner's predictions track the simulator within a reasonable

@@ -284,9 +284,7 @@ mod engine_equivalence {
 
 mod tensor_math {
     use proptest::prelude::*;
-    use ratel_repro::tensor::ops::{
-        gelu, layernorm, matmul, matmul_at, matmul_bt, softmax_rows,
-    };
+    use ratel_repro::tensor::ops::{gelu, layernorm, matmul, matmul_at, matmul_bt, softmax_rows};
     use ratel_repro::tensor::Tensor;
 
     fn tensor(rows: usize, cols: usize, vals: &[f32]) -> Tensor {
@@ -418,6 +416,108 @@ mod model_scaling {
             let q = ModelProfile::new(&m2, batch);
             let ratio = q.total_params() / p1.total_params();
             prop_assert!((2.0..4.5).contains(&ratio), "{ratio}");
+        }
+    }
+}
+
+mod sim_fuzz {
+    use proptest::prelude::*;
+    use ratel_repro::sim::{simulate, ResourceId, Stage, TaskGraph};
+
+    /// Builds a random DAG over 4 resources. Each generated tuple is one
+    /// task: (resource, service, stage, chain-to-previous, back-edge
+    /// offset). Dependencies always point at earlier tasks, so the graph
+    /// is acyclic by construction.
+    fn build(tasks: &[(usize, f64, usize, bool, usize)]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let res: Vec<_> = (0..4).map(|i| g.add_resource(format!("r{i}"))).collect();
+        let mut ids = Vec::with_capacity(tasks.len());
+        for (i, &(r, service, stage, chain, back)) in tasks.iter().enumerate() {
+            let mut deps = Vec::new();
+            if chain && i > 0 {
+                deps.push(ids[i - 1]);
+            }
+            if back > 0 && i >= back {
+                deps.push(ids[i - back]);
+            }
+            let id = g.add_task_labeled(
+                res[r % 4],
+                service,
+                Stage::ALL[stage % 3],
+                &deps,
+                format!("t{i}"),
+            );
+            ids.push(id);
+        }
+        g
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The simulated makespan respects both lower bounds: the longest
+        /// dependency chain and the busiest single resource.
+        #[test]
+        fn makespan_respects_lower_bounds(
+            tasks in proptest::collection::vec(
+                (0usize..4, 0.0f64..5.0, 0usize..3, any::<bool>(), 0usize..6),
+                1..48,
+            ),
+        ) {
+            let g = build(&tasks);
+            let report = simulate(&g);
+            prop_assert!(report.makespan >= g.critical_path() - 1e-9);
+            for r in 0..4 {
+                prop_assert!(
+                    report.makespan >= g.total_service(ResourceId(r)) - 1e-9,
+                    "makespan {} below resource {} service {}",
+                    report.makespan, r, g.total_service(ResourceId(r))
+                );
+            }
+        }
+
+        /// A resource serves one task at a time: in the recorded timeline,
+        /// no two tasks on the same resource overlap.
+        #[test]
+        fn no_two_tasks_overlap_on_a_resource(
+            tasks in proptest::collection::vec(
+                (0usize..4, 0.0f64..5.0, 0usize..3, any::<bool>(), 0usize..6),
+                1..48,
+            ),
+        ) {
+            let g = build(&tasks);
+            let report = simulate(&g);
+            for r in 0..4 {
+                let mut slices: Vec<_> = report
+                    .timeline()
+                    .iter()
+                    .filter(|e| e.resource_id == ResourceId(r))
+                    .collect();
+                slices.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+                for w in slices.windows(2) {
+                    prop_assert!(
+                        w[1].start >= w[0].finish - 1e-9,
+                        "overlap on r{}: {:?} [{}, {}] vs {:?} [{}, {}]",
+                        r, w[0].label, w[0].start, w[0].finish,
+                        w[1].label, w[1].start, w[1].finish
+                    );
+                }
+            }
+        }
+
+        /// Simulation is a pure function of the graph: repeated runs are
+        /// bit-identical, timeline included.
+        #[test]
+        fn simulation_is_deterministic(
+            tasks in proptest::collection::vec(
+                (0usize..4, 0.0f64..5.0, 0usize..3, any::<bool>(), 0usize..6),
+                1..48,
+            ),
+        ) {
+            let g = build(&tasks);
+            let a = simulate(&g);
+            let b = simulate(&g);
+            prop_assert_eq!(a, b);
         }
     }
 }

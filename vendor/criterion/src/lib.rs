@@ -1,0 +1,147 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a minimal harness with criterion's surface API: `Criterion`,
+//! `bench_function`, the `criterion_group!` / `criterion_main!` macros,
+//! and `black_box`. It measures mean wall-clock time over `sample_size`
+//! samples and prints one line per benchmark — enough to compare runs by
+//! hand, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs one benchmark closure repeatedly.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            iters_per_sample: 1,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets a target measurement time; accepted for API compatibility
+    /// (the shim's cost model is sample-count based).
+    pub fn measurement_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// No-op for API compatibility with criterion's CLI parsing.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Measures `f` and prints `name: mean time per iteration`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut timed = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: self.iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            best = best.min(b.elapsed);
+            total += b.elapsed;
+            timed += b.iters;
+        }
+        if timed > 0 {
+            let mean = total / timed.max(1) as u32;
+            println!("{name}: mean {mean:?}/iter, best sample {best:?}");
+        } else {
+            println!("{name}: no iterations timed");
+        }
+        self
+    }
+}
+
+/// Defines a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| black_box(21u64).pow(2)));
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(3);
+        targets = bench_square
+    }
+
+    #[test]
+    fn group_runs() {
+        group();
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut calls = 0u64;
+        c.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 2);
+    }
+}
