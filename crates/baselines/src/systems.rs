@@ -263,6 +263,7 @@ fn ds_spec(
             bwd_flops: 2.0 * layer.forward_flops + recompute,
             act_to_host_bytes: layer.inter_act_bytes,
             act_to_ssd_bytes: 0.0,
+            refetch_in_backward: true,
             grad_bytes: 2.0 * p,
             grad_spill_to_ssd: states_on_ssd,
             optimizer: if p == 0.0 {
@@ -306,6 +307,7 @@ fn colossal_spec(hw: &HardwareProfile, profile: &ModelProfile, gpus: usize) -> I
             bwd_flops: 2.0 * layer.forward_flops + recompute,
             act_to_host_bytes: 0.0,
             act_to_ssd_bytes: 0.0,
+            refetch_in_backward: true,
             grad_bytes: 2.0 * p,
             grad_spill_to_ssd: true,
             optimizer: if p == 0.0 {
@@ -344,6 +346,7 @@ fn flashneuron_spec(hw: &HardwareProfile, profile: &ModelProfile) -> IterationSp
             bwd_flops: 2.0 * layer.forward_flops,
             act_to_host_bytes: 0.0,
             act_to_ssd_bytes: acts,
+            refetch_in_backward: true,
             grad_bytes: 0.0,
             grad_spill_to_ssd: false,
             optimizer: if p == 0.0 {
@@ -381,6 +384,7 @@ fn g10_spec(hw: &HardwareProfile, profile: &ModelProfile) -> IterationSpec {
             bwd_flops: 2.0 * layer.forward_flops,
             act_to_host_bytes: 0.0,
             act_to_ssd_bytes: acts,
+            refetch_in_backward: true,
             grad_bytes: 2.0 * p,
             grad_spill_to_ssd: true,
             optimizer: if p == 0.0 {

@@ -55,6 +55,19 @@ fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine/step_in_memory_reference", |b| {
         b.iter(|| std::hint::black_box(reference.train_step(&tokens, &targets)))
     });
+
+    // Telemetry overhead: the recorder's disabled path is one relaxed
+    // atomic load per would-be event; enabled, every span/transfer takes
+    // a short critical section. These two series bound the cost.
+    let mut untraced = make(vec![ActDecision::SwapToHost; model.layers], true);
+    c.bench_function("engine/step_telemetry_disabled", |b| {
+        b.iter(|| std::hint::black_box(untraced.train_step(&tokens, &targets).unwrap().loss))
+    });
+    let mut traced = make(vec![ActDecision::SwapToHost; model.layers], true);
+    traced.enable_telemetry();
+    c.bench_function("engine/step_telemetry_enabled", |b| {
+        b.iter(|| std::hint::black_box(traced.train_step(&tokens, &targets).unwrap().loss))
+    });
 }
 
 criterion_group! {

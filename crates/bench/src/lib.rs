@@ -10,6 +10,7 @@
 
 pub mod figs;
 pub mod table;
+pub mod validate;
 
 use ratel_hw::ServerConfig;
 

@@ -14,6 +14,70 @@ use ratel_bench::figs::trace::{parse_mode, render_report, TraceConfig};
 const TRACE_USAGE: &str = "usage: ratel-bench trace [--model 13B] [--batch 32] \
 [--mode optimized|naive|separate] [--gpus 1] [--iters 1] [--width 100] [--out trace.json]";
 
+const VALIDATE_USAGE: &str = "usage: ratel-bench validate [--model tiny|small] [--steps 1] \
+[--throttle 1e-4] [--tolerance 0.5] [--out validate.json]";
+
+fn validate_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = ratel_bench::validate::ValidateConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "help" {
+            return Err(VALIDATE_USAGE.to_string());
+        }
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value\n{VALIDATE_USAGE}"))?;
+        match flag {
+            "--model" => {
+                if ratel_bench::validate::validate_model(v).is_none() {
+                    return Err(format!("unknown model {v:?} (tiny|small)"));
+                }
+                cfg.model = v.clone();
+            }
+            "--steps" => {
+                cfg.steps = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--steps expects a positive integer, got {v:?}"))?
+                    .max(1)
+            }
+            "--throttle" => {
+                cfg.throttle = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t > 0.0)
+                    .ok_or_else(|| format!("--throttle expects a positive number, got {v:?}"))?
+            }
+            "--tolerance" => {
+                cfg.tolerance =
+                    v.parse::<f64>().ok().filter(|t| *t > 0.0).ok_or_else(|| {
+                        format!("--tolerance expects a positive number, got {v:?}")
+                    })?
+            }
+            "--out" => cfg.out = Some(v.clone()),
+            _ => return Err(format!("unknown flag {flag:?}\n{VALIDATE_USAGE}")),
+        }
+        i += 2;
+    }
+    let report = ratel_bench::validate::run(&cfg)?;
+    print!("{}", ratel_bench::validate::render(&cfg, &report));
+    if let Some(path) = &cfg.out {
+        let json = ratel_sim::chrome_trace_json_timelines(&[
+            report.sim_timeline.clone(),
+            report.measured_timeline.clone(),
+        ]);
+        std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote {path} — load it in chrome://tracing or https://ui.perfetto.dev");
+    }
+    // Fail the command (after the report and trace are out, so they can
+    // be inspected) if bytes drifted or a stage blew the tolerance.
+    let failures = report.failures(cfg.tolerance);
+    if !failures.is_empty() {
+        return Err(format!("validation failed:\n  {}", failures.join("\n  ")));
+    }
+    Ok(())
+}
+
 fn trace_cmd(args: &[String]) -> Result<(), String> {
     let mut cfg = TraceConfig::default();
     let mut out: Option<String> = None;
@@ -65,10 +129,20 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <figure-id>... | all | list | trace [options]");
+        eprintln!(
+            "usage: repro <figure-id>... | all | list | trace [options] | validate [options]"
+        );
         eprintln!("figure ids: {}", figs::ALL.join(" "));
         eprintln!("{TRACE_USAGE}");
+        eprintln!("{VALIDATE_USAGE}");
         std::process::exit(2);
+    }
+    if args[0] == "validate" {
+        if let Err(e) = validate_cmd(&args[1..]) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
     }
     if args[0] == "trace" {
         if args.len() == 1 {

@@ -1,0 +1,588 @@
+//! `ratel-bench validate`: sim-vs-real cross-validation of the engine.
+//!
+//! The simulator predicts iteration timelines from an [`IterationSpec`];
+//! the engine actually executes training steps through the tiered store.
+//! This module closes the loop: it runs an instrumented
+//! [`RatelEngine::train_step`] with per-route throttles derived from a
+//! [`ServerConfig`] (scaled down so a test-sized model produces
+//! measurable transfers), builds the *matching* spec, simulates it with
+//! the same link rates plus compute rates calibrated from a warm-up
+//! step, and reports per-stage predicted-vs-measured deltas.
+//!
+//! Two classes of agreement are checked:
+//!
+//! * **bytes — exact.** The spec's planned per-route byte totals must
+//!   equal the engine's measured [`TrafficSnapshot`] to the byte; both
+//!   sides derive from the same P16/P32/OS32 inventory (12P reads, 14P
+//!   writes, 2P stages and gradients) and activation shapes, so any
+//!   drift is a modelling bug.
+//! * **times — within tolerance.** Transfer times follow bytes/rate
+//!   under throttling, but the sim serializes SSD reads and writes on
+//!   one resource while the store throttles each route independently,
+//!   and thread scheduling adds noise — so stage timings are compared
+//!   loosely.
+
+use ratel::engine::data::random_batch;
+use ratel::engine::lr::LrSchedule;
+use ratel::engine::scaler::ScalePolicy;
+use ratel::engine::telemetry::StepTelemetry;
+use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
+use ratel::schedule::{IterationSpec, LayerTask, LinkRates, OptimizerKind, ParamSource};
+use ratel::GradOffloadMode;
+use ratel_hw::ServerConfig;
+use ratel_sim::{simulate, SimReport, Stage, Timeline};
+use ratel_storage::{Route, SpanCategory, TrafficSnapshot};
+use ratel_tensor::{AdamParams, BlockSaved, GptConfig};
+
+/// What to validate: one engine configuration and a throttle level.
+#[derive(Debug, Clone)]
+pub struct ValidateConfig {
+    /// Model shape name (`tiny` or `small`).
+    pub model: String,
+    /// Measured steps after the calibration warm-up.
+    pub steps: usize,
+    /// Fraction of the server's link bandwidths applied as route
+    /// throttles (small models need slow links for measurable
+    /// transfers).
+    pub throttle: f64,
+    /// Relative per-stage timing tolerance for the ok/MISMATCH verdict.
+    pub tolerance: f64,
+    /// Chrome-trace output path (simulated + measured timelines).
+    pub out: Option<String>,
+}
+
+impl Default for ValidateConfig {
+    fn default() -> Self {
+        ValidateConfig {
+            model: "tiny".into(),
+            steps: 1,
+            throttle: 1e-4,
+            tolerance: 0.5,
+            out: None,
+        }
+    }
+}
+
+/// Resolves a validate model name to an executable shape.
+pub fn validate_model(name: &str) -> Option<GptConfig> {
+    match name {
+        "tiny" => Some(GptConfig::tiny()),
+        "small" => Some(GptConfig {
+            vocab: 96,
+            seq: 24,
+            hidden: 48,
+            heads: 6,
+            layers: 4,
+            batch: 2,
+        }),
+        _ => None,
+    }
+}
+
+/// One stage's predicted vs measured wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct StageDelta {
+    /// Stage name (`forward`, `backward+optimizer`, `step`).
+    pub name: &'static str,
+    /// Simulator prediction, seconds.
+    pub predicted: f64,
+    /// Engine measurement, seconds (mean over the measured steps).
+    pub measured: f64,
+}
+
+impl StageDelta {
+    /// Relative error of the prediction against the measurement.
+    pub fn relative_error(&self) -> f64 {
+        if self.measured == 0.0 {
+            return if self.predicted == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        (self.predicted - self.measured).abs() / self.measured
+    }
+}
+
+/// Everything one validation run produced.
+pub struct ValidateReport {
+    /// Spec-planned bytes per route, indexed like [`Route::ALL`].
+    pub planned_bytes: [u64; 4],
+    /// Engine-measured per-step byte deltas (identical across steps).
+    pub measured_bytes: [u64; 4],
+    /// Per-stage predicted-vs-measured wall times.
+    pub stages: Vec<StageDelta>,
+    /// Measured optimizer-overlap ratio (§IV-C), mean over steps.
+    pub overlap_ratio: f64,
+    /// Achieved vs throttled bandwidth per route: `(route, achieved,
+    /// throttle_cap)`; achieved is `None` for idle routes.
+    pub bandwidth: Vec<(Route, Option<f64>, f64)>,
+    /// The simulated timeline (named `simulated`).
+    pub sim_timeline: Timeline,
+    /// The last measured step's timeline (named `measured`).
+    pub measured_timeline: Timeline,
+    /// The raw simulation report.
+    pub sim: SimReport,
+    /// The last measured step's telemetry.
+    pub telemetry: StepTelemetry,
+}
+
+impl ValidateReport {
+    /// Human-readable reasons this run fails validation under
+    /// `tolerance`: any planned/measured byte mismatch (always a bug)
+    /// plus any stage whose relative error exceeds the tolerance.
+    pub fn failures(&self, tolerance: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, route) in Route::ALL.iter().enumerate() {
+            if self.planned_bytes[i] != self.measured_bytes[i] {
+                out.push(format!(
+                    "{}: planned {} bytes but measured {}",
+                    route.name(),
+                    self.planned_bytes[i],
+                    self.measured_bytes[i]
+                ));
+            }
+        }
+        for stage in &self.stages {
+            let err = stage.relative_error();
+            if err > tolerance {
+                out.push(format!(
+                    "stage {}: predicted {:.3}s vs measured {:.3}s ({:.0}% off > {:.0}% tolerance)",
+                    stage.name,
+                    stage.predicted,
+                    stage.measured,
+                    100.0 * err,
+                    100.0 * tolerance
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Per-route throttle caps from a server config: PCIe per direction,
+/// SSD-array read/write — all scaled by `factor`.
+pub fn route_caps(server: &ServerConfig, factor: f64) -> [(Route, f64); 4] {
+    [
+        (Route::GpuToHost, server.pcie.bandwidth_per_dir * factor),
+        (Route::HostToGpu, server.pcie.bandwidth_per_dir * factor),
+        (Route::HostToSsd, server.ssds.write_bw() * factor),
+        (Route::SsdToHost, server.ssds.read_bw() * factor),
+    ]
+}
+
+/// The engine configuration a validation run executes: everything
+/// swapped to host, active offloading and parameter prefetch on — the
+/// paper's optimized schedule, which is also what the spec models.
+pub fn validate_engine_config(model: GptConfig) -> EngineConfig {
+    EngineConfig {
+        model,
+        seed: 42,
+        adam: AdamParams::default(),
+        act_decisions: vec![ActDecision::SwapToHost; model.layers],
+        gpu_capacity: None,
+        host_capacity: None,
+        active_offload: true,
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+        lr_schedule: LrSchedule::Constant,
+        dropout: None,
+        prefetch_params: true,
+        frozen_layers: Vec::new(),
+    }
+}
+
+/// Builds the [`IterationSpec`] matching one engine step byte-for-byte.
+///
+/// Layer ids follow the engine: 0 = embedding, 1..=L = blocks, L+1 =
+/// head. Per layer the spec plans exactly what the engine moves: a 2P
+/// fp16 stage per touch (the head is staged once — `refetch_in_backward`
+/// is false there), the block checkpoint plus saved activations to host,
+/// a 2P gradient hand-off, and the 12P/14P optimizer state I/O.
+pub fn engine_spec(engine: &RatelEngine, model: GptConfig, rates: LinkRates) -> IterationSpec {
+    let rows = (model.batch * model.seq) as f64;
+    let ckpt_bytes = 2.0 * rows * model.hidden as f64;
+    let act_bytes = 2.0
+        * BlockSaved::element_count_for(model.batch, model.seq, model.hidden, model.heads) as f64;
+    let layer_count = engine.layer_count();
+    let layers = (0..layer_count)
+        .map(|id| {
+            let params = engine.layer_param_count(id) as f64;
+            let is_block = id >= 1 && id <= model.layers;
+            let is_head = id == layer_count - 1;
+            LayerTask {
+                label: if id == 0 {
+                    "embedding".into()
+                } else if is_head {
+                    "head".into()
+                } else {
+                    format!("block{}", id - 1)
+                },
+                p16_bytes: 2.0 * params,
+                param_source: ParamSource::Ssd,
+                // Placeholder compute; the caller rescales to calibrated
+                // per-layer seconds via `rates.thp_gpu = 1.0`.
+                fwd_flops: 0.0,
+                bwd_flops: 0.0,
+                act_to_host_bytes: if is_block {
+                    ckpt_bytes + act_bytes
+                } else {
+                    0.0
+                },
+                act_to_ssd_bytes: 0.0,
+                refetch_in_backward: !is_head,
+                grad_bytes: 2.0 * params,
+                grad_spill_to_ssd: false,
+                optimizer: OptimizerKind::CpuOutOfCore {
+                    read_bytes: 12.0 * params,
+                    write_bytes: 14.0 * params,
+                    cpu_params: params,
+                },
+            }
+        })
+        .collect();
+    IterationSpec {
+        layers,
+        mode: GradOffloadMode::OptimizedActive,
+        rates,
+        gpus: 1,
+        items_per_iteration: model.batch as f64,
+        per_layer_overhead_seconds: 0.0,
+    }
+}
+
+/// Per-route planned bytes of a spec, indexed like [`Route::ALL`].
+///
+/// Fp16 parameters stage SSD→host→GPU (one count on each hop, twice for
+/// refetched layers); activations round-trip GPU→host→GPU (plus the SSD
+/// spill when planned); gradients land GPU→host; optimizer state I/O is
+/// SSD-only.
+pub fn planned_route_bytes(spec: &IterationSpec) -> [u64; 4] {
+    let mut g2h = 0.0;
+    let mut h2g = 0.0;
+    let mut h2s = 0.0;
+    let mut s2h = 0.0;
+    for layer in &spec.layers {
+        let stages = if layer.refetch_in_backward { 2.0 } else { 1.0 };
+        s2h += layer.p16_bytes * stages;
+        h2g += layer.p16_bytes * stages;
+        let act = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
+        g2h += act + layer.grad_bytes;
+        h2g += act;
+        h2s += layer.act_to_ssd_bytes;
+        s2h += layer.act_to_ssd_bytes;
+        if let OptimizerKind::CpuOutOfCore {
+            read_bytes,
+            write_bytes,
+            ..
+        } = layer.optimizer
+        {
+            s2h += read_bytes;
+            h2s += write_bytes;
+        }
+    }
+    // Route::ALL order: GpuToHost, HostToGpu, HostToSsd, SsdToHost.
+    [g2h as u64, h2g as u64, h2s as u64, s2h as u64]
+}
+
+/// Calibrated compute rates from a warm-up step's telemetry: per-layer
+/// compute *seconds* become the spec's "flops" with `thp_gpu = 1.0`, and
+/// the CPU Adam rate is total updated params over optimizer CPU time.
+fn calibrate(spec: &mut IterationSpec, warmup: &StepTelemetry) {
+    let mut fwd = vec![0.0f64; spec.layers.len()];
+    let mut bwd = vec![0.0f64; spec.layers.len()];
+    let mut opt_cpu = 0.0f64;
+    for s in &warmup.spans {
+        let layer = s
+            .label
+            .rsplit_once('L')
+            .and_then(|(_, n)| n.parse::<usize>().ok());
+        if let Some(l) = layer.filter(|l| *l < spec.layers.len()) {
+            if s.label.starts_with("fwd ") {
+                fwd[l] += s.seconds();
+            } else if s.label.starts_with("bwd ") {
+                bwd[l] += s.seconds();
+            } else if s.label.starts_with("opt-cpu ") {
+                opt_cpu += s.seconds();
+            }
+        }
+    }
+    let total_params: f64 = spec
+        .layers
+        .iter()
+        .map(|l| match l.optimizer {
+            OptimizerKind::CpuOutOfCore { cpu_params, .. } => cpu_params,
+            _ => 0.0,
+        })
+        .sum();
+    spec.rates.thp_gpu = 1.0;
+    if opt_cpu > 0.0 {
+        spec.rates.cpu_params_per_sec = total_params / opt_cpu;
+    }
+    for (task, (f, b)) in spec.layers.iter_mut().zip(fwd.iter().zip(&bwd)) {
+        task.fwd_flops = *f;
+        // The measured backward span covers the whole layer turnaround
+        // (checkpoint + activation fetches included), which the sim
+        // schedules as separate transfer tasks — keep only a compute
+        // floor so transfer time is not double-counted.
+        task.bwd_flops = (b - f).max(*f);
+    }
+}
+
+/// Runs the full validation: calibration step, measured steps, matching
+/// simulation, and the cross-check report.
+pub fn run(cfg: &ValidateConfig) -> Result<ValidateReport, String> {
+    let model =
+        validate_model(&cfg.model).ok_or_else(|| format!("unknown model {:?}", cfg.model))?;
+    let server = crate::paper_server();
+    let caps = route_caps(&server, cfg.throttle);
+    let steps = cfg.steps.max(1);
+
+    let mut engine =
+        RatelEngine::new(validate_engine_config(model)).map_err(|e| format!("engine: {e}"))?;
+    engine.enable_telemetry();
+    let (tokens, targets) = random_batch(&model, 1234);
+
+    // Warm-up step at full speed: calibrates compute rates and pays
+    // one-time costs (thread spawning, allocator warm-up).
+    engine
+        .train_step(&tokens, &targets)
+        .map_err(|e| format!("warm-up step: {e}"))?;
+    let warmup = engine
+        .last_step_telemetry()
+        .expect("telemetry enabled")
+        .clone();
+
+    // Measured steps under the throttled links.
+    for (route, cap) in caps {
+        engine.set_route_throttle(route, Some(cap));
+    }
+    let mut measured_traffic: Option<TrafficSnapshot> = None;
+    let mut wall = 0.0f64;
+    let mut fwd_s = 0.0f64;
+    let mut bwd_opt_s = 0.0f64;
+    let mut overlap = 0.0f64;
+    for step in 0..steps {
+        let stats = engine
+            .train_step(&tokens, &targets)
+            .map_err(|e| format!("measured step: {e}"))?;
+        if let Some(prev) = &measured_traffic {
+            for route in Route::ALL {
+                if prev.bytes(route) != stats.traffic.bytes(route) {
+                    return Err(format!(
+                        "step {step}: {route:?} moved {} bytes vs {} in step 0 — \
+                         steps should be identical",
+                        stats.traffic.bytes(route),
+                        prev.bytes(route)
+                    ));
+                }
+            }
+        } else {
+            measured_traffic = Some(stats.traffic);
+        }
+        let t = engine.last_step_telemetry().expect("telemetry enabled");
+        wall += t.wall_seconds;
+        // The measured forward stage is a *wall window* (step start to
+        // the last forward span's end, transfers included), matching the
+        // sim's stage-window semantics; backward+optimizer is the rest.
+        let fwd_end = t
+            .spans
+            .iter()
+            .filter(|s| s.category == SpanCategory::Forward)
+            .map(|s| s.end)
+            .fold(t.step_start, f64::max);
+        let fwd_window = fwd_end - t.step_start;
+        fwd_s += fwd_window;
+        bwd_opt_s += t.wall_seconds - fwd_window;
+        overlap += t.optimizer_overlap_ratio();
+    }
+    let measured_traffic = measured_traffic.expect("at least one step");
+    let telemetry = engine
+        .last_step_telemetry()
+        .expect("telemetry enabled")
+        .clone();
+    let n = steps as f64;
+
+    // The matching spec: same bytes, throttled link rates, calibrated
+    // compute.
+    let rates = LinkRates {
+        thp_gpu: 1.0,
+        bw_g2m: caps[0].1,
+        bw_m2g: caps[1].1,
+        ssd_write: caps[2].1,
+        ssd_read: caps[3].1,
+        cpu_params_per_sec: 1.0,
+        state_io_efficiency: 1.0,
+    };
+    let mut spec = engine_spec(&engine, model, rates);
+    calibrate(&mut spec, &warmup);
+    let planned = planned_route_bytes(&spec);
+    let (graph, _, _) = spec.build();
+    let sim = simulate(&graph);
+
+    let sim_fwd = sim.stage(Stage::Forward).duration();
+    let stages = vec![
+        StageDelta {
+            name: "forward",
+            predicted: sim_fwd,
+            measured: fwd_s / n,
+        },
+        StageDelta {
+            name: "backward+optimizer",
+            predicted: (sim.makespan - sim_fwd).max(0.0),
+            measured: bwd_opt_s / n,
+        },
+        StageDelta {
+            name: "step",
+            predicted: sim.makespan,
+            measured: wall / n,
+        },
+    ];
+
+    let bandwidth = Route::ALL
+        .iter()
+        .map(|&route| {
+            let cap = caps
+                .iter()
+                .find(|(r, _)| *r == route)
+                .map(|(_, c)| *c)
+                .expect("all routes capped");
+            (
+                route,
+                telemetry.route_metrics[route.index()].achieved_bandwidth(),
+                cap,
+            )
+        })
+        .collect();
+
+    let mut sim_timeline = Timeline::from_sim(&sim);
+    sim_timeline.name = "simulated".into();
+    let measured_timeline = telemetry.timeline("measured");
+
+    Ok(ValidateReport {
+        planned_bytes: planned,
+        measured_bytes: Route::ALL.map(|r| measured_traffic.bytes(r)),
+        stages,
+        overlap_ratio: overlap / n,
+        bandwidth,
+        sim_timeline,
+        measured_timeline,
+        sim,
+        telemetry,
+    })
+}
+
+fn human_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Renders the validation report as aligned text.
+pub fn render(cfg: &ValidateConfig, report: &ValidateReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sim-vs-real validation: model={} steps={} throttle={:.0e}\n\n",
+        cfg.model, cfg.steps, cfg.throttle
+    ));
+    out.push_str("per-route bytes (planned == measured required):\n");
+    for (i, route) in Route::ALL.iter().enumerate() {
+        let ok = if report.planned_bytes[i] == report.measured_bytes[i] {
+            "ok"
+        } else {
+            "MISMATCH"
+        };
+        out.push_str(&format!(
+            "  {:<10} planned {:>12} measured {:>12}  {}\n",
+            route.name(),
+            report.planned_bytes[i],
+            report.measured_bytes[i],
+            ok
+        ));
+    }
+    out.push_str("\nper-stage wall time (predicted vs measured):\n");
+    for s in &report.stages {
+        let verdict = if s.relative_error() <= cfg.tolerance {
+            "ok"
+        } else {
+            "MISMATCH"
+        };
+        out.push_str(&format!(
+            "  {:<20} predicted {:>8.3}s measured {:>8.3}s  ({:>5.1}% off, {})\n",
+            s.name,
+            s.predicted,
+            s.measured,
+            100.0 * s.relative_error(),
+            verdict
+        ));
+    }
+    out.push_str(&format!(
+        "\noptimizer overlap ratio: {:.2} (share of optimizer time hidden under backward)\n",
+        report.overlap_ratio
+    ));
+    out.push_str("\nachieved vs throttled bandwidth:\n");
+    for (route, achieved, cap) in &report.bandwidth {
+        match achieved {
+            Some(a) => out.push_str(&format!(
+                "  {:<10} {:>12}/s of {:>12}/s cap ({:.0}%)\n",
+                route.name(),
+                human_bytes(*a),
+                human_bytes(*cap),
+                100.0 * a / cap
+            )),
+            None => out.push_str(&format!("  {:<10} idle\n", route.name())),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planned_bytes_match_the_closed_form() {
+        let model = GptConfig::tiny();
+        let engine = RatelEngine::new(validate_engine_config(model)).unwrap();
+        let rates = LinkRates {
+            thp_gpu: 1.0,
+            bw_g2m: 1.0,
+            bw_m2g: 1.0,
+            ssd_read: 1.0,
+            ssd_write: 1.0,
+            cpu_params_per_sec: 1.0,
+            state_io_efficiency: 1.0,
+        };
+        let spec = engine_spec(&engine, model, rates);
+        let planned = planned_route_bytes(&spec);
+        let params = engine.total_params() as u64;
+        let head = engine.layer_param_count(engine.layer_count() - 1) as u64;
+        let rows = (model.batch * model.seq) as u64;
+        let ckpt = 2 * rows * model.hidden as u64;
+        let acts =
+            2 * BlockSaved::element_count_for(model.batch, model.seq, model.hidden, model.heads)
+                as u64;
+        let l = model.layers as u64;
+        // Route::ALL order: GpuToHost, HostToGpu, HostToSsd, SsdToHost.
+        assert_eq!(planned[0], l * (ckpt + acts) + 2 * params);
+        assert_eq!(planned[1], 2 * (2 * params - head) + l * (ckpt + acts));
+        assert_eq!(planned[2], 14 * params);
+        assert_eq!(planned[3], 12 * params + 2 * (2 * params - head));
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let cfg = ValidateConfig {
+            model: "100B".into(),
+            ..ValidateConfig::default()
+        };
+        assert!(run(&cfg).is_err());
+        assert!(validate_model("small").is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Sim-vs-real validation: the engine's measured traffic and timing must
+//! agree with the schedule the simulator predicts for the same
+//! configuration (bytes exactly, times loosely — see
+//! `ratel_bench::validate`).
+
+use ratel_bench::validate::{run, ValidateConfig};
+use ratel_sim::chrome_trace_json_timelines;
+
+#[test]
+fn measured_step_agrees_with_the_simulated_schedule() {
+    let cfg = ValidateConfig {
+        model: "tiny".into(),
+        steps: 2,
+        // ~4-6 MB/s route caps: slow enough that transfer time dominates
+        // scheduling noise, fast enough for a quick test.
+        throttle: 2e-4,
+        tolerance: 1.5,
+        out: None,
+    };
+    let report = run(&cfg).expect("validation run");
+
+    // Bytes: the spec plans exactly what the engine moves. Any drift is
+    // a modelling bug, so this is equality, not a tolerance.
+    assert_eq!(
+        report.planned_bytes, report.measured_bytes,
+        "planned per-route bytes must match the measured step exactly"
+    );
+    for (i, bytes) in report.measured_bytes.iter().enumerate() {
+        assert!(*bytes > 0, "route {i} moved no bytes");
+    }
+
+    // Times: throttled transfers dominate, so the simulated schedule
+    // must land in the same ballpark. The tolerance is loose because the
+    // sim serializes SSD reads+writes on one resource while the store
+    // throttles each route independently.
+    for stage in &report.stages {
+        assert!(
+            stage.relative_error() <= cfg.tolerance,
+            "stage {} predicted {:.3}s vs measured {:.3}s ({:.0}% off)",
+            stage.name,
+            stage.predicted,
+            stage.measured,
+            100.0 * stage.relative_error()
+        );
+        assert!(stage.predicted > 0.0 && stage.measured > 0.0);
+    }
+
+    // The CLI's pass/fail summary must agree with the assertions above.
+    assert!(
+        report.failures(cfg.tolerance).is_empty(),
+        "failures: {:?}",
+        report.failures(cfg.tolerance)
+    );
+    assert!(
+        !report.failures(0.0).is_empty(),
+        "a zero tolerance must flag every imperfect stage prediction"
+    );
+
+    // Active offloading must hide some optimizer time behind backward.
+    assert!(
+        report.overlap_ratio > 0.0,
+        "optimizer overlap ratio was {}, expected > 0 with active_offload",
+        report.overlap_ratio
+    );
+    assert!(report.overlap_ratio <= 1.0 + 1e-9);
+
+    // Throttled routes cannot beat their cap (modulo timestamp jitter).
+    for (route, achieved, cap) in &report.bandwidth {
+        if let Some(a) = achieved {
+            assert!(
+                *a <= cap * 1.05,
+                "{route:?} achieved {a} B/s above its {cap} B/s throttle"
+            );
+        }
+    }
+
+    // One Chrome trace holds both timelines, named and separated by pid.
+    let json = chrome_trace_json_timelines(&[
+        report.sim_timeline.clone(),
+        report.measured_timeline.clone(),
+    ]);
+    assert!(json.contains(r#""name":"simulated""#));
+    assert!(json.contains(r#""name":"measured""#));
+    assert!(json.contains(r#""pid":1"#));
+    assert!(json.contains(r#""stage":"optimizer""#));
+}

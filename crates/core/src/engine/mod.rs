@@ -27,10 +27,12 @@ pub(crate) mod prefetch;
 pub mod profiler;
 pub mod reference;
 pub mod scaler;
+pub mod telemetry;
 
 use std::sync::Arc;
 
-use ratel_storage::{Route, StorageError, Tier, TierConfig, TieredStore};
+use ratel_storage::telemetry::{SpanCategory, TelemetryRecorder};
+use ratel_storage::{Route, StorageError, Tier, TierConfig, TieredStore, TrafficSnapshot};
 use ratel_tensor::dtype::{decode_f16, decode_f32, encode_f16, encode_f32, round_to_f16};
 use ratel_tensor::{
     block_dropout_spec, Adam, AdamParams, BlockSaved, GptConfig, GptModel, KvCache, ParamLayer,
@@ -40,6 +42,7 @@ use ratel_tensor::{
 use lr::LrSchedule;
 use optimizer::{ActiveOptimizer, GradMessage};
 use scaler::{LossScaler, ScalePolicy};
+use telemetry::StepTelemetry;
 
 /// What to do with one transformer block's intra-layer activations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +146,9 @@ pub struct RatelEngine {
     layer_steps: Vec<u64>,
     /// Mixed-precision loss scaler.
     scaler: LossScaler,
+    /// Spans/metrics of the most recent instrumented step (None until a
+    /// step runs with telemetry enabled).
+    last_telemetry: Option<StepTelemetry>,
 }
 
 /// Picks a token from `logits` with temperature + top-k filtering;
@@ -235,6 +241,7 @@ impl RatelEngine {
             step: 0,
             layer_steps,
             scaler,
+            last_telemetry: None,
         };
         engine.init_states()?;
         Ok(engine)
@@ -347,7 +354,8 @@ impl RatelEngine {
         targets: &[usize],
     ) -> Result<StepStats, StorageError> {
         let t0 = std::time::Instant::now();
-        self.store.reset_traffic();
+        let traffic_before = self.store.traffic();
+        let step_start = self.begin_step_telemetry();
         self.step += 1;
 
         // Start the optimizer for this step. It runs on its own threads
@@ -361,7 +369,7 @@ impl RatelEngine {
             }
             eng.emit_gradient(layer, grads, &optimizer)
         })?;
-        self.finish_step(optimizer, t0, loss, scale)
+        self.finish_step(optimizer, t0, loss, scale, traffic_before, step_start)
     }
 
     /// Runs one training step over several micro-batches with gradient
@@ -380,7 +388,8 @@ impl RatelEngine {
     ) -> Result<StepStats, StorageError> {
         assert!(!micro_batches.is_empty(), "need at least one micro-batch");
         let t0 = std::time::Instant::now();
-        self.store.reset_traffic();
+        let traffic_before = self.store.traffic();
+        let step_start = self.begin_step_telemetry();
         self.step += 1;
         let scale = self.scaler.current();
         let n = micro_batches.len();
@@ -419,7 +428,14 @@ impl RatelEngine {
             }
             eng.emit_gradient(layer, grads, &optimizer)
         })?;
-        self.finish_step(optimizer, t0, loss_sum * inv_n, scale)
+        self.finish_step(
+            optimizer,
+            t0,
+            loss_sum * inv_n,
+            scale,
+            traffic_before,
+            step_start,
+        )
     }
 
     /// Sums a micro-batch's f16-rounded gradient into the layer's host
@@ -458,26 +474,62 @@ impl RatelEngine {
         )
     }
 
+    /// Marks the start of an instrumented step: discards spans left over
+    /// from inter-step activity (eval, generation) so the step's record
+    /// holds only its own spans. Returns the step's recorder-clock start
+    /// and a route-metrics snapshot to delta against, or `None` when
+    /// telemetry is off.
+    fn begin_step_telemetry(&self) -> Option<(f64, [ratel_storage::RouteMetrics; 4])> {
+        let rec = self.store.telemetry();
+        rec.enabled().then(|| {
+            rec.drain_spans();
+            (rec.now(), rec.route_metrics())
+        })
+    }
+
     fn finish_step(
         &mut self,
         optimizer: ActiveOptimizer,
         t0: std::time::Instant,
         loss: f32,
         scale: f32,
+        traffic_before: TrafficSnapshot,
+        step_start: Option<(f64, [ratel_storage::RouteMetrics; 4])>,
     ) -> Result<StepStats, StorageError> {
         // Synchronous semantics: the step is not done until every layer's
         // update has been written back to the SSD tier.
         let skipped = optimizer.finish()?;
+        let rec = Arc::clone(self.store.telemetry());
+        let t_scaler = rec.enabled().then(|| rec.now());
         self.scaler.update(!skipped.is_empty());
         for layer in 0..self.layer_count() {
             if !skipped.contains(&layer) && !self.is_frozen(layer) {
                 self.layer_steps[layer] += 1;
             }
         }
+        if let Some(t) = t_scaler {
+            let label = if skipped.is_empty() {
+                format!("scaler ok (scale {scale})")
+            } else {
+                format!("scaler overflow ({} skipped)", skipped.len())
+            };
+            rec.record_span("engine", SpanCategory::Other, label, t, rec.now());
+        }
+        let traffic = self.store.traffic().since(&traffic_before);
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        if let Some((step_start, metrics_before)) = step_start {
+            self.last_telemetry = Some(StepTelemetry::collect(
+                &rec,
+                traffic,
+                step_start,
+                wall_seconds,
+                &metrics_before,
+            ));
+        }
         Ok(StepStats {
             loss,
-            traffic: self.store.traffic(),
-            wall_seconds: t0.elapsed().as_secs_f64(),
+            traffic,
+            wall_seconds,
             loss_scale: scale,
             skipped_layers: skipped.len(),
         })
@@ -499,6 +551,7 @@ impl RatelEngine {
     ) -> Result<f32, StorageError> {
         let c = self.config.model;
         let l = c.layers;
+        let rec = Arc::clone(self.store.telemetry());
         let mut pf = if self.config.prefetch_params {
             Some(prefetch::ParamPrefetcher::start(
                 Arc::clone(&self.store),
@@ -510,11 +563,15 @@ impl RatelEngine {
 
         // ---------------- Forward ----------------
         self.stage_via(0, &mut pf)?;
+        let t = rec.enabled().then(|| rec.now());
         let mut x = self
             .model
             .embedding
             .forward(tokens, c.batch, c.seq)
             .quantize_f16();
+        if let Some(t) = t {
+            rec.record_span("gpu", SpanCategory::Forward, "fwd L0", t, rec.now());
+        }
         for b in 0..l {
             // Each block's *input* is its checkpoint (the inter-block A16
             // of the paper), always swapped so backward can run
@@ -525,7 +582,17 @@ impl RatelEngine {
                 .config
                 .dropout
                 .map(|p| block_dropout_spec(p, self.dropout_step_seed(), b));
+            let t = rec.enabled().then(|| rec.now());
             let (y, mut saved) = self.model.blocks[b].forward_with(&x, spec);
+            if let Some(t) = t {
+                rec.record_span(
+                    "gpu",
+                    SpanCategory::Forward,
+                    format!("fwd L{}", b + 1),
+                    t,
+                    rec.now(),
+                );
+            }
             saved.quantize_f16();
             match self.config.act_decisions[b] {
                 ActDecision::SwapToHost => {
@@ -541,16 +608,42 @@ impl RatelEngine {
 
         // ---------------- Loss + head backward ----------------
         self.stage_via(l + 1, &mut pf)?;
+        let t = rec.enabled().then(|| rec.now());
         let (loss, head_saved) = self.model.head.forward(&x, targets);
+        if let Some(t) = t {
+            rec.record_span(
+                "gpu",
+                SpanCategory::Forward,
+                format!("fwd L{}", l + 1),
+                t,
+                rec.now(),
+            );
+        }
+        let t = rec.enabled().then(|| rec.now());
         let (mut dx, head_grads) = self
             .model
             .head
             .backward_scaled(&x, &head_saved, targets, scale);
         drop(head_saved);
         on_grad(self, l + 1, head_grads)?;
+        if let Some(t) = t {
+            rec.record_span(
+                "gpu",
+                SpanCategory::Backward,
+                format!("bwd L{}", l + 1),
+                t,
+                rec.now(),
+            );
+        }
 
         // ---------------- Block backward ----------------
+        // The per-layer backward spans cover the whole layer turnaround
+        // (checkpoint fetch, staging, activation fetch or recompute,
+        // backward kernels, gradient hand-off): this is the window the
+        // active optimizer gets to hide behind, so the overlap ratio is
+        // measured against it.
         for b in (0..l).rev() {
+            let t = rec.enabled().then(|| rec.now());
             let rows = c.batch * c.seq;
             let ckpt = self.fetch_f16(&ckpt_key(b + 1))?;
             let input = Tensor::from_f16_bytes(&[rows, c.hidden], &ckpt);
@@ -575,12 +668,25 @@ impl RatelEngine {
             let (dprev, grads) = self.model.blocks[b].backward_with(&input, &saved, &dx, spec);
             dx = dprev;
             on_grad(self, b + 1, grads)?;
+            if let Some(t) = t {
+                rec.record_span(
+                    "gpu",
+                    SpanCategory::Backward,
+                    format!("bwd L{}", b + 1),
+                    t,
+                    rec.now(),
+                );
+            }
         }
 
         // ---------------- Embedding backward ----------------
+        let t = rec.enabled().then(|| rec.now());
         self.stage_via(0, &mut pf)?;
         let emb_grads = self.model.embedding.backward(tokens, c.batch, c.seq, &dx);
         on_grad(self, 0, emb_grads)?;
+        if let Some(t) = t {
+            rec.record_span("gpu", SpanCategory::Backward, "bwd L0", t, rec.now());
+        }
         Ok(loss)
     }
 
@@ -608,9 +714,20 @@ impl RatelEngine {
         grads: Vec<f32>,
         optimizer: &ActiveOptimizer,
     ) -> Result<(), StorageError> {
+        let rec = self.store.telemetry();
+        let t = rec.enabled().then(|| rec.now());
         let key = grad_key(layer);
         self.offload_f16(&key, encode_f16(&grads), Tier::Host)?;
         optimizer.submit(GradMessage { layer, key });
+        if let Some(t) = t {
+            rec.record_span(
+                "grad-offload",
+                SpanCategory::Other,
+                format!("grad L{layer}"),
+                t,
+                rec.now(),
+            );
+        }
         Ok(())
     }
 
@@ -859,10 +976,31 @@ impl RatelEngine {
         self.layer_params_flat(layer).len()
     }
 
-    /// Route-level traffic helper: bytes that crossed `route` so far in
-    /// the current counters.
+    /// Route-level traffic helper: *cumulative* bytes that crossed
+    /// `route` since the engine was created (per-step deltas are in
+    /// [`StepStats::traffic`]).
     pub fn traffic_bytes(&self, route: Route) -> u64 {
         self.store.traffic().bytes(route)
+    }
+
+    /// Turns span/metrics recording on. Subsequent `train_step` calls
+    /// populate [`RatelEngine::last_step_telemetry`]; every store
+    /// transfer and engine stage is timestamped while enabled.
+    pub fn enable_telemetry(&self) {
+        self.store.telemetry().set_enabled(true);
+    }
+
+    /// The shared telemetry recorder (owned by the store; disabled until
+    /// [`RatelEngine::enable_telemetry`]).
+    pub fn telemetry(&self) -> &Arc<TelemetryRecorder> {
+        self.store.telemetry()
+    }
+
+    /// The most recent instrumented step's telemetry: spans, per-route
+    /// metrics, stage breakdown, overlap ratio. `None` until a step runs
+    /// with telemetry enabled.
+    pub fn last_step_telemetry(&self) -> Option<&StepTelemetry> {
+        self.last_telemetry.as_ref()
     }
 
     /// Caps an inter-tier route's bandwidth in the underlying store —
@@ -1082,6 +1220,68 @@ mod tests {
             params * 14,
             "SSD writes must be exactly the 14P state write-back"
         );
+    }
+
+    #[test]
+    fn step_stats_traffic_is_a_per_step_delta() {
+        // Regression: StepStats.traffic must be a per-step delta taken
+        // against a start-of-step snapshot, not a cumulative counter —
+        // two identical steps report identical per-route byte counts.
+        let config = EngineConfig::tiny();
+        let model = config.model;
+        let mut engine = RatelEngine::new(config).unwrap();
+        let (tokens, targets) = random_batch(&model, 7);
+        let first = engine.train_step(&tokens, &targets).unwrap().traffic;
+        let second = engine.train_step(&tokens, &targets).unwrap().traffic;
+        for route in Route::ALL {
+            assert!(first.bytes(route) > 0, "{route:?} should move bytes");
+            assert_eq!(
+                first.bytes(route),
+                second.bytes(route),
+                "{route:?}: identical steps must report identical deltas"
+            );
+        }
+        // The store's cumulative counters keep growing underneath.
+        for route in Route::ALL {
+            assert_eq!(engine.traffic_bytes(route), 2 * first.bytes(route));
+        }
+    }
+
+    #[test]
+    fn telemetry_captures_spans_and_optimizer_overlap() {
+        let config = EngineConfig::tiny();
+        let model = config.model;
+        let mut engine = RatelEngine::new(config).unwrap();
+        engine.enable_telemetry();
+        let (tokens, targets) = random_batch(&model, 11);
+        let stats = engine.train_step(&tokens, &targets).unwrap();
+        let t = engine.last_step_telemetry().expect("telemetry collected");
+        assert!(!t.spans.is_empty());
+        let tracks: std::collections::HashSet<&str> =
+            t.spans.iter().map(|s| s.track.as_str()).collect();
+        for track in ["gpu", "cpu-opt", "opt-prefetch", "grad-offload", "engine"] {
+            assert!(tracks.contains(track), "missing track {track}");
+        }
+        // Telemetry's traffic snapshot is the same delta StepStats got.
+        for route in Route::ALL {
+            assert_eq!(t.traffic.bytes(route), stats.traffic.bytes(route));
+        }
+        let b = t.stage_breakdown();
+        assert!(b.forward > 0.0 && b.backward > 0.0 && b.optimizer > 0.0);
+        assert!(b.transfer > 0.0, "store transfers must be spanned");
+        // With active offloading on, some optimizer work must hide behind
+        // backward (§IV-C). The tiny model still overlaps reliably because
+        // each layer's update starts while later layers run backward.
+        let overlap = t.optimizer_overlap_ratio();
+        assert!(
+            overlap > 0.0,
+            "active offload should overlap optimizer with backward"
+        );
+        assert!(overlap <= 1.0 + 1e-9);
+        // The timeline view carries every span, rebased to step start.
+        let tl = t.timeline("measured");
+        assert_eq!(tl.spans.len(), t.spans.len());
+        assert!(tl.spans.iter().all(|s| s.start >= -1e-9));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ratel_storage::telemetry::SpanCategory;
 use ratel_storage::{StorageError, Tier, TieredStore};
 use ratel_tensor::dtype::{decode_f16, decode_f32, encode_f16, encode_f32};
 use ratel_tensor::{Adam, AdamParams};
@@ -79,8 +80,20 @@ impl ActiveOptimizer {
                 .name("ratel-opt-prefetch".into())
                 .spawn(move || -> Result<(), StorageError> {
                     for layer in order2 {
+                        let rec = store2.telemetry();
+                        let t = rec.enabled().then(|| rec.now());
                         store2.move_to(&master_key(layer), Tier::Host)?;
                         store2.move_to(&moments_key(layer), Tier::Host)?;
+                        if let Some(t) = t {
+                            let rec = store2.telemetry();
+                            rec.record_span(
+                                "opt-prefetch",
+                                SpanCategory::Prefetch,
+                                format!("opt-pf L{layer}"),
+                                t,
+                                rec.now(),
+                            );
+                        }
                         if staged_tx.send(layer).is_err() {
                             break; // updater died; its error surfaces on join
                         }
@@ -153,8 +166,13 @@ fn update_loop(
     loss_scale: f32,
     grad_clip: Option<f32>,
 ) -> Result<Vec<usize>, StorageError> {
+    // Spans land on one updater track: per layer a read (state
+    // availability + gradient decode), a cpu (Adam math), and a write
+    // (state write-back) span — or a `skip` span on overflow.
+    let rec = std::sync::Arc::clone(store.telemetry());
     // Returns true if the layer's update was applied, false if skipped.
     let process = |msg: &GradMessage| -> Result<bool, StorageError> {
+        let t_read = rec.enabled().then(|| rec.now());
         if let Some(rx) = &staged_rx {
             // Wait for the prefetcher to stage this layer's states. Arrival
             // order matches `order`, so this is the same layer.
@@ -172,26 +190,68 @@ fn update_loop(
         // optional per-layer clip first — see `scaler`).
         let mut grads = decode_f16(&store.read(&msg.key)?);
         store.remove(&msg.key)?;
+        if let Some(t) = t_read {
+            rec.record_span(
+                "cpu-opt",
+                SpanCategory::Optimizer,
+                format!("opt-read L{}", msg.layer),
+                t,
+                rec.now(),
+            );
+        }
+        let t_cpu = rec.enabled().then(|| rec.now());
         let applied = if prepare_gradient(&mut grads, loss_scale, grad_clip).is_some() {
             let mut master = decode_f32(&store.read(&master_key(msg.layer))?);
             let moments = decode_f32(&store.read(&moments_key(msg.layer))?);
             let mut state = Adam::from_flat(&moments, layer_steps[msg.layer]);
             state.step(&mut master, &grads, &adam);
+            if let Some(t) = t_cpu {
+                rec.record_span(
+                    "cpu-opt",
+                    SpanCategory::Optimizer,
+                    format!("opt-cpu L{}", msg.layer),
+                    t,
+                    rec.now(),
+                );
+            }
 
             // Main→SSD: write back P32 + OS32 and publish the fresh P16.
+            let t_write = rec.enabled().then(|| rec.now());
             store.overwrite(&master_key(msg.layer), encode_f32(&master))?;
             store.overwrite(&moments_key(msg.layer), encode_f32(&state.to_flat()))?;
             let p16 = p16_key(msg.layer);
             store.remove(&p16)?;
             store.put(&p16, Tier::Host, encode_f16(&master))?;
             store.move_to(&p16, Tier::Ssd)?;
+            // States return to the SSD tier (they were staged out).
+            store.move_to(&master_key(msg.layer), Tier::Ssd)?;
+            store.move_to(&moments_key(msg.layer), Tier::Ssd)?;
+            if let Some(t) = t_write {
+                rec.record_span(
+                    "cpu-opt",
+                    SpanCategory::Optimizer,
+                    format!("opt-write L{}", msg.layer),
+                    t,
+                    rec.now(),
+                );
+            }
             true
         } else {
+            // Overflow skip: record the decision, return the untouched
+            // states to the SSD tier.
+            if let Some(t) = t_cpu {
+                rec.record_span(
+                    "cpu-opt",
+                    SpanCategory::Other,
+                    format!("skip L{}", msg.layer),
+                    t,
+                    rec.now(),
+                );
+            }
+            store.move_to(&master_key(msg.layer), Tier::Ssd)?;
+            store.move_to(&moments_key(msg.layer), Tier::Ssd)?;
             false
         };
-        // States return to the SSD tier either way (they were staged out).
-        store.move_to(&master_key(msg.layer), Tier::Ssd)?;
-        store.move_to(&moments_key(msg.layer), Tier::Ssd)?;
         Ok(applied)
     };
 

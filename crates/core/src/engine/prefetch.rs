@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver};
+use ratel_storage::telemetry::SpanCategory;
 use ratel_storage::{StorageError, Tier, TieredStore};
 
 use super::p16_key;
@@ -49,9 +50,21 @@ impl ParamPrefetcher {
                     // Unique staged name per sequence position: the same
                     // layer is staged separately for forward and backward.
                     let staged = format!("{key}#pf{seq}");
+                    let rec = store.telemetry();
+                    let t = rec.enabled().then(|| rec.now());
                     let result = store
                         .copy_to(&key, &staged, Tier::Gpu)
                         .map(|()| (seq, staged));
+                    if let Some(t) = t {
+                        let rec = store.telemetry();
+                        rec.record_span(
+                            "param-prefetch",
+                            SpanCategory::Prefetch,
+                            format!("pf L{layer}"),
+                            t,
+                            rec.now(),
+                        );
+                    }
                     let failed = result.is_err();
                     if tx.send(result).is_err() || failed {
                         // Consumer went away or staging failed: stop.

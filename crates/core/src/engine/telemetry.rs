@@ -1,0 +1,290 @@
+//! Per-step telemetry analysis over the engine's span recorder.
+//!
+//! The raw substrate lives in `ratel_storage::telemetry` (the store owns
+//! the [`TelemetryRecorder`] so its transfer instrumentation sits below
+//! the engine). This module interprets one training step's drained spans:
+//! per-stage wall-time breakdown, the optimizer-overlap ratio of §IV-C
+//! (how much of the active optimizer's work was hidden behind backward),
+//! achieved-vs-profiled bandwidth per route, and conversion into a
+//! [`ratel_sim::Timeline`] so a *measured* step renders through the same
+//! Chrome-trace/ASCII writers as a simulated one.
+
+use ratel_sim::{SpanKind, Timeline, TimelineSpan};
+use ratel_storage::telemetry::{RouteMetrics, SpanCategory, SpanRecord, TelemetryRecorder};
+use ratel_storage::{Route, TrafficSnapshot};
+
+use crate::profile::HardwareProfile;
+
+/// Wall-time totals per span category for one step, in seconds. These are
+/// *span sums*, not disjoint wall-clock partitions: concurrent spans (an
+/// optimizer update under a backward layer) both count in full.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Per-layer forward compute.
+    pub forward: f64,
+    /// Per-layer backward compute (includes activation fetch/recompute).
+    pub backward: f64,
+    /// Active-optimizer handler time (state wait + Adam + write-back).
+    pub optimizer: f64,
+    /// Inter-tier transfer time (sum over all routes).
+    pub transfer: f64,
+    /// Prefetcher thread time (parameter and optimizer-state staging).
+    pub prefetch: f64,
+    /// Everything else (gradient hand-off, scaler, skips).
+    pub other: f64,
+}
+
+/// One route's achieved bandwidth next to the profiled figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteBandwidth {
+    /// The route.
+    pub route: Route,
+    /// Measured bytes/second over this step's transfer spans (`None` if
+    /// the route was idle).
+    pub achieved: Option<f64>,
+    /// The profiling stage's figure for the same link, bytes/second.
+    pub profiled: f64,
+}
+
+/// Everything the recorder captured for one `train_step`.
+#[derive(Debug, Clone)]
+pub struct StepTelemetry {
+    /// All spans recorded during the step, timestamps on the recorder
+    /// clock (seconds since store creation).
+    pub spans: Vec<SpanRecord>,
+    /// Per-route byte deltas for the step.
+    pub traffic: TrafficSnapshot,
+    /// Recorder-clock time at which the step began.
+    pub step_start: f64,
+    /// Wall-clock duration of the step.
+    pub wall_seconds: f64,
+    /// Per-route transfer metrics for this step (ops/bytes/seconds +
+    /// latency histograms, deltas of the recorder's cumulative counters),
+    /// indexed like [`Route::ALL`].
+    pub route_metrics: [RouteMetrics; 4],
+}
+
+/// Merges possibly-overlapping `(start, end)` intervals into a disjoint,
+/// sorted set.
+fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite span times"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two disjoint sorted interval sets.
+fn intersection_seconds(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+impl StepTelemetry {
+    /// Sums span durations per category.
+    pub fn stage_breakdown(&self) -> StageBreakdown {
+        let mut b = StageBreakdown::default();
+        for s in &self.spans {
+            let slot = match s.category {
+                SpanCategory::Forward => &mut b.forward,
+                SpanCategory::Backward => &mut b.backward,
+                SpanCategory::Optimizer => &mut b.optimizer,
+                SpanCategory::Transfer => &mut b.transfer,
+                SpanCategory::Prefetch => &mut b.prefetch,
+                SpanCategory::Other => &mut b.other,
+            };
+            *slot += s.seconds();
+        }
+        b
+    }
+
+    /// Merged, disjoint intervals of all spans in `category`.
+    fn category_intervals(&self, category: SpanCategory) -> Vec<(f64, f64)> {
+        merge_intervals(
+            self.spans
+                .iter()
+                .filter(|s| s.category == category)
+                .map(|s| (s.start, s.end))
+                .collect(),
+        )
+    }
+
+    /// The fraction of optimizer span time that ran *while backward was
+    /// running* — the paper's active-offloading claim (§IV-C) that the
+    /// optimizer hides behind backward. 0 when no optimizer span was
+    /// recorded (e.g. every layer frozen).
+    pub fn optimizer_overlap_ratio(&self) -> f64 {
+        let opt = self.category_intervals(SpanCategory::Optimizer);
+        let bwd = self.category_intervals(SpanCategory::Backward);
+        let opt_total: f64 = opt.iter().map(|(s, e)| e - s).sum();
+        if opt_total == 0.0 {
+            return 0.0;
+        }
+        intersection_seconds(&opt, &bwd) / opt_total
+    }
+
+    /// Achieved bandwidth per route (from this step's cumulative metrics)
+    /// against the profiled link speeds, indexed like [`Route::ALL`].
+    pub fn achieved_vs_profiled(&self, profile: &HardwareProfile) -> [RouteBandwidth; 4] {
+        Route::ALL.map(|route| RouteBandwidth {
+            route,
+            achieved: self.route_metrics[route.index()].achieved_bandwidth(),
+            profiled: match route {
+                Route::GpuToHost | Route::HostToGpu => profile.bw_gpu,
+                Route::HostToSsd => profile.bw_m2s,
+                Route::SsdToHost => profile.bw_s2m,
+            },
+        })
+    }
+
+    /// Converts the step's spans into a substrate-neutral timeline named
+    /// `name`, timestamps rebased so the step starts at t=0. Tracks
+    /// appear in first-span order; route tracks carry the transfers.
+    pub fn timeline(&self, name: &str) -> Timeline {
+        let mut tl = Timeline::new(name);
+        for s in &self.spans {
+            let track = tl.track(&s.track);
+            tl.spans.push(TimelineSpan {
+                track,
+                label: s.label.clone(),
+                kind: match s.category {
+                    SpanCategory::Forward => SpanKind::Forward,
+                    SpanCategory::Backward => SpanKind::Backward,
+                    SpanCategory::Optimizer => SpanKind::Optimizer,
+                    SpanCategory::Transfer => SpanKind::Transfer,
+                    SpanCategory::Prefetch => SpanKind::Prefetch,
+                    SpanCategory::Other => SpanKind::Other,
+                },
+                start: s.start - self.step_start,
+                end: s.end - self.step_start,
+                task: None,
+                bytes: s.bytes,
+            });
+        }
+        tl
+    }
+
+    /// Builds the step record by draining `recorder` — called by the
+    /// engine at the end of an instrumented step. `metrics_before` is the
+    /// recorder's cumulative route metrics at step start; the stored
+    /// metrics are the step's delta against it.
+    pub(crate) fn collect(
+        recorder: &TelemetryRecorder,
+        traffic: TrafficSnapshot,
+        step_start: f64,
+        wall_seconds: f64,
+        metrics_before: &[RouteMetrics; 4],
+    ) -> Self {
+        let now = recorder.route_metrics();
+        let route_metrics = [
+            now[0].since(&metrics_before[0]),
+            now[1].since(&metrics_before[1]),
+            now[2].since(&metrics_before[2]),
+            now[3].since(&metrics_before[3]),
+        ];
+        StepTelemetry {
+            spans: recorder.drain_spans(),
+            traffic,
+            step_start,
+            wall_seconds,
+            route_metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(track: &str, category: SpanCategory, start: f64, end: f64) -> SpanRecord {
+        SpanRecord {
+            track: track.to_string(),
+            category,
+            label: format!("{track} {start}"),
+            start,
+            end,
+            bytes: None,
+            route: None,
+        }
+    }
+
+    fn telemetry(spans: Vec<SpanRecord>) -> StepTelemetry {
+        StepTelemetry {
+            spans,
+            traffic: TrafficSnapshot::default(),
+            step_start: 0.0,
+            wall_seconds: 1.0,
+            route_metrics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn interval_merge_and_intersection() {
+        let merged = merge_intervals(vec![(2.0, 3.0), (0.0, 1.0), (0.5, 1.5), (3.0, 4.0)]);
+        assert_eq!(merged, vec![(0.0, 1.5), (2.0, 4.0)]);
+        let other = vec![(1.0, 2.5), (3.5, 5.0)];
+        // [1,1.5) + [2,2.5) + [3.5,4) = 1.5
+        assert!((intersection_seconds(&merged, &other) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_counts_optimizer_time_under_backward() {
+        let t = telemetry(vec![
+            span("gpu", SpanCategory::Backward, 0.0, 4.0),
+            span("cpu-opt", SpanCategory::Optimizer, 1.0, 3.0), // fully inside
+            span("cpu-opt", SpanCategory::Optimizer, 4.0, 6.0), // fully outside
+        ]);
+        // 2s of 4s optimizer time overlapped.
+        assert!((t.optimizer_overlap_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_is_zero_without_optimizer_spans() {
+        let t = telemetry(vec![span("gpu", SpanCategory::Backward, 0.0, 1.0)]);
+        assert_eq!(t.optimizer_overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_per_category() {
+        let t = telemetry(vec![
+            span("gpu", SpanCategory::Forward, 0.0, 1.0),
+            span("gpu", SpanCategory::Forward, 1.0, 1.5),
+            span("gpu", SpanCategory::Backward, 2.0, 3.0),
+            span("ssd->host", SpanCategory::Transfer, 0.0, 0.25),
+        ]);
+        let b = t.stage_breakdown();
+        assert!((b.forward - 1.5).abs() < 1e-12);
+        assert!((b.backward - 1.0).abs() < 1e-12);
+        assert!((b.transfer - 0.25).abs() < 1e-12);
+        assert_eq!(b.optimizer, 0.0);
+    }
+
+    #[test]
+    fn timeline_rebases_to_step_start() {
+        let mut t = telemetry(vec![span("gpu", SpanCategory::Forward, 10.0, 11.0)]);
+        t.step_start = 10.0;
+        let tl = t.timeline("measured");
+        assert_eq!(tl.name, "measured");
+        assert_eq!(tl.tracks, vec!["gpu"]);
+        assert_eq!(tl.spans[0].start, 0.0);
+        assert_eq!(tl.spans[0].end, 1.0);
+        assert_eq!(tl.spans[0].kind, SpanKind::Forward);
+    }
+}

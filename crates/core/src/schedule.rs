@@ -86,6 +86,11 @@ pub struct LayerTask {
     pub act_to_host_bytes: f64,
     /// Activation bytes offloaded GPU->host->SSD (read back in backward).
     pub act_to_ssd_bytes: f64,
+    /// Whether backward re-fetches this layer's fp16 parameters (Eq. 5's
+    /// extra 2P terms). The engine stages the head only once — its
+    /// forward and backward are adjacent at the loss — so a spec matching
+    /// the engine sets this `false` for the head layer.
+    pub refetch_in_backward: bool,
     /// fp16 gradient bytes offloaded GPU->host (0 for in-GPU optimizers).
     pub grad_bytes: f64,
     /// Whether gradients additionally spill host->SSD (ZeRO-Infinity).
@@ -342,19 +347,21 @@ impl IterationSpec {
                 // back, so it also waits on that write (no staleness).
                 let updated: Vec<TaskId> = prev_updates[li].into_iter().collect();
                 let host_ready: Option<TaskId> = match layer.param_source {
-                    ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task_labeled(
-                        ssd,
-                        layer.p16_bytes / r.ssd_read,
-                        Stage::Backward,
-                        &updated,
-                        format!("{pfx}bwd-read L{li}"),
-                    )),
+                    ParamSource::Ssd if layer.p16_bytes > 0.0 && layer.refetch_in_backward => {
+                        Some(g.add_task_labeled(
+                            ssd,
+                            layer.p16_bytes / r.ssd_read,
+                            Stage::Backward,
+                            &updated,
+                            format!("{pfx}bwd-read L{li}"),
+                        ))
+                    }
                     _ => None,
                 };
                 for gi in 0..self.gpus {
                     let fetch_p: Option<TaskId> = match layer.param_source {
                         ParamSource::Gpu => None,
-                        _ if layer.p16_bytes > 0.0 => {
+                        _ if layer.p16_bytes > 0.0 && layer.refetch_in_backward => {
                             let deps: Vec<TaskId> = host_ready
                                 .into_iter()
                                 .chain(updated.iter().copied())
@@ -762,6 +769,7 @@ impl<'a> RatelSchedule<'a> {
                 bwd_flops: 2.0 * layer.forward_flops + recompute,
                 act_to_host_bytes: host,
                 act_to_ssd_bytes: ssd,
+                refetch_in_backward: true,
                 grad_bytes: 2.0 * params,
                 grad_spill_to_ssd: false,
                 optimizer: if params > 0.0 {
@@ -1066,6 +1074,7 @@ mod scheduling_correctness_tests {
             // (parameter staging, optimizer state) must not scale with
             // the GPU count.
             act_to_ssd_bytes: 0.0,
+            refetch_in_backward: true,
             grad_bytes: 2.0,
             grad_spill_to_ssd: false,
             optimizer: OptimizerKind::CpuOutOfCore {

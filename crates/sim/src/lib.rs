@@ -26,6 +26,7 @@ pub use engine::simulate;
 pub use graph::{ResourceId, Stage, TaskGraph, TaskId};
 pub use report::{ResourceUsage, SimReport, StageReport, TimelineEntry};
 pub use trace::{
-    analyze_bubbles, ascii_timeline, bubble_summary, bubbles, chrome_trace_json, critical_resource,
-    utilization_breakdown, utilization_table, Bubble, BubbleReport, UtilizationRow,
+    analyze_bubbles, ascii_timeline, bubble_summary, bubbles, chrome_trace_json,
+    chrome_trace_json_timelines, critical_resource, utilization_breakdown, utilization_table,
+    Bubble, BubbleReport, SpanKind, Timeline, TimelineSpan, UtilizationRow,
 };

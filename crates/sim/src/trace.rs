@@ -19,12 +19,210 @@ use crate::report::{SimReport, TimelineEntry};
 /// timestamps are integers in microseconds; simulated seconds map 1:1.
 const US_PER_SEC: f64 = 1e6;
 
-fn stage_color(stage: Stage) -> &'static str {
-    // Chrome trace-event reserved color names (cname).
-    match stage {
-        Stage::Forward => "thread_state_running",
-        Stage::Backward => "thread_state_iowait",
-        Stage::Optimizer => "thread_state_uninterruptible",
+/// Substrate-neutral span classification — a superset of the simulator's
+/// three-stage [`Stage`] enum, so *measured* engine spans (transfers,
+/// prefetches, bookkeeping) render through the same writers as simulated
+/// tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Forward compute.
+    Forward,
+    /// Backward compute.
+    Backward,
+    /// Optimizer work.
+    Optimizer,
+    /// An inter-tier data transfer (measured timelines only).
+    Transfer,
+    /// Parameter/state prefetch (measured timelines only).
+    Prefetch,
+    /// Anything else (scaler decisions, skips, bookkeeping).
+    Other,
+}
+
+impl SpanKind {
+    /// Short stable name used as the trace-event category.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Forward => "forward",
+            SpanKind::Backward => "backward",
+            SpanKind::Optimizer => "optimizer",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Prefetch => "prefetch",
+            SpanKind::Other => "other",
+        }
+    }
+
+    /// Single-character Gantt glyph.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanKind::Forward => 'F',
+            SpanKind::Backward => 'B',
+            SpanKind::Optimizer => 'O',
+            SpanKind::Transfer => 'T',
+            SpanKind::Prefetch => 'P',
+            SpanKind::Other => '#',
+        }
+    }
+
+    /// Chrome trace-event reserved color name (cname).
+    fn color(self) -> &'static str {
+        match self {
+            SpanKind::Forward => "thread_state_running",
+            SpanKind::Backward => "thread_state_iowait",
+            SpanKind::Optimizer => "thread_state_uninterruptible",
+            SpanKind::Transfer => "thread_state_runnable",
+            SpanKind::Prefetch => "thread_state_sleeping",
+            SpanKind::Other => "thread_state_unknown",
+        }
+    }
+}
+
+impl From<Stage> for SpanKind {
+    fn from(s: Stage) -> Self {
+        match s {
+            Stage::Forward => SpanKind::Forward,
+            Stage::Backward => SpanKind::Backward,
+            Stage::Optimizer => SpanKind::Optimizer,
+        }
+    }
+}
+
+/// One slice on a [`Timeline`] track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSpan {
+    /// Index into [`Timeline::tracks`].
+    pub track: usize,
+    /// Display label (task or blob name).
+    pub label: String,
+    /// Classification for coloring/categorizing.
+    pub kind: SpanKind,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+    /// Simulator task id, if the span came from a [`SimReport`].
+    pub task: Option<usize>,
+    /// Payload size, if the span is a data transfer.
+    pub bytes: Option<u64>,
+}
+
+impl TimelineSpan {
+    /// Span duration in seconds (non-negative).
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// A substrate-neutral execution timeline: named tracks holding labeled,
+/// classified spans. Both the simulator ([`Timeline::from_sim`]) and the
+/// real engine (via its telemetry recorder) produce these, so one Chrome
+/// trace can show a predicted and a measured iteration side by side
+/// ([`chrome_trace_json_timelines`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Process-level name in the Chrome trace (e.g. `"simulated"`,
+    /// `"measured"`). An empty name suppresses the `process_name`
+    /// metadata event, which keeps single-report exports minimal.
+    pub name: String,
+    /// Track (row) names, in display order.
+    pub tracks: Vec<String>,
+    /// The spans; need not be sorted.
+    pub spans: Vec<TimelineSpan>,
+}
+
+impl Timeline {
+    /// An empty timeline with the given process name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Timeline {
+            name: name.into(),
+            tracks: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Index of the track named `name`, adding it if new.
+    pub fn track(&mut self, name: &str) -> usize {
+        if let Some(i) = self.tracks.iter().position(|t| t == name) {
+            return i;
+        }
+        self.tracks.push(name.to_string());
+        self.tracks.len() - 1
+    }
+
+    /// Converts a finished simulation into a timeline (anonymous name;
+    /// one track per resource, spans in start order).
+    pub fn from_sim(report: &SimReport) -> Self {
+        let mut tl = Timeline::new("");
+        for r in &report.resources {
+            tl.tracks.push(r.name.clone());
+        }
+        for e in report.timeline() {
+            tl.spans.push(TimelineSpan {
+                track: e.resource_id.0,
+                label: e.display_label(),
+                kind: e.stage.into(),
+                start: e.start,
+                end: e.finish,
+                task: Some(e.task.0),
+                bytes: None,
+            });
+        }
+        tl
+    }
+
+    /// Latest span end (0 for an empty timeline).
+    pub fn end(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Shifts all spans so the earliest start sits at t=0 — used to align
+    /// a measured timeline (whose clock starts at recorder creation) with
+    /// a simulated one (whose clock starts at the iteration).
+    pub fn shift_to_zero(&mut self) {
+        let t0 = self
+            .spans
+            .iter()
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
+        if t0.is_finite() && t0 != 0.0 {
+            for s in &mut self.spans {
+                s.start -= t0;
+                s.end -= t0;
+            }
+        }
+    }
+
+    /// Renders this timeline as an ASCII Gantt: one row per track, `width`
+    /// cells across [`Timeline::end`]; glyphs from [`SpanKind::glyph`],
+    /// `.` for idle. The same chart shape as `SimReport::render_gantt`,
+    /// but substrate-neutral.
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let end = self.end();
+        let name_w = self.tracks.iter().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>name_w$}  0s{}{:.3}s",
+            "",
+            " ".repeat(width.saturating_sub(8)),
+            end
+        );
+        for (ti, track) in self.tracks.iter().enumerate() {
+            let mut row = vec!['.'; width];
+            for s in self.spans.iter().filter(|s| s.track == ti) {
+                if end == 0.0 {
+                    continue;
+                }
+                let a = ((s.start / end) * width as f64).floor() as usize;
+                let b = ((s.end / end) * width as f64).ceil() as usize;
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = s.kind.glyph();
+                }
+            }
+            let _ = writeln!(out, "{track:>name_w$}  {}", row.iter().collect::<String>());
+        }
+        out
     }
 }
 
@@ -53,6 +251,15 @@ fn json_escape(s: &str) -> String {
 /// stage, carrying its stage and task id in `args`. The output loads
 /// directly in `chrome://tracing` and Perfetto.
 pub fn chrome_trace_json(report: &SimReport) -> String {
+    chrome_trace_json_timelines(&[Timeline::from_sim(report)])
+}
+
+/// Serializes any number of [`Timeline`]s into one Chrome trace-event
+/// JSON document: each timeline becomes a process (`pid` = its index,
+/// named by `process_name` metadata when [`Timeline::name`] is set), each
+/// track a thread. Loading a simulated and a measured timeline into one
+/// trace is how the sim-vs-real validator renders its side-by-side view.
+pub fn chrome_trace_json_timelines(timelines: &[Timeline]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
     let push = |line: String, out: &mut String, first: &mut bool| {
@@ -62,34 +269,55 @@ pub fn chrome_trace_json(report: &SimReport) -> String {
         *first = false;
         out.push_str(&line);
     };
-    for (ri, res) in report.resources.iter().enumerate() {
-        push(
-            format!(
-                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{ri},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"{}\"}}}}",
-                json_escape(&res.name)
-            ),
-            &mut out,
-            &mut first,
-        );
+    for (pid, tl) in timelines.iter().enumerate() {
+        if !tl.name.is_empty() {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    json_escape(&tl.name)
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        for (ti, track) in tl.tracks.iter().enumerate() {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{ti},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    json_escape(track)
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
     }
-    for e in report.timeline() {
-        let ts = e.start * US_PER_SEC;
-        let dur = e.duration() * US_PER_SEC;
-        push(
-            format!(
-                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},\
-                 \"name\":\"{name}\",\"cat\":\"{cat}\",\"cname\":\"{cname}\",\
-                 \"args\":{{\"stage\":\"{cat}\",\"task\":{task}}}}}",
-                tid = e.resource_id.0,
-                name = json_escape(&e.display_label()),
-                cat = e.stage.name(),
-                cname = stage_color(e.stage),
-                task = e.task.0,
-            ),
-            &mut out,
-            &mut first,
-        );
+    for (pid, tl) in timelines.iter().enumerate() {
+        for s in &tl.spans {
+            let ts = s.start * US_PER_SEC;
+            let dur = s.duration() * US_PER_SEC;
+            let mut args = format!("\"stage\":\"{}\"", s.kind.name());
+            if let Some(task) = s.task {
+                let _ = write!(args, ",\"task\":{task}");
+            }
+            if let Some(bytes) = s.bytes {
+                let _ = write!(args, ",\"bytes\":{bytes}");
+            }
+            push(
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},\
+                     \"name\":\"{name}\",\"cat\":\"{cat}\",\"cname\":\"{cname}\",\
+                     \"args\":{{{args}}}}}",
+                    tid = s.track,
+                    name = json_escape(&s.label),
+                    cat = s.kind.name(),
+                    cname = s.kind.color(),
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
     }
     out.push_str("\n]}\n");
     out
@@ -432,6 +660,95 @@ mod tests {
         assert!(bubble_summary(&r, 3).contains("no busy resources"));
         let json = chrome_trace_json(&r);
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 0);
+    }
+
+    #[test]
+    fn timeline_from_sim_matches_the_report() {
+        let r = demo();
+        let tl = Timeline::from_sim(&r);
+        assert_eq!(tl.tracks, vec!["gpu", "pcie"]);
+        assert_eq!(tl.spans.len(), 3);
+        assert!((tl.end() - r.makespan).abs() < 1e-12);
+        let bwd = tl.spans.iter().find(|s| s.label == "bwd L1").unwrap();
+        assert_eq!(bwd.kind, SpanKind::Backward);
+        assert_eq!((bwd.start, bwd.end), (3.0, 6.0));
+        assert_eq!(bwd.track, 0);
+        assert!(bwd.bytes.is_none());
+    }
+
+    #[test]
+    fn multi_timeline_trace_gets_one_pid_per_timeline() {
+        let mut sim = Timeline::from_sim(&demo());
+        sim.name = "simulated".into();
+        let mut measured = Timeline::new("measured");
+        let gpu = measured.track("gpu");
+        let route = measured.track("ssd->host");
+        measured.spans.push(TimelineSpan {
+            track: gpu,
+            label: "fwd L0".into(),
+            kind: SpanKind::Forward,
+            start: 5.0,
+            end: 6.0,
+            task: None,
+            bytes: None,
+        });
+        measured.spans.push(TimelineSpan {
+            track: route,
+            label: "block0/p16".into(),
+            kind: SpanKind::Transfer,
+            start: 5.5,
+            end: 5.9,
+            task: None,
+            bytes: Some(4096),
+        });
+        measured.shift_to_zero();
+        assert_eq!(measured.spans[0].start, 0.0);
+
+        let json = chrome_trace_json_timelines(&[sim, measured]);
+        assert!(json.contains("\"name\":\"process_name\",\"args\":{\"name\":\"simulated\"}"));
+        assert!(json.contains("\"name\":\"process_name\",\"args\":{\"name\":\"measured\"}"));
+        // The measured spans land on pid 1; the transfer carries bytes but
+        // no task id, the compute span neither.
+        assert!(json.contains("\"args\":{\"stage\":\"transfer\",\"bytes\":4096}"));
+        assert!(json.contains("\"args\":{\"stage\":\"forward\"}"));
+        assert!(json.matches("\"pid\":1,").count() >= 4);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn timeline_gantt_renders_all_kinds() {
+        let mut tl = Timeline::new("measured");
+        let cpu = tl.track("cpu");
+        let route = tl.track("host->ssd");
+        tl.spans.push(TimelineSpan {
+            track: cpu,
+            label: "opt L0".into(),
+            kind: SpanKind::Optimizer,
+            start: 0.0,
+            end: 1.0,
+            task: None,
+            bytes: None,
+        });
+        tl.spans.push(TimelineSpan {
+            track: route,
+            label: "wb".into(),
+            kind: SpanKind::Transfer,
+            start: 1.0,
+            end: 2.0,
+            task: None,
+            bytes: Some(10),
+        });
+        let chart = tl.gantt(40);
+        let cpu_row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("cpu"))
+            .unwrap();
+        assert!(cpu_row.contains('O') && !cpu_row.contains('T'));
+        let route_row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("host->ssd"))
+            .unwrap();
+        assert!(route_row.contains('T') && !route_row.contains('O'));
     }
 
     #[test]

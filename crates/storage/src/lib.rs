@@ -19,8 +19,10 @@
 
 pub mod error;
 pub mod store;
+pub mod telemetry;
 pub mod traffic;
 
 pub use error::StorageError;
 pub use store::{Tier, TierConfig, TieredStore};
+pub use telemetry::{LatencyHistogram, RouteMetrics, SpanCategory, SpanRecord, TelemetryRecorder};
 pub use traffic::{Route, TrafficSnapshot};

@@ -7,7 +7,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use std::sync::Arc;
+
 use crate::error::StorageError;
+use crate::telemetry::TelemetryRecorder;
 use crate::traffic::{Route, TrafficCounters, TrafficSnapshot};
 
 /// A storage tier in the server's memory hierarchy.
@@ -101,6 +104,9 @@ pub struct TieredStore {
     /// how the real engine emulates the paper's link speeds and lets
     /// wall-clock measurements show the active-offloading overlap.
     throttle: Mutex<[Option<f64>; 4]>,
+    /// Span/metrics recorder; disabled by default. Shared (`Arc`) so the
+    /// engine's worker threads record onto the same timeline.
+    telemetry: Arc<TelemetryRecorder>,
 }
 
 impl TieredStore {
@@ -118,7 +124,16 @@ impl TieredStore {
             }),
             traffic: TrafficCounters::default(),
             throttle: Mutex::new([None; 4]),
+            telemetry: Arc::new(TelemetryRecorder::new()),
         })
+    }
+
+    /// The store's telemetry recorder (disabled until
+    /// [`TelemetryRecorder::set_enabled`] is called). Every transfer the
+    /// store performs while enabled is recorded as a span tagged with
+    /// route, blob key, and bytes, plus per-route latency metrics.
+    pub fn telemetry(&self) -> &Arc<TelemetryRecorder> {
+        &self.telemetry
     }
 
     /// Caps `route` at `bytes_per_sec` (None removes the cap). Transfers
@@ -283,6 +298,9 @@ impl TieredStore {
     }
 
     fn move_one_hop(&self, key: &str, target: Tier) -> Result<(), StorageError> {
+        // Span covers the whole hop — lock wait, file I/O, throttle sleep —
+        // which is what a wall-clock bandwidth measurement should see.
+        let t0 = self.telemetry.enabled().then(|| self.telemetry.now());
         let mut inner = self.inner.lock();
         let current = if let Some((tier, _)) = inner.mem.get(key) {
             *tier
@@ -337,6 +355,10 @@ impl TieredStore {
 
         self.traffic.record(route, len);
         self.apply_throttle(route, len);
+        if let Some(t0) = t0 {
+            self.telemetry
+                .record_transfer(route, key, len, t0, self.telemetry.now());
+        }
         Ok(())
     }
 
@@ -361,8 +383,13 @@ impl TieredStore {
         };
         self.put(new_key, tier, bytes)?;
         for &h in hops {
+            let t0 = self.telemetry.enabled().then(|| self.telemetry.now());
             self.traffic.record(h, len);
             self.apply_throttle(h, len);
+            if let Some(t0) = t0 {
+                self.telemetry
+                    .record_transfer(h, key, len, t0, self.telemetry.now());
+            }
         }
         Ok(())
     }
@@ -592,6 +619,40 @@ mod throttle_tests {
         let t0 = std::time::Instant::now();
         store.move_to("t", Tier::Ssd).unwrap();
         assert!(t0.elapsed().as_secs_f64() < 0.05);
+    }
+
+    #[test]
+    fn throttled_transfer_lands_in_the_latency_histogram() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.telemetry().set_enabled(true);
+        store.put("t", Tier::Host, vec![0u8; 100_000]).unwrap();
+        // 1 MB/s -> this 100 KB hop must take >= bytes/rate = 100 ms.
+        store.set_throttle(Route::HostToSsd, Some(1e6));
+        let t0 = std::time::Instant::now();
+        store.move_to("t", Tier::Ssd).unwrap();
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.1, "only {elapsed:.3}s for bytes/rate = 0.1s");
+
+        let metrics = store.telemetry().route_metrics();
+        let m = &metrics[Route::HostToSsd.index()];
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.bytes, 100_000);
+        assert!(m.seconds >= 0.1, "span shorter than the throttle sleep");
+        assert_eq!(m.histogram.count(), 1);
+        // The observation sits in a bucket whose bounds contain it.
+        let bucket = (0..crate::telemetry::HISTOGRAM_BUCKETS)
+            .find(|&i| m.histogram.bucket_count(i) == 1)
+            .expect("one bucket holds the observation");
+        let (lo, hi) = crate::telemetry::LatencyHistogram::bucket_bounds(bucket);
+        assert!(lo <= m.seconds && m.seconds < hi);
+        // Achieved bandwidth reflects the cap (can only be slower).
+        let bw = m.achieved_bandwidth().unwrap();
+        assert!(
+            bw <= 1e6 * 1.01,
+            "achieved {bw:.0} B/s beats the 1 MB/s cap"
+        );
+        // The untouched routes recorded nothing.
+        assert_eq!(metrics[Route::GpuToHost.index()].ops, 0);
     }
 
     #[test]

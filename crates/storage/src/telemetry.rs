@@ -1,0 +1,447 @@
+//! Runtime telemetry: timestamped spans and per-route transfer metrics.
+//!
+//! The [`TelemetryRecorder`] is the observability substrate for the *real*
+//! engine (the simulator has its own report types). It is created by every
+//! [`crate::TieredStore`] but **disabled by default**: the disabled fast
+//! path is a single relaxed atomic load, so un-instrumented training pays
+//! essentially nothing. When enabled it collects
+//!
+//! * **spans** — `(track, category, label, start, end)` intervals recorded
+//!   by the engine for every stage (per-layer forward/backward, optimizer
+//!   read/update/write-back, prefetch, scaler decisions) and by the store
+//!   for every inter-tier transfer (tagged with route, blob key, bytes);
+//! * **per-route metrics** — op/byte counters, busy seconds, and a
+//!   power-of-two latency histogram per transfer route, from which the
+//!   achieved bandwidth on each link can be compared against the profiled
+//!   one.
+//!
+//! Timestamps are `f64` seconds since the recorder's creation instant, so
+//! spans from concurrent threads share one clock and can be rendered on a
+//! common timeline (see `ratel_sim::trace`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::traffic::Route;
+
+/// Coarse classification of a span, used to group tracks and color slices
+/// when exporting. Deliberately independent of the simulator's `Stage`
+/// enum: storage sits below `ratel-sim` in the dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanCategory {
+    /// Forward compute for one layer.
+    Forward,
+    /// Backward compute for one layer.
+    Backward,
+    /// Active-optimizer work (state read, Adam update, write-back).
+    Optimizer,
+    /// An inter-tier blob transfer (recorded by the store itself).
+    Transfer,
+    /// Parameter or optimizer-state prefetch.
+    Prefetch,
+    /// Everything else (scaler decisions, skips, bookkeeping).
+    Other,
+}
+
+impl SpanCategory {
+    /// Short stable name, used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCategory::Forward => "forward",
+            SpanCategory::Backward => "backward",
+            SpanCategory::Optimizer => "optimizer",
+            SpanCategory::Transfer => "transfer",
+            SpanCategory::Prefetch => "prefetch",
+            SpanCategory::Other => "other",
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Logical lane the span belongs to (e.g. `"gpu"`, `"cpu-opt"`, or a
+    /// route name like `"ssd->host"`). Spans on one track are expected not
+    /// to overlap; tracks map to timeline rows on export.
+    pub track: String,
+    /// Coarse classification (stage or transfer).
+    pub category: SpanCategory,
+    /// Human-readable label, e.g. `"fwd L3"` or a blob key.
+    pub label: String,
+    /// Start, in seconds since the recorder epoch.
+    pub start: f64,
+    /// End, in seconds since the recorder epoch.
+    pub end: f64,
+    /// Payload size for transfers, `None` for compute spans.
+    pub bytes: Option<u64>,
+    /// Transfer route, `None` for compute spans.
+    pub route: Option<Route>,
+}
+
+impl SpanRecord {
+    /// Span duration in seconds (non-negative).
+    pub fn seconds(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// Number of latency histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Lower bound of bucket 0, in seconds (1 µs). Bucket `i` covers
+/// `[1µs·2^i, 1µs·2^(i+1))`; the first and last buckets also absorb
+/// anything below/above the covered range (up to ~4295 s).
+pub const HISTOGRAM_BASE_SECONDS: f64 = 1e-6;
+
+/// A power-of-two latency histogram: bucket `i` counts transfers whose
+/// wall time fell in `[1µs·2^i, 1µs·2^(i+1))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    total_seconds: f64,
+    max_seconds: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total_seconds: 0.0,
+            max_seconds: 0.0,
+        }
+    }
+}
+
+/// Bucket index for a latency, clamped into the covered range.
+fn bucket_index(seconds: f64) -> usize {
+    if seconds <= HISTOGRAM_BASE_SECONDS {
+        return 0;
+    }
+    let idx = (seconds / HISTOGRAM_BASE_SECONDS).log2().floor() as i64;
+    idx.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+impl LatencyHistogram {
+    /// Adds one observation.
+    pub fn record(&mut self, seconds: f64) {
+        let seconds = seconds.max(0.0);
+        self.buckets[bucket_index(seconds)] += 1;
+        self.count += 1;
+        self.total_seconds += seconds;
+        if seconds > self.max_seconds {
+            self.max_seconds = seconds;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `[low, high)` bounds of bucket `i`, in seconds.
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        let low = HISTOGRAM_BASE_SECONDS * (1u64 << i) as f64;
+        (low, low * 2.0)
+    }
+
+    /// Mean observed latency in seconds (0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+
+    /// Largest observed latency in seconds.
+    pub fn max_seconds(&self) -> f64 {
+        self.max_seconds
+    }
+
+    /// Observations added since `earlier` (an older copy of this
+    /// histogram): bucket-wise and total-count saturating differences.
+    /// `max_seconds` cannot be recovered from two cumulative snapshots, so
+    /// the delta keeps the later value (an upper bound for the window).
+    pub fn since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *b = now.saturating_sub(*then);
+        }
+        LatencyHistogram {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            total_seconds: (self.total_seconds - earlier.total_seconds).max(0.0),
+            max_seconds: self.max_seconds,
+        }
+    }
+
+    /// Upper bound of the smallest bucket such that at least `q` (0..=1)
+    /// of observations fall at or below it. 0 when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_bounds(i).1;
+            }
+        }
+        Self::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+}
+
+/// Aggregated transfer metrics for one route.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteMetrics {
+    /// Number of transfers recorded.
+    pub ops: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Total wall seconds spent in transfers on this route.
+    pub seconds: f64,
+    /// Latency distribution of individual transfers.
+    pub histogram: LatencyHistogram,
+}
+
+impl RouteMetrics {
+    /// Achieved bandwidth in bytes/second (`None` if no time was spent).
+    pub fn achieved_bandwidth(&self) -> Option<f64> {
+        if self.seconds > 0.0 {
+            Some(self.bytes as f64 / self.seconds)
+        } else {
+            None
+        }
+    }
+
+    /// Metrics accumulated since `earlier` (an older copy): saturating
+    /// counter differences, histogram bucket deltas.
+    pub fn since(&self, earlier: &RouteMetrics) -> RouteMetrics {
+        RouteMetrics {
+            ops: self.ops.saturating_sub(earlier.ops),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            seconds: (self.seconds - earlier.seconds).max(0.0),
+            histogram: self.histogram.since(&earlier.histogram),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    spans: Vec<SpanRecord>,
+    routes: [RouteMetrics; 4],
+}
+
+/// Lock-cheap span and metrics recorder shared between the store, the
+/// engine's threads, and the caller (via `Arc`).
+///
+/// Disabled (the default) it records nothing and costs one relaxed atomic
+/// load per would-be event. Enabled, each event takes a short
+/// `parking_lot` critical section to push a span and bump route metrics.
+#[derive(Debug)]
+pub struct TelemetryRecorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    shared: Mutex<Shared>,
+}
+
+impl Default for TelemetryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryRecorder {
+    /// A fresh, disabled recorder; its epoch is the creation instant.
+    pub fn new() -> Self {
+        TelemetryRecorder {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            shared: Mutex::new(Shared::default()),
+        }
+    }
+
+    /// Whether recording is on. The hot-path guard: callers skip all
+    /// timestamping when this is false.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Already-recorded data is kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Seconds since the recorder epoch (monotonic, shared by threads).
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Records a compute/stage span. No-op while disabled.
+    pub fn record_span(
+        &self,
+        track: &str,
+        category: SpanCategory,
+        label: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.shared.lock().spans.push(SpanRecord {
+            track: track.to_string(),
+            category,
+            label: label.into(),
+            start,
+            end,
+            bytes: None,
+            route: None,
+        });
+    }
+
+    /// Records a transfer span (route track, `Transfer` category) and
+    /// folds it into the route's metrics. No-op while disabled.
+    pub fn record_transfer(&self, route: Route, key: &str, bytes: u64, start: f64, end: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let seconds = (end - start).max(0.0);
+        let mut shared = self.shared.lock();
+        let m = &mut shared.routes[route.index()];
+        m.ops += 1;
+        m.bytes += bytes;
+        m.seconds += seconds;
+        m.histogram.record(seconds);
+        shared.spans.push(SpanRecord {
+            track: route.name().to_string(),
+            category: SpanCategory::Transfer,
+            label: key.to_string(),
+            start,
+            end,
+            bytes: Some(bytes),
+            route: Some(route),
+        });
+    }
+
+    /// Takes all recorded spans, leaving the (cumulative) route metrics in
+    /// place. The engine drains once per step to build `StepTelemetry`.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.shared.lock().spans)
+    }
+
+    /// Copies the current per-route metrics, indexed like [`Route::ALL`].
+    pub fn route_metrics(&self) -> [RouteMetrics; 4] {
+        self.shared.lock().routes.clone()
+    }
+
+    /// Clears spans and route metrics (the epoch is unchanged).
+    pub fn reset(&self) {
+        let mut shared = self.shared.lock();
+        shared.spans.clear();
+        shared.routes = Default::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = TelemetryRecorder::new();
+        rec.record_span("gpu", SpanCategory::Forward, "fwd L0", 0.0, 1.0);
+        rec.record_transfer(Route::SsdToHost, "k", 100, 0.0, 0.5);
+        assert!(rec.drain_spans().is_empty());
+        assert_eq!(rec.route_metrics()[Route::SsdToHost.index()].ops, 0);
+    }
+
+    #[test]
+    fn spans_and_metrics_accumulate_when_enabled() {
+        let rec = TelemetryRecorder::new();
+        rec.set_enabled(true);
+        rec.record_span("gpu", SpanCategory::Forward, "fwd L0", 0.0, 1.0);
+        rec.record_transfer(Route::SsdToHost, "blob", 1000, 1.0, 1.5);
+        rec.record_transfer(Route::SsdToHost, "blob2", 500, 1.5, 2.0);
+        let spans = rec.drain_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[1].bytes, Some(1000));
+        assert_eq!(spans[1].route, Some(Route::SsdToHost));
+        assert_eq!(spans[1].track, "ssd->host");
+        // Drain leaves metrics in place.
+        assert!(rec.drain_spans().is_empty());
+        let m = &rec.route_metrics()[Route::SsdToHost.index()];
+        assert_eq!(m.ops, 2);
+        assert_eq!(m.bytes, 1500);
+        assert!((m.seconds - 1.0).abs() < 1e-9);
+        let bw = m.achieved_bandwidth().unwrap();
+        assert!((bw - 1500.0).abs() < 1e-6);
+        assert_eq!(m.histogram.count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        let mut h = LatencyHistogram::default();
+        h.record(0.0); // below base -> bucket 0
+        h.record(3e-6); // [2µs, 4µs) -> bucket 1
+        h.record(1.0); // [~0.52s, ~1.05s) -> bucket 19
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(bucket_index(1.0)), 1);
+        let (lo, hi) = LatencyHistogram::bucket_bounds(bucket_index(1.0));
+        assert!(lo <= 1.0 && 1.0 < hi, "1s not in [{lo}, {hi})");
+        assert!(h.max_seconds() == 1.0);
+        // All observations are at or below the top bucket's bound.
+        assert!(h.quantile_upper_bound(1.0) >= 1.0);
+        // Way-out-of-range values clamp to the last bucket.
+        h.record(1e9);
+        assert_eq!(h.bucket_count(HISTOGRAM_BUCKETS - 1), 1);
+    }
+
+    #[test]
+    fn route_metrics_since_subtracts_the_snapshot() {
+        let rec = TelemetryRecorder::new();
+        rec.set_enabled(true);
+        rec.record_transfer(Route::SsdToHost, "warmup", 1000, 0.0, 0.001);
+        let before = rec.route_metrics();
+        rec.record_transfer(Route::SsdToHost, "step", 500, 1.0, 2.0);
+        let m =
+            rec.route_metrics()[Route::SsdToHost.index()].since(&before[Route::SsdToHost.index()]);
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.bytes, 500);
+        assert!((m.seconds - 1.0).abs() < 1e-9);
+        assert_eq!(m.histogram.count(), 1);
+        // The warm-up's 1 ms observation is subtracted out of its bucket.
+        assert_eq!(m.histogram.bucket_count(bucket_index(0.001)), 0);
+        assert_eq!(m.histogram.bucket_count(bucket_index(1.0)), 1);
+        // Only the step's slow transfer remains -> bandwidth 500 B/s.
+        assert!((m.achieved_bandwidth().unwrap() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = TelemetryRecorder::new();
+        rec.set_enabled(true);
+        rec.record_transfer(Route::HostToGpu, "k", 10, 0.0, 0.1);
+        rec.reset();
+        assert!(rec.drain_spans().is_empty());
+        assert_eq!(rec.route_metrics()[Route::HostToGpu.index()].ops, 0);
+        assert!(rec.enabled(), "reset must not flip the enable bit");
+    }
+}

@@ -26,12 +26,24 @@ impl Route {
         Route::SsdToHost,
     ];
 
-    fn index(self) -> usize {
+    /// Position of this route in [`Route::ALL`]; stable across releases,
+    /// usable to index per-route arrays (e.g. telemetry metrics).
+    pub fn index(self) -> usize {
         match self {
             Route::GpuToHost => 0,
             Route::HostToGpu => 1,
             Route::HostToSsd => 2,
             Route::SsdToHost => 3,
+        }
+    }
+
+    /// Short stable name, e.g. `"gpu->host"`; used as a telemetry track.
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::GpuToHost => "gpu->host",
+            Route::HostToGpu => "host->gpu",
+            Route::HostToSsd => "host->ssd",
+            Route::SsdToHost => "ssd->host",
         }
     }
 }
@@ -109,6 +121,24 @@ mod tests {
         assert_eq!(s.total(), 22);
         c.reset();
         assert_eq!(c.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn route_all_ordering_matches_snapshot_indexing() {
+        // `Route::ALL[i].index() == i` is a documented invariant: telemetry
+        // metrics arrays and `TrafficSnapshot` both rely on it.
+        for (i, r) in Route::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i, "Route::ALL order diverged from index()");
+        }
+        // Recording on ALL[i] shows up at exactly that route, no other.
+        for (i, &r) in Route::ALL.iter().enumerate() {
+            let c = TrafficCounters::default();
+            c.record(r, 7);
+            let s = c.snapshot();
+            for (j, &q) in Route::ALL.iter().enumerate() {
+                assert_eq!(s.bytes(q), if i == j { 7 } else { 0 });
+            }
+        }
     }
 
     #[test]

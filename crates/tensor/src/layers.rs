@@ -636,6 +636,16 @@ impl ParamLayer for TransformerBlock {
 }
 
 impl BlockSaved {
+    /// Stored activation elements for a block of the given shape — the
+    /// exact count [`BlockSaved::to_f16_bytes`] serializes (the A16 blob
+    /// is twice this many bytes), computable without running a forward.
+    pub fn element_count_for(batch: usize, seq: usize, h: usize, heads: usize) -> usize {
+        let rows = batch * seq;
+        // x1 + qkv(3) + ctx + x2 + x3 + mlp.pre(4) + mlp.act(4) = 15 rows*h,
+        // plus two LayerNorm (mean, rstd) pairs and the attention probs.
+        rows * (15 * h + 4) + batch * heads * seq * seq
+    }
+
     /// Total stored activation elements (for accounting).
     pub fn element_count(&self) -> usize {
         self.x1.len()
@@ -1263,6 +1273,10 @@ mod tests {
         saved.quantize_f16();
         let bytes = saved.to_f16_bytes();
         assert_eq!(bytes.len(), saved.element_count() * 2);
+        assert_eq!(
+            saved.element_count(),
+            BlockSaved::element_count_for(batch, seq, h, heads)
+        );
         let restored = BlockSaved::from_f16_bytes(&bytes, batch, seq, h, heads);
         assert_eq!(restored, saved);
     }

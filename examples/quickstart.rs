@@ -49,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut engine = RatelEngine::new(config)?;
+    // Telemetry is off by default (the disabled path is one atomic load);
+    // turn it on to watch each step's spans and route metrics.
+    engine.enable_telemetry();
     println!(
         "model: {} parameters across {} movable layers; {} bytes of model states on the SSD tier",
         engine.total_params(),
@@ -57,12 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Train on a learnable synthetic language; the loss should collapse.
+    // `stats.traffic` is this step's per-route byte delta, and the
+    // telemetry adds the §IV-C overlap ratio: how much of the optimizer's
+    // work ran hidden under backward.
     let (tokens, targets) = learnable_batch(&model, 42);
     for step in 0..40 {
         let stats = engine.train_step(&tokens, &targets)?;
         if step % 5 == 0 || step == 39 {
+            let overlap = engine
+                .last_step_telemetry()
+                .map(|t| t.optimizer_overlap_ratio())
+                .unwrap_or(0.0);
             println!(
-                "step {step:>3}: loss {:.4}  ({:.0} ms, {} MB moved: G2M {} / M2G {} / H2S {} / S2H {})",
+                "step {step:>3}: loss {:.4}  ({:.0} ms, {} MB moved: G2M {} / M2G {} / H2S {} / S2H {}, opt overlap {:.0}%)",
                 stats.loss,
                 stats.wall_seconds * 1e3,
                 stats.traffic.total() / 1_000_000,
@@ -70,8 +80,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 stats.traffic.bytes(Route::HostToGpu) / 1_000_000,
                 stats.traffic.bytes(Route::HostToSsd) / 1_000_000,
                 stats.traffic.bytes(Route::SsdToHost) / 1_000_000,
+                100.0 * overlap,
             );
         }
+    }
+    if let Some(t) = engine.last_step_telemetry() {
+        let b = t.stage_breakdown();
+        println!(
+            "last step spans: fwd {:.1} ms, bwd {:.1} ms, optimizer {:.1} ms, transfers {:.1} ms",
+            b.forward * 1e3,
+            b.backward * 1e3,
+            b.optimizer * 1e3,
+            b.transfer * 1e3,
+        );
     }
 
     // Prove the "no staleness" claim: replay the same schedule in memory
