@@ -8,6 +8,7 @@
 //! names; `repro all` regenerates everything, which is what
 //! EXPERIMENTS.md records.
 
+pub mod faults;
 pub mod figs;
 pub mod table;
 pub mod validate;

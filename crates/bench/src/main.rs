@@ -17,6 +17,56 @@ const TRACE_USAGE: &str = "usage: ratel-bench trace [--model 13B] [--batch 32] \
 const VALIDATE_USAGE: &str = "usage: ratel-bench validate [--model tiny|small] [--steps 1] \
 [--throttle 1e-4] [--tolerance 0.5] [--out validate.json]";
 
+const FAULTS_USAGE: &str = "usage: ratel-bench faults [--model tiny|small] [--steps 10] \
+[--faults 5] [--seed 7]";
+
+fn faults_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = ratel_bench::faults::FaultsConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "help" {
+            return Err(FAULTS_USAGE.to_string());
+        }
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value\n{FAULTS_USAGE}"))?;
+        match flag {
+            "--model" => {
+                if ratel_bench::faults::faults_model(v).is_none() {
+                    return Err(format!("unknown model {v:?} (tiny|small)"));
+                }
+                cfg.model = v.clone();
+            }
+            "--steps" => {
+                cfg.steps = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--steps expects a positive integer, got {v:?}"))?
+                    .max(1)
+            }
+            "--faults" => {
+                cfg.faults = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--faults expects a non-negative integer, got {v:?}"))?
+            }
+            "--seed" => {
+                cfg.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?
+            }
+            _ => return Err(format!("unknown flag {flag:?}\n{FAULTS_USAGE}")),
+        }
+        i += 2;
+    }
+    let report = ratel_bench::faults::run(&cfg)?;
+    print!("{}", ratel_bench::faults::render(&cfg, &report));
+    let failures = report.failures(&cfg);
+    if !failures.is_empty() {
+        return Err(format!("chaos smoke failed:\n  {}", failures.join("\n  ")));
+    }
+    Ok(())
+}
+
 fn validate_cmd(args: &[String]) -> Result<(), String> {
     let mut cfg = ratel_bench::validate::ValidateConfig::default();
     let mut i = 0;
@@ -130,15 +180,24 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: repro <figure-id>... | all | list | trace [options] | validate [options]"
+            "usage: repro <figure-id>... | all | list | trace [options] | validate [options] \
+             | faults [options]"
         );
         eprintln!("figure ids: {}", figs::ALL.join(" "));
         eprintln!("{TRACE_USAGE}");
         eprintln!("{VALIDATE_USAGE}");
+        eprintln!("{FAULTS_USAGE}");
         std::process::exit(2);
     }
     if args[0] == "validate" {
         if let Err(e) = validate_cmd(&args[1..]) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args[0] == "faults" {
+        if let Err(e) = faults_cmd(&args[1..]) {
             eprintln!("{e}");
             std::process::exit(2);
         }

@@ -8,6 +8,7 @@
 //!
 //! ```no_run
 //! use ratel::api::Ratel;
+//! use ratel::Batch;
 //! use ratel_tensor::GptConfig;
 //!
 //! // Ratel_init(): profile the substrate, plan activations, wire the
@@ -19,20 +20,30 @@
 //!     .unwrap();
 //!
 //! let (tokens, targets) = ratel::engine::data::learnable_batch(&GptConfig::tiny(), 1);
+//! let batch = Batch::new(&GptConfig::tiny(), &tokens, &targets).unwrap();
 //! for _epoch in 0..3 {
 //!     // No optimizer.step(): updates happen during backward.
-//!     let stats = trainer.step(&tokens, &targets).unwrap();
+//!     let stats = trainer.step(batch).unwrap();
 //!     println!("loss {:.3}", stats.loss);
 //! }
 //! ```
+//!
+//! Every fallible call returns [`RatelError`]; batches are validated at
+//! construction (see [`Batch`]) instead of panicking deep in the tensor
+//! crate; and the builder's [`Ratel::build`] reports *every* config
+//! violation at once.
 
-use ratel_storage::{Route, StorageError, TierConfig, TieredStore};
+use std::sync::Arc;
+
+use ratel_storage::{FaultPlan, RetryPolicy, Route, TierConfig, TieredStore};
 use ratel_tensor::{AdamParams, GptConfig};
 
+use crate::batch::Batch;
 use crate::engine::lr::LrSchedule;
 use crate::engine::profiler::{plan_decisions, MeasuredProfile};
 use crate::engine::scaler::ScalePolicy;
 use crate::engine::{ActDecision, EngineConfig, RatelEngine, StepStats};
+use crate::error::RatelError;
 
 /// Builder for a [`RatelTrainer`] — the `Ratel_init()` of Fig. 4.
 #[derive(Debug, Clone)]
@@ -52,6 +63,10 @@ pub struct Ratel {
     act_override: Option<Vec<ActDecision>>,
     active_offload: bool,
     probe_bytes: usize,
+    fault_plan: Option<Arc<FaultPlan>>,
+    retry_policy: Option<RetryPolicy>,
+    spill_on_host_pressure: bool,
+    resume_from: Option<std::path::PathBuf>,
 }
 
 impl Ratel {
@@ -73,6 +88,10 @@ impl Ratel {
             act_override: None,
             active_offload: true,
             probe_bytes: 1 << 20,
+            fault_plan: None,
+            retry_policy: None,
+            spill_on_host_pressure: false,
+            resume_from: None,
         }
     }
 
@@ -169,21 +188,77 @@ impl Ratel {
         self
     }
 
+    /// Installs a deterministic SSD fault-injection plan on the trainer's
+    /// store (see [`FaultPlan`]). Injection starts *after* engine
+    /// initialization, so op indices count training-time SSD operations.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the SSD retry policy (default: 3 retries, 500 µs base
+    /// backoff, doubling).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self
+    }
+
+    /// Enables graceful degradation under host-pool pressure: blobs
+    /// headed for a full host pool land on the SSD tier (each spill is
+    /// counted in the store's fault stats) instead of failing the step.
+    pub fn spill_on_host_pressure(mut self) -> Self {
+        self.spill_on_host_pressure = true;
+        self
+    }
+
+    /// Restores the newest good checkpoint generation from `dir` right
+    /// after the trainer is built — the resume path after a crash.
+    pub fn resume_from(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.resume_from = Some(dir.into());
+        self
+    }
+
     /// Runs the profiling stage (unless decisions were overridden), plans
     /// the activations, and builds the trainer.
-    pub fn build(self) -> Result<RatelTrainer, StorageError> {
+    ///
+    /// # Errors
+    /// [`RatelError::InvalidConfig`] listing *every* configuration
+    /// violation found; [`RatelError::Storage`] if the substrate fails;
+    /// [`RatelError::CheckpointCorrupt`] if [`Ratel::resume_from`] was
+    /// given a directory with no loadable generation.
+    pub fn build(self) -> Result<RatelTrainer, RatelError> {
+        // Validate everything up front on a provisional config. When the
+        // planner picks the decisions their count is correct by
+        // construction, so a placeholder stands in for the shape checks.
+        let provisional = EngineConfig {
+            model: self.model,
+            seed: self.seed,
+            adam: self.adam,
+            act_decisions: self
+                .act_override
+                .clone()
+                .unwrap_or_else(|| vec![ActDecision::Recompute; self.model.layers]),
+            gpu_capacity: self.gpu_capacity,
+            host_capacity: self.host_capacity,
+            active_offload: self.active_offload,
+            loss_scale: self.loss_scale,
+            grad_clip: self.grad_clip,
+            lr_schedule: self.lr_schedule,
+            dropout: self.dropout,
+            prefetch_params: self.prefetch_params,
+            frozen_layers: self.frozen_layers.clone(),
+        };
+        let violations = provisional.validate();
+        if !violations.is_empty() {
+            return Err(RatelError::InvalidConfig(violations));
+        }
+
         let (decisions, measured) = match &self.act_override {
-            Some(d) => {
-                assert_eq!(
-                    d.len(),
-                    self.model.layers,
-                    "one activation decision per block"
-                );
-                (d.clone(), None)
-            }
+            Some(d) => (d.clone(), None),
             None => {
                 // Profiling stage: measure on a scratch store configured
-                // like the real one (same throttles).
+                // like the real one (same throttles; no fault plan — the
+                // plan's op clock must count the trainer's own SSD ops).
                 let scratch = TieredStore::new(TierConfig::unbounded_temp())?;
                 for &(route, rate) in &self.throttles {
                     scratch.set_throttle(route, Some(rate));
@@ -202,29 +277,33 @@ impl Ratel {
         };
 
         let engine = RatelEngine::new(EngineConfig {
-            model: self.model,
-            seed: self.seed,
-            adam: self.adam,
             act_decisions: decisions.clone(),
-            gpu_capacity: self.gpu_capacity,
-            host_capacity: self.host_capacity,
-            active_offload: self.active_offload,
-            loss_scale: self.loss_scale,
-            grad_clip: self.grad_clip,
-            lr_schedule: self.lr_schedule,
-            dropout: self.dropout,
-            prefetch_params: self.prefetch_params,
-            frozen_layers: self.frozen_layers.clone(),
+            ..provisional
         })?;
         for &(route, rate) in &self.throttles {
             engine.set_route_throttle(route, Some(rate));
         }
-        Ok(RatelTrainer {
+        // Robustness knobs land on the live store only after the engine's
+        // initial state placement, so fault op indices are training ops.
+        if let Some(policy) = self.retry_policy {
+            engine.store().set_retry_policy(policy);
+        }
+        if self.spill_on_host_pressure {
+            engine.store().set_spill_on_host_pressure(true);
+        }
+        if let Some(plan) = self.fault_plan {
+            engine.store().set_fault_plan(Some(plan));
+        }
+        let mut trainer = RatelTrainer {
             engine,
             decisions,
             measured,
             loss_history: Vec::new(),
-        })
+        };
+        if let Some(dir) = &self.resume_from {
+            trainer.load_checkpoint(dir)?;
+        }
+        Ok(trainer)
     }
 }
 
@@ -237,28 +316,40 @@ pub struct RatelTrainer {
     loss_history: Vec<f32>,
 }
 
+impl std::fmt::Debug for RatelTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RatelTrainer")
+            .field("decisions", &self.decisions)
+            .field("steps_recorded", &self.loss_history.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl RatelTrainer {
     /// One fine-tuning step; the optimizer runs inside (actively
     /// offloaded). Records the loss in the history.
-    pub fn step(&mut self, tokens: &[usize], targets: &[usize]) -> Result<StepStats, StorageError> {
-        let stats = self.engine.train_step(tokens, targets)?;
+    pub fn step(&mut self, batch: Batch<'_>) -> Result<StepStats, RatelError> {
+        let stats = self.engine.train_step(batch.tokens(), batch.targets())?;
         self.loss_history.push(stats.loss);
         Ok(stats)
     }
 
     /// Trains over a set of batches for `epochs`, returning the final
-    /// epoch's mean loss.
+    /// epoch's mean loss. Each pair is validated like a [`Batch`].
     pub fn train_epochs(
         &mut self,
         batches: &[(Vec<usize>, Vec<usize>)],
         epochs: usize,
-    ) -> Result<f32, StorageError> {
-        assert!(!batches.is_empty(), "need at least one batch");
+    ) -> Result<f32, RatelError> {
+        if batches.is_empty() {
+            return Err(RatelError::InvalidBatch("need at least one batch".into()));
+        }
+        let model = self.engine.model_config();
         let mut last = 0.0f32;
         for _ in 0..epochs {
             let mut sum = 0.0f32;
             for (t, y) in batches {
-                sum += self.step(t, y)?.loss;
+                sum += self.step(Batch::new(&model, t, y)?)?.loss;
             }
             last = sum / batches.len() as f32;
         }
@@ -268,21 +359,30 @@ impl RatelTrainer {
     /// One step with gradient accumulation over micro-batches.
     pub fn step_accumulated(
         &mut self,
-        micro_batches: &[(Vec<usize>, Vec<usize>)],
-    ) -> Result<StepStats, StorageError> {
-        let stats = self.engine.train_step_accumulated(micro_batches)?;
+        micro_batches: &[Batch<'_>],
+    ) -> Result<StepStats, RatelError> {
+        if micro_batches.is_empty() {
+            return Err(RatelError::InvalidBatch(
+                "need at least one micro-batch".into(),
+            ));
+        }
+        let owned: Vec<(Vec<usize>, Vec<usize>)> = micro_batches
+            .iter()
+            .map(|b| (b.tokens().to_vec(), b.targets().to_vec()))
+            .collect();
+        let stats = self.engine.train_step_accumulated(&owned)?;
         self.loss_history.push(stats.loss);
         Ok(stats)
     }
 
     /// Evaluation loss without updating.
-    pub fn eval(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32, StorageError> {
-        self.engine.eval_loss(tokens, targets)
+    pub fn eval(&mut self, batch: Batch<'_>) -> Result<f32, RatelError> {
+        self.engine.eval_loss(batch.tokens(), batch.targets())
     }
 
     /// Evaluation perplexity (`exp` of the mean cross-entropy).
-    pub fn perplexity(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32, StorageError> {
-        Ok(self.engine.eval_loss(tokens, targets)?.exp())
+    pub fn perplexity(&mut self, batch: Batch<'_>) -> Result<f32, RatelError> {
+        Ok(self.eval(batch)?.exp())
     }
 
     /// Greedy generation through the tiered engine.
@@ -290,7 +390,7 @@ impl RatelTrainer {
         &mut self,
         prompt: &[usize],
         max_new_tokens: usize,
-    ) -> Result<Vec<usize>, StorageError> {
+    ) -> Result<Vec<usize>, RatelError> {
         self.engine.generate(prompt, max_new_tokens)
     }
 
@@ -299,7 +399,7 @@ impl RatelTrainer {
         &mut self,
         prompt: &[usize],
         max_new_tokens: usize,
-    ) -> Result<Vec<usize>, StorageError> {
+    ) -> Result<Vec<usize>, RatelError> {
         self.engine.generate_cached(prompt, max_new_tokens)
     }
 
@@ -319,13 +419,15 @@ impl RatelTrainer {
         &self.loss_history
     }
 
-    /// Saves a checkpoint directory.
-    pub fn save_checkpoint(&self, dir: &std::path::Path) -> Result<(), StorageError> {
+    /// Saves a crash-safe checkpoint generation into `dir` (see
+    /// [`crate::engine::checkpoint`] for the on-disk format).
+    pub fn save_checkpoint(&self, dir: &std::path::Path) -> Result<(), RatelError> {
         self.engine.save_checkpoint(dir)
     }
 
-    /// Restores a checkpoint directory.
-    pub fn load_checkpoint(&mut self, dir: &std::path::Path) -> Result<(), StorageError> {
+    /// Restores the newest verifiable checkpoint generation from `dir`,
+    /// falling back through older generations on corruption.
+    pub fn load_checkpoint(&mut self, dir: &std::path::Path) -> Result<(), RatelError> {
         self.engine.load_checkpoint(dir)
     }
 
@@ -346,7 +448,9 @@ mod tests {
         assert_eq!(trainer.decisions().len(), GptConfig::tiny().layers);
         assert!(trainer.measured().is_some());
         let (t, y) = learnable_batch(&GptConfig::tiny(), 1);
-        let s = trainer.step(&t, &y).unwrap();
+        let s = trainer
+            .step(Batch::new(&GptConfig::tiny(), &t, &y).unwrap())
+            .unwrap();
         assert!(s.loss.is_finite());
         assert_eq!(trainer.loss_history().len(), 1);
     }
@@ -402,10 +506,76 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one activation decision per block")]
-    fn wrong_decision_count_panics() {
-        let _ = Ratel::init(GptConfig::tiny())
+    fn wrong_decision_count_is_reported_not_panicked() {
+        let err = Ratel::init(GptConfig::tiny())
             .activation_decisions(vec![ActDecision::Recompute])
-            .build();
+            .build()
+            .unwrap_err();
+        match err {
+            RatelError::InvalidConfig(v) => {
+                assert!(
+                    v.iter()
+                        .any(|m| m.contains("one activation decision per block")),
+                    "{v:?}"
+                );
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn build_reports_every_violation_at_once() {
+        let mut model = GptConfig::tiny();
+        model.heads = 5; // 32 % 5 != 0
+        model.batch = 0;
+        let err = Ratel::init(model)
+            .activation_decisions(vec![ActDecision::Recompute]) // wrong count
+            .build()
+            .unwrap_err();
+        match err {
+            RatelError::InvalidConfig(v) => {
+                assert!(v.len() >= 3, "want all violations listed, got {v:?}");
+                let joined = v.join("\n");
+                assert!(joined.contains("divisible by heads"), "{joined}");
+                assert!(joined.contains("micro-batch"), "{joined}");
+                assert!(joined.contains("one activation decision"), "{joined}");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undersized_capacities_are_rejected_up_front() {
+        let err = Ratel::init(GptConfig::tiny())
+            .gpu_capacity(64) // cannot even stage one layer's P16
+            .host_capacity(64)
+            .build()
+            .unwrap_err();
+        match err {
+            RatelError::InvalidConfig(v) => {
+                let joined = v.join("\n");
+                assert!(joined.contains("gpu capacity"), "{joined}");
+                assert!(joined.contains("host capacity"), "{joined}");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_at_the_boundary() {
+        let model = GptConfig::tiny();
+        let mut trainer = Ratel::init(model)
+            .activation_decisions(vec![ActDecision::Recompute; model.layers])
+            .build()
+            .unwrap();
+        let short = vec![0usize; 3];
+        assert!(Batch::new(&model, &short, &short).is_err());
+        // Via train_epochs, which validates each owned pair.
+        let err = trainer
+            .train_epochs(&[(short.clone(), short)], 1)
+            .unwrap_err();
+        assert!(matches!(err, RatelError::InvalidBatch(_)), "{err}");
+        assert!(trainer.train_epochs(&[], 1).is_err());
+        assert!(trainer.step_accumulated(&[]).is_err());
     }
 }

@@ -1,0 +1,115 @@
+//! Validated training batches.
+//!
+//! The old API took twin `&[usize], &[usize]` slices everywhere; a
+//! mismatched pair panicked deep inside the tensor crate, long after the
+//! mistake was made. A [`Batch`] is constructed once, validated at the
+//! boundary, and borrowed by every step/eval call.
+
+use ratel_tensor::GptConfig;
+
+use crate::error::RatelError;
+
+/// A validated `(tokens, targets)` pair for one model shape.
+///
+/// Construction checks what used to be scattered panics: the two slices
+/// have equal length, that length is exactly the model's `batch * seq`
+/// ids (sequence-major), and every id is inside the vocabulary.
+#[derive(Debug, Clone, Copy)]
+pub struct Batch<'a> {
+    tokens: &'a [usize],
+    targets: &'a [usize],
+}
+
+impl<'a> Batch<'a> {
+    /// Validates `tokens`/`targets` against `model`.
+    ///
+    /// # Errors
+    /// [`RatelError::InvalidBatch`] naming the first check that failed.
+    pub fn new(
+        model: &GptConfig,
+        tokens: &'a [usize],
+        targets: &'a [usize],
+    ) -> Result<Self, RatelError> {
+        let want = model.batch * model.seq;
+        if tokens.len() != targets.len() {
+            return Err(RatelError::InvalidBatch(format!(
+                "tokens ({}) and targets ({}) differ in length",
+                tokens.len(),
+                targets.len()
+            )));
+        }
+        if tokens.len() != want {
+            return Err(RatelError::InvalidBatch(format!(
+                "batch holds {} ids but the model needs batch * seq = {} * {} = {want}",
+                tokens.len(),
+                model.batch,
+                model.seq
+            )));
+        }
+        for (what, ids) in [("token", tokens), ("target", targets)] {
+            if let Some((i, &id)) = ids.iter().enumerate().find(|(_, &id)| id >= model.vocab) {
+                return Err(RatelError::InvalidBatch(format!(
+                    "{what} id {id} at position {i} is outside the vocabulary (size {})",
+                    model.vocab
+                )));
+            }
+        }
+        Ok(Batch { tokens, targets })
+    }
+
+    /// The input token ids (`batch * seq`, sequence-major).
+    pub fn tokens(&self) -> &'a [usize] {
+        self.tokens
+    }
+
+    /// The target ids, aligned with [`Batch::tokens`].
+    pub fn targets(&self) -> &'a [usize] {
+        self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_batch_passes() {
+        let c = GptConfig::tiny();
+        let ids = vec![0usize; c.batch * c.seq];
+        let b = Batch::new(&c, &ids, &ids).unwrap();
+        assert_eq!(b.tokens().len(), c.batch * c.seq);
+        assert_eq!(b.targets().len(), c.batch * c.seq);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let c = GptConfig::tiny();
+        let a = vec![0usize; c.batch * c.seq];
+        let b = vec![0usize; c.batch * c.seq - 1];
+        let err = Batch::new(&c, &a, &b).unwrap_err();
+        assert!(matches!(err, RatelError::InvalidBatch(_)), "{err}");
+        assert!(err.to_string().contains("differ in length"));
+    }
+
+    #[test]
+    fn wrong_size_is_rejected() {
+        let c = GptConfig::tiny();
+        let ids = vec![0usize; 3];
+        let err = Batch::new(&c, &ids, &ids).unwrap_err();
+        assert!(err.to_string().contains("batch * seq"), "{err}");
+    }
+
+    #[test]
+    fn out_of_vocab_ids_are_rejected() {
+        let c = GptConfig::tiny();
+        let mut tokens = vec![0usize; c.batch * c.seq];
+        let targets = tokens.clone();
+        tokens[5] = c.vocab; // one past the end
+        let err = Batch::new(&c, &tokens, &targets).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("position 5") && msg.contains("vocabulary"),
+            "{msg}"
+        );
+    }
+}

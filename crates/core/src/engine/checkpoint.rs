@@ -1,0 +1,297 @@
+//! Crash-safe, generation-numbered checkpoints.
+//!
+//! A checkpoint directory holds *generations*. Saving generation `N`
+//! writes every blob as `gN-layer<l>.master` / `gN-layer<l>.moments` and
+//! then a `manifest-gN.txt` — each file written to a temp sibling,
+//! fsynced, and renamed into place, with the manifest last. Because the
+//! manifest commits the generation and earlier generations' files are
+//! never touched, a crash at *any* point leaves the directory loadable:
+//! either the new manifest exists complete (the save happened) or it
+//! doesn't (the save never happened and generation `N-1` is intact).
+//!
+//! The manifest carries the engine's step clock, per-layer update
+//! counts, and an FNV-1a 64 checksum + byte length for every blob, plus
+//! a self-checksum over its own body. Loading verifies all of them and
+//! walks backward through generations until one passes — torn or
+//! bit-flipped checkpoints are *detected*, never silently restored.
+//! After a successful save the directory is pruned to the two newest
+//! generations.
+//!
+//! Manifest format (text, one record per line):
+//!
+//! ```text
+//! ratel-checkpoint v1
+//! generation 3
+//! step 40
+//! layer 0 38 51200 a1b2c3d4e5f60718 102400 18f6e5d4c3b2a190
+//! ...
+//! checksum 0123456789abcdef
+//! ```
+//!
+//! The `layer` fields are: id, applied-update count, master byte length,
+//! master FNV-1a 64, moments byte length, moments FNV-1a 64.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use ratel_storage::Tier;
+use ratel_tensor::dtype::{decode_f32, encode_f16};
+
+use crate::error::RatelError;
+
+use super::{master_key, moments_key, p16_key, RatelEngine};
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty to catch torn
+/// writes and bit rot (this is corruption *detection*, not security).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Writes `bytes` to `path` via a temp sibling + fsync + rename, so the
+/// final path either holds the complete content or does not exist.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn manifest_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("manifest-g{generation}.txt"))
+}
+
+fn blob_path(dir: &Path, generation: u64, layer: usize, kind: &str) -> PathBuf {
+    dir.join(format!("g{generation}-layer{layer}.{kind}"))
+}
+
+/// Generations present in `dir` (by manifest file), ascending.
+pub(crate) fn generations(dir: &Path) -> Vec<u64> {
+    let mut gens: Vec<u64> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                name.strip_prefix("manifest-g")?
+                    .strip_suffix(".txt")?
+                    .parse()
+                    .ok()
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    gens.sort_unstable();
+    gens.dedup();
+    gens
+}
+
+/// One parsed + verified manifest.
+struct Manifest {
+    step: u64,
+    /// `(applied_steps, master_bytes, moments_bytes)` per layer id.
+    layers: Vec<(u64, Vec<u8>, Vec<u8>)>,
+}
+
+/// Saves a new generation. See the module docs for the on-disk layout.
+pub(crate) fn save(engine: &RatelEngine, dir: &Path) -> Result<(), RatelError> {
+    fs::create_dir_all(dir).map_err(|e| {
+        RatelError::CheckpointCorrupt(format!("cannot create {}: {e}", dir.display()))
+    })?;
+    let generation = generations(dir).last().copied().unwrap_or(0) + 1;
+    let io_err = |what: &str, e: std::io::Error| {
+        RatelError::CheckpointCorrupt(format!("writing {what}: {e}"))
+    };
+
+    let mut body = String::from("ratel-checkpoint v1\n");
+    body.push_str(&format!("generation {generation}\n"));
+    body.push_str(&format!("step {}\n", engine.step));
+    for layer in 0..engine.layer_count() {
+        let master = engine.store.read(&master_key(layer))?;
+        let moments = engine.store.read(&moments_key(layer))?;
+        let mpath = blob_path(dir, generation, layer, "master");
+        let opath = blob_path(dir, generation, layer, "moments");
+        write_atomic(&mpath, &master).map_err(|e| io_err("master blob", e))?;
+        write_atomic(&opath, &moments).map_err(|e| io_err("moments blob", e))?;
+        body.push_str(&format!(
+            "layer {layer} {} {} {:016x} {} {:016x}\n",
+            engine.layer_steps[layer],
+            master.len(),
+            fnv64(&master),
+            moments.len(),
+            fnv64(&moments),
+        ));
+    }
+    let manifest = format!("{body}checksum {:016x}\n", fnv64(body.as_bytes()));
+    // The manifest rename is the commit point of the whole generation.
+    write_atomic(&manifest_path(dir, generation), manifest.as_bytes())
+        .map_err(|e| io_err("manifest", e))?;
+
+    // Keep this generation and its predecessor; prune everything older.
+    for old in generations(dir) {
+        if old + 1 >= generation {
+            continue;
+        }
+        let _ = fs::remove_file(manifest_path(dir, old));
+        for layer in 0..engine.layer_count() {
+            let _ = fs::remove_file(blob_path(dir, old, layer, "master"));
+            let _ = fs::remove_file(blob_path(dir, old, layer, "moments"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and fully verifies one generation, returning the blobs.
+fn read_generation(dir: &Path, generation: u64, layer_count: usize) -> Result<Manifest, String> {
+    let path = manifest_path(dir, generation);
+    let text = fs::read_to_string(&path).map_err(|e| format!("manifest unreadable: {e}"))?;
+
+    // Split off and verify the self-checksum line first.
+    let trimmed = text.strip_suffix('\n').unwrap_or(&text);
+    let (body_end, checksum_line) = match trimmed.rfind('\n') {
+        Some(i) => (i + 1, &trimmed[i + 1..]),
+        None => return Err("manifest truncated before checksum".into()),
+    };
+    let body = &text[..body_end];
+    let declared = checksum_line
+        .strip_prefix("checksum ")
+        .ok_or("manifest missing checksum line")?;
+    let declared = u64::from_str_radix(declared, 16).map_err(|e| format!("bad checksum: {e}"))?;
+    if declared != fnv64(body.as_bytes()) {
+        return Err("manifest self-checksum mismatch".into());
+    }
+
+    let mut lines = body.lines();
+    if lines.next() != Some("ratel-checkpoint v1") {
+        return Err("unrecognized manifest header".into());
+    }
+    let gen_line = lines.next().ok_or("manifest missing generation line")?;
+    let declared_gen: u64 = gen_line
+        .strip_prefix("generation ")
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad generation line")?;
+    if declared_gen != generation {
+        return Err(format!(
+            "manifest names generation {declared_gen}, file says {generation}"
+        ));
+    }
+    let step_line = lines.next().ok_or("manifest missing step line")?;
+    let step: u64 = step_line
+        .strip_prefix("step ")
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad step line")?;
+
+    let mut layers = Vec::new();
+    for line in lines {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 7 || fields[0] != "layer" {
+            return Err(format!("bad layer line {line:?}"));
+        }
+        let layer: usize = fields[1].parse().map_err(|_| "bad layer id".to_string())?;
+        if layer != layers.len() {
+            return Err(format!("layer records out of order at {layer}"));
+        }
+        let steps: u64 = fields[2]
+            .parse()
+            .map_err(|_| "bad layer steps".to_string())?;
+        let parse_blob = |len_s: &str, sum_s: &str, kind: &str| -> Result<Vec<u8>, String> {
+            let len: usize = len_s.parse().map_err(|_| format!("bad {kind} length"))?;
+            let sum = u64::from_str_radix(sum_s, 16).map_err(|_| format!("bad {kind} checksum"))?;
+            let bytes = fs::read(blob_path(dir, generation, layer, kind))
+                .map_err(|e| format!("layer {layer} {kind} unreadable: {e}"))?;
+            if bytes.len() != len {
+                return Err(format!(
+                    "layer {layer} {kind} is {} bytes, manifest says {len} (torn write?)",
+                    bytes.len()
+                ));
+            }
+            if fnv64(&bytes) != sum {
+                return Err(format!("layer {layer} {kind} checksum mismatch"));
+            }
+            Ok(bytes)
+        };
+        let master = parse_blob(fields[3], fields[4], "master")?;
+        let moments = parse_blob(fields[5], fields[6], "moments")?;
+        layers.push((steps, master, moments));
+    }
+    if layers.len() != layer_count {
+        return Err(format!(
+            "checkpoint has {} layers, engine has {layer_count}",
+            layers.len()
+        ));
+    }
+    Ok(Manifest { step, layers })
+}
+
+/// Loads the newest verifiable generation into the engine, falling back
+/// through older generations when verification fails.
+pub(crate) fn load(engine: &mut RatelEngine, dir: &Path) -> Result<(), RatelError> {
+    let gens = generations(dir);
+    if gens.is_empty() {
+        return Err(RatelError::CheckpointCorrupt(format!(
+            "no checkpoint manifests in {}",
+            dir.display()
+        )));
+    }
+    let mut failures = Vec::new();
+    for &generation in gens.iter().rev() {
+        match read_generation(dir, generation, engine.layer_count()) {
+            Ok(manifest) => {
+                // All blobs verified — only now touch engine state.
+                engine.step = manifest.step;
+                for (layer, (steps, master, moments)) in manifest.layers.into_iter().enumerate() {
+                    engine.layer_steps[layer] = steps;
+                    let p16 = encode_f16(&decode_f32(&master));
+                    engine.store.overwrite(&master_key(layer), master)?;
+                    engine.store.overwrite(&moments_key(layer), moments)?;
+                    engine.store.remove(&p16_key(layer))?;
+                    engine.store.put(&p16_key(layer), Tier::Ssd, p16)?;
+                }
+                return Ok(());
+            }
+            Err(reason) => failures.push(format!("generation {generation}: {reason}")),
+        }
+    }
+    Err(RatelError::CheckpointCorrupt(format!(
+        "no loadable generation in {}: {}",
+        dir.display(),
+        failures.join("; ")
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_is_stable_and_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        let a = fnv64(b"ratel");
+        let mut flipped = b"ratel".to_vec();
+        flipped[0] ^= 1;
+        assert_ne!(a, fnv64(&flipped));
+    }
+
+    #[test]
+    fn generation_listing_ignores_foreign_files() {
+        let dir = std::env::temp_dir().join(format!("ratel-genlist-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(manifest_path(&dir, 2), "x").unwrap();
+        fs::write(manifest_path(&dir, 10), "x").unwrap();
+        fs::write(dir.join("manifest-gBAD.txt"), "x").unwrap();
+        fs::write(dir.join("notes.txt"), "x").unwrap();
+        assert_eq!(generations(&dir), vec![2, 10]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

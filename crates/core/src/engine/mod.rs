@@ -20,6 +20,7 @@
 //! ZeRO-Offload).
 
 pub mod bpe;
+pub mod checkpoint;
 pub mod data;
 pub mod lr;
 pub mod optimizer;
@@ -39,6 +40,7 @@ use ratel_tensor::{
     Tensor,
 };
 
+use crate::error::RatelError;
 use lr::LrSchedule;
 use optimizer::{ActiveOptimizer, GradMessage};
 use scaler::{LossScaler, ScalePolicy};
@@ -96,6 +98,77 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
+    /// Checks the whole configuration and returns *every* violation
+    /// found (empty = valid). [`crate::Ratel::build`] calls this and
+    /// reports the full list in one [`RatelError::InvalidConfig`], so a
+    /// bad config is fixed in one pass instead of one error per run.
+    pub fn validate(&self) -> Vec<String> {
+        let m = &self.model;
+        let mut v = Vec::new();
+        if m.layers == 0 {
+            v.push("model needs at least one transformer block".to_string());
+        }
+        if m.heads == 0 {
+            v.push("model needs at least one attention head".to_string());
+        }
+        if m.hidden == 0 {
+            v.push("hidden dimension must be non-zero".to_string());
+        }
+        if m.vocab == 0 {
+            v.push("vocabulary must be non-empty".to_string());
+        }
+        if m.seq == 0 {
+            v.push("sequence length must be non-zero".to_string());
+        }
+        if m.batch == 0 {
+            v.push("micro-batch size must be non-zero".to_string());
+        }
+        if m.heads != 0 && !m.hidden.is_multiple_of(m.heads) {
+            v.push(format!(
+                "hidden ({}) must be divisible by heads ({})",
+                m.hidden, m.heads
+            ));
+        }
+        if self.act_decisions.len() != m.layers {
+            v.push(format!(
+                "one activation decision per block: got {}, model has {} blocks",
+                self.act_decisions.len(),
+                m.layers
+            ));
+        }
+        for &layer in &self.frozen_layers {
+            if layer >= m.layers + 2 {
+                v.push(format!(
+                    "frozen layer {layer} out of range (model has layers 0..={})",
+                    m.layers + 1
+                ));
+            }
+        }
+        // Capacity floors only make sense once the shape itself is sane.
+        if v.is_empty() {
+            let max_p = m.max_layer_params() as u64;
+            if let Some(cap) = self.gpu_capacity {
+                let need = 2 * max_p; // one resident layer's P16
+                if cap < need {
+                    v.push(format!(
+                        "gpu capacity {cap} B cannot stage the largest layer's \
+                         P16 ({need} B)"
+                    ));
+                }
+            }
+            if let Some(cap) = self.host_capacity {
+                let need = 14 * max_p; // master (4) + moments (8) + G16 (2)
+                if cap < need {
+                    v.push(format!(
+                        "host capacity {cap} B cannot hold the largest layer's \
+                         optimizer working set ({need} B)"
+                    ));
+                }
+            }
+        }
+        v
+    }
+
     /// A reasonable default: tiny model, everything swapped to host.
     pub fn tiny() -> Self {
         let model = GptConfig::tiny();
@@ -217,8 +290,12 @@ fn accum_key(layer: usize) -> String {
 impl RatelEngine {
     /// Initializes the engine: builds the model, then *moves every model
     /// state to the SSD tier* (P32, OS32, P16 blobs per layer).
-    pub fn new(config: EngineConfig) -> Result<Self, StorageError> {
-        assert_eq!(
+    ///
+    /// This low-level constructor trusts its config (debug builds assert
+    /// the basics); [`crate::Ratel::build`] runs the full
+    /// [`EngineConfig::validate`] pass first and reports every violation.
+    pub fn new(config: EngineConfig) -> Result<Self, RatelError> {
+        debug_assert_eq!(
             config.act_decisions.len(),
             config.model.layers,
             "one activation decision per block"
@@ -250,6 +327,11 @@ impl RatelEngine {
     /// Number of schedulable layers (embedding + blocks + head).
     pub fn layer_count(&self) -> usize {
         self.config.model.layers + 2
+    }
+
+    /// The model shape the engine was built with.
+    pub fn model_config(&self) -> GptConfig {
+        self.config.model
     }
 
     fn layer_params_flat(&self, layer: usize) -> Vec<f32> {
@@ -352,7 +434,7 @@ impl RatelEngine {
         &mut self,
         tokens: &[usize],
         targets: &[usize],
-    ) -> Result<StepStats, StorageError> {
+    ) -> Result<StepStats, RatelError> {
         let t0 = std::time::Instant::now();
         let traffic_before = self.store.traffic();
         let step_start = self.begin_step_telemetry();
@@ -385,7 +467,7 @@ impl RatelEngine {
     pub fn train_step_accumulated(
         &mut self,
         micro_batches: &[(Vec<usize>, Vec<usize>)],
-    ) -> Result<StepStats, StorageError> {
+    ) -> Result<StepStats, RatelError> {
         assert!(!micro_batches.is_empty(), "need at least one micro-batch");
         let t0 = std::time::Instant::now();
         let traffic_before = self.store.traffic();
@@ -495,7 +577,7 @@ impl RatelEngine {
         scale: f32,
         traffic_before: TrafficSnapshot,
         step_start: Option<(f64, [ratel_storage::RouteMetrics; 4])>,
-    ) -> Result<StepStats, StorageError> {
+    ) -> Result<StepStats, RatelError> {
         // Synchronous semantics: the step is not done until every layer's
         // update has been written back to the SSD tier.
         let skipped = optimizer.finish()?;
@@ -733,12 +815,12 @@ impl RatelEngine {
 
     /// Reads the current master (f32) parameters of a layer — for tests
     /// and checkpoint export.
-    pub fn master_params(&self, layer: usize) -> Result<Vec<f32>, StorageError> {
+    pub fn master_params(&self, layer: usize) -> Result<Vec<f32>, RatelError> {
         Ok(decode_f32(&self.store.read(&master_key(layer))?))
     }
 
     /// Reads the current P16 compute copy of a layer (decoded to f32).
-    pub fn p16_params(&self, layer: usize) -> Result<Vec<f32>, StorageError> {
+    pub fn p16_params(&self, layer: usize) -> Result<Vec<f32>, RatelError> {
         Ok(decode_f16(&self.store.read(&p16_key(layer))?))
     }
 
@@ -748,7 +830,7 @@ impl RatelEngine {
     }
 
     /// Evaluates the loss on a batch without training (no state change).
-    pub fn eval_loss(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32, StorageError> {
+    pub fn eval_loss(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32, RatelError> {
         let c = self.config.model;
         self.stage_params(0)?;
         let mut x = self
@@ -781,7 +863,7 @@ impl RatelEngine {
         &mut self,
         prompt: &[usize],
         max_new_tokens: usize,
-    ) -> Result<Vec<usize>, StorageError> {
+    ) -> Result<Vec<usize>, RatelError> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         let c = self.config.model;
         assert!(
@@ -841,7 +923,7 @@ impl RatelEngine {
         &mut self,
         prompt: &[usize],
         max_new_tokens: usize,
-    ) -> Result<Vec<usize>, StorageError> {
+    ) -> Result<Vec<usize>, RatelError> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         let c = self.config.model;
         assert!(
@@ -909,7 +991,7 @@ impl RatelEngine {
         temperature: f32,
         top_k: usize,
         sample_seed: u64,
-    ) -> Result<Vec<usize>, StorageError> {
+    ) -> Result<Vec<usize>, RatelError> {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         assert!(!prompt.is_empty(), "prompt must not be empty");
@@ -1010,67 +1092,29 @@ impl RatelEngine {
         self.store.set_throttle(route, bytes_per_sec);
     }
 
-    /// Saves a training checkpoint (masters, Adam moments, step clocks)
-    /// to `dir`. The P16 copies are derivable and not stored.
-    pub fn save_checkpoint(&self, dir: &std::path::Path) -> Result<(), StorageError> {
-        std::fs::create_dir_all(dir)?;
-        let mut manifest = format!(
-            "step {}
-",
-            self.step
-        );
-        for layer in 0..self.layer_count() {
-            let master = self.store.read(&master_key(layer))?;
-            let moments = self.store.read(&moments_key(layer))?;
-            std::fs::write(dir.join(format!("layer{layer}.master")), master)?;
-            std::fs::write(dir.join(format!("layer{layer}.moments")), moments)?;
-            manifest.push_str(&format!(
-                "layer {layer} {}
-",
-                self.layer_steps[layer]
-            ));
-        }
-        std::fs::write(dir.join("manifest.txt"), manifest)?;
-        Ok(())
+    /// Saves a crash-safe training checkpoint (masters, Adam moments,
+    /// step clocks) as a new *generation* in `dir`: every file is written
+    /// to a temp sibling, fsynced, and renamed, with a checksummed
+    /// manifest committed last — a crash at any point leaves the previous
+    /// generation loadable. The two newest generations are kept. The P16
+    /// copies are derivable and not stored. See [`checkpoint`] for the
+    /// on-disk format.
+    pub fn save_checkpoint(&self, dir: &std::path::Path) -> Result<(), RatelError> {
+        checkpoint::save(self, dir)
     }
 
-    /// Restores a checkpoint saved by [`RatelEngine::save_checkpoint`]
-    /// into this engine (which must have the same model shape). The P16
-    /// compute copies are re-derived from the restored masters.
+    /// Restores the newest verifiable checkpoint generation from `dir`
+    /// into this engine (which must have the same model shape). Every
+    /// blob is length- and checksum-verified before any engine state is
+    /// touched; a torn or corrupted generation is skipped in favor of the
+    /// previous good one. The P16 compute copies are re-derived from the
+    /// restored masters.
     ///
-    /// # Panics
-    /// If the manifest is malformed or the layer count differs.
-    pub fn load_checkpoint(&mut self, dir: &std::path::Path) -> Result<(), StorageError> {
-        let manifest = std::fs::read_to_string(dir.join("manifest.txt"))?;
-        let mut lines = manifest.lines();
-        let step_line = lines.next().expect("manifest step line");
-        self.step = step_line
-            .strip_prefix("step ")
-            .expect("manifest step prefix")
-            .parse()
-            .expect("manifest step value");
-        for line in lines {
-            let mut parts = line.split_whitespace();
-            assert_eq!(parts.next(), Some("layer"), "manifest layer line");
-            let layer: usize = parts.next().expect("layer id").parse().expect("layer id");
-            let steps: u64 = parts
-                .next()
-                .expect("layer steps")
-                .parse()
-                .expect("layer steps");
-            assert!(layer < self.layer_count(), "checkpoint has extra layers");
-            self.layer_steps[layer] = steps;
-        }
-        for layer in 0..self.layer_count() {
-            let master = std::fs::read(dir.join(format!("layer{layer}.master")))?;
-            let moments = std::fs::read(dir.join(format!("layer{layer}.moments")))?;
-            let p16 = encode_f16(&decode_f32(&master));
-            self.store.overwrite(&master_key(layer), master)?;
-            self.store.overwrite(&moments_key(layer), moments)?;
-            self.store.remove(&p16_key(layer))?;
-            self.store.put(&p16_key(layer), Tier::Ssd, p16)?;
-        }
-        Ok(())
+    /// # Errors
+    /// [`RatelError::CheckpointCorrupt`] when no generation in `dir`
+    /// passes verification (the error lists why each one failed).
+    pub fn load_checkpoint(&mut self, dir: &std::path::Path) -> Result<(), RatelError> {
+        checkpoint::load(self, dir)
     }
 }
 
@@ -1317,10 +1361,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                StorageError::OutOfMemory {
+                RatelError::Storage(StorageError::OutOfMemory {
                     tier: Tier::Gpu,
                     ..
-                }
+                })
             ),
             "expected GPU OOM, got {err}"
         );
@@ -1394,11 +1438,67 @@ mod checkpoint_tests {
         let engine = RatelEngine::new(EngineConfig::tiny()).unwrap();
         let dir = temp_dir("files");
         engine.save_checkpoint(&dir).unwrap();
-        assert!(dir.join("manifest.txt").exists());
+        assert!(dir.join("manifest-g1.txt").exists());
         for l in 0..engine.layer_count() {
-            assert!(dir.join(format!("layer{l}.master")).exists());
-            assert!(dir.join(format!("layer{l}.moments")).exists());
+            assert!(dir.join(format!("g1-layer{l}.master")).exists());
+            assert!(dir.join(format!("g1-layer{l}.moments")).exists());
         }
+        // No temp droppings survive a successful save.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generations_accumulate_and_prune_to_two() {
+        let engine = RatelEngine::new(EngineConfig::tiny()).unwrap();
+        let dir = temp_dir("gens");
+        for _ in 0..4 {
+            engine.save_checkpoint(&dir).unwrap();
+        }
+        assert_eq!(checkpoint::generations(&dir), vec![3, 4]);
+        // Pruned generations leave no blob files behind.
+        assert!(!dir.join("g1-layer0.master").exists());
+        assert!(!dir.join("manifest-g2.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_latest_generation_falls_back_to_previous() {
+        let model = GptConfig::tiny();
+        let mk = || RatelEngine::new(EngineConfig::tiny()).unwrap();
+        let dir = temp_dir("fallback");
+        let mut engine = mk();
+        let (t, y) = random_batch(&model, 900);
+        engine.train_step(&t, &y).unwrap();
+        engine.save_checkpoint(&dir).unwrap(); // generation 1 (good)
+        engine.train_step(&t, &y).unwrap();
+        engine.save_checkpoint(&dir).unwrap(); // generation 2
+        let good_master = engine.master_params(0).unwrap();
+
+        // "Kill mid-checkpoint": generation 2's blob is torn after the
+        // manifest committed — truncate it behind the manifest's back.
+        let victim = dir.join("g2-layer0.master");
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+        let mut resumed = mk();
+        resumed.load_checkpoint(&dir).unwrap();
+        // Generation 2 fails verification; generation 1 loads.
+        assert_eq!(resumed.step, 1, "fell back to the step-1 generation");
+        assert_ne!(resumed.master_params(0).unwrap(), good_master);
+
+        // With generation 1 also gone, corruption is an error — never a
+        // silently wrong model.
+        std::fs::remove_file(dir.join("manifest-g1.txt")).unwrap();
+        let mut fresh = mk();
+        let err = fresh.load_checkpoint(&dir).unwrap_err();
+        assert!(matches!(err, RatelError::CheckpointCorrupt(_)), "{err}");
+        assert!(err.to_string().contains("generation 2"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -27,6 +27,8 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ratel_storage::telemetry::SpanCategory;
 use ratel_storage::{StorageError, Tier, TieredStore};
+
+use crate::error::RatelError;
 use ratel_tensor::dtype::{decode_f16, decode_f32, encode_f16, encode_f32};
 use ratel_tensor::{Adam, AdamParams};
 
@@ -142,7 +144,7 @@ impl ActiveOptimizer {
     /// written back — the synchronization point that keeps training
     /// synchronous. Returns the layers whose update was skipped due to
     /// gradient overflow.
-    pub fn finish(self) -> Result<Vec<usize>, StorageError> {
+    pub fn finish(self) -> Result<Vec<usize>, RatelError> {
         drop(self.grad_tx);
         let updater_result = self
             .updater
@@ -151,7 +153,7 @@ impl ActiveOptimizer {
         if let Some(p) = self.prefetcher {
             p.join().expect("optimizer prefetcher thread panicked")?;
         }
-        updater_result
+        Ok(updater_result?)
     }
 }
 

@@ -53,7 +53,7 @@ impl MeasuredProfile {
         config: GptConfig,
         store: &TieredStore,
         probe_bytes: usize,
-    ) -> Result<Self, StorageError> {
+    ) -> Result<Self, crate::error::RatelError> {
         // --- compute probe: time a block forward a few times ---
         let block = TransformerBlock::new(config.batch, config.seq, config.hidden, config.heads, 1);
         let x = Tensor::randn(&[config.batch * config.seq, config.hidden], 0.5, 2);

@@ -19,8 +19,10 @@
 //!   offloading) while keeping updates fully synchronous.
 
 pub mod api;
+pub mod batch;
 pub mod cost;
 pub mod engine;
+pub mod error;
 pub mod memory;
 pub mod offload;
 pub mod planner;
@@ -29,6 +31,8 @@ pub mod report;
 pub mod schedule;
 
 pub use api::{Ratel, RatelTrainer};
+pub use batch::Batch;
+pub use error::RatelError;
 pub use memory::RatelMemoryModel;
 pub use offload::GradOffloadMode;
 pub use planner::{ActivationPlanner, SwapPlan};

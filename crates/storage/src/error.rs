@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::fault::FaultOp;
 use crate::store::Tier;
 
 /// Errors raised by the tiered store.
@@ -23,6 +24,16 @@ pub enum StorageError {
     AlreadyExists(String),
     /// Underlying filesystem failure in the SSD tier.
     Io(std::io::Error),
+    /// An SSD-tier fault (injected by a [`crate::FaultPlan`], or a real
+    /// I/O error) that survived the store's bounded retries.
+    Faulted {
+        /// The SSD operation that kept failing.
+        op: FaultOp,
+        /// Blob key the operation targeted.
+        key: String,
+        /// Attempts made (1 initial + retries) before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -39,7 +50,21 @@ impl fmt::Display for StorageError {
             StorageError::NotFound(k) => write!(f, "blob {k:?} not found"),
             StorageError::AlreadyExists(k) => write!(f, "blob {k:?} already exists"),
             StorageError::Io(e) => write!(f, "ssd tier I/O error: {e}"),
+            StorageError::Faulted { op, key, attempts } => write!(
+                f,
+                "ssd {} of {key:?} still failing after {attempts} attempts",
+                op.name()
+            ),
         }
+    }
+}
+
+impl StorageError {
+    /// Whether retrying the operation could plausibly succeed — the
+    /// store's retry loop re-issues only these. Logical errors
+    /// (missing/duplicate keys, capacity) are never retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StorageError::Io(_) | StorageError::Faulted { .. })
     }
 }
 

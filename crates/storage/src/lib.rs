@@ -15,14 +15,22 @@
 //!   forcibly two hops (GPU→Host, Host→SSD) and both hops are metered;
 //! * all inter-tier traffic is counted per route, letting tests assert the
 //!   exact byte flows the paper reasons about (e.g. "the optimizer reads
-//!   12P and writes 14P per iteration").
+//!   12P and writes 14P per iteration");
+//! * the SSD tier can be wrapped in a deterministic [`FaultPlan`] that
+//!   injects transient/permanent I/O errors and latency spikes, with
+//!   bounded [`RetryPolicy`] recovery and always-on [`FaultStats`]
+//!   counters — the failure model chaos tests and the simulator share.
 
 pub mod error;
+pub mod fault;
 pub mod store;
 pub mod telemetry;
 pub mod traffic;
 
 pub use error::StorageError;
+pub use fault::{FaultEvent, FaultKind, FaultOp, FaultPlan, RetryPolicy};
 pub use store::{Tier, TierConfig, TieredStore};
-pub use telemetry::{LatencyHistogram, RouteMetrics, SpanCategory, SpanRecord, TelemetryRecorder};
+pub use telemetry::{
+    FaultStats, LatencyHistogram, RouteMetrics, SpanCategory, SpanRecord, TelemetryRecorder,
+};
 pub use traffic::{Route, TrafficSnapshot};

@@ -3,13 +3,14 @@
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use std::sync::Arc;
 
 use crate::error::StorageError;
+use crate::fault::{FaultKind, FaultOp, FaultPlan, RetryPolicy};
 use crate::telemetry::TelemetryRecorder;
 use crate::traffic::{Route, TrafficCounters, TrafficSnapshot};
 
@@ -107,6 +108,14 @@ pub struct TieredStore {
     /// Span/metrics recorder; disabled by default. Shared (`Arc`) so the
     /// engine's worker threads record onto the same timeline.
     telemetry: Arc<TelemetryRecorder>,
+    /// Scripted SSD failures (None = healthy drives). Every SSD file op
+    /// consults the plan; see [`FaultPlan`].
+    fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// Bounded retry-with-backoff applied to failing SSD file ops.
+    retry: Mutex<RetryPolicy>,
+    /// When set, blobs headed for a full host pool spill to the SSD tier
+    /// (counted as a degradation event) instead of erroring the caller.
+    host_spill: AtomicBool,
 }
 
 impl TieredStore {
@@ -125,7 +134,109 @@ impl TieredStore {
             traffic: TrafficCounters::default(),
             throttle: Mutex::new([None; 4]),
             telemetry: Arc::new(TelemetryRecorder::new()),
+            fault: Mutex::new(None),
+            retry: Mutex::new(RetryPolicy::default()),
+            host_spill: AtomicBool::new(false),
         })
+    }
+
+    /// Installs (or clears) a fault-injection plan. All subsequent SSD
+    /// file operations consult the plan before touching disk.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.lock() = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.lock().clone()
+    }
+
+    /// Replaces the SSD retry policy (default: 3 retries, 500 µs base
+    /// backoff, doubling).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// The SSD retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.lock()
+    }
+
+    /// Enables graceful degradation: an operation whose *final target* is
+    /// the host pool and which would fail with a host OOM instead lands
+    /// the blob on the SSD tier. Each spill bumps
+    /// [`crate::telemetry::FaultStats::host_spills`]. Reads stay
+    /// transparent — the blob is simply found on the SSD tier later.
+    /// Off by default (capacity errors stay honest for sizing tests).
+    pub fn set_spill_on_host_pressure(&self, on: bool) {
+        self.host_spill.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether host-pressure spilling is enabled.
+    pub fn spill_on_host_pressure(&self) -> bool {
+        self.host_spill.load(Ordering::Relaxed)
+    }
+
+    /// Runs one SSD file operation under the fault plan and retry policy:
+    /// consults the plan (advancing its op counter — retries present new
+    /// indices, which is how transient faults clear), then retries
+    /// failures with geometric backoff up to the policy's budget. Retries
+    /// and give-ups are counted in the recorder's always-on
+    /// [`crate::telemetry::FaultStats`]. Backoff sleeps may run while the
+    /// store lock is held — with the default microsecond-scale policy
+    /// that is invisible next to the file I/O itself.
+    fn ssd_io<T>(
+        &self,
+        op: FaultOp,
+        key: &str,
+        mut io: impl FnMut() -> std::io::Result<T>,
+    ) -> Result<T, StorageError> {
+        let policy = *self.retry.lock();
+        let plan = self.fault.lock().clone();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let injected = plan.as_ref().and_then(|p| p.before_op(op, key));
+            let result = match injected {
+                Some(FaultKind::Transient) | Some(FaultKind::Permanent) => {
+                    Err(StorageError::Faulted {
+                        op,
+                        key: key.to_string(),
+                        attempts: attempt,
+                    })
+                }
+                Some(FaultKind::LatencySpike(secs)) => {
+                    if secs > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+                    }
+                    io().map_err(StorageError::Io)
+                }
+                None => io().map_err(StorageError::Io),
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt <= policy.max_retries && e.is_retryable() => {
+                    self.telemetry.count_retry();
+                    let backoff = policy.backoff_seconds(attempt);
+                    if backoff > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
+                    }
+                }
+                Err(e) => {
+                    if e.is_retryable() {
+                        self.telemetry.count_give_up();
+                    }
+                    return Err(match e {
+                        StorageError::Faulted { op, key, .. } => StorageError::Faulted {
+                            op,
+                            key,
+                            attempts: attempt,
+                        },
+                        other => other,
+                    });
+                }
+            }
+        }
     }
 
     /// The store's telemetry recorder (disabled until
@@ -207,6 +318,10 @@ impl TieredStore {
 
     /// Stores a new blob in `tier`.
     ///
+    /// With [`TieredStore::set_spill_on_host_pressure`] enabled, a put
+    /// into a full host pool degrades to an SSD put (metered as a
+    /// `Host -> SSD` transfer and counted as a spill) instead of erroring.
+    ///
     /// # Errors
     /// [`StorageError::AlreadyExists`] on duplicate keys,
     /// [`StorageError::OutOfMemory`] if the tier is full.
@@ -216,13 +331,26 @@ impl TieredStore {
         if inner.mem.contains_key(key) || inner.ssd.contains_key(key) {
             return Err(StorageError::AlreadyExists(key.to_string()));
         }
-        self.check_fits(&inner, tier, len)?;
+        let mut tier = tier;
+        if let Err(e) = self.check_fits(&inner, tier, len) {
+            let spillable = tier == Tier::Host && self.spill_on_host_pressure();
+            if !spillable {
+                return Err(e);
+            }
+            // Degrade: the blob lands on the SSD tier instead. The extra
+            // hop is metered so traffic accounting stays honest.
+            self.check_fits(&inner, Tier::Ssd, len)?;
+            self.telemetry.count_host_spill();
+            tier = Tier::Ssd;
+        }
         match tier {
             Tier::Gpu | Tier::Host => {
                 inner.mem.insert(key.to_string(), (tier, bytes));
             }
             Tier::Ssd => {
-                fs::write(self.blob_path(key), &bytes)?;
+                self.ssd_io(FaultOp::Write, key, || {
+                    fs::write(self.blob_path(key), &bytes)
+                })?;
                 inner.ssd.insert(key.to_string(), len);
             }
         }
@@ -255,7 +383,7 @@ impl TieredStore {
             return Ok(data.clone());
         }
         if inner.ssd.contains_key(key) {
-            return Ok(fs::read(self.blob_path(key))?);
+            return self.ssd_io(FaultOp::Read, key, || fs::read(self.blob_path(key)));
         }
         Err(StorageError::NotFound(key.to_string()))
     }
@@ -268,8 +396,11 @@ impl TieredStore {
             Self::add_used(&mut inner, tier, -len);
             return Ok(());
         }
-        if let Some(len) = inner.ssd.remove(key) {
-            fs::remove_file(self.blob_path(key))?;
+        if let Some(&len) = inner.ssd.get(key) {
+            self.ssd_io(FaultOp::Remove, key, || {
+                fs::remove_file(self.blob_path(key))
+            })?;
+            inner.ssd.remove(key);
             Self::add_used(&mut inner, Tier::Ssd, -(len as i64));
             return Ok(());
         }
@@ -279,22 +410,74 @@ impl TieredStore {
     /// Moves a blob to `target`, metering every hop. GPU↔SSD moves are
     /// forced through the host tier (no GPUDirect on consumer GPUs,
     /// §III-C), so they record two hops *and* require transient host space.
+    ///
+    /// With [`TieredStore::set_spill_on_host_pressure`] enabled, a move
+    /// whose *final target* is a full host pool degrades instead of
+    /// erroring: an SSD-resident blob simply stays on SSD, a GPU-resident
+    /// blob streams straight through to SSD (both hops metered, no host
+    /// residency). Transit host space for GPU↔SSD moves is still required
+    /// — only the destination degrades, not the data path.
     pub fn move_to(&self, key: &str, target: Tier) -> Result<(), StorageError> {
         let current = self.tier_of(key)?;
         if current == target {
             return Ok(());
         }
-        match (current, target) {
-            (Tier::Gpu, Tier::Ssd) => {
-                self.move_one_hop(key, Tier::Host)?;
-                self.move_one_hop(key, Tier::Ssd)
-            }
-            (Tier::Ssd, Tier::Gpu) => {
-                self.move_one_hop(key, Tier::Host)?;
-                self.move_one_hop(key, Tier::Gpu)
-            }
+        let result = match (current, target) {
+            (Tier::Gpu, Tier::Ssd) => self
+                .move_one_hop(key, Tier::Host)
+                .and_then(|_| self.move_one_hop(key, Tier::Ssd)),
+            (Tier::Ssd, Tier::Gpu) => self
+                .move_one_hop(key, Tier::Host)
+                .and_then(|_| self.move_one_hop(key, Tier::Gpu)),
             _ => self.move_one_hop(key, target),
+        };
+        match result {
+            Err(StorageError::OutOfMemory {
+                tier: Tier::Host, ..
+            }) if target == Tier::Host && self.spill_on_host_pressure() => {
+                self.telemetry.count_host_spill();
+                match current {
+                    // Already on the slow tier: degrading means staying put.
+                    Tier::Ssd => Ok(()),
+                    // Stream GPU -> SSD without host residency.
+                    Tier::Gpu => self.spill_gpu_to_ssd(key),
+                    Tier::Host => unreachable!("current == target handled above"),
+                }
+            }
+            other => other,
         }
+    }
+
+    /// Degraded GPU→SSD path used when the host pool is full: the blob is
+    /// written straight to an SSD file and both logical hops are metered,
+    /// but no host-tier residency is consumed (modeling a bounce buffer
+    /// too small to count).
+    fn spill_gpu_to_ssd(&self, key: &str) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        let bytes = match inner.mem.get(key) {
+            Some((Tier::Gpu, data)) => data.clone(),
+            _ => return Err(StorageError::NotFound(key.to_string())),
+        };
+        let len = bytes.len() as u64;
+        self.check_fits(&inner, Tier::Ssd, len)?;
+        self.ssd_io(FaultOp::Write, key, || {
+            fs::write(self.blob_path(key), &bytes)
+        })?;
+        inner.mem.remove(key);
+        Self::add_used(&mut inner, Tier::Gpu, -(len as i64));
+        inner.ssd.insert(key.to_string(), len);
+        Self::add_used(&mut inner, Tier::Ssd, len as i64);
+        drop(inner);
+        for route in [Route::GpuToHost, Route::HostToSsd] {
+            let t0 = self.telemetry.enabled().then(|| self.telemetry.now());
+            self.traffic.record(route, len);
+            self.apply_throttle(route, len);
+            if let Some(t0) = t0 {
+                self.telemetry
+                    .record_transfer(route, key, len, t0, self.telemetry.now());
+            }
+        }
+        Ok(())
     }
 
     fn move_one_hop(&self, key: &str, target: Tier) -> Result<(), StorageError> {
@@ -322,35 +505,46 @@ impl TieredStore {
         // Fetch bytes out of the source.
         let bytes = match current {
             Tier::Gpu | Tier::Host => inner.mem.get(key).expect("checked").1.clone(),
-            Tier::Ssd => fs::read(self.blob_path(key))?,
+            Tier::Ssd => self.ssd_io(FaultOp::Read, key, || fs::read(self.blob_path(key)))?,
         };
         let len = bytes.len() as u64;
         // The source still holds the blob while we check the target, which
         // is how real double-buffered transfers behave.
         self.check_fits(&inner, target, len)?;
 
-        // Commit: remove from source...
-        match current {
-            Tier::Gpu | Tier::Host => {
-                inner.mem.remove(key);
-            }
-            Tier::Ssd => {
-                fs::remove_file(self.blob_path(key))?;
-                inner.ssd.remove(key);
-            }
-        }
-        Self::add_used(&mut inner, current, -(len as i64));
-        // ...insert into target.
+        // Commit target-first: the new copy exists before the old one goes
+        // away, so a fault between the two steps can at worst orphan a
+        // stale source copy — never lose the blob.
         match target {
             Tier::Gpu | Tier::Host => {
                 inner.mem.insert(key.to_string(), (target, bytes));
             }
             Tier::Ssd => {
-                fs::write(self.blob_path(key), &bytes)?;
+                self.ssd_io(FaultOp::Write, key, || {
+                    fs::write(self.blob_path(key), &bytes)
+                })?;
                 inner.ssd.insert(key.to_string(), len);
             }
         }
         Self::add_used(&mut inner, target, len as i64);
+        // Drop the source copy. Mem-to-mem moves already replaced the map
+        // entry in place above; unlinking a stale SSD file is best-effort
+        // because the blob is safe in its target tier and a later SSD put
+        // of the same key overwrites the file regardless.
+        match current {
+            Tier::Gpu | Tier::Host => {
+                if target == Tier::Ssd {
+                    inner.mem.remove(key);
+                }
+            }
+            Tier::Ssd => {
+                inner.ssd.remove(key);
+                let _ = self.ssd_io(FaultOp::Remove, key, || {
+                    fs::remove_file(self.blob_path(key))
+                });
+            }
+        }
+        Self::add_used(&mut inner, current, -(len as i64));
         drop(inner);
 
         self.traffic.record(route, len);
@@ -412,7 +606,9 @@ impl TieredStore {
                 inner.mem.insert(key.to_string(), (tier, bytes));
             }
             Tier::Ssd => {
-                fs::write(self.blob_path(key), &bytes)?;
+                self.ssd_io(FaultOp::Write, key, || {
+                    fs::write(self.blob_path(key), &bytes)
+                })?;
                 inner.ssd.insert(key.to_string(), new_len);
             }
         }
@@ -593,6 +789,133 @@ mod tests {
         assert_eq!(store.used(Tier::Host), 0);
         assert_eq!(store.used(Tier::Ssd), 0);
         assert_eq!(store.traffic().bytes(Route::HostToSsd), 4 * 50 * 128);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultOp, FaultPlan};
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_seconds: 0.0,
+            multiplier: 1.0,
+        }
+    }
+
+    #[test]
+    fn transient_fault_is_retried_transparently() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.set_retry_policy(fast_retry());
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_at(0, FaultKind::Transient); // first SSD op fails once
+        store.set_fault_plan(Some(plan.clone()));
+        store.put("k", Tier::Ssd, vec![7u8; 32]).unwrap();
+        assert_eq!(store.read("k").unwrap(), vec![7u8; 32]);
+        assert_eq!(plan.injected_count(), 1);
+        let stats = store.telemetry().fault_stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.give_ups, 0);
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_retries_and_surfaces() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.set_retry_policy(fast_retry());
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_at(0, FaultKind::Permanent);
+        store.set_fault_plan(Some(plan));
+        let err = store.put("k", Tier::Ssd, vec![0u8; 8]).unwrap_err();
+        match err {
+            StorageError::Faulted { op, attempts, .. } => {
+                assert_eq!(op, FaultOp::Write);
+                assert_eq!(attempts, 4, "1 initial + 3 retries");
+            }
+            other => panic!("expected Faulted, got {other}"),
+        }
+        let stats = store.telemetry().fault_stats();
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.give_ups, 1);
+        // The store stays consistent: the key was never registered.
+        assert!(!store.contains("k"));
+    }
+
+    #[test]
+    fn latency_spike_delays_but_succeeds() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_at(0, FaultKind::LatencySpike(0.05));
+        store.set_fault_plan(Some(plan));
+        let t0 = std::time::Instant::now();
+        store.put("k", Tier::Ssd, vec![1u8; 8]).unwrap();
+        assert!(t0.elapsed().as_secs_f64() >= 0.045, "spike not applied");
+        assert_eq!(store.read("k").unwrap(), vec![1u8; 8]);
+        assert_eq!(store.telemetry().fault_stats().retries, 0);
+    }
+
+    #[test]
+    fn faulted_move_leaves_blob_in_source_tier() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.set_retry_policy(RetryPolicy::none());
+        store.put("k", Tier::Host, vec![3u8; 16]).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_at_op(0, FaultOp::Write, FaultKind::Permanent);
+        store.set_fault_plan(Some(plan));
+        let err = store.move_to("k", Tier::Ssd).unwrap_err();
+        assert!(matches!(err, StorageError::Faulted { .. }));
+        // Target-first commit: the write never landed, the source copy is
+        // still intact and readable.
+        assert_eq!(store.tier_of("k").unwrap(), Tier::Host);
+        assert_eq!(store.read("k").unwrap(), vec![3u8; 16]);
+        assert_eq!(store.used(Tier::Ssd), 0);
+    }
+
+    #[test]
+    fn host_pressure_put_spills_to_ssd_when_enabled() {
+        let store = TieredStore::new(TierConfig::bounded_temp(1000, 10)).unwrap();
+        // Without the knob the OOM is honest.
+        assert!(matches!(
+            store.put("big", Tier::Host, vec![0u8; 64]),
+            Err(StorageError::OutOfMemory {
+                tier: Tier::Host,
+                ..
+            })
+        ));
+        store.set_spill_on_host_pressure(true);
+        store.put("big", Tier::Host, vec![5u8; 64]).unwrap();
+        assert_eq!(store.tier_of("big").unwrap(), Tier::Ssd);
+        assert_eq!(store.read("big").unwrap(), vec![5u8; 64]);
+        assert_eq!(store.used(Tier::Host), 0);
+        assert_eq!(store.telemetry().fault_stats().host_spills, 1);
+    }
+
+    #[test]
+    fn host_pressure_move_spills_gpu_blob_to_ssd() {
+        let store = TieredStore::new(TierConfig::bounded_temp(1000, 10)).unwrap();
+        store.set_spill_on_host_pressure(true);
+        store.put("g", Tier::Gpu, vec![2u8; 64]).unwrap();
+        store.move_to("g", Tier::Host).unwrap();
+        assert_eq!(store.tier_of("g").unwrap(), Tier::Ssd);
+        // Both logical hops of the degraded path are metered.
+        let s = store.traffic();
+        assert_eq!(s.bytes(Route::GpuToHost), 64);
+        assert_eq!(s.bytes(Route::HostToSsd), 64);
+        assert_eq!(store.used(Tier::Gpu), 0);
+        assert_eq!(store.telemetry().fault_stats().host_spills, 1);
+    }
+
+    #[test]
+    fn host_pressure_move_keeps_ssd_blob_on_ssd() {
+        let store = TieredStore::new(TierConfig::bounded_temp(1000, 10)).unwrap();
+        store.set_spill_on_host_pressure(true);
+        store.put("s", Tier::Ssd, vec![4u8; 64]).unwrap();
+        store.move_to("s", Tier::Host).unwrap();
+        assert_eq!(store.tier_of("s").unwrap(), Tier::Ssd);
+        assert_eq!(store.telemetry().fault_stats().host_spills, 1);
+        // No phantom traffic for a move that never happened.
+        assert_eq!(store.traffic().total(), 0);
     }
 }
 

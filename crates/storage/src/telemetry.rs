@@ -19,7 +19,7 @@
 //! spans from concurrent threads share one clock and can be rendered on a
 //! common timeline (see `ratel_sim::trace`).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -246,6 +246,23 @@ struct Shared {
     routes: [RouteMetrics; 4],
 }
 
+/// Robustness counters: SSD retries, give-ups, and host-pressure spills.
+///
+/// Unlike spans and route metrics these are **always on** — they count
+/// error-path events, which are rare and must never be silently dropped
+/// just because tracing was off (chaos tests and operators both read them
+/// after the fact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// SSD operations that failed and were re-issued.
+    pub retries: u64,
+    /// SSD operations that kept failing until the retry budget ran out.
+    pub give_ups: u64,
+    /// Blobs headed for the host pool that spilled to the SSD tier under
+    /// memory pressure (graceful degradation events).
+    pub host_spills: u64,
+}
+
 /// Lock-cheap span and metrics recorder shared between the store, the
 /// engine's threads, and the caller (via `Arc`).
 ///
@@ -257,6 +274,9 @@ pub struct TelemetryRecorder {
     enabled: AtomicBool,
     epoch: Instant,
     shared: Mutex<Shared>,
+    retries: AtomicU64,
+    give_ups: AtomicU64,
+    host_spills: AtomicU64,
 }
 
 impl Default for TelemetryRecorder {
@@ -272,6 +292,9 @@ impl TelemetryRecorder {
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
             shared: Mutex::new(Shared::default()),
+            retries: AtomicU64::new(0),
+            give_ups: AtomicU64::new(0),
+            host_spills: AtomicU64::new(0),
         }
     }
 
@@ -350,11 +373,41 @@ impl TelemetryRecorder {
         self.shared.lock().routes.clone()
     }
 
-    /// Clears spans and route metrics (the epoch is unchanged).
+    /// Clears spans and route metrics (the epoch is unchanged). Fault
+    /// counters are cleared too.
     pub fn reset(&self) {
         let mut shared = self.shared.lock();
         shared.spans.clear();
         shared.routes = Default::default();
+        drop(shared);
+        self.retries.store(0, Ordering::Relaxed);
+        self.give_ups.store(0, Ordering::Relaxed);
+        self.host_spills.store(0, Ordering::Relaxed);
+    }
+
+    /// Counts one SSD retry (always on; see [`FaultStats`]).
+    pub fn count_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one exhausted retry budget (always on; see [`FaultStats`]).
+    pub fn count_give_up(&self) {
+        self.give_ups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one host-pressure spill to SSD (always on; see
+    /// [`FaultStats`]).
+    pub fn count_host_spill(&self) {
+        self.host_spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the robustness counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            give_ups: self.give_ups.load(Ordering::Relaxed),
+            host_spills: self.host_spills.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -432,6 +485,22 @@ mod tests {
         assert_eq!(m.histogram.bucket_count(bucket_index(1.0)), 1);
         // Only the step's slow transfer remains -> bandwidth 500 B/s.
         assert!((m.achieved_bandwidth().unwrap() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_counters_count_even_while_disabled() {
+        let rec = TelemetryRecorder::new();
+        assert!(!rec.enabled());
+        rec.count_retry();
+        rec.count_retry();
+        rec.count_give_up();
+        rec.count_host_spill();
+        let s = rec.fault_stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.give_ups, 1);
+        assert_eq!(s.host_spills, 1);
+        rec.reset();
+        assert_eq!(rec.fault_stats(), FaultStats::default());
     }
 
     #[test]

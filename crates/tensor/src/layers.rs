@@ -994,6 +994,40 @@ impl GptConfig {
             batch: 2,
         }
     }
+
+    /// Scalar parameters of the embedding layer (token + positional
+    /// tables).
+    pub fn embedding_params(&self) -> usize {
+        self.vocab * self.hidden + self.seq * self.hidden
+    }
+
+    /// Scalar parameters of one transformer block: two LayerNorms (2h
+    /// each), fused QKV (h·3h + 3h), output projection (h·h + h), and the
+    /// 4h MLP (h·4h + 4h and 4h·h + h) — `12h² + 13h` in total.
+    pub fn block_params(&self) -> usize {
+        12 * self.hidden * self.hidden + 13 * self.hidden
+    }
+
+    /// Scalar parameters of the head (final LayerNorm + untied LM
+    /// projection).
+    pub fn head_params(&self) -> usize {
+        2 * self.hidden + self.hidden * self.vocab
+    }
+
+    /// Scalar parameters of the largest schedulable layer — what sizes
+    /// the per-layer working set capacity checks reason about.
+    pub fn max_layer_params(&self) -> usize {
+        let mut m = self.embedding_params().max(self.head_params());
+        if self.layers > 0 {
+            m = m.max(self.block_params());
+        }
+        m
+    }
+
+    /// Total scalar parameters of the model.
+    pub fn total_params(&self) -> usize {
+        self.embedding_params() + self.layers * self.block_params() + self.head_params()
+    }
 }
 
 /// A complete small GPT: embedding, `L` transformer blocks, head.
@@ -1126,6 +1160,20 @@ mod tests {
 
     fn finite(vs: &[f32]) -> bool {
         vs.iter().all(|v| v.is_finite())
+    }
+
+    #[test]
+    fn config_param_formulas_match_the_built_model() {
+        let c = GptConfig::tiny();
+        let m = GptModel::new(c, 1);
+        assert_eq!(c.embedding_params(), m.embedding.param_count());
+        assert_eq!(c.block_params(), m.blocks[0].param_count());
+        assert_eq!(c.head_params(), m.head.param_count());
+        let total: usize = m.embedding.param_count()
+            + m.blocks.iter().map(|b| b.param_count()).sum::<usize>()
+            + m.head.param_count();
+        assert_eq!(c.total_params(), total);
+        assert!(c.max_layer_params() >= c.block_params());
     }
 
     #[test]

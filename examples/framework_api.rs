@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Held-out evaluation and a checkpoint, like any grown-up framework.
     let (t, y) = learnable_batch(&model, 999);
-    println!("\nheld-out loss: {:.4}", trainer.eval(&t, &y)?);
+    println!(
+        "\nheld-out loss: {:.4}",
+        trainer.eval(Batch::new(&model, &t, &y)?)?
+    );
 
     // Generate a continuation through the tiered engine: the synthetic
     // language follows t' = (5t + 3) mod V, so a trained model should

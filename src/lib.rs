@@ -44,7 +44,7 @@ pub mod prelude {
     pub use ratel::planner::{ActivationPlanner, SwapPlan};
     pub use ratel::profile::HardwareProfile;
     pub use ratel::schedule::RatelSchedule;
-    pub use ratel::RatelMemoryModel;
+    pub use ratel::{Batch, Ratel, RatelError, RatelMemoryModel, RatelTrainer};
     pub use ratel_baselines::{ActStrategy, System};
     pub use ratel_hw::{GpuSpec, ServerConfig};
     pub use ratel_model::{zoo, ModelConfig, ModelProfile};

@@ -1,0 +1,224 @@
+//! Chaos-style integration tests of the storage fault plane driven
+//! through the public trainer API: injected transient SSD faults must be
+//! invisible to training (retries absorb them bitwise), permanent faults
+//! must surface as typed errors that a checkpoint resume recovers from,
+//! and host-memory pressure must degrade to SSD spills instead of
+//! failing the job.
+
+use std::sync::Arc;
+
+use ratel_repro::core::api::Ratel;
+use ratel_repro::core::{Batch, RatelError, RatelTrainer};
+use ratel_repro::prelude::*;
+use ratel_repro::storage::{FaultKind, FaultPlan, StorageError, Tier};
+
+fn tiny_config() -> GptConfig {
+    GptConfig {
+        vocab: 64,
+        seq: 16,
+        hidden: 32,
+        heads: 4,
+        layers: 3,
+        batch: 2,
+    }
+}
+
+fn build(model: GptConfig, plan: Option<Arc<FaultPlan>>) -> RatelTrainer {
+    let mut b = Ratel::init(model).seed(17).learning_rate(1e-3);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    b.build().expect("trainer builds")
+}
+
+fn train_steps(trainer: &mut RatelTrainer, model: &GptConfig, steps: usize) -> Vec<f32> {
+    (0..steps)
+        .map(|step| {
+            let (tokens, targets) = learnable_batch(model, step as u64);
+            let batch = Batch::new(model, &tokens, &targets).unwrap();
+            trainer.step(batch).unwrap().loss
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ratel-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The acceptance chaos test: >= 5 seeded transient SSD faults scattered
+/// over 10 training steps are retried transparently — the loss history
+/// is bitwise identical to the fault-free run and the always-on
+/// telemetry accounts for every retry.
+#[test]
+fn transient_ssd_faults_are_invisible_to_training() {
+    let model = tiny_config();
+
+    // Fault-free baseline; the empty plan faults nothing but counts SSD
+    // ops, giving the window to scatter faults over.
+    let counter = Arc::new(FaultPlan::new());
+    let mut baseline = build(model, Some(Arc::clone(&counter)));
+    let baseline_losses = train_steps(&mut baseline, &model, 10);
+    let window = counter.ops_seen();
+    assert!(window > 100, "expected plenty of SSD ops, saw {window}");
+
+    // Chaos run: seeded transient faults across that op window.
+    let plan = Arc::new(FaultPlan::seeded_transient(0xC0FFEE, 5, window));
+    let mut chaos = build(model, Some(Arc::clone(&plan)));
+    let chaos_losses = train_steps(&mut chaos, &model, 10);
+
+    assert!(plan.injected_count() >= 5, "{:?}", plan.injected());
+    let stats = chaos.engine().store().telemetry().fault_stats();
+    assert!(
+        stats.retries >= plan.injected_count() as u64,
+        "telemetry counted {} retries for {} injected faults",
+        stats.retries,
+        plan.injected_count()
+    );
+    assert_eq!(
+        stats.give_ups, 0,
+        "transient faults must never exhaust retries"
+    );
+
+    let baseline_bits: Vec<u32> = baseline_losses.iter().map(|l| l.to_bits()).collect();
+    let chaos_bits: Vec<u32> = chaos_losses.iter().map(|l| l.to_bits()).collect();
+    assert_eq!(
+        baseline_bits, chaos_bits,
+        "faults changed the training trajectory"
+    );
+
+    // The model itself is also bitwise identical, not just the losses.
+    for layer in 0..model.layers + 2 {
+        assert_eq!(
+            baseline.engine().master_params(layer).unwrap(),
+            chaos.engine().master_params(layer).unwrap(),
+            "layer {layer} master params diverged"
+        );
+    }
+}
+
+/// A permanent SSD fault exhausts the retry budget, surfaces as the
+/// typed [`RatelError::Storage`] fault variant, and a fresh trainer
+/// resumed from the last checkpoint finishes the job with exactly the
+/// trajectory a never-faulted run produces.
+#[test]
+fn permanent_fault_surfaces_and_checkpoint_resume_recovers() {
+    let model = tiny_config();
+    let dir = temp_dir("resume");
+
+    // The straight run this job should end up matching.
+    let mut straight = build(model, None);
+    let straight_losses = train_steps(&mut straight, &model, 4);
+
+    // The doomed run: two good steps, a checkpoint, then the SSD "dies".
+    let mut doomed = build(model, None);
+    let early_losses = train_steps(&mut doomed, &model, 2);
+    assert_eq!(
+        early_losses,
+        straight_losses[..2],
+        "runs diverged before any fault"
+    );
+    doomed.save_checkpoint(&dir).unwrap();
+    let dead_ssd = Arc::new(FaultPlan::new());
+    dead_ssd.fault_at(0, FaultKind::Permanent);
+    doomed.engine().store().set_fault_plan(Some(dead_ssd));
+    let (tokens, targets) = learnable_batch(&model, 2);
+    let err = doomed
+        .step(Batch::new(&model, &tokens, &targets).unwrap())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RatelError::Storage(StorageError::Faulted { attempts, .. }) if attempts > 1
+        ),
+        "expected an exhausted-retries fault, got: {err}"
+    );
+    let stats = doomed.engine().store().telemetry().fault_stats();
+    assert!(stats.give_ups >= 1, "give-up not counted: {stats:?}");
+    drop(doomed);
+
+    // Recovery: a fresh trainer resumes from the manifest and replays
+    // the remaining steps — bitwise equal to the straight run.
+    let mut resumed = Ratel::init(model)
+        .seed(17)
+        .learning_rate(1e-3)
+        .resume_from(&dir)
+        .build()
+        .unwrap();
+    let resumed_losses: Vec<f32> = (2..4)
+        .map(|step| {
+            let (tokens, targets) = learnable_batch(&model, step as u64);
+            let batch = Batch::new(&model, &tokens, &targets).unwrap();
+            resumed.step(batch).unwrap().loss
+        })
+        .collect();
+    let straight_bits: Vec<u32> = straight_losses[2..].iter().map(|l| l.to_bits()).collect();
+    let resumed_bits: Vec<u32> = resumed_losses.iter().map(|l| l.to_bits()).collect();
+    assert_eq!(
+        straight_bits, resumed_bits,
+        "resume diverged from the straight run"
+    );
+    for layer in 0..model.layers + 2 {
+        assert_eq!(
+            straight.engine().master_params(layer).unwrap(),
+            resumed.engine().master_params(layer).unwrap(),
+            "layer {layer} master params diverged after resume"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Host-pool pressure with graceful degradation enabled lands the blob
+/// on the SSD tier (recorded as a spill) instead of erroring, and reads
+/// stay transparent.
+#[test]
+fn host_pressure_spills_to_ssd_instead_of_erroring() {
+    let model = tiny_config();
+    // The smallest host pool the builder accepts: one layer's optimizer
+    // working set (master 4 + moments 8 + G16 2 bytes per param).
+    let floor = 14 * model.max_layer_params() as u64;
+    let mut trainer = Ratel::init(model)
+        .seed(17)
+        .host_capacity(floor)
+        .spill_on_host_pressure()
+        .build()
+        .unwrap();
+    let store = trainer.engine().store();
+    assert!(
+        store.spill_on_host_pressure(),
+        "builder flag did not reach the store"
+    );
+
+    // A blob that cannot fit the host pool degrades to the SSD tier.
+    let payload: Vec<u8> = (0..floor as usize + 1).map(|i| i as u8).collect();
+    store
+        .put("pressure-probe", Tier::Host, payload.clone())
+        .unwrap();
+    assert_eq!(store.tier_of("pressure-probe").unwrap(), Tier::Ssd);
+    assert_eq!(store.read("pressure-probe").unwrap(), payload);
+    let stats = store.telemetry().fault_stats();
+    assert!(
+        stats.host_spills >= 1,
+        "degradation not recorded: {stats:?}"
+    );
+
+    // Without the flag, the same pressure is a hard (typed) error.
+    let mut strict = Ratel::init(model)
+        .seed(17)
+        .host_capacity(floor)
+        .build()
+        .unwrap();
+    let err = strict
+        .engine()
+        .store()
+        .put("pressure-probe", Tier::Host, payload)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        StorageError::OutOfMemory {
+            tier: Tier::Host,
+            ..
+        }
+    ));
+}

@@ -141,10 +141,10 @@ fn gpu_arena_capacity_separates_feasible_from_oom() {
     let err = starved.train_step(&tokens, &targets).unwrap_err();
     assert!(matches!(
         err,
-        ratel_repro::storage::StorageError::OutOfMemory {
+        ratel_repro::core::RatelError::Storage(ratel_repro::storage::StorageError::OutOfMemory {
             tier: Tier::Gpu,
             ..
-        }
+        })
     ));
 }
 
@@ -414,9 +414,10 @@ fn bpe_finetuning_end_to_end() {
         .build()
         .unwrap();
     let batches = token_batches(&ids, &model, 4);
-    let ppl0 = trainer.perplexity(&batches[0].0, &batches[0].1).unwrap();
+    let probe = ratel_repro::core::Batch::new(&model, &batches[0].0, &batches[0].1).unwrap();
+    let ppl0 = trainer.perplexity(probe).unwrap();
     trainer.train_epochs(&batches, 25).unwrap();
-    let ppl1 = trainer.perplexity(&batches[0].0, &batches[0].1).unwrap();
+    let ppl1 = trainer.perplexity(probe).unwrap();
     assert!(
         ppl1 < ppl0 * 0.3,
         "perplexity did not collapse: {ppl0:.1} -> {ppl1:.1}"
