@@ -177,13 +177,16 @@ impl System {
             .max()
     }
 
-    /// Simulates one iteration; `None` if infeasible.
-    pub fn simulate(
+    /// Lowers this system's schedule for `model` at `batch` into an
+    /// [`IterationSpec`]; `None` if infeasible. This is the spec
+    /// [`System::simulate`] runs — exposing it lets tools analyze the
+    /// schedule (e.g. `ratel-bench verify-plans`) without simulating it.
+    pub fn spec(
         self,
         server: &ServerConfig,
         model: &ModelConfig,
         batch: usize,
-    ) -> Option<IterationReport> {
+    ) -> Option<IterationSpec> {
         if !self.feasible(server, model, batch) {
             return None;
         }
@@ -199,19 +202,30 @@ impl System {
                     mode: GradOffloadMode::OptimizedActive,
                     gpus: server.gpu_count,
                 }
-                .simulate()
+                .to_spec()
             }
             System::ZeroInfinity => {
-                ds_spec(&hw, &profile, server.gpu_count, ParamSource::Ssd, true).simulate(&profile)
+                ds_spec(&hw, &profile, server.gpu_count, ParamSource::Ssd, true)
             }
             System::ZeroOffload => {
                 ds_spec(&hw, &profile, server.gpu_count, ParamSource::Host, false)
-                    .simulate(&profile)
             }
-            System::ColossalAi => colossal_spec(&hw, &profile, server.gpu_count).simulate(&profile),
-            System::FlashNeuron => flashneuron_spec(&hw, &profile).simulate(&profile),
-            System::G10 => g10_spec(&hw, &profile).simulate(&profile),
+            System::ColossalAi => colossal_spec(&hw, &profile, server.gpu_count),
+            System::FlashNeuron => flashneuron_spec(&hw, &profile),
+            System::G10 => g10_spec(&hw, &profile),
         })
+    }
+
+    /// Simulates one iteration; `None` if infeasible.
+    pub fn simulate(
+        self,
+        server: &ServerConfig,
+        model: &ModelConfig,
+        batch: usize,
+    ) -> Option<IterationReport> {
+        let spec = self.spec(server, model, batch)?;
+        let profile = ModelProfile::new(model, batch);
+        Some(spec.simulate(&profile))
     }
 
     /// Peak throughput over a batch sweep: `(batch, report)` of the best

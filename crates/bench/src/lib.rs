@@ -12,6 +12,7 @@ pub mod faults;
 pub mod figs;
 pub mod table;
 pub mod validate;
+pub mod verify_plans;
 
 use ratel_hw::ServerConfig;
 

@@ -20,6 +20,49 @@ const VALIDATE_USAGE: &str = "usage: ratel-bench validate [--model tiny|small] [
 const FAULTS_USAGE: &str = "usage: ratel-bench faults [--model tiny|small] [--steps 10] \
 [--faults 5] [--seed 7]";
 
+const VERIFY_PLANS_USAGE: &str = "usage: ratel-bench verify-plans [--model 13B] [--iters 2] \
+[--out verify.json]";
+
+fn verify_plans_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = ratel_bench::verify_plans::VerifyPlansConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "help" {
+            return Err(VERIFY_PLANS_USAGE.to_string());
+        }
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value\n{VERIFY_PLANS_USAGE}"))?;
+        match flag {
+            "--model" => cfg.model = Some(v.clone()),
+            "--iters" => {
+                cfg.iterations = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--iters expects a positive integer, got {v:?}"))?
+                    .max(1)
+            }
+            "--out" => cfg.out = Some(v.clone()),
+            _ => return Err(format!("unknown flag {flag:?}\n{VERIFY_PLANS_USAGE}")),
+        }
+        i += 2;
+    }
+    let report = ratel_bench::verify_plans::run(&cfg)?;
+    print!("{}", ratel_bench::verify_plans::render(&cfg, &report));
+    if let Some(path) = &cfg.out {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if report.violations() > 0 {
+        return Err(format!(
+            "static verification failed: {} violation(s)",
+            report.violations()
+        ));
+    }
+    Ok(())
+}
+
 fn faults_cmd(args: &[String]) -> Result<(), String> {
     let mut cfg = ratel_bench::faults::FaultsConfig::default();
     let mut i = 0;
@@ -181,13 +224,21 @@ fn main() {
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
             "usage: repro <figure-id>... | all | list | trace [options] | validate [options] \
-             | faults [options]"
+             | faults [options] | verify-plans [options]"
         );
         eprintln!("figure ids: {}", figs::ALL.join(" "));
         eprintln!("{TRACE_USAGE}");
         eprintln!("{VALIDATE_USAGE}");
         eprintln!("{FAULTS_USAGE}");
+        eprintln!("{VERIFY_PLANS_USAGE}");
         std::process::exit(2);
+    }
+    if args[0] == "verify-plans" {
+        if let Err(e) = verify_plans_cmd(&args[1..]) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
     }
     if args[0] == "validate" {
         if let Err(e) = validate_cmd(&args[1..]) {

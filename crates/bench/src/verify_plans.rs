@@ -1,0 +1,262 @@
+//! `ratel-bench verify-plans`: statically verifies every schedule this
+//! repo can emit — the model zoo × every gradient-offloading mode for
+//! Ratel, plus every baseline system at its best feasible batch — using
+//! the `ratel-verify` passes, without running the simulator. Exits
+//! non-zero if any plan violates a dataflow, residency, or resource
+//! invariant, which makes it a cheap CI gate for planner and schedule
+//! changes.
+
+use ratel::offload::GradOffloadMode;
+use ratel::planner::ActivationPlanner;
+use ratel::profile::HardwareProfile;
+use ratel::schedule::RatelSchedule;
+use ratel_baselines::System;
+use ratel_model::{zoo, ModelConfig, ModelProfile};
+use ratel_verify::{Limits, VerifyReport};
+
+/// Batch sizes tried per model; each plan is checked at the largest
+/// feasible one.
+const BATCHES: [usize; 3] = [1, 8, 32];
+
+/// Relative slack on residency budgets, to keep exact-fit plans (the
+/// planner fills `MEM_avail` to the byte) from tripping on rounding.
+const BUDGET_SLACK: f64 = 1e-9;
+
+/// Configuration for the `verify-plans` sweep.
+#[derive(Debug, Clone)]
+pub struct VerifyPlansConfig {
+    /// Only verify plans for this model name (e.g. `13B`), if set.
+    pub model: Option<String>,
+    /// Back-to-back iterations per Ratel plan (cross-iteration hazards
+    /// such as stale-parameter reuse only appear with at least 2).
+    pub iterations: usize,
+    /// Write the machine-readable JSON report here, if set.
+    pub out: Option<String>,
+}
+
+impl Default for VerifyPlansConfig {
+    fn default() -> Self {
+        VerifyPlansConfig {
+            model: None,
+            iterations: 2,
+            out: None,
+        }
+    }
+}
+
+/// One verified plan.
+#[derive(Debug)]
+pub struct PlanCheck {
+    /// System / mode legend name.
+    pub system: String,
+    /// Model name.
+    pub model: String,
+    /// Batch size the plan was built for.
+    pub batch: usize,
+    /// Iterations the verified graph spans.
+    pub iterations: usize,
+    /// The verifier's report.
+    pub report: VerifyReport,
+}
+
+/// The whole sweep's outcome.
+#[derive(Debug, Default)]
+pub struct VerifyPlansReport {
+    /// Every plan checked.
+    pub checks: Vec<PlanCheck>,
+    /// Plans skipped because no candidate batch was feasible.
+    pub skipped: usize,
+}
+
+impl VerifyPlansReport {
+    /// Total violations across all checked plans.
+    pub fn violations(&self) -> usize {
+        self.checks.iter().map(|c| c.report.findings.len()).sum()
+    }
+
+    /// Machine-readable JSON for the whole sweep.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"plans\":[");
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"system\":\"{}\",\"model\":\"{}\",\"batch\":{},\"iterations\":{},\"report\":{}}}",
+                c.system,
+                c.model,
+                c.batch,
+                c.iterations,
+                c.report.to_json()
+            ));
+        }
+        out.push_str(&format!(
+            "],\"skipped\":{},\"violations\":{}}}",
+            self.skipped,
+            self.violations()
+        ));
+        out
+    }
+}
+
+fn models(cfg: &VerifyPlansConfig) -> Vec<ModelConfig> {
+    let mut all = zoo::llm_ladder();
+    all.extend(zoo::dit_ladder());
+    if let Some(name) = &cfg.model {
+        all.retain(|m| m.name == *name);
+    }
+    all
+}
+
+fn slack(budget: f64) -> f64 {
+    budget * (1.0 + BUDGET_SLACK) + 1.0
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &VerifyPlansConfig) -> Result<VerifyPlansReport, String> {
+    let models = models(cfg);
+    if models.is_empty() {
+        return Err(format!(
+            "no zoo model matches {:?}; try one of: {}",
+            cfg.model.as_deref().unwrap_or(""),
+            zoo::llm_ladder()
+                .iter()
+                .chain(zoo::dit_ladder().iter())
+                .map(|m| m.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    let server = crate::paper_server();
+    // The paper's own G10 methodology: simulate it as if the consumer GPU
+    // had GPUDirect (§III-C); on the stock 4090 it is never feasible.
+    let g10_server = crate::paper_server().with_gpu(crate::gpudirect_4090());
+
+    let mut report = VerifyPlansReport::default();
+    for model in &models {
+        // Ratel's planner output under every gradient-offloading mode,
+        // verified against the §IV-D budgets the planner claims to
+        // respect: host activations fit MEM_avail, SSD spill fits the
+        // plan's own spill allowance.
+        match System::Ratel.max_batch(&server, model, &BATCHES) {
+            None => report.skipped += GradOffloadMode::ALL.len(),
+            Some(batch) => {
+                let profile = ModelProfile::new(model, batch);
+                let hw = HardwareProfile::measure(&server, &profile, batch);
+                let plan = ActivationPlanner::new(&hw, &profile).plan();
+                for mode in GradOffloadMode::ALL {
+                    let spec = RatelSchedule {
+                        profile: &hw,
+                        model: &profile,
+                        plan: &plan,
+                        mode,
+                        gpus: server.gpu_count,
+                    }
+                    .to_spec();
+                    let limits = Limits {
+                        gpu: None,
+                        host: Some(slack(hw.mem_avail)),
+                        ssd: Some(slack(plan.spill_bytes)),
+                    };
+                    report.checks.push(PlanCheck {
+                        system: mode.name().to_string(),
+                        model: model.name.clone(),
+                        batch,
+                        iterations: cfg.iterations,
+                        report: spec.verify(cfg.iterations, &limits),
+                    });
+                }
+            }
+        }
+
+        // Baseline systems against their physical capacities. Ratel is
+        // covered above (System::Ratel is the OptimizedActive plan).
+        for sys in System::ALL {
+            if sys == System::Ratel {
+                continue;
+            }
+            let server = if sys == System::G10 {
+                &g10_server
+            } else {
+                &server
+            };
+            match sys.max_batch(server, model, &BATCHES) {
+                None => report.skipped += 1,
+                Some(batch) => {
+                    let spec = sys
+                        .spec(server, model, batch)
+                        .expect("max_batch returned a feasible batch");
+                    let limits = Limits {
+                        gpu: None,
+                        host: Some(slack(server.usable_main_memory() as f64)),
+                        ssd: Some(slack(server.ssds.capacity_bytes() as f64)),
+                    };
+                    report.checks.push(PlanCheck {
+                        system: sys.name().to_string(),
+                        model: model.name.clone(),
+                        batch,
+                        iterations: 1,
+                        report: spec.verify(1, &limits),
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Renders the sweep as an aligned text report.
+pub fn render(cfg: &VerifyPlansConfig, report: &VerifyPlansReport) -> String {
+    let mut out = format!(
+        "verify-plans: {} plan(s) over {} batch candidates {:?}, {} Ratel iteration(s)\n",
+        report.checks.len(),
+        BATCHES.len(),
+        BATCHES,
+        cfg.iterations,
+    );
+    let width = report
+        .checks
+        .iter()
+        .map(|c| c.system.len())
+        .max()
+        .unwrap_or(0);
+    for c in &report.checks {
+        if c.report.is_clean() {
+            out.push_str(&format!(
+                "  ok    {:width$}  {:>6}  b{:<3}  {} tasks, {} versions, {} intervals\n",
+                c.system,
+                c.model,
+                c.batch,
+                c.report.tasks_checked,
+                c.report.versions_seen,
+                c.report.intervals,
+            ));
+        } else {
+            out.push_str(&format!(
+                "  FAIL  {:width$}  {:>6}  b{:<3}  {} violation(s)\n",
+                c.system,
+                c.model,
+                c.batch,
+                c.report.findings.len(),
+            ));
+            for line in c.report.render().lines().skip(1) {
+                out.push_str(&format!("      {}\n", line.trim_start()));
+            }
+        }
+    }
+    let v = report.violations();
+    if v == 0 {
+        out.push_str(&format!(
+            "all {} plan(s) clean ({} skipped as infeasible)\n",
+            report.checks.len(),
+            report.skipped
+        ));
+    } else {
+        out.push_str(&format!(
+            "{v} violation(s) across {} plan(s) ({} skipped as infeasible)\n",
+            report.checks.len(),
+            report.skipped
+        ));
+    }
+    out
+}

@@ -321,7 +321,92 @@ impl RatelEngine {
             last_telemetry: None,
         };
         engine.init_states()?;
+        // Debug builds statically verify the engine's movement plan at
+        // construction: the schedule twin of one step is lowered and
+        // built, and the builder's self-check panics on any staleness,
+        // use-before-fetch, WAR, or residency violation.
+        #[cfg(debug_assertions)]
+        {
+            let _ = engine.movement_spec().build();
+        }
         Ok(engine)
+    }
+
+    /// Lowers one engine step into its schedule twin: an
+    /// [`IterationSpec`] planning exactly what the engine moves (the
+    /// same shape `ratel-bench validate` compares telemetry against).
+    /// Layer ids follow the engine: 0 = embedding, 1..=L = blocks,
+    /// L+1 = head. Compute durations are placeholders — the twin exists
+    /// for dataflow/residency structure, which `ratel-verify` checks
+    /// statically; see [`IterationSpec::verify`].
+    pub fn movement_spec(&self) -> crate::schedule::IterationSpec {
+        use crate::schedule::{IterationSpec, LayerTask, LinkRates, OptimizerKind, ParamSource};
+        let model = self.config.model;
+        let rows = (model.batch * model.seq) as f64;
+        let ckpt_bytes = 2.0 * rows * model.hidden as f64;
+        let act_bytes = 2.0
+            * BlockSaved::element_count_for(model.batch, model.seq, model.hidden, model.heads)
+                as f64;
+        let layer_count = self.layer_count();
+        let layers = (0..layer_count)
+            .map(|id| {
+                let params = self.layer_param_count(id) as f64;
+                let is_block = id >= 1 && id <= model.layers;
+                let is_head = id == layer_count - 1;
+                let (to_host, to_ssd) = if is_block {
+                    match self.config.act_decisions[id - 1] {
+                        ActDecision::SwapToHost => (ckpt_bytes + act_bytes, 0.0),
+                        ActDecision::SwapToSsd => (ckpt_bytes, act_bytes),
+                        ActDecision::Recompute => (ckpt_bytes, 0.0),
+                    }
+                } else {
+                    (0.0, 0.0)
+                };
+                LayerTask {
+                    label: if id == 0 {
+                        "embedding".into()
+                    } else if is_head {
+                        "head".into()
+                    } else {
+                        format!("block{}", id - 1)
+                    },
+                    p16_bytes: 2.0 * params,
+                    param_source: ParamSource::Ssd,
+                    fwd_flops: 0.0,
+                    bwd_flops: 0.0,
+                    act_to_host_bytes: to_host,
+                    act_to_ssd_bytes: to_ssd,
+                    refetch_in_backward: !is_head,
+                    grad_bytes: 2.0 * params,
+                    grad_spill_to_ssd: false,
+                    optimizer: OptimizerKind::CpuOutOfCore {
+                        read_bytes: 12.0 * params,
+                        write_bytes: 14.0 * params,
+                        cpu_params: params,
+                    },
+                }
+            })
+            .collect();
+        IterationSpec {
+            layers,
+            mode: if self.config.active_offload {
+                crate::offload::GradOffloadMode::OptimizedActive
+            } else {
+                crate::offload::GradOffloadMode::SeparateStage
+            },
+            rates: LinkRates {
+                thp_gpu: 1.0,
+                bw_g2m: 1.0,
+                bw_m2g: 1.0,
+                ssd_read: 1.0,
+                ssd_write: 1.0,
+                cpu_params_per_sec: 1.0,
+                state_io_efficiency: 1.0,
+            },
+            gpus: 1,
+            items_per_iteration: model.batch as f64,
+            per_layer_overhead_seconds: 0.0,
+        }
     }
 
     /// Number of schedulable layers (embedding + blocks + head).

@@ -39,3 +39,6 @@ pub use planner::{ActivationPlanner, SwapPlan};
 pub use profile::HardwareProfile;
 pub use report::IterationReport;
 pub use schedule::RatelSchedule;
+// The static schedule analyzer, re-exported so downstream code can
+// verify the specs this crate emits without naming a second crate.
+pub use ratel_verify as verify;

@@ -12,12 +12,39 @@
 //! the simplex SSD array, CPU compute).
 
 use ratel_model::{ModelKind, ModelProfile};
-use ratel_sim::{simulate, ResourceId, Stage, TaskGraph, TaskId};
+use ratel_sim::{
+    simulate, BlobKey, BlobKind, MemTier, OpClass, ResourceClass, ResourceId, Stage, TaskGraph,
+    TaskId, TaskMeta, VersionedBlob,
+};
 
 use crate::offload::GradOffloadMode;
 use crate::planner::{SwapPlan, SwapTarget};
 use crate::profile::HardwareProfile;
 use crate::report::IterationReport;
+
+/// Per-blob version counters for the builder's `ratel-verify`
+/// annotations: a write bumps the counter, a read references the current
+/// value. Version 0 is the pre-schedule initial state, so reading a blob
+/// nobody has written yet is legal.
+#[derive(Debug, Default)]
+struct Annot {
+    vers: std::collections::HashMap<BlobKey, u64>,
+}
+
+impl Annot {
+    fn cur(&self, key: BlobKey) -> VersionedBlob {
+        VersionedBlob {
+            key,
+            version: self.vers.get(&key).copied().unwrap_or(0),
+        }
+    }
+
+    fn bump(&mut self, key: BlobKey) -> VersionedBlob {
+        let v = self.vers.entry(key).or_insert(0);
+        *v += 1;
+        VersionedBlob { key, version: *v }
+    }
+}
 
 /// Where a layer's fp16 parameters live between iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,6 +234,22 @@ impl IterationSpec {
         let stall: Vec<ResourceId> = (0..self.gpus)
             .map(|i| g.add_resource(format!("stall{i}")))
             .collect();
+        for &res in &gpu {
+            g.set_resource_class(res, ResourceClass::GpuCompute);
+        }
+        for &res in &g2m {
+            g.set_resource_class(res, ResourceClass::PcieG2M);
+        }
+        for &res in &m2g {
+            g.set_resource_class(res, ResourceClass::PcieM2G);
+        }
+        g.set_resource_class(ssd, ResourceClass::SsdArray);
+        g.set_resource_class(cpu, ResourceClass::CpuCompute);
+        for &res in &stall {
+            g.set_resource_class(res, ResourceClass::Overhead);
+        }
+        // Blob/version annotations for the static analyzer.
+        let mut an = Annot::default();
 
         let n = self.layers.len();
         let mut total_gpu_flops = 0.0;
@@ -243,14 +286,25 @@ impl IterationSpec {
                 // Parameter fetch: one SSD read staged to host, then a per-GPU
                 // host->GPU copy.
                 let updated: Vec<TaskId> = prev_updates[li].into_iter().collect();
+                let p16_key = BlobKey::shared(BlobKind::Param16, li);
+                let stage_key = BlobKey::shared(BlobKind::Stage, li);
                 let host_ready: Option<TaskId> = match layer.param_source {
-                    ParamSource::Ssd if layer.p16_bytes > 0.0 => Some(g.add_task_labeled(
-                        ssd,
-                        layer.p16_bytes / r.ssd_read,
-                        Stage::Forward,
-                        &updated,
-                        format!("{pfx}fwd-read L{li}"),
-                    )),
+                    ParamSource::Ssd if layer.p16_bytes > 0.0 => {
+                        let t = g.add_task_labeled(
+                            ssd,
+                            layer.p16_bytes / r.ssd_read,
+                            Stage::Forward,
+                            &updated,
+                            format!("{pfx}fwd-read L{li}"),
+                        );
+                        g.set_meta(
+                            t,
+                            TaskMeta::new(OpClass::SsdRead, iter)
+                                .read(an.cur(p16_key))
+                                .write(an.bump(stage_key)),
+                        );
+                        Some(t)
+                    }
                     _ => None,
                 };
                 for gi in 0..self.gpus {
@@ -261,13 +315,27 @@ impl IterationSpec {
                                 .into_iter()
                                 .chain(updated.iter().copied())
                                 .collect();
-                            Some(g.add_task_labeled(
+                            let t = g.add_task_labeled(
                                 m2g[gi],
                                 layer.p16_bytes / r.bw_m2g,
                                 Stage::Forward,
                                 &deps,
                                 format!("{pfx}fwd-fetch L{li}{}", gsfx(gi)),
-                            ))
+                            );
+                            // SSD-sourced fetches copy from the staging
+                            // buffer the shared read filled; host-sourced
+                            // fetches read the persistent host copy.
+                            let src = match layer.param_source {
+                                ParamSource::Ssd => an.cur(stage_key),
+                                _ => an.cur(p16_key),
+                            };
+                            g.set_meta(
+                                t,
+                                TaskMeta::new(OpClass::TransferM2G, iter)
+                                    .read(src)
+                                    .write(an.bump(BlobKey::on_gpu(BlobKind::ParamGpu, li, gi))),
+                            );
+                            Some(t)
                         }
                         _ => None,
                     };
@@ -281,13 +349,15 @@ impl IterationSpec {
                         deps.push(fwd[gi][li - 1]);
                     }
                     let deps = if self.per_layer_overhead_seconds > 0.0 {
-                        vec![g.add_task_labeled(
+                        let hook = g.add_task_labeled(
                             stall[gi],
                             self.per_layer_overhead_seconds,
                             Stage::Forward,
                             &deps,
                             format!("{pfx}fwd-hook L{li}{}", gsfx(gi)),
-                        )]
+                        );
+                        g.set_meta(hook, TaskMeta::new(OpClass::Hook, iter));
+                        vec![hook]
                     } else {
                         deps
                     };
@@ -298,12 +368,33 @@ impl IterationSpec {
                         &deps,
                         format!("{pfx}fwd L{li}{}", gsfx(gi)),
                     );
+                    let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
+                    let act_key = BlobKey::on_gpu(BlobKind::Act, li, gi);
+                    {
+                        let mut meta = TaskMeta::new(OpClass::GpuCompute, iter);
+                        match layer.param_source {
+                            // GPU-resident parameters are read in place.
+                            ParamSource::Gpu => meta = meta.read(an.cur(p16_key)),
+                            _ if fetch.is_some() => {
+                                meta =
+                                    meta.read(an.cur(BlobKey::on_gpu(BlobKind::ParamGpu, li, gi)))
+                            }
+                            _ => {}
+                        }
+                        if li > 0 {
+                            meta = meta.read(an.cur(BlobKey::on_gpu(BlobKind::Flow, li - 1, gi)));
+                        }
+                        meta = meta.write(an.bump(BlobKey::on_gpu(BlobKind::Flow, li, gi)));
+                        if act_bytes > 0.0 {
+                            meta = meta.write(an.bump(act_key));
+                        }
+                        g.set_meta(f, meta);
+                    }
                     total_gpu_flops += layer.fwd_flops;
                     fwd[gi].push(f);
 
                     // Activation offload (host-resident + SSD-spilled share the
                     // same G2M hop; the spill continues to the SSDs).
-                    let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
                     if act_bytes > 0.0 {
                         let off = g.add_task_labeled(
                             g2m[gi],
@@ -312,15 +403,30 @@ impl IterationSpec {
                             &[f],
                             format!("{pfx}act-off L{li}{}", gsfx(gi)),
                         );
+                        g.set_meta(
+                            off,
+                            TaskMeta::new(OpClass::TransferG2M, iter)
+                                .read(an.cur(act_key))
+                                .write(an.bump(act_key))
+                                .alloc(MemTier::Host, act_key, layer.act_to_host_bytes),
+                        );
                         act_offloaded[gi][li] = Some(off);
                         if layer.act_to_ssd_bytes > 0.0 {
-                            act_spilled[gi][li] = Some(g.add_task_labeled(
+                            let spill = g.add_task_labeled(
                                 ssd,
                                 layer.act_to_ssd_bytes / r.ssd_write,
                                 Stage::Forward,
                                 &[off],
                                 format!("{pfx}act-spill L{li}{}", gsfx(gi)),
-                            ));
+                            );
+                            g.set_meta(
+                                spill,
+                                TaskMeta::new(OpClass::SsdWrite, iter)
+                                    .read(an.cur(act_key))
+                                    .write(an.bump(act_key))
+                                    .alloc(MemTier::Ssd, act_key, layer.act_to_ssd_bytes),
+                            );
+                            act_spilled[gi][li] = Some(spill);
                         }
                     }
                 }
@@ -346,15 +452,24 @@ impl IterationSpec {
                 // refetch reads what the *previous* iteration's handler wrote
                 // back, so it also waits on that write (no staleness).
                 let updated: Vec<TaskId> = prev_updates[li].into_iter().collect();
+                let p16_key = BlobKey::shared(BlobKind::Param16, li);
+                let stage_key = BlobKey::shared(BlobKind::Stage, li);
                 let host_ready: Option<TaskId> = match layer.param_source {
                     ParamSource::Ssd if layer.p16_bytes > 0.0 && layer.refetch_in_backward => {
-                        Some(g.add_task_labeled(
+                        let t = g.add_task_labeled(
                             ssd,
                             layer.p16_bytes / r.ssd_read,
                             Stage::Backward,
                             &updated,
                             format!("{pfx}bwd-read L{li}"),
-                        ))
+                        );
+                        g.set_meta(
+                            t,
+                            TaskMeta::new(OpClass::SsdRead, iter)
+                                .read(an.cur(p16_key))
+                                .write(an.bump(stage_key)),
+                        );
+                        Some(t)
                     }
                     _ => None,
                 };
@@ -366,17 +481,29 @@ impl IterationSpec {
                                 .into_iter()
                                 .chain(updated.iter().copied())
                                 .collect();
-                            Some(g.add_task_labeled(
+                            let t = g.add_task_labeled(
                                 m2g[gi],
                                 layer.p16_bytes / r.bw_m2g,
                                 Stage::Backward,
                                 &deps,
                                 format!("{pfx}bwd-fetch L{li}{}", gsfx(gi)),
-                            ))
+                            );
+                            let src = match layer.param_source {
+                                ParamSource::Ssd => an.cur(stage_key),
+                                _ => an.cur(p16_key),
+                            };
+                            g.set_meta(
+                                t,
+                                TaskMeta::new(OpClass::TransferM2G, iter)
+                                    .read(src)
+                                    .write(an.bump(BlobKey::on_gpu(BlobKind::ParamGpu, li, gi))),
+                            );
+                            Some(t)
                         }
                         _ => None,
                     };
                     // Fetch swapped activations back (SSD spill first).
+                    let act_key = BlobKey::on_gpu(BlobKind::Act, li, gi);
                     let mut act_dep: Option<TaskId> = None;
                     let act_bytes = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
                     if act_bytes > 0.0 {
@@ -384,25 +511,41 @@ impl IterationSpec {
                             // The spill must have been written before it can be
                             // read back.
                             let deps: Vec<TaskId> = act_spilled[gi][li].into_iter().collect();
-                            Some(g.add_task_labeled(
+                            let t = g.add_task_labeled(
                                 ssd,
                                 layer.act_to_ssd_bytes / r.ssd_read,
                                 Stage::Backward,
                                 &deps,
                                 format!("{pfx}act-load L{li}{}", gsfx(gi)),
-                            ))
+                            );
+                            g.set_meta(
+                                t,
+                                TaskMeta::new(OpClass::SsdRead, iter)
+                                    .read(an.cur(act_key))
+                                    .write(an.bump(act_key))
+                                    .free(MemTier::Ssd, act_key),
+                            );
+                            Some(t)
                         } else {
                             None
                         };
                         let mut deps: Vec<TaskId> = ssd_read.into_iter().collect();
                         deps.extend(act_offloaded[gi][li]);
-                        act_dep = Some(g.add_task_labeled(
+                        let up = g.add_task_labeled(
                             m2g[gi],
                             act_bytes / r.bw_m2g,
                             Stage::Backward,
                             &deps,
                             format!("{pfx}act-up L{li}{}", gsfx(gi)),
-                        ));
+                        );
+                        let mut meta = TaskMeta::new(OpClass::TransferM2G, iter)
+                            .read(an.cur(act_key))
+                            .write(an.bump(act_key));
+                        if layer.act_to_host_bytes > 0.0 {
+                            meta = meta.free(MemTier::Host, act_key);
+                        }
+                        g.set_meta(up, meta);
+                        act_dep = Some(up);
                     }
 
                     let mut deps: Vec<TaskId> = Vec::new();
@@ -410,13 +553,15 @@ impl IterationSpec {
                     deps.extend(act_dep);
                     deps.extend(prev_bwd[gi]);
                     let deps = if self.per_layer_overhead_seconds > 0.0 {
-                        vec![g.add_task_labeled(
+                        let hook = g.add_task_labeled(
                             stall[gi],
                             self.per_layer_overhead_seconds,
                             Stage::Backward,
                             &deps,
                             format!("{pfx}bwd-hook L{li}{}", gsfx(gi)),
-                        )]
+                        );
+                        g.set_meta(hook, TaskMeta::new(OpClass::Hook, iter));
+                        vec![hook]
                     } else {
                         deps
                     };
@@ -427,11 +572,40 @@ impl IterationSpec {
                         &deps,
                         format!("{pfx}bwd L{li}{}", gsfx(gi)),
                     );
+                    {
+                        let mut meta = TaskMeta::new(OpClass::GpuCompute, iter);
+                        match layer.param_source {
+                            ParamSource::Gpu => meta = meta.read(an.cur(p16_key)),
+                            // Refetched layers read the backward copy; the
+                            // head (staged once) reuses the forward copy.
+                            _ if layer.p16_bytes > 0.0 => {
+                                meta =
+                                    meta.read(an.cur(BlobKey::on_gpu(BlobKind::ParamGpu, li, gi)))
+                            }
+                            _ => {}
+                        }
+                        if act_bytes > 0.0 {
+                            meta = meta.read(an.cur(act_key));
+                        }
+                        meta = if li + 1 < n {
+                            meta.read(an.cur(BlobKey::on_gpu(BlobKind::FlowGrad, li + 1, gi)))
+                        } else {
+                            // The loss gradient descends from the last
+                            // forward hidden state.
+                            meta.read(an.cur(BlobKey::on_gpu(BlobKind::Flow, li, gi)))
+                        };
+                        meta = meta.write(an.bump(BlobKey::on_gpu(BlobKind::FlowGrad, li, gi)));
+                        if layer.grad_bytes > 0.0 {
+                            meta = meta.write(an.bump(BlobKey::on_gpu(BlobKind::Grad, li, gi)));
+                        }
+                        g.set_meta(b, meta);
+                    }
                     total_gpu_flops += layer.bwd_flops;
                     prev_bwd[gi] = Some(b);
 
                     // Gradient offload GPU->host.
                     if layer.grad_bytes > 0.0 {
+                        let grad_key = BlobKey::on_gpu(BlobKind::Grad, li, gi);
                         let go = g.add_task_labeled(
                             g2m[gi],
                             layer.grad_bytes / r.bw_g2m,
@@ -439,14 +613,28 @@ impl IterationSpec {
                             &[b],
                             format!("{pfx}grad-off L{li}{}", gsfx(gi)),
                         );
+                        g.set_meta(
+                            go,
+                            TaskMeta::new(OpClass::TransferG2M, iter)
+                                .read(an.cur(grad_key))
+                                .write(an.bump(grad_key)),
+                        );
                         let landed = if layer.grad_spill_to_ssd {
-                            g.add_task_labeled(
+                            let spill = g.add_task_labeled(
                                 ssd,
                                 layer.grad_bytes / r.ssd_write,
                                 Stage::Backward,
                                 &[go],
                                 format!("{pfx}grad-spill L{li}{}", gsfx(gi)),
-                            )
+                            );
+                            g.set_meta(
+                                spill,
+                                TaskMeta::new(OpClass::SsdWrite, iter)
+                                    .read(an.cur(grad_key))
+                                    .write(an.bump(grad_key))
+                                    .alloc(MemTier::Ssd, grad_key, layer.grad_bytes),
+                            );
+                            spill
                         } else {
                             go
                         };
@@ -461,13 +649,20 @@ impl IterationSpec {
                 // Multi-GPU gradient reduction on the CPU before the handler.
                 let handler_input: Vec<TaskId> = if self.gpus > 1 && layer.grad_bytes > 0.0 {
                     let reduce_params = layer.grad_bytes / 2.0 * (self.gpus as f64 - 1.0);
-                    vec![g.add_task_labeled(
+                    let t = g.add_task_labeled(
                         cpu,
                         reduce_params / (4.0 * r.cpu_params_per_sec),
                         Stage::Backward,
                         &grad_ready_all,
                         format!("{pfx}reduce L{li}"),
-                    )]
+                    );
+                    let mut meta = TaskMeta::new(OpClass::CpuCompute, iter);
+                    for gi in 0..self.gpus {
+                        meta = meta.read(an.cur(BlobKey::on_gpu(BlobKind::Grad, li, gi)));
+                    }
+                    meta = meta.write(an.bump(BlobKey::shared(BlobKind::GradReduced, li)));
+                    g.set_meta(t, meta);
+                    vec![t]
                 } else {
                     grad_ready_all.clone()
                 };
@@ -490,6 +685,8 @@ impl IterationSpec {
                             prev_handler_read,
                             Stage::Backward,
                             &pfx,
+                            iter,
+                            &mut an,
                         );
                         prev_handler_read = read;
                         prev_handler_write = write;
@@ -518,6 +715,8 @@ impl IterationSpec {
                         prev_read,
                         Stage::Optimizer,
                         &pfx,
+                        iter,
+                        &mut an,
                     );
                     // The separate stage serializes each chunk's read ->
                     // compute -> write like DeepSpeed's synchronous swapper;
@@ -532,6 +731,21 @@ impl IterationSpec {
         } // per-iteration loop
         let _ = prev_updates;
 
+        // Debug builds statically verify every schedule they emit: any
+        // staleness, use-before-fetch, WAR, residency-bookkeeping, or
+        // resource-legality defect aborts before the simulator can
+        // launder it into a plausible-looking timeline.
+        #[cfg(debug_assertions)]
+        {
+            let report = ratel_verify::verify(&g, &ratel_verify::Limits::none());
+            if !report.is_clean() {
+                panic!(
+                    "emitted schedule fails static verification:\n{}",
+                    report.render()
+                );
+            }
+        }
+
         (
             g,
             ScheduleResources {
@@ -543,6 +757,38 @@ impl IterationSpec {
             },
             total_gpu_flops,
         )
+    }
+
+    /// Statically verifies the schedule this spec lowers to, over
+    /// `iterations` back-to-back iterations, against the given residency
+    /// budgets. See the `ratel-verify` crate for the pass inventory.
+    pub fn verify(
+        &self,
+        iterations: usize,
+        limits: &ratel_verify::Limits,
+    ) -> ratel_verify::VerifyReport {
+        let (g, _, _) = self.build_iterations(iterations);
+        ratel_verify::verify(&g, limits)
+    }
+
+    /// Attaches the handler's gradient inputs to its first emitted task:
+    /// the reduced (or lone) gradient read, plus release of any SSD grad
+    /// spill space, which is dead once the handler has consumed it.
+    fn handler_grad_meta(&self, mut meta: TaskMeta, li: usize, an: &Annot) -> TaskMeta {
+        let layer = &self.layers[li];
+        if layer.grad_bytes > 0.0 {
+            if self.gpus > 1 {
+                meta = meta.read(an.cur(BlobKey::shared(BlobKind::GradReduced, li)));
+            } else {
+                meta = meta.read(an.cur(BlobKey::on_gpu(BlobKind::Grad, li, 0)));
+            }
+            if layer.grad_spill_to_ssd {
+                for gi in 0..self.gpus {
+                    meta = meta.free(MemTier::Ssd, BlobKey::on_gpu(BlobKind::Grad, li, gi));
+                }
+            }
+        }
+        meta
     }
 
     /// Emits one optimizer handler (§IV-C): returns `(read, write)` task
@@ -562,8 +808,13 @@ impl IterationSpec {
         prev_read: Option<TaskId>,
         stage: Stage,
         pfx: &str,
+        iter: usize,
+        an: &mut Annot,
     ) -> (Option<TaskId>, Option<TaskId>) {
         let r = &self.rates;
+        let master_key = BlobKey::shared(BlobKind::Master, li);
+        let p16_key = BlobKey::shared(BlobKind::Param16, li);
+        let sopt_key = BlobKey::shared(BlobKind::StageOpt, li);
         match self.layers[li].optimizer {
             OptimizerKind::CpuOutOfCore {
                 read_bytes,
@@ -587,12 +838,28 @@ impl IterationSpec {
                     &read_deps,
                     format!("{pfx}opt-read L{li}"),
                 );
+                g.set_meta(
+                    read,
+                    self.handler_grad_meta(
+                        TaskMeta::new(OpClass::SsdRead, iter)
+                            .read(an.cur(master_key))
+                            .write(an.bump(sopt_key)),
+                        li,
+                        an,
+                    ),
+                );
                 let compute = g.add_task_labeled(
                     cpu,
                     cpu_params / r.cpu_params_per_sec,
                     stage,
                     &[read],
                     format!("{pfx}opt-cpu L{li}"),
+                );
+                g.set_meta(
+                    compute,
+                    TaskMeta::new(OpClass::CpuCompute, iter)
+                        .read(an.cur(sopt_key))
+                        .write(an.bump(sopt_key)),
                 );
                 // Main->SSD: optimized mode issues it after the *previous*
                 // handler's SSD->Main (Fig. 3b), which lets the FIFO SSD
@@ -608,6 +875,13 @@ impl IterationSpec {
                     &write_deps,
                     format!("{pfx}opt-write L{li}"),
                 );
+                g.set_meta(
+                    write,
+                    TaskMeta::new(OpClass::SsdWrite, iter)
+                        .read(an.cur(sopt_key))
+                        .write(an.bump(master_key))
+                        .write(an.bump(p16_key)),
+                );
                 (Some(read), Some(write))
             }
             OptimizerKind::CpuInMemory { cpu_params } => {
@@ -621,6 +895,17 @@ impl IterationSpec {
                     stage,
                     &deps,
                     format!("{pfx}opt-cpu L{li}"),
+                );
+                g.set_meta(
+                    compute,
+                    self.handler_grad_meta(
+                        TaskMeta::new(OpClass::CpuCompute, iter)
+                            .read(an.cur(master_key))
+                            .write(an.bump(master_key))
+                            .write(an.bump(p16_key)),
+                        li,
+                        an,
+                    ),
                 );
                 (Some(compute), Some(compute))
             }
@@ -636,12 +921,28 @@ impl IterationSpec {
                     inputs,
                     format!("{pfx}opt-read L{li}"),
                 );
+                g.set_meta(
+                    read,
+                    self.handler_grad_meta(
+                        TaskMeta::new(OpClass::SsdRead, iter)
+                            .read(an.cur(master_key))
+                            .write(an.bump(sopt_key)),
+                        li,
+                        an,
+                    ),
+                );
                 let up = g.add_task_labeled(
                     *m2g0,
                     fetch_bytes / r.bw_m2g,
                     stage,
                     &[read],
                     format!("{pfx}opt-up L{li}"),
+                );
+                g.set_meta(
+                    up,
+                    TaskMeta::new(OpClass::TransferM2G, iter)
+                        .read(an.cur(sopt_key))
+                        .write(an.bump(sopt_key)),
                 );
                 let kernel = g.add_task_labeled(
                     gpu0,
@@ -650,6 +951,12 @@ impl IterationSpec {
                     &[up],
                     format!("{pfx}opt-kernel L{li}"),
                 );
+                g.set_meta(
+                    kernel,
+                    TaskMeta::new(OpClass::GpuCompute, iter)
+                        .read(an.cur(sopt_key))
+                        .write(an.bump(sopt_key)),
+                );
                 let down = g.add_task_labeled(
                     *g2m0,
                     writeback_bytes / r.bw_g2m,
@@ -657,12 +964,25 @@ impl IterationSpec {
                     &[kernel],
                     format!("{pfx}opt-down L{li}"),
                 );
+                g.set_meta(
+                    down,
+                    TaskMeta::new(OpClass::TransferG2M, iter)
+                        .read(an.cur(sopt_key))
+                        .write(an.bump(sopt_key)),
+                );
                 let write = g.add_task_labeled(
                     ssd,
                     writeback_bytes / r.ssd_write,
                     stage,
                     &[down],
                     format!("{pfx}opt-write L{li}"),
+                );
+                g.set_meta(
+                    write,
+                    TaskMeta::new(OpClass::SsdWrite, iter)
+                        .read(an.cur(sopt_key))
+                        .write(an.bump(master_key))
+                        .write(an.bump(p16_key)),
                 );
                 (Some(read), Some(write))
             }
@@ -673,6 +993,17 @@ impl IterationSpec {
                     stage,
                     inputs,
                     format!("{pfx}opt-kernel L{li}"),
+                );
+                g.set_meta(
+                    kernel,
+                    self.handler_grad_meta(
+                        TaskMeta::new(OpClass::GpuCompute, iter)
+                            .read(an.cur(master_key))
+                            .write(an.bump(master_key))
+                            .write(an.bump(p16_key)),
+                        li,
+                        an,
+                    ),
                 );
                 (Some(kernel), Some(kernel))
             }

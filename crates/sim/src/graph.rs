@@ -1,5 +1,7 @@
 //! Task-graph construction.
 
+use crate::meta::{Edge, ResourceClass, TaskMeta};
+
 /// Identifies a resource registered with a [`TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourceId(pub usize);
@@ -41,6 +43,7 @@ pub(crate) struct Task {
     pub(crate) stage: Stage,
     pub(crate) deps: Vec<TaskId>,
     pub(crate) label: Option<String>,
+    pub(crate) meta: Option<TaskMeta>,
 }
 
 /// A DAG of tasks over named resources.
@@ -50,6 +53,7 @@ pub(crate) struct Task {
 #[derive(Debug, Clone, Default)]
 pub struct TaskGraph {
     pub(crate) resources: Vec<String>,
+    pub(crate) resource_classes: Vec<Option<ResourceClass>>,
     pub(crate) tasks: Vec<Task>,
 }
 
@@ -60,9 +64,35 @@ impl TaskGraph {
     }
 
     /// Registers a resource and returns its id.
+    ///
+    /// Resource names are unique: registering a name that already exists
+    /// returns the id of the existing resource instead of silently
+    /// creating a second queue with the same name (which would split its
+    /// traffic across two FIFOs and corrupt per-resource accounting).
     pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
-        self.resources.push(name.into());
+        let name = name.into();
+        if let Some(i) = self.resources.iter().position(|r| *r == name) {
+            return ResourceId(i);
+        }
+        self.resources.push(name);
+        self.resource_classes.push(None);
         ResourceId(self.resources.len() - 1)
+    }
+
+    /// Declares the [`ResourceClass`] of a registered resource, for the
+    /// static legality pass. Untyped resources are skipped by verifiers.
+    pub fn set_resource_class(&mut self, id: ResourceId, class: ResourceClass) {
+        self.resource_classes[id.0] = Some(class);
+    }
+
+    /// The declared class of a resource, if any.
+    pub fn resource_class(&self, id: ResourceId) -> Option<ResourceClass> {
+        self.resource_classes[id.0]
+    }
+
+    /// Ids of all registered resources.
+    pub fn resource_ids(&self) -> impl Iterator<Item = ResourceId> {
+        (0..self.resources.len()).map(ResourceId)
     }
 
     /// Adds a task bound to `resource` that occupies it for `service`
@@ -97,6 +127,7 @@ impl TaskGraph {
             stage,
             deps: deps.to_vec(),
             label: None,
+            meta: None,
         });
         id
     }
@@ -123,6 +154,80 @@ impl TaskGraph {
     /// The label of a task, if any.
     pub fn label(&self, task: TaskId) -> Option<&str> {
         self.tasks[task.0].label.as_deref()
+    }
+
+    /// Attaches semantic metadata to a task for static verification.
+    pub fn set_meta(&mut self, task: TaskId, meta: TaskMeta) {
+        self.tasks[task.0].meta = Some(meta);
+    }
+
+    /// The metadata of a task, if any.
+    pub fn meta(&self, task: TaskId) -> Option<&TaskMeta> {
+        self.tasks[task.0].meta.as_ref()
+    }
+
+    /// Mutable access to a task's metadata, if any. Intended for test
+    /// harnesses that perturb annotations (e.g. the mutation suite).
+    pub fn meta_mut(&mut self, task: TaskId) -> Option<&mut TaskMeta> {
+        self.tasks[task.0].meta.as_mut()
+    }
+
+    /// The dependencies of a task.
+    pub fn deps(&self, task: TaskId) -> &[TaskId] {
+        &self.tasks[task.0].deps
+    }
+
+    /// The resource a task is bound to.
+    pub fn resource(&self, task: TaskId) -> ResourceId {
+        self.tasks[task.0].resource
+    }
+
+    /// The stage a task is attributed to.
+    pub fn stage(&self, task: TaskId) -> Stage {
+        self.tasks[task.0].stage
+    }
+
+    /// A task's service time in seconds.
+    pub fn service(&self, task: TaskId) -> f64 {
+        self.tasks[task.0].service
+    }
+
+    /// Ids of all tasks, in insertion (= topological) order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// All dependency edges in the graph.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.tasks.iter().enumerate().flat_map(|(i, t)| {
+            t.deps.iter().map(move |d| Edge {
+                from: *d,
+                to: TaskId(i),
+            })
+        })
+    }
+
+    /// Removes the direct dependency `dep` from `task`, if present.
+    /// Returns whether an edge was removed. Intended for mutation-testing
+    /// harnesses; the simulator never needs it.
+    pub fn remove_dep(&mut self, task: TaskId, dep: TaskId) -> bool {
+        let deps = &mut self.tasks[task.0].deps;
+        let before = deps.len();
+        deps.retain(|d| *d != dep);
+        deps.len() != before
+    }
+
+    /// Rebinds a task to a different (already-registered) resource.
+    /// Intended for mutation-testing harnesses.
+    ///
+    /// # Panics
+    /// If `resource` is unknown.
+    pub fn rebind_resource(&mut self, task: TaskId, resource: ResourceId) {
+        assert!(
+            resource.0 < self.resources.len(),
+            "unknown resource {resource:?}"
+        );
+        self.tasks[task.0].resource = resource;
     }
 
     /// Number of tasks in the graph.
@@ -203,5 +308,67 @@ mod tests {
         let mut g = TaskGraph::new();
         let r = g.add_resource("r");
         g.add_task(r, f64::NAN, Stage::Forward, &[]);
+    }
+
+    #[test]
+    fn duplicate_resource_names_are_deduplicated() {
+        let mut g = TaskGraph::new();
+        let a = g.add_resource("gpu");
+        let b = g.add_resource("ssd");
+        let a2 = g.add_resource("gpu");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(g.resource_ids().count(), 2);
+        // Traffic registered via either id lands on the same queue.
+        g.add_task(a, 1.0, Stage::Forward, &[]);
+        g.add_task(a2, 2.0, Stage::Forward, &[]);
+        assert_eq!(g.total_service(a), 3.0);
+    }
+
+    #[test]
+    fn resource_classes_round_trip() {
+        use crate::meta::ResourceClass;
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("gpu");
+        let ssd = g.add_resource("ssd");
+        g.set_resource_class(gpu, ResourceClass::GpuCompute);
+        assert_eq!(g.resource_class(gpu), Some(ResourceClass::GpuCompute));
+        assert_eq!(g.resource_class(ssd), None);
+    }
+
+    #[test]
+    fn edges_and_accessors_expose_the_graph() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_task(r, 1.0, Stage::Forward, &[]);
+        let b = g.add_task(r, 2.0, Stage::Backward, &[a]);
+        assert_eq!(g.deps(b), &[a]);
+        assert_eq!(g.resource(b), r);
+        assert_eq!(g.stage(b), Stage::Backward);
+        assert_eq!(g.service(b), 2.0);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from, a);
+        assert_eq!(edges[0].to, b);
+        assert!(g.remove_dep(b, a));
+        assert!(!g.remove_dep(b, a));
+        assert!(g.deps(b).is_empty());
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        use crate::meta::{BlobKey, BlobKind, OpClass, TaskMeta, VersionedBlob};
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_task(r, 1.0, Stage::Forward, &[]);
+        assert!(g.meta(a).is_none());
+        let blob = VersionedBlob {
+            key: BlobKey::shared(BlobKind::Param16, 0),
+            version: 1,
+        };
+        g.set_meta(a, TaskMeta::new(OpClass::GpuCompute, 0).write(blob));
+        assert_eq!(g.meta(a).unwrap().writes, vec![blob]);
+        g.meta_mut(a).unwrap().writes[0].version = 2;
+        assert_eq!(g.meta(a).unwrap().writes[0].version, 2);
     }
 }

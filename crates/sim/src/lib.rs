@@ -19,11 +19,16 @@
 
 pub mod engine;
 pub mod graph;
+pub mod meta;
 pub mod report;
 pub mod trace;
 
 pub use engine::simulate;
 pub use graph::{ResourceId, Stage, TaskGraph, TaskId};
+pub use meta::{
+    BlobKey, BlobKind, Edge, MemTier, OpClass, ResidencyAlloc, ResourceClass, TaskMeta,
+    VersionedBlob,
+};
 pub use report::{ResourceUsage, SimReport, StageReport, TimelineEntry};
 pub use trace::{
     analyze_bubbles, ascii_timeline, bubble_summary, bubbles, chrome_trace_json,

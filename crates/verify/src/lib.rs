@@ -1,0 +1,381 @@
+#![warn(missing_docs)]
+//! Static schedule & invariant analyzer: proves a [`TaskGraph`] safe
+//! before it runs, without simulating it.
+//!
+//! The simulator executes *one* linear extension of the task DAG; a
+//! schedule can look correct under FIFO service yet still be unsafe —
+//! a missing edge only bites when queue timing shifts. This crate checks
+//! the properties the Ratel paper claims, over **all** linear
+//! extensions:
+//!
+//! 1. **Dataflow / version analysis** ([`dataflow`]) — every consumer of
+//!    a blob version is dominated by its producer (use-before-fetch,
+//!    §IV-C parameter/gradient staleness), and in-place writers of
+//!    persistent state are ordered after every reader of the previous
+//!    version (write-after-read hazards).
+//! 2. **Residency interval analysis** ([`residency`]) — the worst-case
+//!    concurrent footprint per memory tier, via interval overlap over
+//!    the partial order (not enumeration), stays within the planner's
+//!    §IV-D budgets (`MEM_avail`, SSD spill allowance).
+//! 3. **Resource legality** ([`legality`]) — tasks are bound to
+//!    resources that can physically serve them, the SSD array stays
+//!    simplex (one FIFO for reads and writes), PCIe stays duplex
+//!    (directions on disjoint lanes), and every edge runs forward in
+//!    `Stage::ALL`/iteration order.
+//!
+//! Tasks without [`TaskMeta`] annotations are invisible to the passes,
+//! so foreign or hand-built graphs verify clean by default; annotated
+//! graphs built by `ratel-core`'s schedule builder get the full check.
+//! `ratel-bench verify-plans` sweeps the model zoo × offload modes ×
+//! baselines through [`verify`] and fails CI on any finding.
+
+pub mod dataflow;
+pub mod finding;
+pub mod legality;
+pub mod reach;
+pub mod residency;
+
+pub use finding::{Finding, Rule, VerifyReport};
+pub use reach::{witness_path, Reachability};
+pub use residency::Limits;
+
+use ratel_sim::TaskGraph;
+#[cfg(doc)]
+use ratel_sim::TaskMeta;
+
+/// Runs all static passes over `graph` against `limits`.
+pub fn verify(graph: &TaskGraph, limits: &Limits) -> VerifyReport {
+    let reach = Reachability::new(graph);
+    let mut report = VerifyReport {
+        tasks_checked: graph
+            .task_ids()
+            .filter(|t| graph.meta(*t).is_some())
+            .count(),
+        ..VerifyReport::default()
+    };
+    let (df, versions) = dataflow::check(graph, &reach);
+    report.versions_seen = versions;
+    report.findings.extend(df);
+    let (res, intervals) = residency::check(graph, &reach, limits);
+    report.intervals = intervals;
+    report.findings.extend(res);
+    report.findings.extend(legality::check(graph));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_sim::{
+        BlobKey, BlobKind, MemTier, OpClass, ResourceClass, Stage, TaskGraph, TaskMeta,
+        VersionedBlob,
+    };
+
+    fn v(kind: BlobKind, layer: usize, version: u64) -> VersionedBlob {
+        VersionedBlob {
+            key: BlobKey::shared(kind, layer),
+            version,
+        }
+    }
+
+    #[test]
+    fn unannotated_graphs_verify_clean() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_task(r, 1.0, Stage::Forward, &[]);
+        g.add_task(r, 1.0, Stage::Backward, &[a]);
+        let report = verify(&g, &Limits::none());
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.tasks_checked, 0);
+    }
+
+    #[test]
+    fn dominated_reads_are_clean_and_undominated_reads_are_flagged() {
+        let mut g = TaskGraph::new();
+        let ssd = g.add_resource("ssd");
+        let gpu = g.add_resource("gpu");
+        let p = v(BlobKind::Act, 0, 1);
+        let w = g.add_task_labeled(ssd, 1.0, Stage::Forward, &[], "produce");
+        g.set_meta(w, TaskMeta::new(OpClass::SsdWrite, 0).write(p));
+        let rd = g.add_task_labeled(gpu, 1.0, Stage::Backward, &[w], "consume");
+        g.set_meta(rd, TaskMeta::new(OpClass::GpuCompute, 0).read(p));
+        assert!(verify(&g, &Limits::none()).is_clean());
+
+        // Sever the edge: the read is no longer dominated.
+        g.remove_dep(rd, w);
+        let report = verify(&g, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::UseBeforeFetch);
+        assert_eq!(report.findings[0].task, rd);
+    }
+
+    #[test]
+    fn param_reads_map_to_the_staleness_rule() {
+        let mut g = TaskGraph::new();
+        let ssd = g.add_resource("ssd");
+        let p = v(BlobKind::Param16, 3, 1);
+        let w = g.add_task_labeled(ssd, 1.0, Stage::Optimizer, &[], "opt-write");
+        g.set_meta(w, TaskMeta::new(OpClass::SsdWrite, 0).write(p));
+        let rd = g.add_task_labeled(ssd, 1.0, Stage::Forward, &[], "fwd-read");
+        g.set_meta(rd, TaskMeta::new(OpClass::SsdRead, 1).read(p));
+        let report = verify(&g, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::Staleness);
+    }
+
+    #[test]
+    fn version_zero_reads_need_no_producer() {
+        let mut g = TaskGraph::new();
+        let ssd = g.add_resource("ssd");
+        let rd = g.add_task(ssd, 1.0, Stage::Forward, &[]);
+        g.set_meta(
+            rd,
+            TaskMeta::new(OpClass::SsdRead, 0).read(v(BlobKind::Param16, 0, 0)),
+        );
+        assert!(verify(&g, &Limits::none()).is_clean());
+    }
+
+    #[test]
+    fn missing_producer_of_a_positive_version_is_flagged() {
+        let mut g = TaskGraph::new();
+        let ssd = g.add_resource("ssd");
+        let rd = g.add_task(ssd, 1.0, Stage::Forward, &[]);
+        g.set_meta(
+            rd,
+            TaskMeta::new(OpClass::SsdRead, 0).read(v(BlobKind::Act, 0, 2)),
+        );
+        let report = verify(&g, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].detail.contains("no task produces"));
+    }
+
+    #[test]
+    fn write_after_read_hazard_on_persistent_state() {
+        let mut g = TaskGraph::new();
+        let ssd = g.add_resource("ssd");
+        let p0 = v(BlobKind::Param16, 0, 0);
+        let p1 = v(BlobKind::Param16, 0, 1);
+        let rd = g.add_task_labeled(ssd, 1.0, Stage::Forward, &[], "read-v0");
+        g.set_meta(rd, TaskMeta::new(OpClass::SsdRead, 0).read(p0));
+        // The overwrite is concurrent with the read: hazard.
+        let w = g.add_task_labeled(ssd, 1.0, Stage::Optimizer, &[], "write-v1");
+        g.set_meta(w, TaskMeta::new(OpClass::SsdWrite, 0).write(p1));
+        let report = verify(&g, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::WriteAfterRead);
+
+        // Ordering the write after the read fixes it.
+        let mut g2 = TaskGraph::new();
+        let ssd = g2.add_resource("ssd");
+        let rd = g2.add_task(ssd, 1.0, Stage::Forward, &[]);
+        g2.set_meta(rd, TaskMeta::new(OpClass::SsdRead, 0).read(p0));
+        let w = g2.add_task(ssd, 1.0, Stage::Optimizer, &[rd]);
+        g2.set_meta(w, TaskMeta::new(OpClass::SsdWrite, 0).write(p1));
+        assert!(verify(&g2, &Limits::none()).is_clean());
+    }
+
+    #[test]
+    fn transient_blobs_are_exempt_from_write_after_read() {
+        // Double-buffered staging: the backward prefetch may legally
+        // overlap the forward copy's use.
+        let mut g = TaskGraph::new();
+        let m2g = g.add_resource("m2g");
+        let b0 = v(BlobKind::ParamGpu, 0, 1);
+        let b1 = v(BlobKind::ParamGpu, 0, 2);
+        let f = g.add_task(m2g, 1.0, Stage::Forward, &[]);
+        g.set_meta(f, TaskMeta::new(OpClass::TransferM2G, 0).write(b0));
+        let use0 = g.add_task(m2g, 1.0, Stage::Forward, &[f]);
+        g.set_meta(use0, TaskMeta::new(OpClass::TransferM2G, 0).read(b0));
+        let prefetch = g.add_task(m2g, 1.0, Stage::Backward, &[f]);
+        g.set_meta(prefetch, TaskMeta::new(OpClass::TransferM2G, 0).write(b1));
+        assert!(verify(&g, &Limits::none()).is_clean());
+    }
+
+    #[test]
+    fn duplicate_producers_are_flagged() {
+        let mut g = TaskGraph::new();
+        let ssd = g.add_resource("ssd");
+        let p = v(BlobKind::Act, 0, 1);
+        let a = g.add_task(ssd, 1.0, Stage::Forward, &[]);
+        g.set_meta(a, TaskMeta::new(OpClass::SsdWrite, 0).write(p));
+        let b = g.add_task(ssd, 1.0, Stage::Forward, &[a]);
+        g.set_meta(b, TaskMeta::new(OpClass::SsdWrite, 0).write(p));
+        let report = verify(&g, &Limits::none());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::DuplicateProducer));
+    }
+
+    #[test]
+    fn overlapping_residency_exceeding_budget_is_flagged() {
+        let mut g = TaskGraph::new();
+        let g2m = g.add_resource("g2m");
+        let k0 = BlobKey::shared(BlobKind::Act, 0);
+        let k1 = BlobKey::shared(BlobKind::Act, 1);
+        // Two 1 GB intervals with no ordering between alloc/free pairs:
+        // they may coexist.
+        let a0 = g.add_task(g2m, 1.0, Stage::Forward, &[]);
+        g.set_meta(
+            a0,
+            TaskMeta::new(OpClass::TransferG2M, 0).alloc(MemTier::Host, k0, 1e9),
+        );
+        let a1 = g.add_task(g2m, 1.0, Stage::Forward, &[]);
+        g.set_meta(
+            a1,
+            TaskMeta::new(OpClass::TransferG2M, 0).alloc(MemTier::Host, k1, 1e9),
+        );
+        let report = verify(
+            &g,
+            &Limits {
+                host: Some(1.5e9),
+                ..Limits::none()
+            },
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::CapacityExceeded);
+        assert_eq!(report.intervals, 2);
+
+        // A 2 GB budget fits both.
+        let report = verify(
+            &g,
+            &Limits {
+                host: Some(2.0e9),
+                ..Limits::none()
+            },
+        );
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn serialized_residency_does_not_stack() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let k0 = BlobKey::shared(BlobKind::Act, 0);
+        let k1 = BlobKey::shared(BlobKind::Act, 1);
+        let a0 = g.add_task(r, 1.0, Stage::Forward, &[]);
+        g.set_meta(
+            a0,
+            TaskMeta::new(OpClass::CpuCompute, 0).alloc(MemTier::Host, k0, 1e9),
+        );
+        let f0 = g.add_task(r, 1.0, Stage::Backward, &[a0]);
+        g.set_meta(
+            f0,
+            TaskMeta::new(OpClass::CpuCompute, 0).free(MemTier::Host, k0),
+        );
+        // Second interval allocates strictly after the first is freed.
+        let a1 = g.add_task(r, 1.0, Stage::Backward, &[f0]);
+        g.set_meta(
+            a1,
+            TaskMeta::new(OpClass::CpuCompute, 0).alloc(MemTier::Host, k1, 1e9),
+        );
+        let report = verify(
+            &g,
+            &Limits {
+                host: Some(1.5e9),
+                ..Limits::none()
+            },
+        );
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn residency_bookkeeping_errors_are_flagged() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let k = BlobKey::shared(BlobKind::Act, 0);
+        let stray = g.add_task(r, 1.0, Stage::Forward, &[]);
+        g.set_meta(
+            stray,
+            TaskMeta::new(OpClass::TransferM2G, 0).free(MemTier::Host, k),
+        );
+        let report = verify(&g, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::ResidencyBookkeeping);
+    }
+
+    #[test]
+    fn op_class_must_match_resource_class() {
+        let mut g = TaskGraph::new();
+        let pcie = g.add_resource("pcie-g2m");
+        g.set_resource_class(pcie, ResourceClass::PcieG2M);
+        let t = g.add_task(pcie, 1.0, Stage::Optimizer, &[]);
+        g.set_meta(t, TaskMeta::new(OpClass::CpuCompute, 0));
+        let report = verify(&g, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::IllegalResource);
+    }
+
+    #[test]
+    fn ssd_traffic_must_share_one_simplex_resource() {
+        let mut g = TaskGraph::new();
+        let ssd_r = g.add_resource("ssd-read-lane");
+        let ssd_w = g.add_resource("ssd-write-lane");
+        let a = g.add_task(ssd_r, 1.0, Stage::Forward, &[]);
+        g.set_meta(a, TaskMeta::new(OpClass::SsdRead, 0));
+        let b = g.add_task(ssd_w, 1.0, Stage::Forward, &[]);
+        g.set_meta(b, TaskMeta::new(OpClass::SsdWrite, 0));
+        let report = verify(&g, &Limits::none());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SimplexViolation));
+    }
+
+    #[test]
+    fn pcie_directions_must_not_share_a_resource() {
+        let mut g = TaskGraph::new();
+        let lane = g.add_resource("pcie");
+        let a = g.add_task(lane, 1.0, Stage::Forward, &[]);
+        g.set_meta(a, TaskMeta::new(OpClass::TransferM2G, 0));
+        let b = g.add_task(lane, 1.0, Stage::Forward, &[]);
+        g.set_meta(b, TaskMeta::new(OpClass::TransferG2M, 0));
+        let report = verify(&g, &Limits::none());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::DuplexViolation));
+    }
+
+    #[test]
+    fn edges_must_follow_stage_and_iteration_order() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        // Same iteration, backward -> forward edge: illegal.
+        let b = g.add_task(r, 1.0, Stage::Backward, &[]);
+        g.set_meta(b, TaskMeta::new(OpClass::GpuCompute, 0));
+        let f = g.add_task(r, 1.0, Stage::Forward, &[b]);
+        g.set_meta(f, TaskMeta::new(OpClass::GpuCompute, 0));
+        let report = verify(&g, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::StageOrder);
+
+        // Iteration going backwards along an edge: illegal.
+        let mut g2 = TaskGraph::new();
+        let r = g2.add_resource("r");
+        let late = g2.add_task(r, 1.0, Stage::Forward, &[]);
+        g2.set_meta(late, TaskMeta::new(OpClass::GpuCompute, 1));
+        let early = g2.add_task(r, 1.0, Stage::Forward, &[late]);
+        g2.set_meta(early, TaskMeta::new(OpClass::GpuCompute, 0));
+        let report = verify(&g2, &Limits::none());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::StageOrder);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r");
+        let t = g.add_task_labeled(r, 1.0, Stage::Forward, &[], "a \"quoted\" label");
+        g.set_meta(
+            t,
+            TaskMeta::new(OpClass::GpuCompute, 0).read(v(BlobKind::Act, 0, 5)),
+        );
+        let report = verify(&g, &Limits::none());
+        let json = report.to_json();
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("use-before-fetch"));
+        assert!(json.contains("a \\\"quoted\\\" label"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,205 @@
+//! Residency interval analysis.
+//!
+//! Each annotated allocation opens an interval on a memory tier that
+//! closes when the matching free task completes (or never). Two
+//! intervals *may* coexist in some linear extension of the DAG unless
+//! the free of one is a strict ancestor of the alloc of the other — so
+//! the worst-case concurrent footprint of a tier is bounded by the
+//! heaviest *may-overlap clique*. Computing the exact maximum clique is
+//! NP-hard in general; we use the sound anchor bound
+//! `max_I (bytes_I + Σ bytes_J over J may-overlapping I)`, which is
+//! exact whenever every pair in the realized worst case overlaps a
+//! common anchor — true for the builder's schedules, where all host
+//! activation intervals coexist at the forward/backward boundary.
+//!
+//! This is the static form of the paper's §IV-D capacity model: swapped
+//! activations must fit `MEM_avail`, with at most the `α·A_G2M` overflow
+//! allowed onto the SSD spill budget.
+
+use std::collections::HashMap;
+
+use ratel_sim::{BlobKey, MemTier, TaskGraph, TaskId};
+
+use crate::finding::{task_label, Finding, Rule};
+use crate::reach::Reachability;
+
+/// Per-tier worst-case footprint budgets, in bytes. `None` disables the
+/// capacity check for that tier (bookkeeping checks still run).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Limits {
+    /// GPU device-memory budget.
+    pub gpu: Option<f64>,
+    /// Host main-memory budget (the planner's `MEM_avail`).
+    pub host: Option<f64>,
+    /// SSD budget (capacity, or the planner's spill allowance).
+    pub ssd: Option<f64>,
+}
+
+impl Limits {
+    /// No capacity limits: structural checks only.
+    pub fn none() -> Self {
+        Limits::default()
+    }
+
+    /// The budget for one tier.
+    pub fn for_tier(&self, tier: MemTier) -> Option<f64> {
+        match tier {
+            MemTier::Gpu => self.gpu,
+            MemTier::Host => self.host,
+            MemTier::Ssd => self.ssd,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Interval {
+    tier: MemTier,
+    blob: BlobKey,
+    bytes: f64,
+    alloc: TaskId,
+    free: Option<TaskId>,
+}
+
+/// Runs the residency pass. Returns findings plus the number of
+/// intervals analyzed.
+pub fn check(graph: &TaskGraph, reach: &Reachability, limits: &Limits) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut intervals: Vec<Interval> = Vec::new();
+    // Open interval per (tier, blob); insertion order is topological, so
+    // a free closes the most recent alloc of that slot.
+    let mut open: HashMap<(MemTier, BlobKey), usize> = HashMap::new();
+
+    for t in graph.task_ids() {
+        let Some(meta) = graph.meta(t) else { continue };
+        for f in &meta.frees {
+            match open.remove(f) {
+                Some(idx) => {
+                    intervals[idx].free = Some(t);
+                    let alloc = intervals[idx].alloc;
+                    if !reach.reaches(alloc, t) {
+                        findings.push(Finding {
+                            rule: Rule::ResidencyBookkeeping,
+                            task: t,
+                            label: task_label(graph, t),
+                            blob: Some(f.1.to_string()),
+                            detail: format!(
+                                "frees {} on {} but is not ordered after the allocating \
+                                 task `{}` — the interval has no well-defined lifetime",
+                                f.1,
+                                f.0.name(),
+                                task_label(graph, alloc)
+                            ),
+                            witness: Vec::new(),
+                            suggestion: "make the freeing task depend (transitively) on the \
+                                         allocating task"
+                                .into(),
+                        });
+                    }
+                }
+                None => {
+                    findings.push(Finding {
+                        rule: Rule::ResidencyBookkeeping,
+                        task: t,
+                        label: task_label(graph, t),
+                        blob: Some(f.1.to_string()),
+                        detail: format!("frees {} on {} with no open allocation", f.1, f.0.name()),
+                        witness: Vec::new(),
+                        suggestion: "drop the stray free, or add the matching alloc".into(),
+                    });
+                }
+            }
+        }
+        for a in &meta.allocs {
+            let slot = (a.tier, a.blob);
+            if let Some(&prev) = open.get(&slot) {
+                findings.push(Finding {
+                    rule: Rule::ResidencyBookkeeping,
+                    task: t,
+                    label: task_label(graph, t),
+                    blob: Some(a.blob.to_string()),
+                    detail: format!(
+                        "allocates {} on {} while `{}` already holds it open",
+                        a.blob,
+                        a.tier.name(),
+                        task_label(graph, intervals[prev].alloc)
+                    ),
+                    witness: Vec::new(),
+                    suggestion: "free the previous allocation first, or key the blob per \
+                                 iteration/buffer"
+                        .into(),
+                });
+            }
+            open.insert(slot, intervals.len());
+            intervals.push(Interval {
+                tier: a.tier,
+                blob: a.blob,
+                bytes: a.bytes,
+                alloc: t,
+                free: None,
+            });
+        }
+    }
+
+    // Worst-case footprint per tier via the anchor bound.
+    for tier in MemTier::ALL {
+        let Some(budget) = limits.for_tier(tier) else {
+            continue;
+        };
+        let tier_ivs: Vec<&Interval> = intervals.iter().filter(|i| i.tier == tier).collect();
+        let mut worst: Option<(f64, &Interval, usize)> = None;
+        for (n, anchor) in tier_ivs.iter().enumerate() {
+            let mut total = anchor.bytes;
+            let mut others = 0usize;
+            for (m, j) in tier_ivs.iter().enumerate() {
+                if m == n {
+                    continue;
+                }
+                if may_overlap(reach, anchor, j) {
+                    total += j.bytes;
+                    others += 1;
+                }
+            }
+            if worst.as_ref().is_none_or(|(w, _, _)| total > *w) {
+                worst = Some((total, anchor, others));
+            }
+        }
+        if let Some((total, anchor, others)) = worst {
+            if total > budget {
+                findings.push(Finding {
+                    rule: Rule::CapacityExceeded,
+                    task: anchor.alloc,
+                    label: task_label(graph, anchor.alloc),
+                    blob: Some(anchor.blob.to_string()),
+                    detail: format!(
+                        "{} footprint may reach {:.3e} B ({} concurrent interval(s) \
+                         around {}), exceeding the {:.3e} B budget",
+                        tier.name(),
+                        total,
+                        others + 1,
+                        anchor.blob,
+                        budget
+                    ),
+                    witness: Vec::new(),
+                    suggestion: "shrink the swap plan for this tier, free intervals earlier, \
+                                 or serialize the overlapping allocations"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| f.task);
+    (findings, intervals.len())
+}
+
+/// Whether two intervals can coexist in some linear extension: neither
+/// one's free is a strict ancestor of the other's alloc.
+fn may_overlap(reach: &Reachability, a: &Interval, b: &Interval) -> bool {
+    let a_before_b = a
+        .free
+        .is_some_and(|f| reach.reaches(f, b.alloc) || f == b.alloc);
+    let b_before_a = b
+        .free
+        .is_some_and(|f| reach.reaches(f, a.alloc) || f == a.alloc);
+    !(a_before_b || b_before_a)
+}

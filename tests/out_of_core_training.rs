@@ -429,3 +429,41 @@ fn bpe_finetuning_end_to_end() {
     assert!(!text.is_empty());
     assert!(text.chars().all(|c| corpus.contains(c)));
 }
+
+/// The engine's data-movement plan passes static verification: every
+/// blob the schedule reads is produced-then-ordered before the read,
+/// residency is balanced, and every task sits on a legal resource.
+/// (Debug builds also run this check inside `RatelEngine::new`.)
+#[test]
+fn engine_movement_plan_passes_static_verification() {
+    use ratel_repro::core::verify::Limits;
+
+    let model = tiny_config();
+    for active_offload in [false, true] {
+        let engine = RatelEngine::new(EngineConfig {
+            model,
+            seed: 3,
+            adam: AdamParams::default(),
+            act_decisions: vec![
+                ActDecision::Recompute,
+                ActDecision::SwapToSsd,
+                ActDecision::SwapToHost,
+                ActDecision::Recompute,
+            ],
+            gpu_capacity: None,
+            host_capacity: None,
+            active_offload,
+            loss_scale: ScalePolicy::None,
+            grad_clip: None,
+            lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+            dropout: None,
+            prefetch_params: false,
+            frozen_layers: Vec::new(),
+        })
+        .unwrap();
+        let report = engine.movement_spec().verify(2, &Limits::none());
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.tasks_checked > 0);
+        assert!(report.versions_seen > 0);
+    }
+}
