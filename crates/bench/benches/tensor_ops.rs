@@ -1,11 +1,55 @@
 //! Microbenchmarks of the tensor substrate: the kernels the real engine
 //! spends its time in.
+//!
+//! Links `ratel_bench::perf`, so the whole bench binary runs under the
+//! counting allocator and asserts the zero-allocation contract of the
+//! hot paths before timing them.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ratel_tensor::ops::{gelu, layernorm, matmul, softmax_rows};
+use ratel_bench::perf::allocation_count;
+use ratel_tensor::ops::{add_bias, gelu, layernorm, matmul, softmax_rows};
 use ratel_tensor::{Adam, AdamParams, MultiHeadAttention, Tensor, TransformerBlock};
 
+/// Panics if no single call of `f` (of several) runs allocation-free;
+/// the minimum ignores allocations from unrelated threads.
+fn assert_alloc_free(what: &str, mut f: impl FnMut()) {
+    f(); // warm up buffers
+    let mut best = u64::MAX;
+    for _ in 0..10 {
+        let before = allocation_count();
+        f();
+        best = best.min(allocation_count() - before);
+    }
+    assert_eq!(best, 0, "{what} allocates at steady state");
+}
+
 fn bench_tensor_ops(c: &mut Criterion) {
+    // The per-call allocation contract, checked before any timing: a
+    // regression that reintroduces a hot-path clone fails the bench run
+    // outright instead of showing up as a subtle slowdown.
+    {
+        let mut x = Tensor::randn(&[8, 512], 1.0, 11);
+        let bias = Tensor::randn(&[512], 1.0, 12);
+        assert_alloc_free("add_bias", || add_bias(&mut x, &bias));
+
+        // Below the parallel threshold: guaranteed serial, no spawns.
+        let n = 4096;
+        let mut adam = Adam::new(n);
+        let mut params = vec![0.1f32; n];
+        let grads = vec![0.01f32; n];
+        let hp = AdamParams::default();
+        assert_alloc_free("Adam::step (serial)", || {
+            adam.step(&mut params, &grads, &hp)
+        });
+
+        let mut flat = Vec::new();
+        let t = adam.t;
+        assert_alloc_free("Adam flat round-trip", || {
+            adam.write_flat_into(&mut flat);
+            adam.load_flat(&flat, t);
+        });
+    }
+
     let a = Tensor::randn(&[128, 256], 1.0, 1);
     let b = Tensor::randn(&[256, 128], 1.0, 2);
     c.bench_function("tensor/matmul_128x256x128", |bch| {

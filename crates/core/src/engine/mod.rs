@@ -431,18 +431,26 @@ impl RatelEngine {
     }
 
     fn init_states(&self) -> Result<(), StorageError> {
+        // All initial states stream to the SSD tier in one coalesced
+        // batch per layer kind: three sequential segment writes instead of
+        // 3 * layer_count random blob writes.
+        let mut masters = Vec::new();
+        let mut moments = Vec::new();
+        let mut p16s = Vec::new();
         for layer in 0..self.layer_count() {
             let master = self.layer_params_flat(layer);
-            let moments = Adam::new(master.len()).to_flat();
             // P16 is what the GPU computes with: the f16 rounding of the
             // master, exactly what the optimizer will emit after steps.
-            let p16 = encode_f16(&master);
-            self.store
-                .put(&master_key(layer), Tier::Ssd, encode_f32(&master))?;
-            self.store
-                .put(&moments_key(layer), Tier::Ssd, encode_f32(&moments))?;
-            self.store.put(&p16_key(layer), Tier::Ssd, p16)?;
+            p16s.push((p16_key(layer), encode_f16(&master)));
+            moments.push((
+                moments_key(layer),
+                encode_f32(&Adam::new(master.len()).to_flat()),
+            ));
+            masters.push((master_key(layer), encode_f32(&master)));
         }
+        self.store.put_batch(Tier::Ssd, masters)?;
+        self.store.put_batch(Tier::Ssd, moments)?;
+        self.store.put_batch(Tier::Ssd, p16s)?;
         Ok(())
     }
 

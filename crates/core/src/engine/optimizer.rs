@@ -172,8 +172,13 @@ fn update_loop(
     // availability + gradient decode), a cpu (Adam math), and a write
     // (state write-back) span — or a `skip` span on overflow.
     let rec = std::sync::Arc::clone(store.telemetry());
+    // One Adam state and one flat blob buffer live across all layers:
+    // `load_flat`/`write_flat_into` reuse their capacity, so the per-layer
+    // state round-trip costs zero allocations at steady state.
+    let mut state = Adam::new(0);
+    let mut flat_buf: Vec<f32> = Vec::new();
     // Returns true if the layer's update was applied, false if skipped.
-    let process = |msg: &GradMessage| -> Result<bool, StorageError> {
+    let mut process = |msg: &GradMessage| -> Result<bool, StorageError> {
         let t_read = rec.enabled().then(|| rec.now());
         if let Some(rx) = &staged_rx {
             // Wait for the prefetcher to stage this layer's states. Arrival
@@ -205,7 +210,7 @@ fn update_loop(
         let applied = if prepare_gradient(&mut grads, loss_scale, grad_clip).is_some() {
             let mut master = decode_f32(&store.read(&master_key(msg.layer))?);
             let moments = decode_f32(&store.read(&moments_key(msg.layer))?);
-            let mut state = Adam::from_flat(&moments, layer_steps[msg.layer]);
+            state.load_flat(&moments, layer_steps[msg.layer]);
             state.step(&mut master, &grads, &adam);
             if let Some(t) = t_cpu {
                 rec.record_span(
@@ -220,7 +225,8 @@ fn update_loop(
             // Main→SSD: write back P32 + OS32 and publish the fresh P16.
             let t_write = rec.enabled().then(|| rec.now());
             store.overwrite(&master_key(msg.layer), encode_f32(&master))?;
-            store.overwrite(&moments_key(msg.layer), encode_f32(&state.to_flat()))?;
+            state.write_flat_into(&mut flat_buf);
+            store.overwrite(&moments_key(msg.layer), encode_f32(&flat_buf))?;
             let p16 = p16_key(msg.layer);
             store.remove(&p16)?;
             store.put(&p16, Tier::Host, encode_f16(&master))?;

@@ -74,14 +74,28 @@ pub struct FaultEvent {
 
 /// One scripted fault in a plan.
 #[derive(Debug, Clone)]
-struct Rule {
-    /// Restrict to one op type (`None` matches any).
-    op: Option<FaultOp>,
-    /// Op index the rule triggers at. `Transient`/`LatencySpike` fire at
-    /// exactly this index; `Permanent` fires at this index and every one
-    /// after it.
-    at_op: u64,
-    kind: FaultKind,
+enum Rule {
+    /// Fires by global op index.
+    AtIndex {
+        /// Restrict to one op type (`None` matches any).
+        op: Option<FaultOp>,
+        /// Op index the rule triggers at. `Transient`/`LatencySpike` fire
+        /// at exactly this index; `Permanent` fires at this index and
+        /// every one after it.
+        at_op: u64,
+        kind: FaultKind,
+    },
+    /// Fires by blob key, independent of op ordering — the deterministic
+    /// choice when several threads interleave SSD ops and the global
+    /// index is racy. `Transient`/`LatencySpike` fire on the *first*
+    /// matching op only; `Permanent` fires on every matching op.
+    OnKey {
+        /// Restrict to one op type (`None` matches any).
+        op: Option<FaultOp>,
+        key: String,
+        kind: FaultKind,
+        fired: bool,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -139,7 +153,7 @@ impl FaultPlan {
         {
             let mut inner = plan.inner.lock();
             for at_op in indices {
-                inner.rules.push(Rule {
+                inner.rules.push(Rule::AtIndex {
                     op: None,
                     at_op,
                     kind: FaultKind::Transient,
@@ -151,7 +165,7 @@ impl FaultPlan {
 
     /// Adds one scripted fault at `at_op` (any op type).
     pub fn fault_at(&self, at_op: u64, kind: FaultKind) {
-        self.inner.lock().rules.push(Rule {
+        self.inner.lock().rules.push(Rule::AtIndex {
             op: None,
             at_op,
             kind,
@@ -160,10 +174,33 @@ impl FaultPlan {
 
     /// Adds one scripted fault at `at_op`, restricted to `op`.
     pub fn fault_at_op(&self, at_op: u64, op: FaultOp, kind: FaultKind) {
-        self.inner.lock().rules.push(Rule {
+        self.inner.lock().rules.push(Rule::AtIndex {
             op: Some(op),
             at_op,
             kind,
+        });
+    }
+
+    /// Adds a fault targeting a blob key (any op type): deterministic
+    /// even when concurrent threads race for op indices.
+    /// `Transient`/`LatencySpike` fire on the first op touching `key`;
+    /// `Permanent` fires on all of them.
+    pub fn fault_on_key(&self, key: &str, kind: FaultKind) {
+        self.inner.lock().rules.push(Rule::OnKey {
+            op: None,
+            key: key.to_string(),
+            kind,
+            fired: false,
+        });
+    }
+
+    /// Like [`FaultPlan::fault_on_key`], restricted to one op type.
+    pub fn fault_on_key_op(&self, key: &str, op: FaultOp, kind: FaultKind) {
+        self.inner.lock().rules.push(Rule::OnKey {
+            op: Some(op),
+            key: key.to_string(),
+            kind,
+            fired: false,
         });
     }
 
@@ -174,13 +211,34 @@ impl FaultPlan {
         let mut inner = self.inner.lock();
         let idx = inner.next_op;
         inner.next_op += 1;
-        let kind = inner.rules.iter().find_map(|r| {
-            let op_matches = r.op.is_none() || r.op == Some(op);
-            let idx_matches = match r.kind {
-                FaultKind::Permanent => idx >= r.at_op,
-                FaultKind::Transient | FaultKind::LatencySpike(_) => idx == r.at_op,
-            };
-            (op_matches && idx_matches).then_some(r.kind)
+        let kind = inner.rules.iter_mut().find_map(|r| match r {
+            Rule::AtIndex {
+                op: rop,
+                at_op,
+                kind,
+            } => {
+                let op_matches = rop.is_none() || *rop == Some(op);
+                let idx_matches = match kind {
+                    FaultKind::Permanent => idx >= *at_op,
+                    FaultKind::Transient | FaultKind::LatencySpike(_) => idx == *at_op,
+                };
+                (op_matches && idx_matches).then_some(*kind)
+            }
+            Rule::OnKey {
+                op: rop,
+                key: rkey,
+                kind,
+                fired,
+            } => {
+                let op_matches = rop.is_none() || *rop == Some(op);
+                let once_ok = matches!(kind, FaultKind::Permanent) || !*fired;
+                if op_matches && rkey == key && once_ok {
+                    *fired = true;
+                    Some(*kind)
+                } else {
+                    None
+                }
+            }
         })?;
         inner.injected.push(FaultEvent {
             op_index: idx,
@@ -310,6 +368,34 @@ mod tests {
         assert_eq!(fa.len(), 5, "all 5 faults must land in the window");
         assert_eq!(fa, fire(&b), "same seed, same schedule");
         assert_ne!(fa, fire(&c), "different seed, different schedule");
+    }
+
+    #[test]
+    fn key_rules_fire_regardless_of_op_order() {
+        let plan = FaultPlan::new();
+        plan.fault_on_key("slow", FaultKind::LatencySpike(0.5));
+        // Ops on other keys at any index are untouched.
+        assert_eq!(plan.before_op(FaultOp::Write, "other"), None);
+        assert_eq!(plan.before_op(FaultOp::Read, "another"), None);
+        assert_eq!(
+            plan.before_op(FaultOp::Write, "slow"),
+            Some(FaultKind::LatencySpike(0.5))
+        );
+        // One-shot: the next op on the same key is clean.
+        assert_eq!(plan.before_op(FaultOp::Read, "slow"), None);
+        assert_eq!(plan.injected_count(), 1);
+        assert_eq!(plan.injected()[0].key, "slow");
+    }
+
+    #[test]
+    fn key_rule_op_restriction_applies() {
+        let plan = FaultPlan::new();
+        plan.fault_on_key_op("k", FaultOp::Read, FaultKind::Transient);
+        assert_eq!(plan.before_op(FaultOp::Write, "k"), None);
+        assert_eq!(
+            plan.before_op(FaultOp::Read, "k"),
+            Some(FaultKind::Transient)
+        );
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The tiered store itself.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use std::sync::Arc;
 
@@ -79,12 +79,51 @@ fn unique_temp_dir() -> PathBuf {
     dir
 }
 
+/// Where an SSD-tier blob's bytes live on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SsdLoc {
+    /// Its own file (`blob_path(key)`).
+    File {
+        /// Blob size in bytes.
+        len: u64,
+    },
+    /// A byte range inside a shared segment file written by
+    /// [`TieredStore::put_batch`].
+    Segment {
+        /// Segment id (`seg-{id}` file).
+        seg: u64,
+        /// Byte offset of this blob within the segment.
+        offset: u64,
+        /// Blob size in bytes.
+        len: u64,
+    },
+}
+
+impl SsdLoc {
+    fn len(self) -> u64 {
+        match self {
+            SsdLoc::File { len } | SsdLoc::Segment { len, .. } => len,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     /// In-memory blobs (GPU and host tiers).
     mem: HashMap<String, (Tier, Vec<u8>)>,
-    /// SSD-tier blob sizes (contents live in files).
-    ssd: HashMap<String, u64>,
+    /// SSD-tier blob locations (contents live in files).
+    ssd: HashMap<String, SsdLoc>,
+    /// Live-blob count per segment file; a segment is unlinked when its
+    /// count reaches zero. Blobs removed earlier leave dead bytes in the
+    /// file until then (accounted per blob, so `ssd_used` can undercount
+    /// disk footprint while a segment is partially dead).
+    segments: HashMap<u64, u32>,
+    next_seg: u64,
+    /// Keys with SSD file I/O in flight *outside* the lock. Any operation
+    /// touching one of these keys waits on the store's condvar, which
+    /// preserves per-key atomicity while letting unrelated keys' I/O —
+    /// and its injected latency spikes and retry backoff — overlap.
+    pending: HashSet<String>,
     gpu_used: u64,
     host_used: u64,
     ssd_used: u64,
@@ -98,6 +137,8 @@ struct Inner {
 pub struct TieredStore {
     config: TierConfig,
     inner: Mutex<Inner>,
+    /// Signalled whenever a key's in-flight SSD I/O completes.
+    pending_cv: Condvar,
     traffic: TrafficCounters,
     /// Optional per-route bandwidth caps (bytes/second). A transfer over a
     /// throttled route sleeps for `bytes / rate` *outside* the store lock,
@@ -127,10 +168,14 @@ impl TieredStore {
             inner: Mutex::new(Inner {
                 mem: HashMap::new(),
                 ssd: HashMap::new(),
+                segments: HashMap::new(),
+                next_seg: 0,
+                pending: HashSet::new(),
                 gpu_used: 0,
                 host_used: 0,
                 ssd_used: 0,
             }),
+            pending_cv: Condvar::new(),
             traffic: TrafficCounters::default(),
             throttle: Mutex::new([None; 4]),
             telemetry: Arc::new(TelemetryRecorder::new()),
@@ -182,9 +227,14 @@ impl TieredStore {
     /// indices, which is how transient faults clear), then retries
     /// failures with geometric backoff up to the policy's budget. Retries
     /// and give-ups are counted in the recorder's always-on
-    /// [`crate::telemetry::FaultStats`]. Backoff sleeps may run while the
-    /// store lock is held — with the default microsecond-scale policy
-    /// that is invisible next to the file I/O itself.
+    /// [`crate::telemetry::FaultStats`].
+    ///
+    /// Callers must NOT hold the store lock: backoff sleeps and injected
+    /// latency spikes block for up to seconds, and holding the lock
+    /// through them would serialize every unrelated transfer (the bug
+    /// this protocol replaced). Instead, call sites mark their keys
+    /// in [`Inner::pending`], drop the lock via
+    /// [`TieredStore::run_unlocked`], and finalize after re-acquiring it.
     fn ssd_io<T>(
         &self,
         op: FaultOp,
@@ -237,6 +287,102 @@ impl TieredStore {
                 }
             }
         }
+    }
+
+    /// Locks the store and blocks until `key` has no SSD I/O in flight.
+    /// Every operation that examines or mutates a key's state must enter
+    /// through this (or [`TieredStore::lock_keys`]) so it never observes
+    /// the transient mid-I/O state.
+    fn lock_key(&self, key: &str) -> MutexGuard<'_, Inner> {
+        let mut inner = self.inner.lock();
+        while inner.pending.contains(key) {
+            self.pending_cv.wait(&mut inner);
+        }
+        inner
+    }
+
+    /// Locks the store and blocks until none of `keys` has I/O in flight.
+    fn lock_keys(&self, keys: &[&str]) -> MutexGuard<'_, Inner> {
+        let mut inner = self.inner.lock();
+        loop {
+            if keys.iter().any(|k| inner.pending.contains(*k)) {
+                self.pending_cv.wait(&mut inner);
+            } else {
+                return inner;
+            }
+        }
+    }
+
+    /// Releases the lock, runs `f` (the slow part: file I/O, injected
+    /// spikes, retry backoff), and re-acquires the lock. The caller must
+    /// have marked the affected keys pending first and must clear them
+    /// (via [`TieredStore::unpend`]) after finalizing.
+    fn run_unlocked<'a, T>(
+        &'a self,
+        inner: MutexGuard<'a, Inner>,
+        f: impl FnOnce() -> T,
+    ) -> (MutexGuard<'a, Inner>, T) {
+        drop(inner);
+        let result = f();
+        (self.inner.lock(), result)
+    }
+
+    /// Clears pending marks and wakes waiters.
+    fn unpend(&self, inner: &mut Inner, keys: &[&str]) {
+        for k in keys {
+            inner.pending.remove(*k);
+        }
+        self.pending_cv.notify_all();
+    }
+
+    /// Reads an SSD blob's bytes given its location. No lock held.
+    fn read_ssd_blob(&self, key: &str, loc: SsdLoc) -> Result<Vec<u8>, StorageError> {
+        match loc {
+            SsdLoc::File { .. } => {
+                self.ssd_io(FaultOp::Read, key, || fs::read(self.blob_path(key)))
+            }
+            SsdLoc::Segment { seg, offset, len } => {
+                let path = self.segment_path(seg);
+                self.ssd_io(FaultOp::Read, key, || {
+                    use std::io::{Read, Seek, SeekFrom};
+                    let mut f = fs::File::open(&path)?;
+                    f.seek(SeekFrom::Start(offset))?;
+                    let mut buf = vec![0u8; len as usize];
+                    f.read_exact(&mut buf)?;
+                    Ok(buf)
+                })
+            }
+        }
+    }
+
+    /// Drops one reference to a segment (a blob left it). Returns the
+    /// segment file to unlink if this was the last live blob; the caller
+    /// unlinks best-effort *after* releasing the lock.
+    fn release_segment(inner: &mut Inner, seg: u64) -> Option<u64> {
+        let live = inner
+            .segments
+            .get_mut(&seg)
+            .expect("segment of a live blob");
+        *live -= 1;
+        if *live == 0 {
+            inner.segments.remove(&seg);
+            Some(seg)
+        } else {
+            None
+        }
+    }
+
+    /// Best-effort unlink of a dead segment file. The blobs are already
+    /// gone from the index, so a failure only orphans bytes in the SSD
+    /// dir (cleaned up on store drop); it is not surfaced.
+    fn unlink_segment(&self, seg: Option<u64>) {
+        if let Some(seg) = seg {
+            let _ = fs::remove_file(self.segment_path(seg));
+        }
+    }
+
+    fn segment_path(&self, seg: u64) -> PathBuf {
+        self.config.ssd_dir.join(format!("seg-{seg}"))
     }
 
     /// The store's telemetry recorder (disabled until
@@ -327,7 +473,7 @@ impl TieredStore {
     /// [`StorageError::OutOfMemory`] if the tier is full.
     pub fn put(&self, key: &str, tier: Tier, bytes: Vec<u8>) -> Result<(), StorageError> {
         let len = bytes.len() as u64;
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_key(key);
         if inner.mem.contains_key(key) || inner.ssd.contains_key(key) {
             return Err(StorageError::AlreadyExists(key.to_string()));
         }
@@ -346,21 +492,115 @@ impl TieredStore {
         match tier {
             Tier::Gpu | Tier::Host => {
                 inner.mem.insert(key.to_string(), (tier, bytes));
+                Self::add_used(&mut inner, tier, len as i64);
+                Ok(())
             }
             Tier::Ssd => {
-                self.ssd_io(FaultOp::Write, key, || {
-                    fs::write(self.blob_path(key), &bytes)
-                })?;
-                inner.ssd.insert(key.to_string(), len);
+                // Reserve space and mark the key in flight, then write
+                // with the lock released so injected spikes and backoff
+                // never stall unrelated keys.
+                Self::add_used(&mut inner, Tier::Ssd, len as i64);
+                inner.pending.insert(key.to_string());
+                let (mut inner, res) = self.run_unlocked(inner, || {
+                    self.ssd_io(FaultOp::Write, key, || {
+                        fs::write(self.blob_path(key), &bytes)
+                    })
+                });
+                match &res {
+                    Ok(_) => {
+                        inner.ssd.insert(key.to_string(), SsdLoc::File { len });
+                    }
+                    Err(_) => {
+                        // Roll back the reservation; the key was never
+                        // registered.
+                        Self::add_used(&mut inner, Tier::Ssd, -(len as i64));
+                    }
+                }
+                self.unpend(&mut inner, &[key]);
+                res.map(|_| ())
             }
         }
-        Self::add_used(&mut inner, tier, len as i64);
-        Ok(())
+    }
+
+    /// Stores many new blobs at once. For the SSD tier the blobs are
+    /// coalesced into **one** sequential segment file written with a
+    /// single I/O — the batched write path that turns per-blob random
+    /// writes into the sequential streams SSDs like. Memory tiers fall
+    /// back to per-blob puts.
+    ///
+    /// All-or-nothing on SSD: capacity for the whole batch is checked up
+    /// front, and a failed segment write registers none of the keys.
+    ///
+    /// # Errors
+    /// Same as [`TieredStore::put`]; the first duplicate key aborts the
+    /// whole batch before anything is written.
+    pub fn put_batch(
+        &self,
+        tier: Tier,
+        entries: Vec<(String, Vec<u8>)>,
+    ) -> Result<(), StorageError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        if tier != Tier::Ssd {
+            for (key, bytes) in entries {
+                self.put(&key, tier, bytes)?;
+            }
+            return Ok(());
+        }
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        let total: u64 = entries.iter().map(|(_, b)| b.len() as u64).sum();
+        let mut inner = self.lock_keys(&keys);
+        for key in &keys {
+            if inner.mem.contains_key(*key) || inner.ssd.contains_key(*key) {
+                return Err(StorageError::AlreadyExists(key.to_string()));
+            }
+        }
+        self.check_fits(&inner, Tier::Ssd, total)?;
+        Self::add_used(&mut inner, Tier::Ssd, total as i64);
+        let seg = inner.next_seg;
+        inner.next_seg += 1;
+        for key in &keys {
+            inner.pending.insert(key.to_string());
+        }
+        let seg_name = format!("seg-{seg}");
+        let path = self.segment_path(seg);
+        let (mut inner, res) = self.run_unlocked(inner, || {
+            // One sequential stream into the segment file — no staging
+            // copy. `File::create` truncates, so a retried attempt
+            // restarts the segment from scratch.
+            self.ssd_io(FaultOp::Write, &seg_name, || {
+                use std::io::Write;
+                let mut f = fs::File::create(&path)?;
+                for (_, bytes) in &entries {
+                    f.write_all(bytes)?;
+                }
+                Ok(())
+            })
+        });
+        match &res {
+            Ok(_) => {
+                let mut offset = 0u64;
+                for (key, bytes) in &entries {
+                    let len = bytes.len() as u64;
+                    inner
+                        .ssd
+                        .insert(key.clone(), SsdLoc::Segment { seg, offset, len });
+                    offset += len;
+                }
+                inner.segments.insert(seg, entries.len() as u32);
+            }
+            Err(_) => {
+                Self::add_used(&mut inner, Tier::Ssd, -(total as i64));
+            }
+        }
+        self.unpend(&mut inner, &keys);
+        res.map(|_| ())
     }
 
     /// Which tier currently holds `key`.
     pub fn tier_of(&self, key: &str) -> Result<Tier, StorageError> {
-        let inner = self.inner.lock();
+        let inner = self.lock_key(key);
         if let Some((tier, _)) = inner.mem.get(key) {
             Ok(*tier)
         } else if inner.ssd.contains_key(key) {
@@ -372,39 +612,62 @@ impl TieredStore {
 
     /// Whether `key` exists in any tier.
     pub fn contains(&self, key: &str) -> bool {
-        let inner = self.inner.lock();
+        let inner = self.lock_key(key);
         inner.mem.contains_key(key) || inner.ssd.contains_key(key)
     }
 
     /// Reads a copy of the blob without moving it.
     pub fn read(&self, key: &str) -> Result<Vec<u8>, StorageError> {
-        let inner = self.inner.lock();
+        let mut inner = self.lock_key(key);
         if let Some((_, data)) = inner.mem.get(key) {
             return Ok(data.clone());
         }
-        if inner.ssd.contains_key(key) {
-            return self.ssd_io(FaultOp::Read, key, || fs::read(self.blob_path(key)));
-        }
-        Err(StorageError::NotFound(key.to_string()))
+        let Some(&loc) = inner.ssd.get(key) else {
+            return Err(StorageError::NotFound(key.to_string()));
+        };
+        inner.pending.insert(key.to_string());
+        let (mut inner, res) = self.run_unlocked(inner, || self.read_ssd_blob(key, loc));
+        self.unpend(&mut inner, &[key]);
+        res
     }
 
     /// Removes a blob, freeing its tier space.
     pub fn remove(&self, key: &str) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_key(key);
         if let Some((tier, data)) = inner.mem.remove(key) {
             let len = data.len() as i64;
             Self::add_used(&mut inner, tier, -len);
             return Ok(());
         }
-        if let Some(&len) = inner.ssd.get(key) {
-            self.ssd_io(FaultOp::Remove, key, || {
-                fs::remove_file(self.blob_path(key))
-            })?;
-            inner.ssd.remove(key);
-            Self::add_used(&mut inner, Tier::Ssd, -(len as i64));
-            return Ok(());
+        let Some(&loc) = inner.ssd.get(key) else {
+            return Err(StorageError::NotFound(key.to_string()));
+        };
+        match loc {
+            SsdLoc::File { len } => {
+                inner.pending.insert(key.to_string());
+                let (mut inner, res) = self.run_unlocked(inner, || {
+                    self.ssd_io(FaultOp::Remove, key, || {
+                        fs::remove_file(self.blob_path(key))
+                    })
+                });
+                if res.is_ok() {
+                    inner.ssd.remove(key);
+                    Self::add_used(&mut inner, Tier::Ssd, -(len as i64));
+                }
+                self.unpend(&mut inner, &[key]);
+                res
+            }
+            SsdLoc::Segment { seg, len, .. } => {
+                // No per-blob file op: the bytes just go dead inside the
+                // segment, which is unlinked when its last live blob leaves.
+                inner.ssd.remove(key);
+                Self::add_used(&mut inner, Tier::Ssd, -(len as i64));
+                let dead = Self::release_segment(&mut inner, seg);
+                drop(inner);
+                self.unlink_segment(dead);
+                Ok(())
+            }
         }
-        Err(StorageError::NotFound(key.to_string()))
     }
 
     /// Moves a blob to `target`, metering every hop. GPU↔SSD moves are
@@ -453,21 +716,31 @@ impl TieredStore {
     /// but no host-tier residency is consumed (modeling a bounce buffer
     /// too small to count).
     fn spill_gpu_to_ssd(&self, key: &str) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_key(key);
         let bytes = match inner.mem.get(key) {
             Some((Tier::Gpu, data)) => data.clone(),
             _ => return Err(StorageError::NotFound(key.to_string())),
         };
         let len = bytes.len() as u64;
         self.check_fits(&inner, Tier::Ssd, len)?;
-        self.ssd_io(FaultOp::Write, key, || {
-            fs::write(self.blob_path(key), &bytes)
-        })?;
-        inner.mem.remove(key);
-        Self::add_used(&mut inner, Tier::Gpu, -(len as i64));
-        inner.ssd.insert(key.to_string(), len);
         Self::add_used(&mut inner, Tier::Ssd, len as i64);
+        inner.pending.insert(key.to_string());
+        let (mut inner, res) = self.run_unlocked(inner, || {
+            self.ssd_io(FaultOp::Write, key, || {
+                fs::write(self.blob_path(key), &bytes)
+            })
+        });
+        match &res {
+            Ok(_) => {
+                inner.mem.remove(key);
+                Self::add_used(&mut inner, Tier::Gpu, -(len as i64));
+                inner.ssd.insert(key.to_string(), SsdLoc::File { len });
+            }
+            Err(_) => Self::add_used(&mut inner, Tier::Ssd, -(len as i64)),
+        }
+        self.unpend(&mut inner, &[key]);
         drop(inner);
+        res?;
         for route in [Route::GpuToHost, Route::HostToSsd] {
             let t0 = self.telemetry.enabled().then(|| self.telemetry.now());
             self.traffic.record(route, len);
@@ -484,7 +757,7 @@ impl TieredStore {
         // Span covers the whole hop — lock wait, file I/O, throttle sleep —
         // which is what a wall-clock bandwidth measurement should see.
         let t0 = self.telemetry.enabled().then(|| self.telemetry.now());
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_key(key);
         let current = if let Some((tier, _)) = inner.mem.get(key) {
             *tier
         } else if inner.ssd.contains_key(key) {
@@ -502,50 +775,89 @@ impl TieredStore {
             (a, b) => unreachable!("single hop {a:?}->{b:?}"),
         };
 
-        // Fetch bytes out of the source.
-        let bytes = match current {
-            Tier::Gpu | Tier::Host => inner.mem.get(key).expect("checked").1.clone(),
-            Tier::Ssd => self.ssd_io(FaultOp::Read, key, || fs::read(self.blob_path(key)))?,
-        };
-        let len = bytes.len() as u64;
-        // The source still holds the blob while we check the target, which
-        // is how real double-buffered transfers behave.
-        self.check_fits(&inner, target, len)?;
-
         // Commit target-first: the new copy exists before the old one goes
         // away, so a fault between the two steps can at worst orphan a
-        // stale source copy — never lose the blob.
-        match target {
-            Tier::Gpu | Tier::Host => {
+        // stale source copy — never lose the blob. All file I/O (and its
+        // injected faults, spikes, and retry backoff) runs with the lock
+        // released and the key marked pending.
+        let len = match (current, target) {
+            (Tier::Gpu, Tier::Host) | (Tier::Host, Tier::Gpu) => {
+                // Pure in-memory hop: no file I/O, finish under the lock.
+                let bytes = inner.mem.get(key).expect("checked").1.clone();
+                let len = bytes.len() as u64;
+                // The source still holds the blob while we check the
+                // target, which is how double-buffered transfers behave.
+                self.check_fits(&inner, target, len)?;
                 inner.mem.insert(key.to_string(), (target, bytes));
+                Self::add_used(&mut inner, target, len as i64);
+                Self::add_used(&mut inner, current, -(len as i64));
+                drop(inner);
+                len
             }
-            Tier::Ssd => {
-                self.ssd_io(FaultOp::Write, key, || {
-                    fs::write(self.blob_path(key), &bytes)
-                })?;
-                inner.ssd.insert(key.to_string(), len);
-            }
-        }
-        Self::add_used(&mut inner, target, len as i64);
-        // Drop the source copy. Mem-to-mem moves already replaced the map
-        // entry in place above; unlinking a stale SSD file is best-effort
-        // because the blob is safe in its target tier and a later SSD put
-        // of the same key overwrites the file regardless.
-        match current {
-            Tier::Gpu | Tier::Host => {
-                if target == Tier::Ssd {
-                    inner.mem.remove(key);
-                }
-            }
-            Tier::Ssd => {
-                inner.ssd.remove(key);
-                let _ = self.ssd_io(FaultOp::Remove, key, || {
-                    fs::remove_file(self.blob_path(key))
+            (_, Tier::Ssd) => {
+                let bytes = inner.mem.get(key).expect("checked").1.clone();
+                let len = bytes.len() as u64;
+                self.check_fits(&inner, Tier::Ssd, len)?;
+                Self::add_used(&mut inner, Tier::Ssd, len as i64);
+                inner.pending.insert(key.to_string());
+                let (mut inner, res) = self.run_unlocked(inner, || {
+                    self.ssd_io(FaultOp::Write, key, || {
+                        fs::write(self.blob_path(key), &bytes)
+                    })
                 });
+                match &res {
+                    Ok(_) => {
+                        inner.ssd.insert(key.to_string(), SsdLoc::File { len });
+                        inner.mem.remove(key);
+                        Self::add_used(&mut inner, current, -(len as i64));
+                    }
+                    Err(_) => Self::add_used(&mut inner, Tier::Ssd, -(len as i64)),
+                }
+                self.unpend(&mut inner, &[key]);
+                drop(inner);
+                res?;
+                len
             }
-        }
-        Self::add_used(&mut inner, current, -(len as i64));
-        drop(inner);
+            (Tier::Ssd, _) => {
+                let loc = *inner.ssd.get(key).expect("checked");
+                let len = loc.len();
+                self.check_fits(&inner, target, len)?;
+                inner.pending.insert(key.to_string());
+                let (mut inner, res) = self.run_unlocked(inner, || self.read_ssd_blob(key, loc));
+                let bytes = match res {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.unpend(&mut inner, &[key]);
+                        return Err(e);
+                    }
+                };
+                inner.mem.insert(key.to_string(), (target, bytes));
+                Self::add_used(&mut inner, target, len as i64);
+                inner.ssd.remove(key);
+                Self::add_used(&mut inner, Tier::Ssd, -(len as i64));
+                // Drop the stale on-disk copy, best-effort (the blob is
+                // safe in its target tier). The key stays pending through
+                // the unlink so a concurrent re-put can't race with it.
+                let dead_seg = match loc {
+                    SsdLoc::File { .. } => {
+                        inner = self
+                            .run_unlocked(inner, || {
+                                let _ = self.ssd_io(FaultOp::Remove, key, || {
+                                    fs::remove_file(self.blob_path(key))
+                                });
+                            })
+                            .0;
+                        None
+                    }
+                    SsdLoc::Segment { seg, .. } => Self::release_segment(&mut inner, seg),
+                };
+                self.unpend(&mut inner, &[key]);
+                drop(inner);
+                self.unlink_segment(dead_seg);
+                len
+            }
+            (a, b) => unreachable!("single hop {a:?}->{b:?}"),
+        };
 
         self.traffic.record(route, len);
         self.apply_throttle(route, len);
@@ -589,31 +901,61 @@ impl TieredStore {
     }
 
     /// Overwrites an existing blob in place (same tier). Used by the
-    /// optimizer to write back updated master states.
+    /// optimizer to write back updated master states. A segment-resident
+    /// SSD blob migrates to its own file (its segment bytes go dead).
     pub fn overwrite(&self, key: &str, bytes: Vec<u8>) -> Result<(), StorageError> {
-        let tier = self.tier_of(key)?;
         let new_len = bytes.len() as u64;
-        let mut inner = self.inner.lock();
-        let old_len = match tier {
-            Tier::Gpu | Tier::Host => inner.mem.get(key).expect("checked").1.len() as u64,
-            Tier::Ssd => *inner.ssd.get(key).expect("checked"),
+        let mut inner = self.lock_key(key);
+        if let Some((tier, data)) = inner.mem.get(key) {
+            let tier = *tier;
+            let old_len = data.len() as u64;
+            if new_len > old_len {
+                self.check_fits(&inner, tier, new_len - old_len)?;
+            }
+            inner.mem.insert(key.to_string(), (tier, bytes));
+            Self::add_used(&mut inner, tier, new_len as i64 - old_len as i64);
+            return Ok(());
+        }
+        let Some(&loc) = inner.ssd.get(key) else {
+            return Err(StorageError::NotFound(key.to_string()));
         };
+        let old_len = loc.len();
+        // Reserve any growth up front so concurrent writers can't both
+        // pass the capacity check; shrinkage is credited after success.
         if new_len > old_len {
-            self.check_fits(&inner, tier, new_len - old_len)?;
+            self.check_fits(&inner, Tier::Ssd, new_len - old_len)?;
+            Self::add_used(&mut inner, Tier::Ssd, (new_len - old_len) as i64);
         }
-        match tier {
-            Tier::Gpu | Tier::Host => {
-                inner.mem.insert(key.to_string(), (tier, bytes));
+        inner.pending.insert(key.to_string());
+        let (mut inner, res) = self.run_unlocked(inner, || {
+            self.ssd_io(FaultOp::Write, key, || {
+                fs::write(self.blob_path(key), &bytes)
+            })
+        });
+        let dead_seg = match &res {
+            Ok(_) => {
+                if new_len < old_len {
+                    Self::add_used(&mut inner, Tier::Ssd, -((old_len - new_len) as i64));
+                }
+                let old = inner
+                    .ssd
+                    .insert(key.to_string(), SsdLoc::File { len: new_len });
+                match old {
+                    Some(SsdLoc::Segment { seg, .. }) => Self::release_segment(&mut inner, seg),
+                    _ => None,
+                }
             }
-            Tier::Ssd => {
-                self.ssd_io(FaultOp::Write, key, || {
-                    fs::write(self.blob_path(key), &bytes)
-                })?;
-                inner.ssd.insert(key.to_string(), new_len);
+            Err(_) => {
+                if new_len > old_len {
+                    Self::add_used(&mut inner, Tier::Ssd, -((new_len - old_len) as i64));
+                }
+                None
             }
-        }
-        Self::add_used(&mut inner, tier, new_len as i64 - old_len as i64);
-        Ok(())
+        };
+        self.unpend(&mut inner, &[key]);
+        drop(inner);
+        self.unlink_segment(dead_seg);
+        res.map(|_| ())
     }
 
     /// Bytes currently resident in `tier`.
@@ -793,6 +1135,137 @@ mod tests {
 }
 
 #[cfg(test)]
+mod segment_tests {
+    use super::*;
+
+    fn batch(n: usize, len: usize) -> Vec<(String, Vec<u8>)> {
+        (0..n)
+            .map(|i| (format!("seg/k{i}"), vec![i as u8 + 1; len]))
+            .collect()
+    }
+
+    #[test]
+    fn put_batch_coalesces_into_one_segment_file() {
+        let config = TierConfig::unbounded_temp();
+        let dir = config.ssd_dir.clone();
+        let store = TieredStore::new(config).unwrap();
+        store.put_batch(Tier::Ssd, batch(3, 64)).unwrap();
+        // One sequential segment file, not three blob files.
+        let entries: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1, "expected one coalesced segment file");
+        for i in 0..3 {
+            let key = format!("seg/k{i}");
+            assert_eq!(store.tier_of(&key).unwrap(), Tier::Ssd);
+            assert_eq!(store.read(&key).unwrap(), vec![i as u8 + 1; 64]);
+        }
+        assert_eq!(store.used(Tier::Ssd), 3 * 64);
+    }
+
+    #[test]
+    fn segment_is_unlinked_when_last_blob_leaves() {
+        let config = TierConfig::unbounded_temp();
+        let dir = config.ssd_dir.clone();
+        let store = TieredStore::new(config).unwrap();
+        store.put_batch(Tier::Ssd, batch(2, 32)).unwrap();
+        store.remove("seg/k0").unwrap();
+        // Dead bytes linger while k1 is live.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        assert_eq!(store.used(Tier::Ssd), 32);
+        assert_eq!(store.read("seg/k1").unwrap(), vec![2u8; 32]);
+        store.remove("seg/k1").unwrap();
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "segment not GCed");
+        assert_eq!(store.used(Tier::Ssd), 0);
+    }
+
+    #[test]
+    fn overwrite_migrates_segment_blob_to_own_file() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.put_batch(Tier::Ssd, batch(2, 16)).unwrap();
+        store.overwrite("seg/k0", vec![9u8; 40]).unwrap();
+        assert_eq!(store.read("seg/k0").unwrap(), vec![9u8; 40]);
+        // The neighbour's bytes are untouched by the migration.
+        assert_eq!(store.read("seg/k1").unwrap(), vec![2u8; 16]);
+        assert_eq!(store.used(Tier::Ssd), 40 + 16);
+        // k0 now lives in its own file; removing k1 GCs the segment and
+        // removing k0 unlinks the file.
+        store.remove("seg/k1").unwrap();
+        store.remove("seg/k0").unwrap();
+        assert_eq!(store.used(Tier::Ssd), 0);
+    }
+
+    #[test]
+    fn move_lifts_blob_out_of_its_segment() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.put_batch(Tier::Ssd, batch(2, 128)).unwrap();
+        store.move_to("seg/k0", Tier::Host).unwrap();
+        assert_eq!(store.tier_of("seg/k0").unwrap(), Tier::Host);
+        assert_eq!(store.read("seg/k0").unwrap(), vec![1u8; 128]);
+        assert_eq!(store.read("seg/k1").unwrap(), vec![2u8; 128]);
+        assert_eq!(store.traffic().bytes(Route::SsdToHost), 128);
+        assert_eq!(store.used(Tier::Ssd), 128);
+        assert_eq!(store.used(Tier::Host), 128);
+    }
+
+    #[test]
+    fn put_batch_rejects_duplicates_atomically() {
+        let config = TierConfig::unbounded_temp();
+        let dir = config.ssd_dir.clone();
+        let store = TieredStore::new(config).unwrap();
+        store.put("seg/k1", Tier::Host, vec![0u8; 4]).unwrap();
+        let err = store.put_batch(Tier::Ssd, batch(3, 8)).unwrap_err();
+        assert!(matches!(err, StorageError::AlreadyExists(_)));
+        // Nothing from the batch landed.
+        assert!(!store.contains("seg/k0"));
+        assert_eq!(store.used(Tier::Ssd), 0);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn put_batch_enforces_total_capacity() {
+        let mut config = TierConfig::unbounded_temp();
+        config.ssd_capacity = Some(100);
+        let store = TieredStore::new(config).unwrap();
+        let err = store.put_batch(Tier::Ssd, batch(3, 40)).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::OutOfMemory {
+                tier: Tier::Ssd,
+                ..
+            }
+        ));
+        assert_eq!(store.used(Tier::Ssd), 0);
+        // A batch that fits goes through.
+        store.put_batch(Tier::Ssd, batch(2, 40)).unwrap();
+        assert_eq!(store.used(Tier::Ssd), 80);
+    }
+
+    #[test]
+    fn put_batch_to_memory_tier_falls_back_to_per_blob_puts() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.put_batch(Tier::Host, batch(2, 16)).unwrap();
+        assert_eq!(store.tier_of("seg/k0").unwrap(), Tier::Host);
+        assert_eq!(store.used(Tier::Host), 32);
+    }
+
+    #[test]
+    fn failed_segment_write_registers_nothing() {
+        let store = TieredStore::new(TierConfig::unbounded_temp()).unwrap();
+        store.set_retry_policy(RetryPolicy::none());
+        let plan = Arc::new(crate::fault::FaultPlan::new());
+        plan.fault_on_key("seg-0", crate::fault::FaultKind::Permanent);
+        store.set_fault_plan(Some(plan));
+        let err = store.put_batch(Tier::Ssd, batch(2, 8)).unwrap_err();
+        assert!(matches!(err, StorageError::Faulted { .. }));
+        assert!(!store.contains("seg/k0"));
+        assert!(!store.contains("seg/k1"));
+        assert_eq!(store.used(Tier::Ssd), 0);
+        // The keys are not left pending: later puts proceed normally.
+        store.set_fault_plan(None);
+        store.put_batch(Tier::Ssd, batch(2, 8)).unwrap();
+    }
+}
+
+#[cfg(test)]
 mod fault_tests {
     use super::*;
     use crate::fault::{FaultKind, FaultOp, FaultPlan};
@@ -916,6 +1389,98 @@ mod fault_tests {
         assert_eq!(store.telemetry().fault_stats().host_spills, 1);
         // No phantom traffic for a move that never happened.
         assert_eq!(store.traffic().total(), 0);
+    }
+
+    #[test]
+    fn latency_spike_on_one_key_does_not_stall_other_keys() {
+        // Regression test for sleeping while holding the store lock: a
+        // seconds-scale injected spike on one blob must not serialize an
+        // unrelated blob's I/O behind it.
+        let store = std::sync::Arc::new(TieredStore::new(TierConfig::unbounded_temp()).unwrap());
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_on_key_op("slow", FaultOp::Write, FaultKind::LatencySpike(0.6));
+        store.set_fault_plan(Some(plan));
+
+        let s = store.clone();
+        let spiked = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            s.put("slow", Tier::Ssd, vec![1u8; 64]).unwrap();
+            t0.elapsed().as_secs_f64()
+        });
+        // Give the spiked write time to enter its sleep.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let t0 = std::time::Instant::now();
+        store.put("fast", Tier::Ssd, vec![2u8; 64]).unwrap();
+        let bytes = store.read("fast").unwrap();
+        let fast_elapsed = t0.elapsed().as_secs_f64();
+        let slow_elapsed = spiked.join().unwrap();
+
+        assert!(
+            slow_elapsed >= 0.55,
+            "spike not applied: {slow_elapsed:.3}s"
+        );
+        assert!(
+            fast_elapsed < 0.3,
+            "unrelated key serialized behind the spike: {fast_elapsed:.3}s"
+        );
+        assert_eq!(bytes, vec![2u8; 64]);
+        assert_eq!(store.read("slow").unwrap(), vec![1u8; 64]);
+    }
+
+    #[test]
+    fn retry_backoff_does_not_hold_the_lock() {
+        // Same property for the retry path: a transient fault's backoff
+        // sleep must only delay the faulted key.
+        let store = std::sync::Arc::new(TieredStore::new(TierConfig::unbounded_temp()).unwrap());
+        store.set_retry_policy(RetryPolicy {
+            max_retries: 1,
+            base_seconds: 0.5,
+            multiplier: 1.0,
+        });
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_on_key("flaky", FaultKind::Transient);
+        store.set_fault_plan(Some(plan));
+
+        let s = store.clone();
+        let flaky = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            s.put("flaky", Tier::Ssd, vec![3u8; 32]).unwrap();
+            t0.elapsed().as_secs_f64()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let t0 = std::time::Instant::now();
+        store.put("steady", Tier::Ssd, vec![4u8; 32]).unwrap();
+        let steady_elapsed = t0.elapsed().as_secs_f64();
+        let flaky_elapsed = flaky.join().unwrap();
+
+        assert!(
+            flaky_elapsed >= 0.45,
+            "backoff skipped: {flaky_elapsed:.3}s"
+        );
+        assert!(
+            steady_elapsed < 0.25,
+            "unrelated key waited out the backoff: {steady_elapsed:.3}s"
+        );
+        assert_eq!(store.read("flaky").unwrap(), vec![3u8; 32]);
+        assert_eq!(store.telemetry().fault_stats().retries, 1);
+    }
+
+    #[test]
+    fn same_key_operations_still_serialize_behind_in_flight_io() {
+        // The per-key pending set is what preserves atomicity: a reader of
+        // the spiked key must wait for the write to land.
+        let store = std::sync::Arc::new(TieredStore::new(TierConfig::unbounded_temp()).unwrap());
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_on_key_op("k", FaultOp::Write, FaultKind::LatencySpike(0.3));
+        store.set_fault_plan(Some(plan));
+        let s = store.clone();
+        let writer = std::thread::spawn(move || s.put("k", Tier::Ssd, vec![5u8; 16]).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // The key is mid-write; contains() must not observe the half-done
+        // state, and read() must return the completed bytes.
+        assert!(store.contains("k"));
+        assert_eq!(store.read("k").unwrap(), vec![5u8; 16]);
+        writer.join().unwrap();
     }
 }
 

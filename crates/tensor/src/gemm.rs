@@ -1,0 +1,468 @@
+//! Cache-blocked, register-tiled GEMM behind all three matmul variants.
+//!
+//! Design (see DESIGN.md "Tiled kernels"): the operand layouts
+//! (`A`/`Aᵀ` on the left, `B`/`Bᵀ` on the right) differ only in how
+//! panels are *packed*; one microkernel serves all four combinations.
+//! Panels of A are packed as `[k][MR]` column-major strips and panels of
+//! B as `[k][NR]` row-major strips, both zero-padded at the edges, so the
+//! microkernel always sees full `MR×NR` tiles and streams both packs
+//! linearly.
+//!
+//! Two microkernels sit behind a runtime dispatch:
+//! - an AVX2+FMA kernel (`MR=6`, `NR=16`: 12 ymm accumulators, one
+//!   broadcast of A and two loads of B per k step), selected when the CPU
+//!   reports `avx2`+`fma` — the build stays at the default target so the
+//!   binary still runs on SSE2-only machines;
+//! - a portable scalar kernel that accumulates each output element
+//!   strictly in k order with separate multiply and add, making it
+//!   **bitwise identical** to the naive reference loops.
+//!
+//! Determinism: every output element is the same sequential-in-k
+//! reduction regardless of panel boundaries or thread count, so results
+//! are bitwise reproducible across `RATEL_THREADS` settings (the FMA and
+//! scalar kernels differ from each other by fused-multiply rounding; the
+//! choice is per-machine, not per-run).
+//!
+//! Parallelism: the caller's thread packs all B strips once, then worker
+//! threads own disjoint bands of MR-row panels, packing their own A
+//! strips into thread-local scratch ([`crate::scratch`]).
+
+use crate::parallel::num_threads;
+use crate::scratch::scratch_f32;
+
+/// Rows per microkernel tile.
+pub const MR: usize = 6;
+/// Columns per microkernel tile (two 8-float SIMD lanes).
+pub const NR: usize = 16;
+
+/// Problems with `m*n*k` at or below this run the naive reference loop:
+/// at tiny sizes packing costs more than it saves.
+pub const NAIVE_THRESHOLD: usize = 8 * 1024;
+
+/// How the left operand is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutA {
+    /// `a` is `[m, k]` row-major; logical `A[i][p] = a[i*k + p]`.
+    Normal,
+    /// `a` is `[k, m]` row-major and the kernel computes with `aᵀ`;
+    /// logical `A[i][p] = a[p*m + i]`.
+    Transposed,
+}
+
+/// How the right operand is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutB {
+    /// `b` is `[k, n]` row-major; logical `B[p][j] = b[p*n + j]`.
+    Normal,
+    /// `b` is `[n, k]` row-major and the kernel computes with `bᵀ`;
+    /// logical `B[p][j] = b[j*k + p]`.
+    Transposed,
+}
+
+/// `out[m,n] = A[m,k] @ B[k,n]` with the given operand layouts,
+/// dispatching between the naive reference (tiny problems) and the
+/// tiled, multi-threaded path. `out` is fully overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    la: LayoutA,
+    b: &[f32],
+    lb: LayoutB,
+    out: &mut [f32],
+) {
+    check_dims(m, k, n, a, b, out);
+    if m * n * k <= NAIVE_THRESHOLD {
+        gemm_reference(m, k, n, a, la, b, lb, out);
+    } else {
+        gemm_tiled(m, k, n, a, la, b, lb, out);
+    }
+}
+
+/// Naive triple-loop reference — the oracle the tiled path is tested
+/// against. No zero-skip shortcuts: `0.0 * inf` and NaNs propagate per
+/// IEEE 754, and latency is data-independent.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    la: LayoutA,
+    b: &[f32],
+    lb: LayoutB,
+    out: &mut [f32],
+) {
+    check_dims(m, k, n, a, b, out);
+    out.iter_mut().for_each(|o| *o = 0.0);
+    match (la, lb) {
+        (LayoutA::Normal, LayoutB::Normal) => {
+            // i-k-j: inner loop streams b's row and out's row.
+            for i in 0..m {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for p in 0..k {
+                    let aip = a[i * k + p];
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aip * bv;
+                    }
+                }
+            }
+        }
+        (LayoutA::Transposed, LayoutB::Normal) => {
+            // k-i-j: both a's and b's row are streamed per k step.
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (LayoutA::Normal, LayoutB::Transposed) => {
+            // i-j-k: dot product of two contiguous rows.
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+        (LayoutA::Transposed, LayoutB::Transposed) => {
+            for i in 0..m {
+                for j in 0..n {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (p, &bv) in b_row.iter().enumerate() {
+                        acc += a[p * m + i] * bv;
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// The tiled, multi-threaded path, exposed separately so tests can force
+/// it below [`NAIVE_THRESHOLD`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tiled(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    la: LayoutA,
+    b: &[f32],
+    lb: LayoutB,
+    out: &mut [f32],
+) {
+    check_dims(m, k, n, a, b, out);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        return;
+    }
+    let nstrips = n.div_ceil(NR);
+    let mut bpack = scratch_f32(nstrips * k * NR);
+    for (s, strip) in bpack.chunks_exact_mut(k * NR).enumerate() {
+        pack_b(k, n, b, lb, s * NR, strip);
+    }
+    let bpack = &bpack[..];
+
+    let panels = m.div_ceil(MR);
+    let threads = num_threads().min(panels);
+    if threads <= 1 {
+        run_band(0, m, k, n, a, la, bpack, out);
+        return;
+    }
+    // Bands are whole MR-row panels; per-element reduction order is
+    // unaffected by the banding, so any split is bitwise equivalent.
+    let band_rows = panels.div_ceil(threads) * MR;
+    crossbeam::thread::scope(|s| {
+        let mut rest = out;
+        let mut i0 = 0usize;
+        while !rest.is_empty() {
+            let rows = band_rows.min(rest.len() / n);
+            let (band, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let start = i0;
+            s.spawn(move |_| run_band(start, rows, k, n, a, la, bpack, band));
+            i0 += rows;
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// Computes `rows` output rows starting at global row `i0` into `band`
+/// (a `[rows, n]` slice of the output).
+#[allow(clippy::too_many_arguments)]
+fn run_band(
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    la: LayoutA,
+    bpack: &[f32],
+    band: &mut [f32],
+) {
+    let use_fma = fma_available();
+    let nstrips = n.div_ceil(NR);
+    let mut apack = scratch_f32(k * MR);
+    let mut acc = [[0.0f32; NR]; MR];
+    let mut r0 = 0usize;
+    while r0 < rows {
+        let h = MR.min(rows - r0);
+        pack_a(k, a, la, i0 + r0, h, &mut apack);
+        for s in 0..nstrips {
+            let j0 = s * NR;
+            let w = NR.min(n - j0);
+            let bstrip = &bpack[s * k * NR..(s + 1) * k * NR];
+            if use_fma {
+                // SAFETY: gated on runtime detection of avx2+fma.
+                unsafe { microkernel_fma(k, &apack, bstrip, &mut acc) };
+            } else {
+                microkernel_scalar(k, &apack, bstrip, &mut acc);
+            }
+            for (r, acc_row) in acc.iter().enumerate().take(h) {
+                let dst = &mut band[(r0 + r) * n + j0..(r0 + r) * n + j0 + w];
+                dst.copy_from_slice(&acc_row[..w]);
+            }
+        }
+        r0 += MR;
+    }
+}
+
+/// Packs the `h`-row strip of logical A starting at row `i0` into
+/// `out[k][MR]`, zero-padding rows `h..MR`.
+fn pack_a(k: usize, a: &[f32], la: LayoutA, i0: usize, h: usize, out: &mut [f32]) {
+    match la {
+        LayoutA::Normal => {
+            for (p, dst) in out.chunks_exact_mut(MR).enumerate().take(k) {
+                for (r, d) in dst.iter_mut().enumerate() {
+                    *d = if r < h { a[(i0 + r) * k + p] } else { 0.0 };
+                }
+            }
+        }
+        LayoutA::Transposed => {
+            // a is [k, m]: the strip is contiguous per k row.
+            let m = a.len() / k;
+            for (p, dst) in out.chunks_exact_mut(MR).enumerate().take(k) {
+                let src = &a[p * m + i0..p * m + i0 + h];
+                dst[..h].copy_from_slice(src);
+                dst[h..].iter_mut().for_each(|d| *d = 0.0);
+            }
+        }
+    }
+}
+
+/// Packs the column strip of logical B starting at column `j0` into
+/// `out[k][NR]`, zero-padding columns beyond `n`.
+fn pack_b(k: usize, n: usize, b: &[f32], lb: LayoutB, j0: usize, out: &mut [f32]) {
+    let w = NR.min(n - j0);
+    match lb {
+        LayoutB::Normal => {
+            for (p, dst) in out.chunks_exact_mut(NR).enumerate().take(k) {
+                let src = &b[p * n + j0..p * n + j0 + w];
+                dst[..w].copy_from_slice(src);
+                dst[w..].iter_mut().for_each(|d| *d = 0.0);
+            }
+        }
+        LayoutB::Transposed => {
+            // b is [n, k]: gather column p of each of the w rows.
+            for (p, dst) in out.chunks_exact_mut(NR).enumerate().take(k) {
+                for (c, d) in dst.iter_mut().enumerate() {
+                    *d = if c < w { b[(j0 + c) * k + p] } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// Portable microkernel: per-element accumulation is sequential in k
+/// with separate multiply and add — bitwise identical to the reference.
+fn microkernel_scalar(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let mut c = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let arow = &ap[p * MR..p * MR + MR];
+        let brow = &bp[p * NR..p * NR + NR];
+        for (r, crow) in c.iter_mut().enumerate() {
+            let av = arow[r];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    *acc = c;
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fma_available() -> bool {
+    false
+}
+
+/// AVX2+FMA microkernel: 12 ymm accumulators for the 6×16 tile, one
+/// broadcast of A and two 8-lane loads of B per k step.
+///
+/// # Safety
+/// Caller must ensure the CPU supports `avx2` and `fma`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_fma(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+    let mut c: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+    let mut apk = ap.as_ptr();
+    let mut bpk = bp.as_ptr();
+    for _ in 0..k {
+        let b0 = _mm256_loadu_ps(bpk);
+        let b1 = _mm256_loadu_ps(bpk.add(8));
+        for (r, cr) in c.iter_mut().enumerate() {
+            let av = _mm256_broadcast_ss(&*apk.add(r));
+            cr[0] = _mm256_fmadd_ps(av, b0, cr[0]);
+            cr[1] = _mm256_fmadd_ps(av, b1, cr[1]);
+        }
+        apk = apk.add(MR);
+        bpk = bpk.add(NR);
+    }
+    for (r, cr) in c.iter().enumerate() {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), cr[0]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), cr[1]);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn microkernel_fma(_k: usize, _ap: &[f32], _bp: &[f32], _acc: &mut [[f32; NR]; MR]) {
+    unreachable!("fma path is never selected off x86_64")
+}
+
+fn check_dims(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm lhs size");
+    assert_eq!(b.len(), k * n, "gemm rhs size");
+    assert_eq!(out.len(), m * n, "gemm out size");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn layouts() -> [(LayoutA, LayoutB); 4] {
+        [
+            (LayoutA::Normal, LayoutB::Normal),
+            (LayoutA::Transposed, LayoutB::Normal),
+            (LayoutA::Normal, LayoutB::Transposed),
+            (LayoutA::Transposed, LayoutB::Transposed),
+        ]
+    }
+
+    fn a_len(la: LayoutA, m: usize, k: usize) -> usize {
+        match la {
+            LayoutA::Normal => m * k,
+            LayoutA::Transposed => k * m,
+        }
+    }
+
+    #[test]
+    fn tiled_matches_reference_all_layouts_and_edges() {
+        // Shapes straddling the MR/NR tile edges.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (6, 8, 16),
+            (7, 5, 17),
+            (13, 9, 31),
+            (12, 16, 32),
+            (5, 33, 3),
+        ] {
+            for (la, lb) in layouts() {
+                let a = fill(a_len(la, m, k), 1 + m as u64);
+                let b = fill(k * n, 2 + n as u64);
+                let mut want = vec![0.0f32; m * n];
+                let mut got = vec![0.0f32; m * n];
+                gemm_reference(m, k, n, &a, la, &b, lb, &mut want);
+                gemm_tiled(m, k, n, &a, la, &b, lb, &mut got);
+                let fma = fma_available();
+                for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                    if fma {
+                        // FMA fuses the rounding; allow a tiny bound.
+                        let tol = 1e-5 * (1.0 + w.abs());
+                        assert!(
+                            (w - g).abs() <= tol,
+                            "({m},{k},{n}) {la:?}/{lb:?} elem {i}: {w} vs {g}"
+                        );
+                    } else {
+                        assert_eq!(
+                            w.to_bits(),
+                            g.to_bits(),
+                            "({m},{k},{n}) {la:?}/{lb:?} elem {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_bitwise_deterministic_across_thread_counts() {
+        let (m, k, n) = (23, 17, 29);
+        let a = fill(m * k, 7);
+        let b = fill(k * n, 8);
+        let mut base = vec![0.0f32; m * n];
+        crate::parallel::set_num_threads(1);
+        gemm_tiled(m, k, n, &a, LayoutA::Normal, &b, LayoutB::Normal, &mut base);
+        for t in [2usize, 3, 4] {
+            crate::parallel::set_num_threads(t);
+            let mut out = vec![0.0f32; m * n];
+            gemm_tiled(m, k, n, &a, LayoutA::Normal, &b, LayoutB::Normal, &mut out);
+            for (i, (x, y)) in base.iter().zip(&out).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={t} elem {i}");
+            }
+        }
+        crate::parallel::set_num_threads(1);
+    }
+
+    #[test]
+    fn k_zero_writes_zeros() {
+        let mut out = vec![1.0f32; 6];
+        gemm_tiled(
+            2,
+            0,
+            3,
+            &[],
+            LayoutA::Normal,
+            &[],
+            LayoutB::Normal,
+            &mut out,
+        );
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

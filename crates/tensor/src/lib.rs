@@ -22,8 +22,11 @@
 
 pub mod adam;
 pub mod dtype;
+pub mod gemm;
 pub mod layers;
 pub mod ops;
+pub mod parallel;
+pub mod scratch;
 pub mod tensor;
 
 pub use adam::{Adam, AdamParams};
@@ -34,4 +37,6 @@ pub use layers::{
     TransformerBlock,
 };
 pub use ops::DropoutSpec;
+pub use parallel::{num_threads, set_num_threads};
+pub use scratch::{scratch_f32, scratch_stats, ScratchVec};
 pub use tensor::Tensor;

@@ -5,30 +5,32 @@
 //! `[in, out]` so that `y = x @ w + b`, giving the backward identities
 //! `dx = dy @ w^T` and `dw = x^T @ dy`.
 
+use crate::gemm::{self, LayoutA, LayoutB};
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// `c[m,n] = a[m,k] @ b[k,n]`.
+///
+/// Runs the tiled, multi-threaded GEMM ([`crate::gemm`]); small problems
+/// fall back to the naive loop. No zero-skip shortcuts anywhere: NaN and
+/// Inf propagate per IEEE 754 (`0.0 * inf = NaN`), which matters because
+/// fp16-emulated overflow surfaces as Inf and must not be silently
+/// swallowed by a "sparse" fast path.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    // i-k-j order: the inner loop streams both b's row and out's row.
-    for i in 0..m {
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for kk in 0..k {
-            let aik = ad[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bv;
-            }
-        }
-    }
+    gemm::gemm(
+        m,
+        k,
+        n,
+        a.data(),
+        LayoutA::Normal,
+        b.data(),
+        LayoutB::Normal,
+        &mut out,
+    );
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -38,21 +40,16 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = dims2(b, "matmul_at rhs");
     assert_eq!(k, k2, "matmul_at inner dims: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for kk in 0..k {
-        let a_row = &ad[kk * m..(kk + 1) * m];
-        let b_row = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm::gemm(
+        m,
+        k,
+        n,
+        a.data(),
+        LayoutA::Transposed,
+        b.data(),
+        LayoutB::Normal,
+        &mut out,
+    );
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -62,29 +59,89 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = dims2(b, "matmul_bt rhs");
     assert_eq!(k, k2, "matmul_bt inner dims: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            out[i * n + j] = acc;
-        }
-    }
+    gemm::gemm(
+        m,
+        k,
+        n,
+        a.data(),
+        LayoutA::Normal,
+        b.data(),
+        LayoutB::Transposed,
+        &mut out,
+    );
     Tensor::from_vec(&[m, n], out)
+}
+
+/// Naive reference matmuls — the oracle the tiled kernels are verified
+/// against (see `tests/kernel_equivalence.rs`). Single-threaded,
+/// unblocked, and free of shortcuts, so their IEEE behaviour is the
+/// plain textbook reduction.
+pub mod naive {
+    use super::{dims2, LayoutA, LayoutB, Tensor};
+    use crate::gemm::gemm_reference;
+
+    /// Reference `a[m,k] @ b[k,n]`.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = dims2(a, "matmul lhs");
+        let (_, n) = dims2(b, "matmul rhs");
+        let mut out = vec![0.0f32; m * n];
+        gemm_reference(
+            m,
+            k,
+            n,
+            a.data(),
+            LayoutA::Normal,
+            b.data(),
+            LayoutB::Normal,
+            &mut out,
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Reference `a[k,m]^T @ b[k,n]`.
+    pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = dims2(a, "matmul_at lhs");
+        let (_, n) = dims2(b, "matmul_at rhs");
+        let mut out = vec![0.0f32; m * n];
+        gemm_reference(
+            m,
+            k,
+            n,
+            a.data(),
+            LayoutA::Transposed,
+            b.data(),
+            LayoutB::Normal,
+            &mut out,
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Reference `a[m,k] @ b[n,k]^T`.
+    pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = dims2(a, "matmul_bt lhs");
+        let (n, _) = dims2(b, "matmul_bt rhs");
+        let mut out = vec![0.0f32; m * n];
+        gemm_reference(
+            m,
+            k,
+            n,
+            a.data(),
+            LayoutA::Normal,
+            b.data(),
+            LayoutB::Transposed,
+            &mut out,
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
 }
 
 /// Adds a `[cols]` bias to every row of a `[rows, cols]` tensor, in place.
 pub fn add_bias(x: &mut Tensor, bias: &Tensor) {
     let (_, c) = dims2(x, "add_bias input");
     assert_eq!(bias.shape(), &[c], "bias shape");
-    let bd: Vec<f32> = bias.data().to_vec();
+    let bd = bias.data();
     for row in x.data_mut().chunks_exact_mut(c) {
-        for (v, &b) in row.iter_mut().zip(&bd) {
+        for (v, &b) in row.iter_mut().zip(bd) {
             *v += b;
         }
     }
@@ -103,21 +160,31 @@ pub fn bias_grad(dy: &Tensor) -> Tensor {
 }
 
 /// GELU activation (tanh approximation, as used by GPT-2/3).
+/// Elementwise, so the parallel split cannot change results.
 pub fn gelu(x: &Tensor) -> Tensor {
-    let data = x.data().iter().map(|&v| gelu_scalar(v)).collect();
-    Tensor::from_vec(x.shape(), data)
+    let xd = x.data();
+    let mut out = vec![0.0f32; xd.len()];
+    parallel::par_blocks(&mut out, |off, block| {
+        let src = &xd[off..off + block.len()];
+        for (o, &v) in block.iter_mut().zip(src) {
+            *o = gelu_scalar(v);
+        }
+    });
+    Tensor::from_vec(x.shape(), out)
 }
 
 /// Backward of [`gelu`]: needs the forward *input*.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape(), "gelu_backward shapes");
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(&v, &g)| gelu_grad_scalar(v) * g)
-        .collect();
-    Tensor::from_vec(x.shape(), data)
+    let xd = x.data();
+    let dyd = dy.data();
+    let mut out = vec![0.0f32; xd.len()];
+    parallel::par_blocks(&mut out, |off, block| {
+        for (i, o) in block.iter_mut().enumerate() {
+            *o = gelu_grad_scalar(xd[off + i]) * dyd[off + i];
+        }
+    });
+    Tensor::from_vec(x.shape(), out)
 }
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
@@ -191,24 +258,72 @@ pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor
     let mut rstd = vec![0.0f32; rows];
     let g = gamma.data();
     let b = beta.data();
-    for (i, (orow, xrow)) in out
-        .chunks_exact_mut(h)
-        .zip(x.data().chunks_exact(h))
-        .enumerate()
-    {
-        let m = xrow.iter().sum::<f32>() / h as f32;
-        let var = xrow.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / h as f32;
-        let rs = 1.0 / (var + eps).sqrt();
-        mean[i] = m;
-        rstd[i] = rs;
-        for (j, (o, &xv)) in orow.iter_mut().zip(xrow).enumerate() {
-            *o = (xv - m) * rs * g[j] + b[j];
-        }
-    }
+    let xd = x.data();
+    // Each worker owns a contiguous band of rows across all three output
+    // buffers; per-row statistics are computed serially inside the row,
+    // so the split never changes results.
+    layernorm_rows(xd, g, b, eps, h, &mut out, &mut mean, &mut rstd);
     (
         Tensor::from_vec(x.shape(), out),
         LayerNormStats { mean, rstd },
     )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn layernorm_rows(
+    xd: &[f32],
+    g: &[f32],
+    b: &[f32],
+    eps: f32,
+    h: usize,
+    out: &mut [f32],
+    mean: &mut [f32],
+    rstd: &mut [f32],
+) {
+    let rows = mean.len();
+    let serial = |row0: usize, out: &mut [f32], mean: &mut [f32], rstd: &mut [f32]| {
+        for (r, (orow, (mo, ro))) in out
+            .chunks_exact_mut(h)
+            .zip(mean.iter_mut().zip(rstd.iter_mut()))
+            .enumerate()
+        {
+            let xrow = &xd[(row0 + r) * h..(row0 + r + 1) * h];
+            let m = xrow.iter().sum::<f32>() / h as f32;
+            let var = xrow.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / h as f32;
+            let rs = 1.0 / (var + eps).sqrt();
+            *mo = m;
+            *ro = rs;
+            for (j, (o, &xv)) in orow.iter_mut().zip(xrow).enumerate() {
+                *o = (xv - m) * rs * g[j] + b[j];
+            }
+        }
+    };
+    let threads = parallel::num_threads().min(rows.max(1));
+    if threads <= 1 || rows <= 1 || out.len() < parallel::MIN_BLOCK {
+        serial(0, out, mean, rstd);
+        return;
+    }
+    let per = rows.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let mut out_rest = out;
+        let mut mean_rest = mean;
+        let mut rstd_rest = rstd;
+        let mut row0 = 0usize;
+        let serial = &serial;
+        while !out_rest.is_empty() {
+            let take = per.min(mean_rest.len());
+            let (oband, otail) = out_rest.split_at_mut(take * h);
+            let (mband, mtail) = mean_rest.split_at_mut(take);
+            let (rband, rtail) = rstd_rest.split_at_mut(take);
+            out_rest = otail;
+            mean_rest = mtail;
+            rstd_rest = rtail;
+            let start = row0;
+            s.spawn(move |_| serial(start, oband, mband, rband));
+            row0 += take;
+        }
+    })
+    .expect("layernorm worker panicked");
 }
 
 /// Backward of [`layernorm`]: returns `(dx, dgamma, dbeta)`.
@@ -397,6 +512,100 @@ mod tests {
         for (x, y) in a.data().iter().zip(b.data()) {
             assert!((x - y).abs() < tol, "{x} vs {y}");
         }
+    }
+
+    /// Regression test for the removed `if aik == 0.0 { continue }`
+    /// shortcut: with a zero row in A and an Inf in B, IEEE 754 demands
+    /// `0.0 * inf = NaN` — the old skip returned clean zeros instead,
+    /// masking fp16-overflow Infs during training. All three variants
+    /// must propagate identically.
+    #[test]
+    fn zero_times_inf_is_nan_in_all_variants() {
+        // A's row 0 is all zeros; B has an Inf in column 1.
+        let a = Tensor::from_vec(&[2, 2], vec![0.0, 0.0, 1.0, 1.0]);
+        let mut b = Tensor::from_vec(&[2, 2], vec![1.0, f32::INFINITY, 1.0, 2.0]);
+        let c = matmul(&a, &b);
+        assert!(
+            c.data()[1].is_nan(),
+            "matmul: 0*inf must be NaN, got {}",
+            c.data()[1]
+        );
+        assert!(c.data()[3].is_infinite(), "nonzero row must see the Inf");
+
+        // Same logical product through matmul_at: lhs stored as [k, m].
+        let at = Tensor::from_vec(&[2, 2], vec![0.0, 1.0, 0.0, 1.0]);
+        let c_at = matmul_at(&at, &b);
+        assert!(c_at.data()[1].is_nan(), "matmul_at: 0*inf must be NaN");
+        assert!(c_at.data()[3].is_infinite());
+
+        // And through matmul_bt: rhs stored as [n, k].
+        b = Tensor::from_vec(&[2, 2], vec![1.0, 1.0, f32::INFINITY, 2.0]);
+        let c_bt = matmul_bt(&a, &b);
+        assert!(c_bt.data()[1].is_nan(), "matmul_bt: 0*inf must be NaN");
+        assert!(c_bt.data()[3].is_infinite());
+    }
+
+    /// NaNs and Infs laced anywhere in the inputs must land in exactly
+    /// the same output positions for the tiled kernels as for the naive
+    /// oracle, in every variant.
+    #[test]
+    fn nan_inf_placement_matches_naive_oracle() {
+        // Big enough that matmul's dispatch takes the tiled path.
+        let (m, k, n) = (33, 17, 29);
+        assert!(m * k * n > crate::gemm::NAIVE_THRESHOLD);
+        let mut av = Tensor::randn(&[m, k], 1.0, 21);
+        let mut bv = Tensor::randn(&[k, n], 1.0, 22);
+        av.data_mut()[3] = f32::NAN;
+        av.data_mut()[k + 1] = f32::INFINITY;
+        bv.data_mut()[5] = f32::NEG_INFINITY;
+        bv.data_mut()[2 * n + 3] = f32::NAN;
+        let same_specials = |fast: &Tensor, slow: &Tensor, what: &str| {
+            assert_eq!(fast.shape(), slow.shape());
+            for (i, (f, s)) in fast.data().iter().zip(slow.data()).enumerate() {
+                assert_eq!(
+                    f.is_nan(),
+                    s.is_nan(),
+                    "{what} elem {i}: NaN mismatch ({f} vs {s})"
+                );
+                assert_eq!(
+                    f.is_infinite() && !f.is_nan(),
+                    s.is_infinite() && !s.is_nan(),
+                    "{what} elem {i}: Inf mismatch ({f} vs {s})"
+                );
+            }
+        };
+        same_specials(&matmul(&av, &bv), &naive::matmul(&av, &bv), "matmul");
+
+        let at = Tensor::from_vec(&[k, m], {
+            // transpose av into [k, m]
+            let mut t = vec![0.0f32; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    t[p * m + i] = av.data()[i * k + p];
+                }
+            }
+            t
+        });
+        same_specials(
+            &matmul_at(&at, &bv),
+            &naive::matmul_at(&at, &bv),
+            "matmul_at",
+        );
+
+        let bt = Tensor::from_vec(&[n, k], {
+            let mut t = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    t[j * k + p] = bv.data()[p * n + j];
+                }
+            }
+            t
+        });
+        same_specials(
+            &matmul_bt(&av, &bt),
+            &naive::matmul_bt(&av, &bt),
+            "matmul_bt",
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Thread-local scratch-buffer pool for the hot kernels.
+//!
+//! Packing buffers and other per-call temporaries used to be fresh `Vec`
+//! allocations on every kernel invocation — per training step that is
+//! thousands of transient allocations on the critical path. This pool
+//! hands out recycled `Vec<f32>`s instead: a checkout returns the most
+//! recently returned buffer (warm in cache), grown if needed, and the
+//! RAII guard returns it on drop.
+//!
+//! Ownership rules (see DESIGN.md "Scratch arena"):
+//! - Buffers never cross threads: the pool is `thread_local!`, so a
+//!   worker spawned by [`crate::parallel`] checks out from its *own*
+//!   pool. A guard must therefore not be sent into a spawned closure.
+//! - A checked-out buffer is exclusively owned until the guard drops;
+//!   recursive kernel calls simply check out further buffers.
+//! - Contents are uninitialized from the caller's perspective: the guard
+//!   hands out a zero-filled prefix of the requested length, but callers
+//!   must not rely on data surviving between checkouts.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static POOL: RefCell<Pool> = const { RefCell::new(Pool::new()) };
+}
+
+struct Pool {
+    free: Vec<Vec<f32>>,
+    checkouts: u64,
+    misses: u64,
+}
+
+impl Pool {
+    const fn new() -> Self {
+        Pool {
+            free: Vec::new(),
+            checkouts: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// RAII handle to a pooled `Vec<f32>`; derefs to `[f32]` of the requested
+/// length and returns the buffer to this thread's pool on drop.
+pub struct ScratchVec {
+    buf: Vec<f32>,
+    len: usize,
+}
+
+/// Checks out a zeroed scratch buffer of `len` floats from the current
+/// thread's pool.
+pub fn scratch_f32(len: usize) -> ScratchVec {
+    let mut buf = POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.checkouts += 1;
+        match p.free.pop() {
+            Some(b) => b,
+            None => {
+                p.misses += 1;
+                Vec::new()
+            }
+        }
+    });
+    // Zero the prefix we hand out; `resize` covers growth, the loop
+    // covers reuse of a longer recycled buffer.
+    if buf.len() < len {
+        buf.iter_mut().for_each(|v| *v = 0.0);
+        buf.resize(len, 0.0);
+    } else {
+        buf[..len].iter_mut().for_each(|v| *v = 0.0);
+    }
+    ScratchVec { buf, len }
+}
+
+impl std::ops::Deref for ScratchVec {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf[..self.len]
+    }
+}
+
+impl std::ops::DerefMut for ScratchVec {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf[..self.len]
+    }
+}
+
+impl Drop for ScratchVec {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        POOL.with(|p| p.borrow_mut().free.push(buf));
+    }
+}
+
+/// Pool statistics for this thread: `(checkouts, misses)`. A *miss* is a
+/// checkout that had to allocate a new backing `Vec`; in steady state
+/// misses stop growing while checkouts keep counting.
+pub fn scratch_stats() -> (u64, u64) {
+    POOL.with(|p| {
+        let p = p.borrow();
+        (p.checkouts, p.misses)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_and_zeroing() {
+        {
+            let mut a = scratch_f32(16);
+            a[0] = 42.0;
+            a[15] = 7.0;
+        }
+        let b = scratch_f32(8);
+        assert!(b.iter().all(|&v| v == 0.0), "recycled buffer not zeroed");
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn steady_state_stops_missing() {
+        // Warm up with the largest size used below.
+        for _ in 0..3 {
+            let _a = scratch_f32(64);
+        }
+        let (_, misses_before) = scratch_stats();
+        for _ in 0..100 {
+            let _a = scratch_f32(64);
+            let _b = scratch_f32(32);
+            // Two live checkouts at once forces a second pooled buffer,
+            // which the warmup above may not have created.
+        }
+        let (_, misses_after) = scratch_stats();
+        // At most one extra backing Vec for the second concurrent
+        // checkout; after that, zero new allocations.
+        assert!(
+            misses_after - misses_before <= 1,
+            "pool kept allocating: {misses_before} -> {misses_after}"
+        );
+    }
+
+    #[test]
+    fn nested_checkouts_are_distinct() {
+        let mut a = scratch_f32(4);
+        let mut b = scratch_f32(4);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        assert_eq!(a[0], 1.0);
+        assert_eq!(b[0], 2.0);
+    }
+}

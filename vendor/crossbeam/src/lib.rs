@@ -2,8 +2,10 @@
 //!
 //! The build environment has no network access, so this workspace vendors
 //! the subset it uses: `crossbeam::channel` with a single `Sender` type
-//! for both bounded and unbounded channels, backed by `std::sync::mpsc`.
-//! `bounded(0)` is a rendezvous channel, matching crossbeam semantics.
+//! for both bounded and unbounded channels, backed by `std::sync::mpsc`
+//! (`bounded(0)` is a rendezvous channel, matching crossbeam semantics),
+//! and `crossbeam::thread::scope` for borrowing scoped threads, backed by
+//! `std::thread::scope`.
 
 /// Multi-producer channels with a unified bounded/unbounded sender type.
 pub mod channel {
@@ -96,6 +98,58 @@ pub mod channel {
     }
 }
 
+/// Scoped threads that may borrow from the caller's stack frame.
+pub mod thread {
+    use std::thread as sthread;
+
+    /// A scope for spawning borrowing threads, mirroring
+    /// `crossbeam::thread::Scope`. Spawn closures receive `&Scope` so
+    /// they can spawn siblings, matching crossbeam's signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope sthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: sthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. Returns `Err` with the panic payload
+    /// if any unjoined child panicked (crossbeam semantics; std's
+    /// `thread::scope` would re-raise instead).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded};
@@ -128,5 +182,54 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_borrows_and_joins() {
+        let mut data = vec![0u32; 8];
+        super::thread::scope(|s| {
+            let (lo, hi) = data.split_at_mut(4);
+            let h1 = s.spawn(move |_| {
+                for v in lo {
+                    *v = 1;
+                }
+            });
+            let h2 = s.spawn(move |_| {
+                for v in hi {
+                    *v = 2;
+                }
+            });
+            h1.join().unwrap();
+            h2.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("child"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_nested_spawn() {
+        let hits = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                s2.spawn(|_| {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                })
+                .join()
+                .unwrap();
+            })
+            .join()
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(hits.into_inner(), 2);
     }
 }
