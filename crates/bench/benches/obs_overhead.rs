@@ -1,0 +1,91 @@
+//! Overhead of the always-on flight recorder.
+//!
+//! The recorder is the one piece of the observability plane that stays
+//! armed even with span telemetry disabled, so its cost is what every
+//! un-instrumented training step pays. Two angles:
+//!
+//! * the raw per-event cost (enabled vs the kill-switch short-circuit);
+//! * a full `train_step` with the recorder enabled vs disabled — the
+//!   delta is the plane's true per-step tax, which must stay within the
+//!   BENCH regression gate (<1% of a step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ratel::engine::data::random_batch;
+use ratel::engine::scaler::ScalePolicy;
+use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
+use ratel_obs::{flight, EventKind};
+use ratel_tensor::{AdamParams, GptConfig};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    // Raw event cost: one fetch_add plus a few relaxed stores when
+    // enabled, one relaxed load when killed.
+    flight().set_enabled(true);
+    c.bench_function("obs/flight_record_enabled", |b| {
+        b.iter(|| {
+            flight().record(
+                EventKind::Transfer,
+                0,
+                black_box("layer3/p16"),
+                black_box(4096),
+                7,
+            )
+        })
+    });
+    flight().set_enabled(false);
+    c.bench_function("obs/flight_record_disabled", |b| {
+        b.iter(|| {
+            flight().record(
+                EventKind::Transfer,
+                0,
+                black_box("layer3/p16"),
+                black_box(4096),
+                7,
+            )
+        })
+    });
+    flight().set_enabled(true);
+
+    // Whole-step cost with span telemetry off (the default production
+    // configuration): the only observability work left is the flight
+    // recorder, so enabled-vs-disabled bounds its per-step overhead.
+    let model = GptConfig::tiny();
+    let (tokens, targets) = random_batch(&model, 1);
+    let make = || {
+        RatelEngine::new(EngineConfig {
+            model,
+            seed: 42,
+            adam: AdamParams::default(),
+            act_decisions: vec![ActDecision::SwapToHost; model.layers],
+            gpu_capacity: None,
+            host_capacity: None,
+            active_offload: true,
+            loss_scale: ScalePolicy::None,
+            grad_clip: None,
+            lr_schedule: ratel::engine::lr::LrSchedule::Constant,
+            dropout: None,
+            prefetch_params: false,
+            frozen_layers: Vec::new(),
+        })
+        .unwrap()
+    };
+
+    let mut recorded = make();
+    flight().set_enabled(true);
+    c.bench_function("obs/step_flight_enabled", |b| {
+        b.iter(|| black_box(recorded.train_step(&tokens, &targets).unwrap().loss))
+    });
+
+    let mut silent = make();
+    flight().set_enabled(false);
+    c.bench_function("obs/step_flight_disabled", |b| {
+        b.iter(|| black_box(silent.train_step(&tokens, &targets).unwrap().loss))
+    });
+    flight().set_enabled(true);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 
 pub mod faults;
 pub mod figs;
+pub mod obs;
 pub mod perf;
 pub mod table;
 pub mod validate;

@@ -26,6 +26,67 @@ const VERIFY_PLANS_USAGE: &str = "usage: ratel-bench verify-plans [--model 13B] 
 const BENCH_USAGE: &str = "usage: ratel-bench bench [--smoke] [--write] [--check] [--dir .] \
 [--suite kernels|adam|ssd]";
 
+const OBS_USAGE: &str = "usage: ratel-bench obs [--model tiny|small] [--steps 5] \
+[--throttle 1e-4] [--metrics-out metrics.prom] [--jsonl-out metrics.jsonl] [--trace-out trace.json]";
+
+fn obs_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = ratel_bench::obs::ObsConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "help" {
+            return Err(OBS_USAGE.to_string());
+        }
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value\n{OBS_USAGE}"))?;
+        match flag {
+            "--model" => {
+                if ratel_bench::validate::validate_model(v).is_none() {
+                    return Err(format!("unknown model {v:?} (tiny|small)"));
+                }
+                cfg.model = v.clone();
+            }
+            "--steps" => {
+                cfg.steps = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--steps expects a positive integer, got {v:?}"))?
+                    .max(1)
+            }
+            "--throttle" => {
+                cfg.throttle =
+                    Some(v.parse::<f64>().ok().filter(|t| *t > 0.0).ok_or_else(|| {
+                        format!("--throttle expects a positive number, got {v:?}")
+                    })?)
+            }
+            "--metrics-out" => cfg.metrics_out = Some(v.clone()),
+            "--jsonl-out" => cfg.jsonl_out = Some(v.clone()),
+            "--trace-out" => cfg.trace_out = Some(v.clone()),
+            _ => return Err(format!("unknown flag {flag:?}\n{OBS_USAGE}")),
+        }
+        i += 2;
+    }
+    let report = ratel_bench::obs::run(&cfg)?;
+    print!("{}", ratel_bench::obs::render(&cfg, &report));
+    for (name, path) in [
+        ("metrics", &cfg.metrics_out),
+        ("jsonl", &cfg.jsonl_out),
+        ("trace", &cfg.trace_out),
+    ] {
+        if let Some(path) = path {
+            println!("wrote {name} to {path}");
+        }
+    }
+    let failures = report.failures();
+    if !failures.is_empty() {
+        return Err(format!(
+            "plan-conformance drift:\n  {}",
+            failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
 fn bench_cmd(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut write = false;
@@ -333,7 +394,7 @@ fn main() {
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
             "usage: repro <figure-id>... | all | list | trace [options] | validate [options] \
-             | faults [options] | verify-plans [options] | bench [options]"
+             | faults [options] | verify-plans [options] | bench [options] | obs [options]"
         );
         eprintln!("figure ids: {}", figs::ALL.join(" "));
         eprintln!("{TRACE_USAGE}");
@@ -341,7 +402,15 @@ fn main() {
         eprintln!("{FAULTS_USAGE}");
         eprintln!("{VERIFY_PLANS_USAGE}");
         eprintln!("{BENCH_USAGE}");
+        eprintln!("{OBS_USAGE}");
         std::process::exit(2);
+    }
+    if args[0] == "obs" {
+        if let Err(e) = obs_cmd(&args[1..]) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
     }
     if args[0] == "bench" {
         if let Err(e) = bench_cmd(&args[1..]) {

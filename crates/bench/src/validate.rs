@@ -258,31 +258,8 @@ pub fn engine_spec(engine: &RatelEngine, model: GptConfig, rates: LinkRates) -> 
 /// spill when planned); gradients land GPU→host; optimizer state I/O is
 /// SSD-only.
 pub fn planned_route_bytes(spec: &IterationSpec) -> [u64; 4] {
-    let mut g2h = 0.0;
-    let mut h2g = 0.0;
-    let mut h2s = 0.0;
-    let mut s2h = 0.0;
-    for layer in &spec.layers {
-        let stages = if layer.refetch_in_backward { 2.0 } else { 1.0 };
-        s2h += layer.p16_bytes * stages;
-        h2g += layer.p16_bytes * stages;
-        let act = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
-        g2h += act + layer.grad_bytes;
-        h2g += act;
-        h2s += layer.act_to_ssd_bytes;
-        s2h += layer.act_to_ssd_bytes;
-        if let OptimizerKind::CpuOutOfCore {
-            read_bytes,
-            write_bytes,
-            ..
-        } = layer.optimizer
-        {
-            s2h += read_bytes;
-            h2s += write_bytes;
-        }
-    }
     // Route::ALL order: GpuToHost, HostToGpu, HostToSsd, SsdToHost.
-    [g2h as u64, h2g as u64, h2s as u64, s2h as u64]
+    spec.planned_route_bytes()
 }
 
 /// Calibrated compute rates from a warm-up step's telemetry: per-layer

@@ -136,6 +136,25 @@ pub(crate) fn save(engine: &RatelEngine, dir: &Path) -> Result<(), RatelError> {
     // The manifest rename is the commit point of the whole generation.
     write_atomic(&manifest_path(dir, generation), manifest.as_bytes())
         .map_err(|e| io_err("manifest", e))?;
+    ratel_obs::flight().record(
+        ratel_obs::EventKind::CheckpointCommit,
+        0,
+        "checkpoint",
+        manifest.len() as u64,
+        generation,
+    );
+    ratel_obs::registry()
+        .counter(
+            "ratel_checkpoint_commits_total",
+            "Checkpoint generations committed (manifest renamed into place)",
+        )
+        .inc();
+    ratel_obs::registry()
+        .gauge(
+            "ratel_checkpoint_generation",
+            "Most recently committed checkpoint generation",
+        )
+        .set(generation as f64);
 
     // Keep this generation and its predecessor; prune everything older.
     for old in generations(dir) {
@@ -257,11 +276,36 @@ pub(crate) fn load(engine: &mut RatelEngine, dir: &Path) -> Result<(), RatelErro
                     engine.store.remove(&p16_key(layer))?;
                     engine.store.put(&p16_key(layer), Tier::Ssd, p16)?;
                 }
+                if !failures.is_empty() {
+                    // Restored, but only by falling back past a torn
+                    // generation — leave a postmortem trail.
+                    ratel_obs::dump_postmortem("checkpoint fallback");
+                }
                 return Ok(());
             }
-            Err(reason) => failures.push(format!("generation {generation}: {reason}")),
+            Err(reason) => {
+                // Fallback: this generation failed verification and the
+                // loader walks back to its predecessor. Flight-record it
+                // (with the cumulative counter) so a restore that
+                // silently skipped a torn generation is visible later.
+                ratel_obs::flight().record(
+                    ratel_obs::EventKind::CheckpointFallback,
+                    0,
+                    &reason,
+                    0,
+                    generation,
+                );
+                ratel_obs::registry()
+                    .counter(
+                        "ratel_checkpoint_fallbacks_total",
+                        "Checkpoint generations that failed verification on load",
+                    )
+                    .inc();
+                failures.push(format!("generation {generation}: {reason}"));
+            }
         }
     }
+    ratel_obs::dump_postmortem("checkpoint fallback exhausted all generations");
     Err(RatelError::CheckpointCorrupt(format!(
         "no loadable generation in {}: {}",
         dir.display(),

@@ -1,0 +1,340 @@
+//! Live plan-conformance monitoring: did the step the engine just ran
+//! *move what the plan said it would move*?
+//!
+//! The engine's schedule twin ([`crate::schedule::IterationSpec`], built
+//! by `RatelEngine::movement_spec`) plans one step's data movement down
+//! to the byte; `ratel-verify` checks that plan statically at
+//! construction. This module closes the remaining gap — plan vs
+//! *execution* — by matching each instrumented step's drained telemetry
+//! against the plan and emitting structured [`Finding`]s for every
+//! divergence:
+//!
+//! * **unplanned transfers** — a blob key outside the engine's
+//!   `layer{N}/…` / `block{N}/…` inventory crossed a tier link;
+//! * **byte mismatches** — a route's measured step traffic differs from
+//!   the planned total (exact, same contract as `ratel-bench validate`);
+//! * **stage inversions** — forward layers ran out of ascending order,
+//!   backward out of descending order, or a layer's backward began
+//!   before its forward;
+//! * **stalls** — a route with a configured bandwidth target achieved
+//!   less than the configured fraction of it.
+//!
+//! A clean engine step produces **zero findings**; the `obs_conformance`
+//! integration suite seeds each drift class into recorded telemetry and
+//! asserts the monitor names it.
+
+use std::fmt;
+
+use ratel_storage::telemetry::SpanCategory;
+use ratel_storage::Route;
+
+use super::telemetry::StepTelemetry;
+use crate::schedule::IterationSpec;
+
+/// Drift classes the monitor can report. The discriminants mirror the
+/// flight recorder's drift code table (`ratel_obs::EventKind::Drift`
+/// payload codes), so a dumped event decodes to the same name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriftKind {
+    /// A transfer moved a blob the plan knows nothing about.
+    UnplannedTransfer,
+    /// A route's measured bytes differ from the planned total.
+    ByteMismatch,
+    /// Forward/backward layer spans ran out of planned stage order.
+    StageInversion,
+    /// A route underran its configured bandwidth target.
+    Stall,
+}
+
+impl DriftKind {
+    /// Stable code matching `ratel_obs`'s drift-name table.
+    pub fn index(self) -> usize {
+        match self {
+            DriftKind::UnplannedTransfer => 0,
+            DriftKind::ByteMismatch => 1,
+            DriftKind::StageInversion => 2,
+            DriftKind::Stall => 3,
+        }
+    }
+
+    /// Short stable name (matches the flight recorder's decoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftKind::UnplannedTransfer => "unplanned_transfer",
+            DriftKind::ByteMismatch => "byte_mismatch",
+            DriftKind::StageInversion => "stage_inversion",
+            DriftKind::Stall => "stall",
+        }
+    }
+}
+
+/// One structured conformance finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The drift class.
+    pub kind: DriftKind,
+    /// The route involved, when the finding is route-scoped.
+    pub route: Option<Route>,
+    /// Human-readable specifics (blob key, span labels, bandwidths).
+    pub detail: String,
+    /// Planned quantity (bytes or bytes/s), when applicable.
+    pub planned: Option<u64>,
+    /// Measured quantity, when applicable.
+    pub measured: Option<u64>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.name())?;
+        if let Some(route) = self.route {
+            write!(f, " [{}]", route.name())?;
+        }
+        write!(f, ": {}", self.detail)?;
+        if let (Some(p), Some(m)) = (self.planned, self.measured) {
+            write!(f, " (planned {p}, measured {m})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Monitor configuration. The default checks bytes, transfer inventory,
+/// and stage order; bandwidth stall detection stays off until a route
+/// target is set (an unthrottled in-memory run has no meaningful
+/// bandwidth floor).
+#[derive(Debug, Clone)]
+pub struct ConformanceConfig {
+    /// Per-route bandwidth targets in bytes/s, indexed like
+    /// [`Route::ALL`]. `None` disables the stall check for that route.
+    pub bandwidth_targets: [Option<f64>; 4],
+    /// A route stalls when its achieved bandwidth drops below this
+    /// fraction of the target (default 0.5).
+    pub min_bandwidth_fraction: f64,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            bandwidth_targets: [None; 4],
+            min_bandwidth_fraction: 0.5,
+        }
+    }
+}
+
+/// Checks instrumented steps against a frozen plan.
+///
+/// Built once from the engine's movement spec (whose per-route byte
+/// totals it caches) and applied to every [`StepTelemetry`] the engine
+/// collects. Stateless across steps: each check sees one step.
+#[derive(Debug, Clone)]
+pub struct ConformanceMonitor {
+    planned_bytes: [u64; 4],
+    config: ConformanceConfig,
+}
+
+/// Parses the layer id out of a `fwd L{n}` / `bwd L{n}` compute label.
+fn layer_of(label: &str) -> Option<usize> {
+    label
+        .rsplit_once('L')
+        .and_then(|(_, n)| n.parse::<usize>().ok())
+}
+
+/// Whether a transfer's blob key belongs to the engine's planned
+/// inventory: `layer{N}/<blob>` (parameters, masters, moments,
+/// gradients, checkpoints — `#staged`/`#pf` suffixes included) or
+/// `block{N}/<blob>` (saved activations).
+fn planned_key(key: &str) -> bool {
+    for family in ["layer", "block"] {
+        if let Some(rest) = key.strip_prefix(family) {
+            let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+            if digits > 0 && rest[digits..].starts_with('/') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+impl ConformanceMonitor {
+    /// Builds a monitor holding the plan's per-route byte ledger.
+    pub fn new(spec: &IterationSpec, config: ConformanceConfig) -> Self {
+        ConformanceMonitor {
+            planned_bytes: spec.planned_route_bytes(),
+            config,
+        }
+    }
+
+    /// The plan's per-route byte totals, indexed like [`Route::ALL`].
+    pub fn planned_bytes(&self) -> [u64; 4] {
+        self.planned_bytes
+    }
+
+    /// Matches one step's telemetry against the plan. Returns every
+    /// divergence found; an empty vector means the step conformed.
+    pub fn check(&self, step: &StepTelemetry) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        self.check_transfers(step, &mut findings);
+        self.check_bytes(step, &mut findings);
+        self.check_stage_order(step, &mut findings);
+        self.check_stalls(step, &mut findings);
+        findings
+    }
+
+    /// Every transfer span's blob key must belong to a planned family.
+    fn check_transfers(&self, step: &StepTelemetry, findings: &mut Vec<Finding>) {
+        let mut flagged: Vec<&str> = Vec::new();
+        for s in &step.spans {
+            if s.category != SpanCategory::Transfer {
+                continue;
+            }
+            if !planned_key(&s.label) && !flagged.contains(&s.label.as_str()) {
+                flagged.push(&s.label);
+                findings.push(Finding {
+                    kind: DriftKind::UnplannedTransfer,
+                    route: s.route,
+                    detail: format!("blob {:?} is outside the planned inventory", s.label),
+                    planned: None,
+                    measured: s.bytes,
+                });
+            }
+        }
+    }
+
+    /// Measured route traffic must equal the plan's ledger to the byte.
+    fn check_bytes(&self, step: &StepTelemetry, findings: &mut Vec<Finding>) {
+        for (i, route) in Route::ALL.iter().enumerate() {
+            let measured = step.traffic.bytes(*route);
+            if measured != self.planned_bytes[i] {
+                findings.push(Finding {
+                    kind: DriftKind::ByteMismatch,
+                    route: Some(*route),
+                    detail: "route traffic diverged from the plan".into(),
+                    planned: Some(self.planned_bytes[i]),
+                    measured: Some(measured),
+                });
+            }
+        }
+    }
+
+    /// Forward layers must start in ascending id order, backward in
+    /// descending order (with the embedding's backward last), and no
+    /// layer's backward may begin before its forward.
+    fn check_stage_order(&self, step: &StepTelemetry, findings: &mut Vec<Finding>) {
+        let mut fwd: Vec<(f64, usize, &str)> = Vec::new();
+        let mut bwd: Vec<(f64, usize, &str)> = Vec::new();
+        for s in &step.spans {
+            let bucket = match s.category {
+                SpanCategory::Forward => &mut fwd,
+                SpanCategory::Backward => &mut bwd,
+                _ => continue,
+            };
+            if let Some(layer) = layer_of(&s.label) {
+                bucket.push((s.start, layer, &s.label));
+            }
+        }
+        fwd.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite span times"));
+        bwd.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite span times"));
+        for w in fwd.windows(2) {
+            if w[1].1 <= w[0].1 {
+                findings.push(Finding {
+                    kind: DriftKind::StageInversion,
+                    route: None,
+                    detail: format!("{:?} started after {:?} in forward", w[1].2, w[0].2),
+                    planned: None,
+                    measured: None,
+                });
+            }
+        }
+        // Backward runs head, blocks in reverse, then the embedding —
+        // layer ids strictly descending (0 last keeps the order strict).
+        for w in bwd.windows(2) {
+            if w[1].1 >= w[0].1 {
+                findings.push(Finding {
+                    kind: DriftKind::StageInversion,
+                    route: None,
+                    detail: format!("{:?} started after {:?} in backward", w[1].2, w[0].2),
+                    planned: None,
+                    measured: None,
+                });
+            }
+        }
+        for &(bstart, layer, blabel) in &bwd {
+            if let Some(&(fstart, _, flabel)) = fwd.iter().find(|(_, l, _)| *l == layer) {
+                if bstart < fstart {
+                    findings.push(Finding {
+                        kind: DriftKind::StageInversion,
+                        route: None,
+                        detail: format!("{blabel:?} began before {flabel:?}"),
+                        planned: None,
+                        measured: None,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Routes with configured targets must achieve the minimum fraction.
+    fn check_stalls(&self, step: &StepTelemetry, findings: &mut Vec<Finding>) {
+        for (i, route) in Route::ALL.iter().enumerate() {
+            let Some(target) = self.config.bandwidth_targets[i] else {
+                continue;
+            };
+            let Some(achieved) = step.route_metrics[i].achieved_bandwidth() else {
+                continue; // idle route: nothing to rate
+            };
+            let floor = target * self.config.min_bandwidth_fraction;
+            if achieved < floor {
+                findings.push(Finding {
+                    kind: DriftKind::Stall,
+                    route: Some(*route),
+                    detail: format!(
+                        "achieved {achieved:.0} B/s of {target:.0} B/s target \
+                         (floor {floor:.0})"
+                    ),
+                    planned: Some(target as u64),
+                    measured: Some(achieved as u64),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planned_key_accepts_inventory_and_rejects_aliens() {
+        for ok in [
+            "layer0/p16",
+            "layer12/p16#staged",
+            "layer3/p16#pf7",
+            "layer4/moments",
+            "block2/acts",
+        ] {
+            assert!(planned_key(ok), "{ok} should be planned");
+        }
+        for bad in ["rogue/blob", "layer/p16", "blockx/acts", "layers0/p16", ""] {
+            assert!(!planned_key(bad), "{bad} should be unplanned");
+        }
+    }
+
+    #[test]
+    fn layer_label_parsing() {
+        assert_eq!(layer_of("fwd L12"), Some(12));
+        assert_eq!(layer_of("bwd L0"), Some(0));
+        assert_eq!(layer_of("scaler ok"), None);
+    }
+
+    #[test]
+    fn drift_codes_match_the_flight_recorder_table() {
+        for kind in [
+            DriftKind::UnplannedTransfer,
+            DriftKind::ByteMismatch,
+            DriftKind::StageInversion,
+            DriftKind::Stall,
+        ] {
+            let decoded = ratel_obs::EventKind::Drift.code_name(kind.index() as u8);
+            assert_eq!(decoded, Some(kind.name()));
+        }
+    }
+}

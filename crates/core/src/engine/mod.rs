@@ -21,8 +21,10 @@
 
 pub mod bpe;
 pub mod checkpoint;
+pub mod conformance;
 pub mod data;
 pub mod lr;
+pub mod obs;
 pub mod optimizer;
 pub(crate) mod prefetch;
 pub mod profiler;
@@ -32,7 +34,8 @@ pub mod telemetry;
 
 use std::sync::Arc;
 
-use ratel_storage::telemetry::{SpanCategory, TelemetryRecorder};
+use ratel_obs::EventKind;
+use ratel_storage::telemetry::{FaultStats, SpanCategory, TelemetryRecorder};
 use ratel_storage::{Route, StorageError, Tier, TierConfig, TieredStore, TrafficSnapshot};
 use ratel_tensor::dtype::{decode_f16, decode_f32, encode_f16, encode_f32, round_to_f16};
 use ratel_tensor::{
@@ -204,6 +207,9 @@ pub struct StepStats {
     /// Layers whose update was skipped because their (unscaled) gradient
     /// overflowed the f16 range.
     pub skipped_layers: usize,
+    /// Robustness-counter deltas for the step (SSD retries/give-ups and
+    /// host-pressure spills) — always collected, telemetry on or off.
+    pub fault_stats: FaultStats,
 }
 
 /// The out-of-core engine.
@@ -222,6 +228,13 @@ pub struct RatelEngine {
     /// Spans/metrics of the most recent instrumented step (None until a
     /// step runs with telemetry enabled).
     last_telemetry: Option<StepTelemetry>,
+    /// Plan-conformance monitor, checked after every instrumented step
+    /// once [`RatelEngine::enable_conformance`] is called.
+    conformance: Option<conformance::ConformanceMonitor>,
+    /// Findings of the most recent conformance-checked step.
+    last_findings: Vec<conformance::Finding>,
+    /// Cumulative conformance findings across all checked steps.
+    total_findings: u64,
 }
 
 /// Picks a token from `logits` with temperature + top-k filtering;
@@ -319,6 +332,9 @@ impl RatelEngine {
             layer_steps,
             scaler,
             last_telemetry: None,
+            conformance: None,
+            last_findings: Vec::new(),
+            total_findings: 0,
         };
         engine.init_states()?;
         // Debug builds statically verify the engine's movement plan at
@@ -528,10 +544,21 @@ impl RatelEngine {
         tokens: &[usize],
         targets: &[usize],
     ) -> Result<StepStats, RatelError> {
+        let result = self.train_step_inner(tokens, targets);
+        self.seal_step(result)
+    }
+
+    fn train_step_inner(
+        &mut self,
+        tokens: &[usize],
+        targets: &[usize],
+    ) -> Result<StepStats, RatelError> {
         let t0 = std::time::Instant::now();
         let traffic_before = self.store.traffic();
+        let faults_before = self.store.telemetry().fault_stats();
         let step_start = self.begin_step_telemetry();
         self.step += 1;
+        ratel_obs::flight().record(EventKind::StepBegin, 0, "step", 0, self.step);
 
         // Start the optimizer for this step. It runs on its own threads
         // (state prefetcher + updater) and consumes gradient blobs as they
@@ -544,7 +571,26 @@ impl RatelEngine {
             }
             eng.emit_gradient(layer, grads, &optimizer)
         })?;
-        self.finish_step(optimizer, t0, loss, scale, traffic_before, step_start)
+        self.finish_step(
+            optimizer,
+            t0,
+            loss,
+            scale,
+            traffic_before,
+            faults_before,
+            step_start,
+        )
+    }
+
+    /// Flight-records the step outcome: an `Error` event plus a
+    /// postmortem dump when the step failed (the ring's tail then holds
+    /// the failing transfer and its retries), pass-through otherwise.
+    fn seal_step(&self, result: Result<StepStats, RatelError>) -> Result<StepStats, RatelError> {
+        if let Err(e) = &result {
+            ratel_obs::flight().record(EventKind::Error, 0, &e.to_string(), 0, self.step);
+            ratel_obs::dump_postmortem("train step failed");
+        }
+        result
     }
 
     /// Runs one training step over several micro-batches with gradient
@@ -561,11 +607,21 @@ impl RatelEngine {
         &mut self,
         micro_batches: &[(Vec<usize>, Vec<usize>)],
     ) -> Result<StepStats, RatelError> {
+        let result = self.train_step_accumulated_inner(micro_batches);
+        self.seal_step(result)
+    }
+
+    fn train_step_accumulated_inner(
+        &mut self,
+        micro_batches: &[(Vec<usize>, Vec<usize>)],
+    ) -> Result<StepStats, RatelError> {
         assert!(!micro_batches.is_empty(), "need at least one micro-batch");
         let t0 = std::time::Instant::now();
         let traffic_before = self.store.traffic();
+        let faults_before = self.store.telemetry().fault_stats();
         let step_start = self.begin_step_telemetry();
         self.step += 1;
+        ratel_obs::flight().record(EventKind::StepBegin, 0, "step", 0, self.step);
         let scale = self.scaler.current();
         let n = micro_batches.len();
         let inv_n = 1.0 / n as f32;
@@ -609,6 +665,7 @@ impl RatelEngine {
             loss_sum * inv_n,
             scale,
             traffic_before,
+            faults_before,
             step_start,
         )
     }
@@ -662,6 +719,7 @@ impl RatelEngine {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_step(
         &mut self,
         optimizer: ActiveOptimizer,
@@ -669,6 +727,7 @@ impl RatelEngine {
         loss: f32,
         scale: f32,
         traffic_before: TrafficSnapshot,
+        faults_before: FaultStats,
         step_start: Option<(f64, [ratel_storage::RouteMetrics; 4])>,
     ) -> Result<StepStats, RatelError> {
         // Synchronous semantics: the step is not done until every layer's
@@ -691,6 +750,7 @@ impl RatelEngine {
             rec.record_span("engine", SpanCategory::Other, label, t, rec.now());
         }
         let traffic = self.store.traffic().since(&traffic_before);
+        let fault_stats = rec.fault_stats().since(&faults_before);
         let wall_seconds = t0.elapsed().as_secs_f64();
         if let Some((step_start, metrics_before)) = step_start {
             self.last_telemetry = Some(StepTelemetry::collect(
@@ -699,14 +759,35 @@ impl RatelEngine {
                 step_start,
                 wall_seconds,
                 &metrics_before,
+                fault_stats,
             ));
         }
+        // Conformance: hold the instrumented step against the movement
+        // plan; every divergence becomes a structured finding plus a
+        // flight-recorder Drift event.
+        self.last_findings.clear();
+        if let (Some(monitor), Some(t)) = (&self.conformance, self.last_telemetry.as_ref()) {
+            let findings = monitor.check(t);
+            for f in &findings {
+                ratel_obs::flight().record(
+                    EventKind::Drift,
+                    f.kind.index() as u8,
+                    &f.detail,
+                    f.measured.unwrap_or(0),
+                    self.step,
+                );
+            }
+            self.total_findings += findings.len() as u64;
+            self.last_findings = findings;
+        }
+        ratel_obs::flight().record(EventKind::StepEnd, 0, "step", traffic.total(), self.step);
         Ok(StepStats {
             loss,
             traffic,
             wall_seconds,
             loss_scale: scale,
             skipped_layers: skipped.len(),
+            fault_stats,
         })
     }
 
@@ -1176,6 +1257,37 @@ impl RatelEngine {
     /// with telemetry enabled.
     pub fn last_step_telemetry(&self) -> Option<&StepTelemetry> {
         self.last_telemetry.as_ref()
+    }
+
+    /// Turns live plan-conformance monitoring on (enabling telemetry,
+    /// which it needs): after every subsequent step the drained spans and
+    /// traffic are held against the engine's movement plan, and any
+    /// divergence lands in [`RatelEngine::conformance_findings`], the
+    /// flight recorder (as `Drift` events), and the cumulative
+    /// [`RatelEngine::total_findings`] count.
+    pub fn enable_conformance(&mut self, config: conformance::ConformanceConfig) {
+        self.enable_telemetry();
+        self.conformance = Some(conformance::ConformanceMonitor::new(
+            &self.movement_spec(),
+            config,
+        ));
+    }
+
+    /// Findings of the most recent conformance-checked step (empty when
+    /// the step conformed, or monitoring is off).
+    pub fn conformance_findings(&self) -> &[conformance::Finding] {
+        &self.last_findings
+    }
+
+    /// Cumulative conformance findings across all checked steps.
+    pub fn total_findings(&self) -> u64 {
+        self.total_findings
+    }
+
+    /// Training steps run by this engine (including overflow-skipped
+    /// ones).
+    pub fn steps_run(&self) -> u64 {
+        self.step
     }
 
     /// Caps an inter-tier route's bandwidth in the underlying store —

@@ -9,8 +9,10 @@
 //! [`ratel_sim::Timeline`] so a *measured* step renders through the same
 //! Chrome-trace/ASCII writers as a simulated one.
 
-use ratel_sim::{SpanKind, Timeline, TimelineSpan};
-use ratel_storage::telemetry::{RouteMetrics, SpanCategory, SpanRecord, TelemetryRecorder};
+use ratel_sim::{FlowEvent, SpanKind, Timeline, TimelineSpan};
+use ratel_storage::telemetry::{
+    FaultStats, RouteMetrics, SpanCategory, SpanRecord, TelemetryRecorder,
+};
 use ratel_storage::{Route, TrafficSnapshot};
 
 use crate::profile::HardwareProfile;
@@ -62,6 +64,10 @@ pub struct StepTelemetry {
     /// latency histograms, deltas of the recorder's cumulative counters),
     /// indexed like [`Route::ALL`].
     pub route_metrics: [RouteMetrics; 4],
+    /// Robustness-counter deltas for this step: SSD retries and
+    /// give-ups, host-pressure spills. Always collected (the underlying
+    /// counters run even with tracing off).
+    pub fault_stats: FaultStats,
 }
 
 /// Merges possibly-overlapping `(start, end)` intervals into a disjoint,
@@ -157,6 +163,9 @@ impl StepTelemetry {
     /// Converts the step's spans into a substrate-neutral timeline named
     /// `name`, timestamps rebased so the step starts at t=0. Tracks
     /// appear in first-span order; route tracks carry the transfers.
+    /// Each `pf L{n}` prefetch span links to the compute span that
+    /// consumes its staged blob via a [`FlowEvent`] arrow, so the Chrome
+    /// trace shows *which* forward/backward each prefetch fed.
     pub fn timeline(&self, name: &str) -> Timeline {
         let mut tl = Timeline::new(name);
         for s in &self.spans {
@@ -178,7 +187,58 @@ impl StepTelemetry {
                 bytes: s.bytes,
             });
         }
+        tl.flows = self.prefetch_flows(&tl);
         tl
+    }
+
+    /// Matches every prefetch span on the timeline to its consumer: the
+    /// earliest not-yet-claimed `fwd L{n}` / `bwd L{n}` compute span of
+    /// the same layer. The same layer is prefetched once for forward and
+    /// once for backward, so greedy earliest-first matching on the
+    /// already-rebased timeline pairs them correctly. Arrow endpoints sit
+    /// at span midpoints so Perfetto binds each to its enclosing slice.
+    fn prefetch_flows(&self, tl: &Timeline) -> Vec<FlowEvent> {
+        let layer_of = |label: &str| -> Option<usize> {
+            label
+                .rsplit_once('L')
+                .and_then(|(_, n)| n.parse::<usize>().ok())
+        };
+        let mut claimed = vec![false; tl.spans.len()];
+        let mut flows = Vec::new();
+        for pf in tl.spans.iter() {
+            if pf.kind != SpanKind::Prefetch {
+                continue;
+            }
+            let Some(layer) = layer_of(&pf.label) else {
+                continue;
+            };
+            let consumer = tl
+                .spans
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    !claimed[*i]
+                        && matches!(s.kind, SpanKind::Forward | SpanKind::Backward)
+                        && layer_of(&s.label) == Some(layer)
+                        && s.end >= pf.start
+                })
+                .min_by(|a, b| {
+                    a.1.start
+                        .partial_cmp(&b.1.start)
+                        .expect("finite span times")
+                });
+            if let Some((i, c)) = consumer {
+                claimed[i] = true;
+                flows.push(FlowEvent {
+                    name: pf.label.clone(),
+                    from_track: pf.track,
+                    from_ts: 0.5 * (pf.start + pf.end),
+                    to_track: c.track,
+                    to_ts: 0.5 * (c.start + c.end),
+                });
+            }
+        }
+        flows
     }
 
     /// Builds the step record by draining `recorder` — called by the
@@ -191,6 +251,7 @@ impl StepTelemetry {
         step_start: f64,
         wall_seconds: f64,
         metrics_before: &[RouteMetrics; 4],
+        fault_stats: FaultStats,
     ) -> Self {
         let now = recorder.route_metrics();
         let route_metrics = [
@@ -205,6 +266,7 @@ impl StepTelemetry {
             step_start,
             wall_seconds,
             route_metrics,
+            fault_stats,
         }
     }
 }
@@ -232,6 +294,7 @@ mod tests {
             step_start: 0.0,
             wall_seconds: 1.0,
             route_metrics: Default::default(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -274,6 +337,31 @@ mod tests {
         assert!((b.backward - 1.0).abs() < 1e-12);
         assert!((b.transfer - 0.25).abs() < 1e-12);
         assert_eq!(b.optimizer, 0.0);
+    }
+
+    #[test]
+    fn prefetch_flows_link_each_staging_to_its_consumer() {
+        // Layer 1 is prefetched twice (forward then backward); each pf
+        // span must link to its own consumer, earliest-first.
+        let mut t = telemetry(vec![
+            span("param-prefetch", SpanCategory::Prefetch, 0.0, 0.5),
+            span("gpu", SpanCategory::Forward, 1.0, 2.0),
+            span("param-prefetch", SpanCategory::Prefetch, 2.0, 2.5),
+            span("gpu", SpanCategory::Backward, 3.0, 4.0),
+        ]);
+        t.spans[0].label = "pf L1".into();
+        t.spans[1].label = "fwd L1".into();
+        t.spans[2].label = "pf L1".into();
+        t.spans[3].label = "bwd L1".into();
+        let tl = t.timeline("measured");
+        assert_eq!(tl.flows.len(), 2);
+        // First pf -> fwd (midpoints 0.25 -> 1.5).
+        assert!((tl.flows[0].from_ts - 0.25).abs() < 1e-12);
+        assert!((tl.flows[0].to_ts - 1.5).abs() < 1e-12);
+        // Second pf -> bwd, since fwd is already claimed.
+        assert!((tl.flows[1].to_ts - 3.5).abs() < 1e-12);
+        // Arrows cross from the prefetch track to the gpu track.
+        assert_ne!(tl.flows[0].from_track, tl.flows[0].to_track);
     }
 
     #[test]

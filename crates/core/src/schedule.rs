@@ -198,6 +198,44 @@ pub struct ScheduleResources {
 }
 
 impl IterationSpec {
+    /// Per-route planned bytes of one iteration, indexed like
+    /// `ratel_storage::Route::ALL` (GPU→host, host→GPU, host→SSD,
+    /// SSD→host).
+    ///
+    /// Fp16 parameters stage SSD→host→GPU (one count on each hop, twice
+    /// for refetched layers); activations round-trip GPU→host→GPU (plus
+    /// the SSD spill when planned); gradients land GPU→host; out-of-core
+    /// optimizer state I/O is SSD-only. This is the byte ledger both
+    /// `ratel-bench validate` and the plan-conformance monitor hold the
+    /// engine's measured traffic against — *exactly*, since plan and
+    /// engine derive from the same blob inventory.
+    pub fn planned_route_bytes(&self) -> [u64; 4] {
+        let mut g2h = 0.0;
+        let mut h2g = 0.0;
+        let mut h2s = 0.0;
+        let mut s2h = 0.0;
+        for layer in &self.layers {
+            let stages = if layer.refetch_in_backward { 2.0 } else { 1.0 };
+            s2h += layer.p16_bytes * stages;
+            h2g += layer.p16_bytes * stages;
+            let act = layer.act_to_host_bytes + layer.act_to_ssd_bytes;
+            g2h += act + layer.grad_bytes;
+            h2g += act;
+            h2s += layer.act_to_ssd_bytes;
+            s2h += layer.act_to_ssd_bytes;
+            if let OptimizerKind::CpuOutOfCore {
+                read_bytes,
+                write_bytes,
+                ..
+            } = layer.optimizer
+            {
+                s2h += read_bytes;
+                h2s += write_bytes;
+            }
+        }
+        [g2h as u64, h2g as u64, h2s as u64, s2h as u64]
+    }
+
     /// Builds the task DAG for one iteration. Returns the graph, its
     /// resources, and the total GPU FLOPs scheduled (for TFLOPS
     /// reporting).

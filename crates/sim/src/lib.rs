@@ -33,5 +33,5 @@ pub use report::{ResourceUsage, SimReport, StageReport, TimelineEntry};
 pub use trace::{
     analyze_bubbles, ascii_timeline, bubble_summary, bubbles, chrome_trace_json,
     chrome_trace_json_timelines, critical_resource, utilization_breakdown, utilization_table,
-    Bubble, BubbleReport, SpanKind, Timeline, TimelineSpan, UtilizationRow,
+    Bubble, BubbleReport, FlowEvent, SpanKind, Timeline, TimelineSpan, UtilizationRow,
 };

@@ -113,6 +113,25 @@ impl TimelineSpan {
     }
 }
 
+/// A producer→consumer dependency arrow between two points on a
+/// timeline — e.g. a parameter prefetch feeding the forward pass that
+/// consumes the staged blob. Rendered as Chrome trace *flow events*
+/// (`ph: "s"` at the source, `ph: "f"` at the destination), which
+/// Perfetto draws as arrows across tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEvent {
+    /// Arrow label (shared by both endpoints).
+    pub name: String,
+    /// Source track index (into [`Timeline::tracks`]).
+    pub from_track: usize,
+    /// Source timestamp, seconds.
+    pub from_ts: f64,
+    /// Destination track index.
+    pub to_track: usize,
+    /// Destination timestamp, seconds.
+    pub to_ts: f64,
+}
+
 /// A substrate-neutral execution timeline: named tracks holding labeled,
 /// classified spans. Both the simulator ([`Timeline::from_sim`]) and the
 /// real engine (via its telemetry recorder) produce these, so one Chrome
@@ -128,6 +147,8 @@ pub struct Timeline {
     pub tracks: Vec<String>,
     /// The spans; need not be sorted.
     pub spans: Vec<TimelineSpan>,
+    /// Cross-track dependency arrows (may be empty).
+    pub flows: Vec<FlowEvent>,
 }
 
 impl Timeline {
@@ -137,6 +158,7 @@ impl Timeline {
             name: name.into(),
             tracks: Vec::new(),
             spans: Vec::new(),
+            flows: Vec::new(),
         }
     }
 
@@ -188,6 +210,10 @@ impl Timeline {
             for s in &mut self.spans {
                 s.start -= t0;
                 s.end -= t0;
+            }
+            for f in &mut self.flows {
+                f.from_ts -= t0;
+                f.to_ts -= t0;
             }
         }
     }
@@ -313,6 +339,37 @@ pub fn chrome_trace_json_timelines(timelines: &[Timeline]) -> String {
                     name = json_escape(&s.label),
                     cat = s.kind.name(),
                     cname = s.kind.color(),
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+    }
+    // Flow arrows: a `ph:"s"` start and a `ph:"f"` finish (binding point
+    // "e" = enclosing slice) sharing one id per arrow. Ids are unique
+    // across timelines so two processes' arrows never merge.
+    let mut flow_id = 0usize;
+    for (pid, tl) in timelines.iter().enumerate() {
+        for f in &tl.flows {
+            flow_id += 1;
+            push(
+                format!(
+                    "{{\"ph\":\"s\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+                     \"id\":{flow_id},\"name\":\"{name}\",\"cat\":\"flow\"}}",
+                    tid = f.from_track,
+                    ts = f.from_ts * US_PER_SEC,
+                    name = json_escape(&f.name),
+                ),
+                &mut out,
+                &mut first,
+            );
+            push(
+                format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+                     \"id\":{flow_id},\"name\":\"{name}\",\"cat\":\"flow\"}}",
+                    tid = f.to_track,
+                    ts = f.to_ts * US_PER_SEC,
+                    name = json_escape(&f.name),
                 ),
                 &mut out,
                 &mut first,
@@ -594,6 +651,54 @@ mod tests {
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_emits_flow_arrow_pairs() {
+        let mut tl = Timeline::new("measured");
+        let pf = tl.track("param-prefetch");
+        let gpu = tl.track("gpu");
+        tl.flows.push(FlowEvent {
+            name: "pf L1".into(),
+            from_track: pf,
+            from_ts: 0.5,
+            to_track: gpu,
+            to_ts: 1.25,
+        });
+        let json = chrome_trace_json_timelines(&[tl]);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\",\"bp\":\"e\"").count(), 1);
+        // Both endpoints share the arrow's id and name.
+        assert_eq!(json.matches("\"id\":1,\"name\":\"pf L1\"").count(), 2);
+        assert!(json.contains("\"ts\":500000.000"));
+        assert!(json.contains("\"ts\":1250000.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn shift_to_zero_moves_flows_with_spans() {
+        let mut tl = Timeline::new("t");
+        let a = tl.track("a");
+        tl.spans.push(TimelineSpan {
+            track: a,
+            label: "x".into(),
+            kind: SpanKind::Forward,
+            start: 10.0,
+            end: 11.0,
+            task: None,
+            bytes: None,
+        });
+        tl.flows.push(FlowEvent {
+            name: "f".into(),
+            from_track: a,
+            from_ts: 10.25,
+            to_track: a,
+            to_ts: 10.75,
+        });
+        tl.shift_to_zero();
+        assert_eq!(tl.spans[0].start, 0.0);
+        assert!((tl.flows[0].from_ts - 0.25).abs() < 1e-12);
+        assert!((tl.flows[0].to_ts - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -46,6 +46,16 @@ impl FaultOp {
             FaultOp::Remove => "remove",
         }
     }
+
+    /// Stable index, matching the flight recorder's retry/give-up `code`
+    /// contract (`ratel_obs::EventKind::code_name` resolves it back).
+    pub fn index(self) -> usize {
+        match self {
+            FaultOp::Read => 0,
+            FaultOp::Write => 1,
+            FaultOp::Remove => 2,
+        }
+    }
 }
 
 /// What kind of failure to inject.

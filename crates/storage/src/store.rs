@@ -267,6 +267,13 @@ impl TieredStore {
                 Ok(v) => return Ok(v),
                 Err(e) if attempt <= policy.max_retries && e.is_retryable() => {
                     self.telemetry.count_retry();
+                    ratel_obs::flight().record(
+                        ratel_obs::EventKind::Retry,
+                        op.index() as u8,
+                        key,
+                        0,
+                        attempt as u64,
+                    );
                     let backoff = policy.backoff_seconds(attempt);
                     if backoff > 0.0 {
                         std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
@@ -275,6 +282,17 @@ impl TieredStore {
                 Err(e) => {
                     if e.is_retryable() {
                         self.telemetry.count_give_up();
+                        // Black-box the failure: the ring's tail now holds
+                        // this op's retries; dump it before the error
+                        // propagates (the process may not survive it).
+                        ratel_obs::flight().record(
+                            ratel_obs::EventKind::GiveUp,
+                            op.index() as u8,
+                            key,
+                            0,
+                            attempt as u64,
+                        );
+                        ratel_obs::dump_postmortem("ssd retry budget exhausted");
                     }
                     return Err(match e {
                         StorageError::Faulted { op, key, .. } => StorageError::Faulted {
@@ -487,6 +505,13 @@ impl TieredStore {
             // hop is metered so traffic accounting stays honest.
             self.check_fits(&inner, Tier::Ssd, len)?;
             self.telemetry.count_host_spill();
+            ratel_obs::flight().record(
+                ratel_obs::EventKind::Spill,
+                Route::HostToSsd.index() as u8,
+                key,
+                len,
+                0,
+            );
             tier = Tier::Ssd;
         }
         match tier {
@@ -699,6 +724,13 @@ impl TieredStore {
                 tier: Tier::Host, ..
             }) if target == Tier::Host && self.spill_on_host_pressure() => {
                 self.telemetry.count_host_spill();
+                ratel_obs::flight().record(
+                    ratel_obs::EventKind::Spill,
+                    Route::HostToSsd.index() as u8,
+                    key,
+                    0,
+                    0,
+                );
                 match current {
                     // Already on the slow tier: degrading means staying put.
                     Tier::Ssd => Ok(()),
@@ -744,6 +776,13 @@ impl TieredStore {
         for route in [Route::GpuToHost, Route::HostToSsd] {
             let t0 = self.telemetry.enabled().then(|| self.telemetry.now());
             self.traffic.record(route, len);
+            ratel_obs::flight().record(
+                ratel_obs::EventKind::Transfer,
+                route.index() as u8,
+                key,
+                len,
+                0,
+            );
             self.apply_throttle(route, len);
             if let Some(t0) = t0 {
                 self.telemetry
@@ -860,6 +899,13 @@ impl TieredStore {
         };
 
         self.traffic.record(route, len);
+        ratel_obs::flight().record(
+            ratel_obs::EventKind::Transfer,
+            route.index() as u8,
+            key,
+            len,
+            0,
+        );
         self.apply_throttle(route, len);
         if let Some(t0) = t0 {
             self.telemetry
@@ -891,6 +937,13 @@ impl TieredStore {
         for &h in hops {
             let t0 = self.telemetry.enabled().then(|| self.telemetry.now());
             self.traffic.record(h, len);
+            ratel_obs::flight().record(
+                ratel_obs::EventKind::Transfer,
+                h.index() as u8,
+                key,
+                len,
+                0,
+            );
             self.apply_throttle(h, len);
             if let Some(t0) = t0 {
                 self.telemetry

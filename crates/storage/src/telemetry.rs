@@ -19,10 +19,12 @@
 //! spans from concurrent threads share one clock and can be rendered on a
 //! common timeline (see `ratel_sim::trace`).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use ratel_obs::EventKind;
 
 use crate::traffic::Route;
 
@@ -55,6 +57,19 @@ impl SpanCategory {
             SpanCategory::Transfer => "transfer",
             SpanCategory::Prefetch => "prefetch",
             SpanCategory::Other => "other",
+        }
+    }
+
+    /// Stable index, matching the flight recorder's span `code` contract
+    /// (`ratel_obs::EventKind::code_name` resolves it back to a name).
+    pub fn index(self) -> usize {
+        match self {
+            SpanCategory::Forward => 0,
+            SpanCategory::Backward => 1,
+            SpanCategory::Optimizer => 2,
+            SpanCategory::Transfer => 3,
+            SpanCategory::Prefetch => 4,
+            SpanCategory::Other => 5,
         }
     }
 }
@@ -240,9 +255,16 @@ impl RouteMetrics {
     }
 }
 
+/// Default cap on buffered (recorded but not yet drained) spans. An
+/// instrumented step of even a deep model records a few thousand spans,
+/// so a step-draining engine never comes close; the cap exists for the
+/// pathological case — telemetry enabled but never drained — which used
+/// to grow without bound.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
 #[derive(Debug, Default)]
 struct Shared {
-    spans: Vec<SpanRecord>,
+    spans: VecDeque<SpanRecord>,
     routes: [RouteMetrics; 4],
 }
 
@@ -263,6 +285,24 @@ pub struct FaultStats {
     pub host_spills: u64,
 }
 
+impl FaultStats {
+    /// Events counted since `earlier` (an older snapshot): saturating
+    /// per-counter differences. This is how per-step fault deltas in
+    /// `StepTelemetry` are computed from the cumulative counters.
+    pub fn since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            retries: self.retries.saturating_sub(earlier.retries),
+            give_ups: self.give_ups.saturating_sub(earlier.give_ups),
+            host_spills: self.host_spills.saturating_sub(earlier.host_spills),
+        }
+    }
+
+    /// True when no fault-path event was counted.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// Lock-cheap span and metrics recorder shared between the store, the
 /// engine's threads, and the caller (via `Arc`).
 ///
@@ -274,6 +314,8 @@ pub struct TelemetryRecorder {
     enabled: AtomicBool,
     epoch: Instant,
     shared: Mutex<Shared>,
+    span_capacity: AtomicUsize,
+    dropped_spans: AtomicU64,
     retries: AtomicU64,
     give_ups: AtomicU64,
     host_spills: AtomicU64,
@@ -292,6 +334,8 @@ impl TelemetryRecorder {
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
             shared: Mutex::new(Shared::default()),
+            span_capacity: AtomicUsize::new(DEFAULT_SPAN_CAPACITY),
+            dropped_spans: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             give_ups: AtomicU64::new(0),
             host_spills: AtomicU64::new(0),
@@ -315,6 +359,36 @@ impl TelemetryRecorder {
         self.epoch.elapsed().as_secs_f64()
     }
 
+    /// Caps the buffered span store at `cap` (≥ 1): once full, the
+    /// oldest span is evicted per new span (ring semantics) and the
+    /// [`TelemetryRecorder::dropped_spans`] counter is bumped. Excess
+    /// already-buffered spans are evicted immediately.
+    pub fn set_span_capacity(&self, cap: usize) {
+        let cap = cap.max(1);
+        self.span_capacity.store(cap, Ordering::Relaxed);
+        let mut shared = self.shared.lock();
+        while shared.spans.len() > cap {
+            shared.spans.pop_front();
+            self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Spans evicted because the buffer was full and never drained.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans.load(Ordering::Relaxed)
+    }
+
+    /// Appends a span, evicting the oldest when the buffer is at
+    /// capacity. Callers hold the `shared` lock.
+    fn push_span(&self, shared: &mut Shared, span: SpanRecord) {
+        let cap = self.span_capacity.load(Ordering::Relaxed);
+        while shared.spans.len() >= cap {
+            shared.spans.pop_front();
+            self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.spans.push_back(span);
+    }
+
     /// Records a compute/stage span. No-op while disabled.
     pub fn record_span(
         &self,
@@ -327,15 +401,27 @@ impl TelemetryRecorder {
         if !self.enabled() {
             return;
         }
-        self.shared.lock().spans.push(SpanRecord {
-            track: track.to_string(),
-            category,
-            label: label.into(),
-            start,
-            end,
-            bytes: None,
-            route: None,
-        });
+        let label = label.into();
+        ratel_obs::flight().record(
+            EventKind::Span,
+            category.index() as u8,
+            &label,
+            0,
+            ((end - start).max(0.0) * 1e6) as u64,
+        );
+        let mut shared = self.shared.lock();
+        self.push_span(
+            &mut shared,
+            SpanRecord {
+                track: track.to_string(),
+                category,
+                label,
+                start,
+                end,
+                bytes: None,
+                route: None,
+            },
+        );
     }
 
     /// Records a transfer span (route track, `Transfer` category) and
@@ -351,21 +437,24 @@ impl TelemetryRecorder {
         m.bytes += bytes;
         m.seconds += seconds;
         m.histogram.record(seconds);
-        shared.spans.push(SpanRecord {
-            track: route.name().to_string(),
-            category: SpanCategory::Transfer,
-            label: key.to_string(),
-            start,
-            end,
-            bytes: Some(bytes),
-            route: Some(route),
-        });
+        self.push_span(
+            &mut shared,
+            SpanRecord {
+                track: route.name().to_string(),
+                category: SpanCategory::Transfer,
+                label: key.to_string(),
+                start,
+                end,
+                bytes: Some(bytes),
+                route: Some(route),
+            },
+        );
     }
 
     /// Takes all recorded spans, leaving the (cumulative) route metrics in
     /// place. The engine drains once per step to build `StepTelemetry`.
     pub fn drain_spans(&self) -> Vec<SpanRecord> {
-        std::mem::take(&mut self.shared.lock().spans)
+        self.shared.lock().spans.drain(..).collect()
     }
 
     /// Copies the current per-route metrics, indexed like [`Route::ALL`].
@@ -380,6 +469,7 @@ impl TelemetryRecorder {
         shared.spans.clear();
         shared.routes = Default::default();
         drop(shared);
+        self.dropped_spans.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.give_ups.store(0, Ordering::Relaxed);
         self.host_spills.store(0, Ordering::Relaxed);
@@ -501,6 +591,64 @@ mod tests {
         assert_eq!(s.host_spills, 1);
         rec.reset();
         assert_eq!(rec.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn span_store_is_bounded_with_ring_semantics() {
+        // Regression: an enabled-but-never-drained recorder used to grow
+        // its span Vec without limit. It must instead evict the oldest
+        // span and count the drop.
+        let rec = TelemetryRecorder::new();
+        rec.set_enabled(true);
+        rec.set_span_capacity(8);
+        for i in 0..20 {
+            rec.record_span("gpu", SpanCategory::Forward, format!("fwd L{i}"), 0.0, 1.0);
+        }
+        assert_eq!(rec.dropped_spans(), 12);
+        let spans = rec.drain_spans();
+        assert_eq!(spans.len(), 8);
+        // Ring semantics: the *newest* spans survive.
+        assert_eq!(spans[0].label, "fwd L12");
+        assert_eq!(spans[7].label, "fwd L19");
+        // Transfers share the same bounded store.
+        for _ in 0..10 {
+            rec.record_transfer(Route::SsdToHost, "k", 1, 0.0, 0.1);
+        }
+        assert_eq!(rec.drain_spans().len(), 8);
+        assert_eq!(rec.dropped_spans(), 14);
+        // Shrinking the cap evicts immediately.
+        for _ in 0..8 {
+            rec.record_transfer(Route::SsdToHost, "k", 1, 0.0, 0.1);
+        }
+        rec.set_span_capacity(2);
+        assert_eq!(rec.drain_spans().len(), 2);
+        rec.reset();
+        assert_eq!(rec.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn fault_stats_since_subtracts_snapshots() {
+        let a = FaultStats {
+            retries: 5,
+            give_ups: 1,
+            host_spills: 2,
+        };
+        let b = FaultStats {
+            retries: 7,
+            give_ups: 1,
+            host_spills: 4,
+        };
+        let d = b.since(&a);
+        assert_eq!(
+            d,
+            FaultStats {
+                retries: 2,
+                give_ups: 0,
+                host_spills: 2,
+            }
+        );
+        assert!(!d.is_empty());
+        assert!(a.since(&b).is_empty(), "saturating, not wrapping");
     }
 
     #[test]

@@ -8,10 +8,26 @@
 //! into fixed-size bands whose per-element reduction order never depends
 //! on how bands map to threads.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// 0 = "unset, consult the environment".
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Kernel dispatches that fanned out to scoped worker threads.
+static SPAWNED_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+/// Kernel dispatches that ran inline (single worker or tiny buffer).
+static INLINE_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(spawned, inline)` kernel-dispatch counts since process
+/// start — how often `par_rows`/`par_blocks`/`par_chunks` fanned out to
+/// worker threads versus running the closure inline. Cheap relaxed
+/// counters, always on; the observability plane exports them as gauges.
+pub fn parallel_stats() -> (u64, u64) {
+    (
+        SPAWNED_DISPATCHES.load(Ordering::Relaxed),
+        INLINE_DISPATCHES.load(Ordering::Relaxed),
+    )
+}
 
 /// Returns the configured worker-thread count (≥ 1).
 ///
@@ -65,9 +81,11 @@ where
     let rows = out.len() / row_len;
     let threads = num_threads().min(rows.max(1));
     if threads <= 1 || rows <= 1 || out.len() < MIN_BLOCK {
+        INLINE_DISPATCHES.fetch_add(1, Ordering::Relaxed);
         f(0, out);
         return;
     }
+    SPAWNED_DISPATCHES.fetch_add(1, Ordering::Relaxed);
     let per = rows.div_ceil(threads);
     crossbeam::thread::scope(|s| {
         let mut rest = out;
@@ -101,9 +119,11 @@ where
     let len = out.len();
     let threads = num_threads().min(len.div_ceil(MIN_BLOCK).max(1));
     if threads <= 1 {
+        INLINE_DISPATCHES.fetch_add(1, Ordering::Relaxed);
         f(0, out);
         return;
     }
+    SPAWNED_DISPATCHES.fetch_add(1, Ordering::Relaxed);
     let per = len.div_ceil(threads);
     crossbeam::thread::scope(|s| {
         let mut rest = out;
@@ -130,11 +150,13 @@ where
 {
     let threads = num_threads().min(chunks.max(1));
     if threads <= 1 || chunks <= 1 {
+        INLINE_DISPATCHES.fetch_add(1, Ordering::Relaxed);
         for c in 0..chunks {
             f(c);
         }
         return;
     }
+    SPAWNED_DISPATCHES.fetch_add(1, Ordering::Relaxed);
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         let f = &f;
@@ -195,6 +217,19 @@ mod tests {
         for (c, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::SeqCst), 1, "chunk {c}");
         }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn dispatch_counters_track_spawned_and_inline() {
+        let (s0, i0) = parallel_stats();
+        set_num_threads(1);
+        par_chunks(4, |_| {}); // single worker -> inline
+        set_num_threads(2);
+        par_chunks(4, |_| {}); // multi-worker -> spawned
+        let (s1, i1) = parallel_stats();
+        assert!(s1 > s0, "spawned counter should advance");
+        assert!(i1 > i0, "inline counter should advance");
         set_num_threads(1);
     }
 

@@ -71,8 +71,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .last_step_telemetry()
                 .map(|t| t.optimizer_overlap_ratio())
                 .unwrap_or(0.0);
+            // Robustness counters ride along on every step; a healthy
+            // run keeps them at zero, so only surface the exceptions.
+            let faults = if stats.fault_stats.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", faults: {} retries / {} give-ups / {} spills",
+                    stats.fault_stats.retries,
+                    stats.fault_stats.give_ups,
+                    stats.fault_stats.host_spills,
+                )
+            };
             println!(
-                "step {step:>3}: loss {:.4}  ({:.0} ms, {} MB moved: G2M {} / M2G {} / H2S {} / S2H {}, opt overlap {:.0}%)",
+                "step {step:>3}: loss {:.4}  ({:.0} ms, {} MB moved: G2M {} / M2G {} / H2S {} / S2H {}, opt overlap {:.0}%{faults})",
                 stats.loss,
                 stats.wall_seconds * 1e3,
                 stats.traffic.total() / 1_000_000,

@@ -29,6 +29,7 @@ pub use ratel as core;
 pub use ratel_baselines as baselines;
 pub use ratel_hw as hw;
 pub use ratel_model as model;
+pub use ratel_obs as obs;
 pub use ratel_sim as sim;
 pub use ratel_storage as storage;
 pub use ratel_tensor as tensor;

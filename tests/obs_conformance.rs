@@ -1,0 +1,223 @@
+//! Integration tests of the observability plane: the live
+//! plan-conformance monitor must stay silent on clean runs, each seeded
+//! drift class must surface as its structured finding (mirroring the
+//! mutation suite the static verifier gets in `verify_mutations.rs`),
+//! and a permanent SSD fault must leave a flight-recorder postmortem
+//! whose tail names the failing transfer and its retries.
+
+use ratel_repro::core::engine::conformance::{ConformanceConfig, ConformanceMonitor, DriftKind};
+use ratel_repro::core::engine::telemetry::StepTelemetry;
+use ratel_repro::prelude::*;
+use ratel_repro::storage::telemetry::{SpanCategory, SpanRecord};
+use ratel_repro::storage::{FaultKind, FaultPlan, Route};
+
+fn tiny_config() -> GptConfig {
+    GptConfig {
+        vocab: 64,
+        seq: 16,
+        hidden: 32,
+        heads: 4,
+        layers: 3,
+        batch: 2,
+    }
+}
+
+/// The paper's optimized schedule, same shape the `obs` smoke runs:
+/// everything swapped to host, active offload and prefetch on.
+fn build(model: GptConfig) -> RatelEngine {
+    RatelEngine::new(EngineConfig {
+        model,
+        seed: 42,
+        adam: AdamParams::default(),
+        act_decisions: vec![ActDecision::SwapToHost; model.layers],
+        gpu_capacity: None,
+        host_capacity: None,
+        active_offload: true,
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+        lr_schedule: LrSchedule::Constant,
+        dropout: None,
+        prefetch_params: true,
+        frozen_layers: Vec::new(),
+    })
+    .unwrap()
+}
+
+/// One instrumented step's telemetry plus the monitor built from the
+/// same engine's movement spec — the seed every mutation perturbs.
+fn instrumented_step(config: ConformanceConfig) -> (StepTelemetry, ConformanceMonitor) {
+    let model = tiny_config();
+    let mut engine = build(model);
+    engine.enable_telemetry();
+    let monitor = ConformanceMonitor::new(&engine.movement_spec(), config);
+    let (tokens, targets) = random_batch(&model, 1234);
+    engine.train_step(&tokens, &targets).unwrap();
+    let telemetry = engine.last_step_telemetry().unwrap().clone();
+    (telemetry, monitor)
+}
+
+fn kinds(findings: &[ratel_repro::core::engine::conformance::Finding]) -> Vec<DriftKind> {
+    let mut out: Vec<DriftKind> = findings.iter().map(|f| f.kind).collect();
+    out.dedup();
+    out
+}
+
+/// The acceptance criterion's clean half: a healthy engine matches its
+/// own verified plan on every step — zero findings, live in the engine.
+#[test]
+fn clean_runs_produce_zero_findings() {
+    let model = tiny_config();
+    let mut engine = build(model);
+    engine.enable_conformance(ConformanceConfig::default());
+    let (tokens, targets) = random_batch(&model, 7);
+    for step in 0..3 {
+        engine.train_step(&tokens, &targets).unwrap();
+        assert!(
+            engine.conformance_findings().is_empty(),
+            "step {step} drifted: {:?}",
+            engine.conformance_findings()
+        );
+    }
+    assert_eq!(engine.total_findings(), 0);
+}
+
+/// Drift class 1: a transfer whose blob key is outside the planned
+/// inventory is flagged, and nothing else fires.
+#[test]
+fn unplanned_transfer_is_flagged() {
+    let (clean, monitor) = instrumented_step(ConformanceConfig::default());
+    assert!(monitor.check(&clean).is_empty(), "seed telemetry drifted");
+
+    let mut mutated = clean.clone();
+    mutated.spans.push(SpanRecord {
+        track: "host->gpu".into(),
+        category: SpanCategory::Transfer,
+        label: "rogue/blob".into(),
+        start: mutated.step_start,
+        end: mutated.step_start + 1e-4,
+        bytes: Some(4096),
+        route: Some(Route::HostToGpu),
+    });
+    let findings = monitor.check(&mutated);
+    assert_eq!(kinds(&findings), vec![DriftKind::UnplannedTransfer]);
+    assert!(
+        findings[0].detail.contains("rogue/blob"),
+        "finding does not name the alien key: {}",
+        findings[0]
+    );
+}
+
+/// Drift class 2: route traffic that diverges from the plan's ledger —
+/// here wiped to zero, as if a whole route's movement went missing.
+#[test]
+fn byte_mismatch_is_flagged_per_route() {
+    let (clean, monitor) = instrumented_step(ConformanceConfig::default());
+    let mut mutated = clean.clone();
+    mutated.traffic = clean.traffic.since(&clean.traffic); // all-zero snapshot
+    let findings = monitor.check(&mutated);
+    assert_eq!(kinds(&findings), vec![DriftKind::ByteMismatch]);
+    // Every route the plan moves bytes on must report its own mismatch.
+    let planned = monitor.planned_bytes();
+    let expected = planned.iter().filter(|b| **b > 0).count();
+    assert_eq!(findings.len(), expected, "{findings:?}");
+    for f in &findings {
+        assert_eq!(f.measured, Some(0));
+        assert!(f.planned.unwrap() > 0);
+    }
+}
+
+/// Drift class 3: two forward layers started out of plan order.
+#[test]
+fn stage_inversion_is_flagged() {
+    let (clean, monitor) = instrumented_step(ConformanceConfig::default());
+    let mut mutated = clean.clone();
+    let fwd: Vec<usize> = mutated
+        .spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.category == SpanCategory::Forward)
+        .map(|(i, _)| i)
+        .take(2)
+        .collect();
+    assert_eq!(fwd.len(), 2, "expected at least two forward spans");
+    let (a, b) = (fwd[0], fwd[1]);
+    let (sa, sb) = (mutated.spans[a].start, mutated.spans[b].start);
+    mutated.spans[a].start = sb;
+    mutated.spans[b].start = sa;
+    let findings = monitor.check(&mutated);
+    assert_eq!(kinds(&findings), vec![DriftKind::StageInversion]);
+    assert!(
+        findings.iter().any(|f| f.detail.contains("in forward")),
+        "{findings:?}"
+    );
+}
+
+/// Drift class 4: a route with an armed bandwidth target achieving less
+/// than the configured fraction of it stalls. The target here is set
+/// absurdly high so the real measured bandwidth is guaranteed to be
+/// under the floor.
+#[test]
+fn bandwidth_stall_is_flagged_when_a_target_is_armed() {
+    let mut config = ConformanceConfig::default();
+    config.bandwidth_targets[Route::SsdToHost.index()] = Some(1e18);
+    let (clean, monitor) = instrumented_step(config);
+    let findings = monitor.check(&clean);
+    assert_eq!(kinds(&findings), vec![DriftKind::Stall]);
+    assert_eq!(findings[0].route, Some(Route::SsdToHost));
+
+    // The same telemetry with no target armed is clean: the stall check
+    // never invents a floor on its own.
+    let quiet = ConformanceMonitor::new(
+        &build(tiny_config()).movement_spec(),
+        ConformanceConfig::default(),
+    );
+    assert!(quiet.check(&clean).is_empty());
+}
+
+/// A permanent SSD fault exhausts its retries, fails the step, and the
+/// engine dumps the flight recorder: the postmortem must exist and its
+/// event tail must include the failing blob's retries and give-up.
+#[test]
+fn permanent_fault_leaves_a_postmortem_naming_the_failing_transfer() {
+    let dir = std::env::temp_dir().join(format!("ratel-obs-conf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ratel_repro::obs::set_postmortem_dir(&dir);
+
+    let model = tiny_config();
+    let mut engine = build(model);
+    let (tokens, targets) = random_batch(&model, 7);
+    engine.train_step(&tokens, &targets).unwrap();
+
+    // The SSD "loses" one parameter blob for good.
+    let plan = std::sync::Arc::new(FaultPlan::new());
+    plan.fault_on_key("layer0/p16", FaultKind::Permanent);
+    engine.store().set_fault_plan(Some(plan));
+    let err = engine.train_step(&tokens, &targets).unwrap_err();
+    let msg = err.to_string();
+
+    let path = ratel_repro::obs::last_postmortem().expect("step failure dumps a postmortem");
+    assert!(path.starts_with(&dir), "dump landed at {}", path.display());
+    assert!(ratel_repro::obs::looks_like_postmortem(&path));
+    let dump = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        dump.contains("\"reason\":\"train step failed\""),
+        "dump header lacks the failure reason"
+    );
+    assert!(
+        dump.contains("\"kind\":\"retry\"") && dump.contains("layer0/p16"),
+        "dump does not show the failing blob's retries"
+    );
+    assert!(
+        dump.contains("\"kind\":\"give_up\""),
+        "dump does not show the give-up"
+    );
+    assert!(
+        dump.contains("\"kind\":\"error\""),
+        "dump does not show the surfaced step error"
+    );
+    assert!(
+        msg.contains("layer0/p16"),
+        "error does not name the blob: {msg}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
