@@ -5,14 +5,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ratel::engine::data::random_batch;
 use ratel::engine::reference::ReferenceTrainer;
 use ratel::engine::scaler::ScalePolicy;
-use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
+use ratel::engine::{ActDecision, EngineConfig, ExecutionOptions, ExecutorOptions, RatelEngine};
+use ratel::offload::GradOffloadMode;
 use ratel_tensor::{AdamParams, GptConfig};
 
 fn bench_engine(c: &mut Criterion) {
     let model = GptConfig::tiny();
     let (tokens, targets) = random_batch(&model, 1);
 
-    let make = |acts: Vec<ActDecision>, active: bool| {
+    let make = |acts: Vec<ActDecision>, offload: GradOffloadMode| {
         RatelEngine::new(EngineConfig {
             model,
             seed: 42,
@@ -20,33 +21,47 @@ fn bench_engine(c: &mut Criterion) {
             act_decisions: acts,
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: active,
+            execution: ExecutionOptions::Executor(ExecutorOptions {
+                offload,
+                ..ExecutorOptions::default()
+            }),
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap()
     };
 
-    let mut swap_host = make(vec![ActDecision::SwapToHost; model.layers], true);
+    let mut swap_host = make(
+        vec![ActDecision::SwapToHost; model.layers],
+        GradOffloadMode::OptimizedActive,
+    );
     c.bench_function("engine/step_swap_host", |b| {
         b.iter(|| std::hint::black_box(swap_host.train_step(&tokens, &targets).unwrap().loss))
     });
 
-    let mut swap_ssd = make(vec![ActDecision::SwapToSsd; model.layers], true);
+    let mut swap_ssd = make(
+        vec![ActDecision::SwapToSsd; model.layers],
+        GradOffloadMode::OptimizedActive,
+    );
     c.bench_function("engine/step_swap_ssd", |b| {
         b.iter(|| std::hint::black_box(swap_ssd.train_step(&tokens, &targets).unwrap().loss))
     });
 
-    let mut recompute = make(vec![ActDecision::Recompute; model.layers], true);
+    let mut recompute = make(
+        vec![ActDecision::Recompute; model.layers],
+        GradOffloadMode::OptimizedActive,
+    );
     c.bench_function("engine/step_recompute", |b| {
         b.iter(|| std::hint::black_box(recompute.train_step(&tokens, &targets).unwrap().loss))
     });
 
-    let mut separate = make(vec![ActDecision::SwapToHost; model.layers], false);
+    let mut separate = make(
+        vec![ActDecision::SwapToHost; model.layers],
+        GradOffloadMode::SeparateStage,
+    );
     c.bench_function("engine/step_separate_stage", |b| {
         b.iter(|| std::hint::black_box(separate.train_step(&tokens, &targets).unwrap().loss))
     });
@@ -59,11 +74,17 @@ fn bench_engine(c: &mut Criterion) {
     // Telemetry overhead: the recorder's disabled path is one relaxed
     // atomic load per would-be event; enabled, every span/transfer takes
     // a short critical section. These two series bound the cost.
-    let mut untraced = make(vec![ActDecision::SwapToHost; model.layers], true);
+    let mut untraced = make(
+        vec![ActDecision::SwapToHost; model.layers],
+        GradOffloadMode::OptimizedActive,
+    );
     c.bench_function("engine/step_telemetry_disabled", |b| {
         b.iter(|| std::hint::black_box(untraced.train_step(&tokens, &targets).unwrap().loss))
     });
-    let mut traced = make(vec![ActDecision::SwapToHost; model.layers], true);
+    let mut traced = make(
+        vec![ActDecision::SwapToHost; model.layers],
+        GradOffloadMode::OptimizedActive,
+    );
     traced.enable_telemetry();
     c.bench_function("engine/step_telemetry_enabled", |b| {
         b.iter(|| std::hint::black_box(traced.train_step(&tokens, &targets).unwrap().loss))
@@ -90,12 +111,11 @@ fn bench_engine_features(c: &mut Criterion) {
             act_decisions: vec![ActDecision::SwapToHost; model.layers],
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: true,
+            execution: ExecutionOptions::default(),
             loss_scale: ratel::engine::scaler::ScalePolicy::Static(1024.0),
             grad_clip: Some(1.0),
             lr_schedule: ratel::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap()

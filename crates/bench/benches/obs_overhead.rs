@@ -12,7 +12,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ratel::engine::data::random_batch;
 use ratel::engine::scaler::ScalePolicy;
-use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
+use ratel::engine::{ActDecision, EngineConfig, ExecutionOptions, RatelEngine};
 use ratel_obs::{flight, EventKind};
 use ratel_tensor::{AdamParams, GptConfig};
 
@@ -58,12 +58,11 @@ fn bench_obs_overhead(c: &mut Criterion) {
             act_decisions: vec![ActDecision::SwapToHost; model.layers],
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: true,
+            execution: ExecutionOptions::default(),
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap()

@@ -2,7 +2,7 @@
 //! throughput, emitted as `BENCH_*.json` files committed at the repo
 //! root and re-checked by `ratel-bench bench --check`.
 //!
-//! Three suites:
+//! Four suites:
 //!
 //! * **kernels** — GFLOP/s of the naive reference matmul vs the tiled
 //!   GEMM at 1 and 4 configured worker threads, over a size ladder;
@@ -11,7 +11,14 @@
 //!   (asserted zero: regressions reintroducing per-call allocation fail
 //!   the bench, not just slow it down);
 //! * **ssd** — GB/s of the SSD tier per route: per-blob random writes vs
-//!   one coalesced `put_batch` segment write, and the read-back path.
+//!   one coalesced `put_batch` segment write, and the read-back path;
+//! * **executor** — steps/s of the schedule-driven resource-pool
+//!   executor vs both legacy stage loops on a route-throttled engine
+//!   (so transfer overlap, not raw compute, decides the ranking), plus
+//!   the executor's speedup over each and its per-pool utilisation.
+//!   Speedups and utilisations use the `ratio` metric, which the
+//!   regression check compares *without* calibration scaling: a ratio
+//!   of two wall-clocks on the same box is already machine-free.
 //!
 //! Everything is hand-rolled (timing, JSON emit, JSON parse) so the
 //! harness adds no dependencies. Timing takes the minimum over a few
@@ -36,7 +43,7 @@ pub const SCHEMA: &str = "ratel-bench-perf/1";
 pub const REGRESSION_THRESHOLD: f64 = 0.20;
 
 /// The suite names, in emission order.
-pub const SUITES: [&str; 3] = ["kernels", "adam", "ssd"];
+pub const SUITES: [&str; 4] = ["kernels", "adam", "ssd", "executor"];
 
 // ---------------------------------------------------------------------
 // Counting allocator
@@ -105,9 +112,11 @@ pub struct PerfSuite {
 }
 
 /// Higher-is-better metrics (regression = value dropped); `allocs` is
-/// lower-is-better and checked strictly.
+/// lower-is-better and checked strictly. `ratio` is higher-is-better
+/// but never calibration-scaled: it divides two wall-clocks measured on
+/// the same machine, so machine speed already cancels.
 fn is_throughput(metric: &str) -> bool {
-    matches!(metric, "gflops" | "elems_per_s" | "gbps")
+    matches!(metric, "gflops" | "elems_per_s" | "gbps" | "ratio")
 }
 
 // ---------------------------------------------------------------------
@@ -198,6 +207,7 @@ pub fn run_suite(suite: &str, smoke: bool) -> Result<PerfSuite, String> {
         "kernels" => run_kernels(smoke),
         "adam" => run_adam(smoke),
         "ssd" => run_ssd(smoke)?,
+        "executor" => run_executor(smoke)?,
         other => return Err(format!("unknown suite {other:?} ({})", SUITES.join("|"))),
     };
     result.calibration = calibration_score();
@@ -448,6 +458,138 @@ fn run_ssd(smoke: bool) -> Result<PerfSuite, String> {
     })
 }
 
+fn run_executor(smoke: bool) -> Result<PerfSuite, String> {
+    use ratel::engine::data::random_batch;
+    use ratel::engine::executor::TaskBreakdown;
+    use ratel::engine::lr::LrSchedule;
+    use ratel::engine::scaler::ScalePolicy;
+    use ratel::engine::{
+        ActDecision, EngineConfig, ExecutionOptions, ExecutorOptions, RatelEngine,
+    };
+    use ratel_sim::ResourceClass;
+    use ratel_storage::Route;
+    use ratel_tensor::GptConfig;
+
+    // Small enough that compute is cheap, routes throttled hard enough
+    // that state I/O takes real time: whichever mode overlaps transfers
+    // with compute best wins, which is exactly what this suite tracks.
+    let model = GptConfig {
+        vocab: 128,
+        seq: 32,
+        hidden: 64,
+        heads: 4,
+        layers: 4,
+        batch: 4,
+    };
+    let steps = if smoke { 3u64 } else { 6 };
+    let mk = |execution: ExecutionOptions| -> Result<RatelEngine, String> {
+        let engine = RatelEngine::new(EngineConfig {
+            model,
+            seed: 55,
+            adam: AdamParams::default(),
+            act_decisions: vec![ActDecision::SwapToHost; model.layers],
+            gpu_capacity: None,
+            host_capacity: None,
+            execution,
+            loss_scale: ScalePolicy::None,
+            grad_clip: None,
+            lr_schedule: LrSchedule::Constant,
+            dropout: None,
+            frozen_layers: Vec::new(),
+        })
+        .map_err(|e| e.to_string())?;
+        engine.set_route_throttle(Route::SsdToHost, Some(20e6));
+        engine.set_route_throttle(Route::HostToSsd, Some(20e6));
+        Ok(engine)
+    };
+    let (tokens, targets) = random_batch(&model, 9);
+    let time_mode =
+        |execution: ExecutionOptions| -> Result<(f64, f32, Option<TaskBreakdown>), String> {
+            let mut engine = mk(execution)?;
+            // Warm-up step: first-touch staging and file creation.
+            engine
+                .train_step(&tokens, &targets)
+                .map_err(|e| e.to_string())?;
+            let t0 = Instant::now();
+            let mut loss = 0.0;
+            let mut tasks = None;
+            for _ in 0..steps {
+                let stats = engine
+                    .train_step(&tokens, &targets)
+                    .map_err(|e| e.to_string())?;
+                loss = stats.loss;
+                tasks = stats.tasks;
+            }
+            Ok((steps as f64 / t0.elapsed().as_secs_f64(), loss, tasks))
+        };
+
+    let (exec_sps, exec_loss, exec_tasks) =
+        time_mode(ExecutionOptions::Executor(ExecutorOptions::default()))?;
+    let (overlap_sps, overlap_loss, _) = time_mode(ExecutionOptions::LegacyOverlapped {
+        prefetch_params: false,
+    })?;
+    let (separate_sps, separate_loss, _) = time_mode(ExecutionOptions::LegacySeparateStage {
+        prefetch_params: false,
+    })?;
+
+    // The ranking is only meaningful if every mode computed the same
+    // step; a numeric divergence here is a bug, not a perf result.
+    if exec_loss != overlap_loss || exec_loss != separate_loss {
+        return Err(format!(
+            "modes diverged: executor {exec_loss} vs overlapped {overlap_loss} \
+             vs separate {separate_loss}"
+        ));
+    }
+    let tasks = exec_tasks.ok_or("executor mode reported no task breakdown")?;
+
+    let mut entries = vec![
+        PerfEntry {
+            name: "engine_steps_executor".into(),
+            metric: "elems_per_s".into(),
+            value: exec_sps,
+        },
+        PerfEntry {
+            name: "engine_steps_legacy_overlapped".into(),
+            metric: "elems_per_s".into(),
+            value: overlap_sps,
+        },
+        PerfEntry {
+            name: "engine_steps_legacy_separate".into(),
+            metric: "elems_per_s".into(),
+            value: separate_sps,
+        },
+        PerfEntry {
+            name: "executor_over_legacy_overlapped".into(),
+            metric: "ratio".into(),
+            value: exec_sps / overlap_sps,
+        },
+        PerfEntry {
+            name: "executor_over_legacy_separate".into(),
+            metric: "ratio".into(),
+            value: exec_sps / separate_sps,
+        },
+    ];
+    // Per-worker utilisation of the bottleneck pool: busy seconds over
+    // wall clock times pool width. The throttle puts the whole step on
+    // the SSD array, so this is the paper's "keep the hop busy" claim
+    // in number form; a scheduling regression shows up here before it
+    // shows up in steps/s. (The PCIe pools are near-idle by design in
+    // this scenario — their utilisation would only measure noise.)
+    let util = tasks.pool(ResourceClass::SsdArray).map_or(0.0, |p| {
+        p.busy_seconds / (tasks.wall_seconds * p.workers.max(1) as f64)
+    });
+    entries.push(PerfEntry {
+        name: "executor_util_ssd".into(),
+        metric: "ratio".into(),
+        value: util,
+    });
+    Ok(PerfSuite {
+        suite: "executor".into(),
+        calibration: 0.0,
+        entries,
+    })
+}
+
 // ---------------------------------------------------------------------
 // JSON emit / parse / check
 // ---------------------------------------------------------------------
@@ -553,7 +695,13 @@ pub fn check_regressions(current: &PerfSuite, baseline: &PerfSuite) -> Vec<Strin
             continue;
         }
         if is_throughput(&cur.metric) {
-            let adjusted = cur.value * scale;
+            // Ratios are same-machine quotients; rescaling them by the
+            // calibration ratio would *introduce* a machine dependence.
+            let adjusted = if cur.metric == "ratio" {
+                cur.value
+            } else {
+                cur.value * scale
+            };
             let floor = base.value * (1.0 - REGRESSION_THRESHOLD);
             if adjusted < floor {
                 failures.push(format!(

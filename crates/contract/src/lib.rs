@@ -1,0 +1,402 @@
+#![warn(missing_docs)]
+//! The plan contract: the types a movement schedule is *made of*.
+//!
+//! One schedule representation flows through the whole stack — the
+//! planner emits it, `ratel-sim` simulates it, `ratel-verify` proves it
+//! safe, and the engine's resource-pool executor dispatches it. This
+//! leaf crate holds the shared vocabulary so none of those layers has to
+//! depend on another to talk about a task: task/resource identities, the
+//! training [`Stage`] attribution, and the semantic [`TaskMeta`] layer
+//! (which logical blob each task reads or writes and at which version,
+//! which [`OpClass`] it performs, which memory-tier residency it opens
+//! or closes).
+//!
+//! All metadata is optional at the graph level: tasks without it
+//! simulate exactly as before and are simply invisible to the static
+//! passes. For the executor, however, the contract is load-bearing — the
+//! `ResourceClass` of a task's bound resource decides which worker pool
+//! runs it.
+
+/// Identifies a resource registered with a task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub usize);
+
+/// Identifies a task within a task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// The training stage a task is attributed to, for breakdown reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Forward propagation.
+    Forward,
+    /// Backward propagation (includes recomputation).
+    Backward,
+    /// Optimizer execution (SSD state I/O + CPU Adam).
+    Optimizer,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 3] = [Stage::Forward, Stage::Backward, Stage::Optimizer];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Forward => "forward",
+            Stage::Backward => "backward",
+            Stage::Optimizer => "optimizer",
+        }
+    }
+}
+
+/// The kind of logical blob a task touches.
+///
+/// *Persistent* kinds ([`BlobKind::is_persistent`]) survive across
+/// iterations in exactly one storage location, so writing version `v+1`
+/// physically overwrites what readers of version `v` depend on — the
+/// verifier enforces write-after-read ordering for them. The remaining
+/// kinds are transient, double-buffered staging or per-iteration data,
+/// where only read-after-write (producer dominates consumer) applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlobKind {
+    /// The fp16 parameter copy wherever it persists between iterations
+    /// (SSD for Ratel/ZeRO-Infinity, host for ZeRO-Offload, GPU for
+    /// FlashNeuron/Megatron). Persistent.
+    Param16,
+    /// P32 master weights + OS32 optimizer moments. Persistent.
+    Master,
+    /// A layer's fp16 gradient as it moves GPU → host (→ SSD).
+    Grad,
+    /// The CPU-reduced multi-GPU gradient.
+    GradReduced,
+    /// A layer's saved activations along the offload/reload chain
+    /// (GPU produce → host offload → SSD spill → reload).
+    Act,
+    /// Forward hidden state at a layer boundary (per GPU).
+    Flow,
+    /// Backward hidden-state gradient at a layer boundary (per GPU).
+    FlowGrad,
+    /// Host staging buffer for a parameter fetch (SSD → host hop).
+    Stage,
+    /// The GPU-resident copy of a layer's fetched fp16 parameters.
+    ParamGpu,
+    /// Staging/working buffers of an optimizer handler.
+    StageOpt,
+}
+
+impl BlobKind {
+    /// Whether versions of this blob share one physical location (see the
+    /// type-level docs): write-after-read hazards are checked only for
+    /// persistent kinds.
+    pub fn is_persistent(self) -> bool {
+        matches!(self, BlobKind::Param16 | BlobKind::Master)
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlobKind::Param16 => "p16",
+            BlobKind::Master => "master",
+            BlobKind::Grad => "grad",
+            BlobKind::GradReduced => "grad-reduced",
+            BlobKind::Act => "act",
+            BlobKind::Flow => "flow",
+            BlobKind::FlowGrad => "flow-grad",
+            BlobKind::Stage => "stage",
+            BlobKind::ParamGpu => "param-gpu",
+            BlobKind::StageOpt => "stage-opt",
+        }
+    }
+}
+
+/// Identifies one logical blob: a kind, its owning layer, and (for
+/// per-GPU data) the GPU replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlobKey {
+    /// What the blob is.
+    pub kind: BlobKind,
+    /// Owning layer (or layer boundary for [`BlobKind::Flow`]).
+    pub layer: usize,
+    /// GPU replica for per-GPU blobs; `None` for shared blobs.
+    pub gpu: Option<usize>,
+}
+
+impl BlobKey {
+    /// A shared (not per-GPU) blob.
+    pub fn shared(kind: BlobKind, layer: usize) -> Self {
+        BlobKey {
+            kind,
+            layer,
+            gpu: None,
+        }
+    }
+
+    /// A per-GPU blob.
+    pub fn on_gpu(kind: BlobKind, layer: usize, gpu: usize) -> Self {
+        BlobKey {
+            kind,
+            layer,
+            gpu: Some(gpu),
+        }
+    }
+}
+
+impl std::fmt::Display for BlobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.gpu {
+            Some(g) => write!(f, "{}[L{} g{}]", self.kind.name(), self.layer, g),
+            None => write!(f, "{}[L{}]", self.kind.name(), self.layer),
+        }
+    }
+}
+
+/// A blob at a specific version. Version 0 is the initial, pre-schedule
+/// state (legal to read without a recorded producer); each write bumps
+/// the version by one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VersionedBlob {
+    /// Which blob.
+    pub key: BlobKey,
+    /// Which version of it.
+    pub version: u64,
+}
+
+impl std::fmt::Display for VersionedBlob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@v{}", self.key, self.version)
+    }
+}
+
+/// The class of operation a task performs, matched against the
+/// [`ResourceClass`] of the resource it is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// A GPU kernel.
+    GpuCompute,
+    /// CPU work (Adam updates, gradient reduction).
+    CpuCompute,
+    /// GPU → host PCIe transfer.
+    TransferG2M,
+    /// Host → GPU PCIe transfer.
+    TransferM2G,
+    /// A read served by the SSD array.
+    SsdRead,
+    /// A write served by the SSD array.
+    SsdWrite,
+    /// Framework hook / synchronization stall (occupies no data path).
+    Hook,
+}
+
+impl OpClass {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::GpuCompute => "gpu-compute",
+            OpClass::CpuCompute => "cpu-compute",
+            OpClass::TransferG2M => "xfer-g2m",
+            OpClass::TransferM2G => "xfer-m2g",
+            OpClass::SsdRead => "ssd-read",
+            OpClass::SsdWrite => "ssd-write",
+            OpClass::Hook => "hook",
+        }
+    }
+}
+
+/// The class of a registered resource, declared by the schedule builder
+/// so the verifier can check task-to-resource legality — and so the
+/// executor knows which worker pool serves the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceClass {
+    /// A GPU's execution units.
+    GpuCompute,
+    /// The host CPU.
+    CpuCompute,
+    /// One GPU's G2M PCIe direction (the duplex link's down lane).
+    PcieG2M,
+    /// One GPU's M2G PCIe direction (the duplex link's up lane).
+    PcieM2G,
+    /// The *simplex* SSD array: one FIFO shared by reads and writes.
+    SsdArray,
+    /// Bookkeeping resource for hook/stall time (no hardware behind it).
+    Overhead,
+}
+
+impl ResourceClass {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceClass::GpuCompute => "gpu",
+            ResourceClass::CpuCompute => "cpu",
+            ResourceClass::PcieG2M => "pcie-g2m",
+            ResourceClass::PcieM2G => "pcie-m2g",
+            ResourceClass::SsdArray => "ssd",
+            ResourceClass::Overhead => "overhead",
+        }
+    }
+}
+
+/// A memory tier for residency-interval accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemTier {
+    /// GPU device memory.
+    Gpu,
+    /// Host main memory.
+    Host,
+    /// The SSD array.
+    Ssd,
+}
+
+impl MemTier {
+    /// All tiers, in capacity order.
+    pub const ALL: [MemTier; 3] = [MemTier::Gpu, MemTier::Host, MemTier::Ssd];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemTier::Gpu => "gpu",
+            MemTier::Host => "host",
+            MemTier::Ssd => "ssd",
+        }
+    }
+}
+
+/// A residency allocation: `bytes` of `blob` occupy `tier` from the
+/// completion of the allocating task until the completion of the task
+/// that records the matching [`TaskMeta::frees`] entry (or forever).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidencyAlloc {
+    /// Which tier holds the bytes.
+    pub tier: MemTier,
+    /// Which blob they belong to (used to match the release).
+    pub blob: BlobKey,
+    /// How many bytes.
+    pub bytes: f64,
+}
+
+/// Semantic metadata attached to one task. Everything defaults to empty;
+/// a default `TaskMeta` with just an op class and iteration is already
+/// useful to the legality pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskMeta {
+    /// Operation class, checked against the bound resource's class.
+    pub op: OpClass,
+    /// 0-based training iteration the task belongs to.
+    pub iteration: usize,
+    /// Versioned blobs this task consumes.
+    pub reads: Vec<VersionedBlob>,
+    /// Versioned blobs this task produces.
+    pub writes: Vec<VersionedBlob>,
+    /// Residency intervals opened by this task.
+    pub allocs: Vec<ResidencyAlloc>,
+    /// Residency intervals (identified by tier + blob) closed by this
+    /// task's completion.
+    pub frees: Vec<(MemTier, BlobKey)>,
+}
+
+impl TaskMeta {
+    /// Metadata with an op class and iteration, nothing else.
+    pub fn new(op: OpClass, iteration: usize) -> Self {
+        TaskMeta {
+            op,
+            iteration,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            allocs: Vec::new(),
+            frees: Vec::new(),
+        }
+    }
+
+    /// Adds a read.
+    pub fn read(mut self, blob: VersionedBlob) -> Self {
+        self.reads.push(blob);
+        self
+    }
+
+    /// Adds a write.
+    pub fn write(mut self, blob: VersionedBlob) -> Self {
+        self.writes.push(blob);
+        self
+    }
+
+    /// Opens a residency interval (skipped for zero/negative sizes).
+    pub fn alloc(mut self, tier: MemTier, blob: BlobKey, bytes: f64) -> Self {
+        if bytes > 0.0 {
+            self.allocs.push(ResidencyAlloc { tier, blob, bytes });
+        }
+        self
+    }
+
+    /// Closes a residency interval.
+    pub fn free(mut self, tier: MemTier, blob: BlobKey) -> Self {
+        self.frees.push((tier, blob));
+        self
+    }
+}
+
+/// A dependency edge `from -> to` (`to` waits for `from`), as reported
+/// by a task graph's edge iterator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// The prerequisite task.
+    pub from: TaskId,
+    /// The dependent task.
+    pub to: TaskId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistent_kinds_are_exactly_params_and_master() {
+        for kind in [
+            BlobKind::Param16,
+            BlobKind::Master,
+            BlobKind::Grad,
+            BlobKind::GradReduced,
+            BlobKind::Act,
+            BlobKind::Flow,
+            BlobKind::FlowGrad,
+            BlobKind::Stage,
+            BlobKind::ParamGpu,
+            BlobKind::StageOpt,
+        ] {
+            assert_eq!(
+                kind.is_persistent(),
+                matches!(kind, BlobKind::Param16 | BlobKind::Master),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn meta_builder_accumulates_and_skips_empty_allocs() {
+        let blob = BlobKey::shared(BlobKind::Grad, 3);
+        let meta = TaskMeta::new(OpClass::CpuCompute, 0)
+            .read(VersionedBlob {
+                key: blob,
+                version: 1,
+            })
+            .alloc(MemTier::Host, blob, 0.0)
+            .alloc(MemTier::Host, blob, 64.0)
+            .free(MemTier::Host, blob);
+        assert_eq!(meta.reads.len(), 1);
+        assert_eq!(meta.allocs.len(), 1);
+        assert_eq!(meta.frees.len(), 1);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let shared = BlobKey::shared(BlobKind::Param16, 2);
+        let per_gpu = BlobKey::on_gpu(BlobKind::Flow, 1, 0);
+        assert_eq!(shared.to_string(), "p16[L2]");
+        assert_eq!(per_gpu.to_string(), "flow[L1 g0]");
+        let v = VersionedBlob {
+            key: shared,
+            version: 4,
+        };
+        assert_eq!(v.to_string(), "p16[L2]@v4");
+    }
+}

@@ -32,6 +32,16 @@
 //! construction (see [`Batch`]) instead of panicking deep in the tensor
 //! crate; and the builder's [`Ratel::build`] reports *every* config
 //! violation at once.
+//!
+//! # Plan-first flow
+//!
+//! [`Ratel::build`] is a shorthand for [`Ratel::plan`] followed by
+//! [`TrainingPlan::build`]. The intermediate [`TrainingPlan`] is the
+//! profiled, validated movement plan: inspect its activation
+//! [`decisions`](TrainingPlan::decisions), its per-route
+//! [`planned_route_bytes`](TrainingPlan::planned_route_bytes), or run
+//! the full static [`verify`](TrainingPlan::verify) pass — all before
+//! any tensor is allocated. The engine then executes exactly this plan.
 
 use std::sync::Arc;
 
@@ -42,8 +52,11 @@ use crate::batch::Batch;
 use crate::engine::lr::LrSchedule;
 use crate::engine::profiler::{plan_decisions, MeasuredProfile};
 use crate::engine::scaler::ScalePolicy;
-use crate::engine::{ActDecision, EngineConfig, RatelEngine, StepStats};
+use crate::engine::{
+    movement_spec_for, ActDecision, EngineConfig, ExecutionOptions, RatelEngine, StepStats,
+};
 use crate::error::RatelError;
+use crate::schedule::IterationSpec;
 
 /// Builder for a [`RatelTrainer`] — the `Ratel_init()` of Fig. 4.
 #[derive(Debug, Clone)]
@@ -57,11 +70,10 @@ pub struct Ratel {
     grad_clip: Option<f32>,
     lr_schedule: LrSchedule,
     dropout: Option<f32>,
-    prefetch_params: bool,
     frozen_layers: Vec<usize>,
     throttles: Vec<(Route, f64)>,
     act_override: Option<Vec<ActDecision>>,
-    active_offload: bool,
+    execution: ExecutionOptions,
     probe_bytes: usize,
     fault_plan: Option<Arc<FaultPlan>>,
     retry_policy: Option<RetryPolicy>,
@@ -82,11 +94,10 @@ impl Ratel {
             grad_clip: None,
             lr_schedule: LrSchedule::Constant,
             dropout: None,
-            prefetch_params: true,
             frozen_layers: Vec::new(),
             throttles: Vec::new(),
             act_override: None,
-            active_offload: true,
+            execution: ExecutionOptions::default(),
             probe_bytes: 1 << 20,
             fault_plan: None,
             retry_policy: None,
@@ -149,9 +160,28 @@ impl Ratel {
         self
     }
 
+    /// Selects how steps run: the schedule-driven executor (default) or
+    /// one of the legacy hand-coded stage loops. See
+    /// [`ExecutionOptions`].
+    pub fn execution(mut self, execution: ExecutionOptions) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// Disables the parameter-prefetch pipeline (on by default).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execution(ExecutionOptions::LegacyOverlapped { prefetch_params: false })`"
+    )]
     pub fn without_param_prefetch(mut self) -> Self {
-        self.prefetch_params = false;
+        self.execution = match self.execution {
+            ExecutionOptions::LegacySeparateStage { .. } => ExecutionOptions::LegacySeparateStage {
+                prefetch_params: false,
+            },
+            _ => ExecutionOptions::LegacyOverlapped {
+                prefetch_params: false,
+            },
+        };
         self
     }
 
@@ -177,8 +207,21 @@ impl Ratel {
     }
 
     /// Disables overlap (the Ratel+ZeRO ablation).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execution(ExecutionOptions::LegacySeparateStage { prefetch_params: true })` \
+                or the executor's `GradOffloadMode::SeparateStage`"
+    )]
     pub fn separate_optimizer_stage(mut self) -> Self {
-        self.active_offload = false;
+        self.execution = match self.execution {
+            ExecutionOptions::LegacyOverlapped { prefetch_params }
+            | ExecutionOptions::LegacySeparateStage { prefetch_params } => {
+                ExecutionOptions::LegacySeparateStage { prefetch_params }
+            }
+            ExecutionOptions::Executor(_) => ExecutionOptions::LegacySeparateStage {
+                prefetch_params: true,
+            },
+        };
         self
     }
 
@@ -219,14 +262,15 @@ impl Ratel {
     }
 
     /// Runs the profiling stage (unless decisions were overridden), plans
-    /// the activations, and builds the trainer.
+    /// the activations, and returns the [`TrainingPlan`] — validated,
+    /// inspectable, and statically verifiable — without building any
+    /// model state yet. [`TrainingPlan::build`] turns it into a trainer.
     ///
     /// # Errors
     /// [`RatelError::InvalidConfig`] listing *every* configuration
-    /// violation found; [`RatelError::Storage`] if the substrate fails;
-    /// [`RatelError::CheckpointCorrupt`] if [`Ratel::resume_from`] was
-    /// given a directory with no loadable generation.
-    pub fn build(self) -> Result<RatelTrainer, RatelError> {
+    /// violation found; [`RatelError::Storage`] if the profiling
+    /// substrate fails.
+    pub fn plan(self) -> Result<TrainingPlan, RatelError> {
         // Validate everything up front on a provisional config. When the
         // planner picks the decisions their count is correct by
         // construction, so a placeholder stands in for the shape checks.
@@ -240,12 +284,11 @@ impl Ratel {
                 .unwrap_or_else(|| vec![ActDecision::Recompute; self.model.layers]),
             gpu_capacity: self.gpu_capacity,
             host_capacity: self.host_capacity,
-            active_offload: self.active_offload,
             loss_scale: self.loss_scale,
             grad_clip: self.grad_clip,
             lr_schedule: self.lr_schedule,
             dropout: self.dropout,
-            prefetch_params: self.prefetch_params,
+            execution: self.execution,
             frozen_layers: self.frozen_layers.clone(),
         };
         let violations = provisional.validate();
@@ -276,22 +319,136 @@ impl Ratel {
             }
         };
 
-        let engine = RatelEngine::new(EngineConfig {
+        let config = EngineConfig {
             act_decisions: decisions.clone(),
             ..provisional
-        })?;
-        for &(route, rate) in &self.throttles {
+        };
+        Ok(TrainingPlan {
+            builder: self,
+            config,
+            decisions,
+            measured,
+        })
+    }
+
+    /// [`Ratel::plan`] followed by [`TrainingPlan::build`]: profile,
+    /// plan, and construct the trainer in one call.
+    ///
+    /// # Errors
+    /// Everything [`Ratel::plan`] reports, plus
+    /// [`RatelError::CheckpointCorrupt`] if [`Ratel::resume_from`] was
+    /// given a directory with no loadable generation.
+    pub fn build(self) -> Result<RatelTrainer, RatelError> {
+        self.plan()?.build()
+    }
+}
+
+/// A validated movement plan, between [`Ratel::plan`] and
+/// [`TrainingPlan::build`].
+///
+/// The plan owns the fully resolved [`EngineConfig`] (profiled
+/// activation decisions included) and can lower it to the schedule twin
+/// — the same [`IterationSpec`] the engine executes and `ratel-bench
+/// validate` audits — before any model parameter exists. That makes
+/// "what will move where, and is it sound?" answerable up front:
+/// [`TrainingPlan::planned_route_bytes`] for the traffic contract,
+/// [`TrainingPlan::verify`] for the full static pass inventory.
+#[derive(Debug, Clone)]
+pub struct TrainingPlan {
+    builder: Ratel,
+    config: EngineConfig,
+    decisions: Vec<ActDecision>,
+    measured: Option<MeasuredProfile>,
+}
+
+impl TrainingPlan {
+    /// The fully resolved engine configuration the trainer will run.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The activation decisions in effect (planned or overridden).
+    pub fn decisions(&self) -> &[ActDecision] {
+        &self.decisions
+    }
+
+    /// The profiling stage's measurements (None when decisions were
+    /// overridden).
+    pub fn measured(&self) -> Option<&MeasuredProfile> {
+        self.measured.as_ref()
+    }
+
+    /// Lowers the plan to its schedule twin: the [`IterationSpec`] whose
+    /// task DAG the executor runs (see
+    /// [`movement_spec_for`](crate::engine::movement_spec_for)).
+    pub fn spec(&self) -> IterationSpec {
+        movement_spec_for(&self.config)
+    }
+
+    /// Per-route byte totals one step is planned to move, indexed like
+    /// [`Route::ALL`] (GPU→host, host→GPU, host→SSD, SSD→host). The live
+    /// conformance monitor holds each step to exactly these numbers.
+    pub fn planned_route_bytes(&self) -> [u64; 4] {
+        self.spec().planned_route_bytes()
+    }
+
+    /// Statically verifies the plan's task DAG (staleness,
+    /// use-before-fetch, WAR hazards, residency) with `ratel-verify`.
+    ///
+    /// # Errors
+    /// [`RatelError::InvalidConfig`] carrying the rendered report when
+    /// any pass fails.
+    pub fn verify(&self) -> Result<(), RatelError> {
+        let report = self.spec().verify(1, &ratel_verify::Limits::none());
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(RatelError::InvalidConfig(vec![report.render()]))
+        }
+    }
+
+    /// A short human-readable description of the plan.
+    pub fn summary(&self) -> String {
+        let m = self.config.model;
+        let [g2h, h2g, h2s, s2h] = self.planned_route_bytes();
+        let (graph, _, _) = self.spec().build();
+        format!(
+            "{} layers ({} blocks), hidden {}, {:?}: {} tasks/step; \
+             planned bytes g2h {g2h}, h2g {h2g}, h2s {h2s}, s2h {s2h}",
+            m.layers + 2,
+            m.layers,
+            m.hidden,
+            self.config.execution,
+            graph.len(),
+        )
+    }
+
+    /// Builds the engine and trainer that execute this plan.
+    ///
+    /// # Errors
+    /// [`RatelError::Storage`] if the substrate fails;
+    /// [`RatelError::CheckpointCorrupt`] if the builder's
+    /// [`Ratel::resume_from`] directory has no loadable generation.
+    pub fn build(self) -> Result<RatelTrainer, RatelError> {
+        let TrainingPlan {
+            builder,
+            config,
+            decisions,
+            measured,
+        } = self;
+        let engine = RatelEngine::new(config)?;
+        for &(route, rate) in &builder.throttles {
             engine.set_route_throttle(route, Some(rate));
         }
         // Robustness knobs land on the live store only after the engine's
         // initial state placement, so fault op indices are training ops.
-        if let Some(policy) = self.retry_policy {
+        if let Some(policy) = builder.retry_policy {
             engine.store().set_retry_policy(policy);
         }
-        if self.spill_on_host_pressure {
+        if builder.spill_on_host_pressure {
             engine.store().set_spill_on_host_pressure(true);
         }
-        if let Some(plan) = self.fault_plan {
+        if let Some(plan) = builder.fault_plan {
             engine.store().set_fault_plan(Some(plan));
         }
         let mut trainer = RatelTrainer {
@@ -300,7 +457,7 @@ impl Ratel {
             measured,
             loss_history: Vec::new(),
         };
-        if let Some(dir) = &self.resume_from {
+        if let Some(dir) = &builder.resume_from {
             trainer.load_checkpoint(dir)?;
         }
         Ok(trainer)
@@ -453,6 +610,61 @@ mod tests {
             .unwrap();
         assert!(s.loss.is_finite());
         assert_eq!(trainer.loss_history().len(), 1);
+    }
+
+    #[test]
+    fn plan_is_inspectable_and_verifiable_before_build() {
+        let model = GptConfig::tiny();
+        let plan = Ratel::init(model).seed(3).plan().unwrap();
+        assert_eq!(plan.decisions().len(), model.layers);
+        assert!(plan.measured().is_some());
+        plan.verify().expect("plan must pass static verification");
+        let bytes = plan.planned_route_bytes();
+        assert!(bytes.iter().all(|&b| b > 0), "{bytes:?}");
+        let summary = plan.summary();
+        assert!(summary.contains("tasks/step"), "{summary}");
+        // The plan the trainer executes is the plan we inspected.
+        let mut trainer = plan.build().unwrap();
+        let (t, y) = learnable_batch(&model, 2);
+        let stats = trainer.step(Batch::new(&model, &t, &y).unwrap()).unwrap();
+        assert!(stats.loss.is_finite());
+        assert!(stats.tasks.is_some(), "default execution is the executor");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_knobs_map_onto_legacy_execution() {
+        use crate::engine::ExecutionOptions;
+        let b = Ratel::init(GptConfig::tiny()).without_param_prefetch();
+        assert_eq!(
+            b.execution,
+            ExecutionOptions::LegacyOverlapped {
+                prefetch_params: false
+            }
+        );
+        let b = Ratel::init(GptConfig::tiny()).separate_optimizer_stage();
+        assert_eq!(
+            b.execution,
+            ExecutionOptions::LegacySeparateStage {
+                prefetch_params: true
+            }
+        );
+        // Order-independent composition, like the old boolean pair.
+        for b in [
+            Ratel::init(GptConfig::tiny())
+                .without_param_prefetch()
+                .separate_optimizer_stage(),
+            Ratel::init(GptConfig::tiny())
+                .separate_optimizer_stage()
+                .without_param_prefetch(),
+        ] {
+            assert_eq!(
+                b.execution,
+                ExecutionOptions::LegacySeparateStage {
+                    prefetch_params: false
+                }
+            );
+        }
     }
 
     #[test]

@@ -50,9 +50,14 @@ pub struct GradMessage {
 const PREFETCH_WINDOW: usize = 2;
 
 /// Handle to a running per-step optimizer.
+///
+/// [`ActiveOptimizer::finish`] is the normal teardown; if a step errors
+/// mid-iteration and the handle is dropped instead, `Drop` still closes
+/// the gradient channel and joins both threads, so no optimizer thread
+/// outlives its step.
 pub struct ActiveOptimizer {
-    grad_tx: Sender<GradMessage>,
-    updater: JoinHandle<Result<Vec<usize>, StorageError>>,
+    grad_tx: Option<Sender<GradMessage>>,
+    updater: Option<JoinHandle<Result<Vec<usize>, StorageError>>>,
     prefetcher: Option<JoinHandle<Result<(), StorageError>>>,
 }
 
@@ -125,8 +130,8 @@ impl ActiveOptimizer {
             .expect("spawn updater");
 
         ActiveOptimizer {
-            grad_tx,
-            updater,
+            grad_tx: Some(grad_tx),
+            updater: Some(updater),
             prefetcher,
         }
     }
@@ -137,23 +142,44 @@ impl ActiveOptimizer {
         // The updater only exits after the channel closes, so a send can
         // only fail if it panicked/errored; that error surfaces in
         // `finish`.
-        let _ = self.grad_tx.send(msg);
+        if let Some(tx) = &self.grad_tx {
+            let _ = tx.send(msg);
+        }
     }
 
     /// Closes the gradient stream and waits for every update to be
     /// written back — the synchronization point that keeps training
     /// synchronous. Returns the layers whose update was skipped due to
     /// gradient overflow.
-    pub fn finish(self) -> Result<Vec<usize>, RatelError> {
-        drop(self.grad_tx);
+    pub fn finish(mut self) -> Result<Vec<usize>, RatelError> {
+        drop(self.grad_tx.take());
         let updater_result = self
             .updater
+            .take()
+            .expect("finish called once")
             .join()
             .expect("optimizer updater thread panicked");
-        if let Some(p) = self.prefetcher {
+        if let Some(p) = self.prefetcher.take() {
             p.join().expect("optimizer prefetcher thread panicked")?;
         }
         Ok(updater_result?)
+    }
+}
+
+impl Drop for ActiveOptimizer {
+    fn drop(&mut self) {
+        // `finish` takes the handles, so this only does work when a step
+        // errored mid-iteration and the optimizer is being torn down
+        // without its synchronization point. Closing the channel makes
+        // both threads exit; their results (likely the same storage
+        // error the step already surfaced) are discarded.
+        drop(self.grad_tx.take());
+        if let Some(u) = self.updater.take() {
+            let _ = u.join();
+        }
+        if let Some(p) = self.prefetcher.take() {
+            let _ = p.join();
+        }
     }
 }
 
@@ -182,9 +208,15 @@ fn update_loop(
         let t_read = rec.enabled().then(|| rec.now());
         if let Some(rx) = &staged_rx {
             // Wait for the prefetcher to stage this layer's states. Arrival
-            // order matches `order`, so this is the same layer.
+            // order matches `order`, so this is the same layer. A `None`
+            // means the prefetcher died early (its error surfaces on
+            // join); stage the states ourselves so the update still
+            // lands instead of reading stale-tier state.
             let staged = rx.recv().ok();
-            debug_assert_eq!(staged, Some(msg.layer), "prefetch order mismatch");
+            if staged != Some(msg.layer) {
+                store.move_to(&master_key(msg.layer), Tier::Host)?;
+                store.move_to(&moments_key(msg.layer), Tier::Host)?;
+            }
         } else {
             // Separate-stage / no prefetcher: fetch states ourselves
             // (serialized SSD→Main, the naive handler's first step).
@@ -282,4 +314,76 @@ fn update_loop(
         }
     }
     Ok(skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratel_storage::TierConfig;
+
+    fn store_with_layer0() -> Arc<TieredStore> {
+        let store = Arc::new(TieredStore::new(TierConfig::unbounded_temp()).unwrap());
+        store
+            .put(&master_key(0), Tier::Ssd, encode_f32(&[1.0, 2.0]))
+            .unwrap();
+        store
+            .put(&moments_key(0), Tier::Ssd, encode_f32(&[0.0; 4]))
+            .unwrap();
+        store
+            .put(&p16_key(0), Tier::Ssd, encode_f16(&[1.0, 2.0]))
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn drop_without_finish_joins_both_threads() {
+        // A step that errors mid-iteration drops the handle instead of
+        // calling finish(); both threads must still be joined (the test
+        // would hang or leak otherwise).
+        let store = store_with_layer0();
+        let opt = ActiveOptimizer::start(
+            Arc::clone(&store),
+            vec![0],
+            AdamParams::default(),
+            vec![0],
+            true,
+            1.0,
+            None,
+        );
+        drop(opt);
+        // Threads are gone; the states are wherever the prefetcher left
+        // them but still consistent and movable.
+        store.move_to(&master_key(0), Tier::Ssd).unwrap();
+        store.move_to(&moments_key(0), Tier::Ssd).unwrap();
+    }
+
+    #[test]
+    fn dead_prefetcher_falls_back_to_self_staging() {
+        // Order lists a layer with no states: the prefetcher errors out
+        // immediately and closes its channel. The updater must stage
+        // layer 0's states itself and still apply the update; the
+        // prefetcher's error then surfaces from finish().
+        let store = store_with_layer0();
+        let opt = ActiveOptimizer::start(
+            Arc::clone(&store),
+            vec![99, 0],
+            AdamParams::default(),
+            vec![0],
+            true,
+            1.0,
+            None,
+        );
+        store
+            .put("layer0/grad", Tier::Host, encode_f16(&[0.5, -0.5]))
+            .unwrap();
+        opt.submit(GradMessage {
+            layer: 0,
+            key: "layer0/grad".into(),
+        });
+        let err = opt.finish().unwrap_err();
+        assert!(matches!(err, RatelError::Storage(_)), "{err}");
+        // The update itself landed despite the dead prefetcher.
+        let master = decode_f32(&store.read(&master_key(0)).unwrap());
+        assert_ne!(master, vec![1.0, 2.0], "update must have applied");
+    }
 }

@@ -30,7 +30,7 @@ pub mod profile;
 pub mod report;
 pub mod schedule;
 
-pub use api::{Ratel, RatelTrainer};
+pub use api::{Ratel, RatelTrainer, TrainingPlan};
 pub use batch::Batch;
 pub use error::RatelError;
 pub use memory::RatelMemoryModel;
@@ -42,3 +42,23 @@ pub use schedule::RatelSchedule;
 // The static schedule analyzer, re-exported so downstream code can
 // verify the specs this crate emits without naming a second crate.
 pub use ratel_verify as verify;
+
+/// One-stop imports for the plan-first training flow:
+///
+/// ```no_run
+/// use ratel::prelude::*;
+///
+/// let trainer = Ratel::init(GptConfig::tiny()).plan()?.build()?;
+/// # Ok::<(), RatelError>(())
+/// ```
+pub mod prelude {
+    pub use crate::api::{Ratel, RatelTrainer, TrainingPlan};
+    pub use crate::batch::Batch;
+    pub use crate::engine::executor::TaskBreakdown;
+    pub use crate::engine::{
+        ActDecision, EngineConfig, ExecutionOptions, ExecutorOptions, RatelEngine, StepStats,
+    };
+    pub use crate::error::RatelError;
+    pub use crate::offload::GradOffloadMode;
+    pub use ratel_tensor::{AdamParams, GptConfig};
+}

@@ -2,38 +2,10 @@
 
 use crate::meta::{Edge, ResourceClass, TaskMeta};
 
-/// Identifies a resource registered with a [`TaskGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ResourceId(pub usize);
-
-/// Identifies a task within a [`TaskGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TaskId(pub usize);
-
-/// The training stage a task is attributed to, for breakdown reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Stage {
-    /// Forward propagation.
-    Forward,
-    /// Backward propagation (includes recomputation).
-    Backward,
-    /// Optimizer execution (SSD state I/O + CPU Adam).
-    Optimizer,
-}
-
-impl Stage {
-    /// All stages in execution order.
-    pub const ALL: [Stage; 3] = [Stage::Forward, Stage::Backward, Stage::Optimizer];
-
-    /// Short display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Stage::Forward => "forward",
-            Stage::Backward => "backward",
-            Stage::Optimizer => "optimizer",
-        }
-    }
-}
+// Task/resource identities and the stage attribution are part of the
+// shared plan contract: the executor addresses the same `TaskId`s the
+// verifier proved safe.
+pub use ratel_contract::{ResourceId, Stage, TaskId};
 
 #[derive(Debug, Clone)]
 pub(crate) struct Task {
@@ -205,6 +177,25 @@ impl TaskGraph {
                 to: TaskId(i),
             })
         })
+    }
+
+    /// Adds the direct dependency `dep` to an existing `task`, preserving
+    /// the acyclic-by-construction invariant (`dep` must precede `task`
+    /// in insertion order). Used by executors to thread pacing edges —
+    /// e.g. residency windows — through an already-built plan. Duplicate
+    /// edges are ignored.
+    ///
+    /// # Panics
+    /// If `dep` does not precede `task` in insertion order.
+    pub fn add_dep(&mut self, task: TaskId, dep: TaskId) {
+        assert!(
+            dep.0 < task.0,
+            "dependency {dep:?} of {task:?} would break topological order"
+        );
+        let deps = &mut self.tasks[task.0].deps;
+        if !deps.contains(&dep) {
+            deps.push(dep);
+        }
     }
 
     /// Removes the direct dependency `dep` from `task`, if present.

@@ -39,14 +39,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         gpu_capacity: Some(8 << 20), // an 8 MiB "GPU"
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     };
+
+    // Plan-first: the same movement plan the engine will execute can be
+    // inspected and statically verified before any tensor exists.
+    let plan = Ratel::init(model)
+        .seed(7)
+        .activation_decisions(config.act_decisions.clone())
+        .plan()?;
+    plan.verify()?;
+    println!("plan: {}", plan.summary());
 
     let mut engine = RatelEngine::new(config)?;
     // Telemetry is off by default (the disabled path is one atomic load);
@@ -106,6 +114,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.transfer * 1e3,
         );
     }
+    // The executor reports which resource pool ran each task.
+    if let Some(tasks) = engine.train_step(&tokens, &targets)?.tasks {
+        println!(
+            "executor: {} tasks, critical path {:.0} ms of {:.0} ms busy",
+            tasks.tasks_total,
+            tasks.critical_path_seconds * 1e3,
+            tasks.busy_seconds_total() * 1e3,
+        );
+        for pool in &tasks.pools {
+            println!(
+                "  {:?}: {} tasks, {:.1} ms busy",
+                pool.class,
+                pool.tasks,
+                pool.busy_seconds * 1e3
+            );
+        }
+    }
 
     // Prove the "no staleness" claim: replay the same schedule in memory
     // and compare the final master weights bit for bit.
@@ -127,12 +152,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         act_decisions: vec![ActDecision::SwapToSsd; 4],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })?;
     for _ in 0..3 {

@@ -37,15 +37,18 @@ pub use ratel_tensor as tensor;
 /// Convenience prelude for the examples and downstream users.
 pub mod prelude {
     pub use ratel::engine::data::{corpus_batches, learnable_batch, random_batch, CharVocab};
+    pub use ratel::engine::executor::TaskBreakdown;
     pub use ratel::engine::lr::LrSchedule;
     pub use ratel::engine::reference::ReferenceTrainer;
     pub use ratel::engine::scaler::ScalePolicy;
-    pub use ratel::engine::{ActDecision, EngineConfig, RatelEngine};
+    pub use ratel::engine::{
+        ActDecision, EngineConfig, ExecutionOptions, ExecutorOptions, RatelEngine, StepStats,
+    };
     pub use ratel::offload::GradOffloadMode;
     pub use ratel::planner::{ActivationPlanner, SwapPlan};
     pub use ratel::profile::HardwareProfile;
     pub use ratel::schedule::RatelSchedule;
-    pub use ratel::{Batch, Ratel, RatelError, RatelMemoryModel, RatelTrainer};
+    pub use ratel::{Batch, Ratel, RatelError, RatelMemoryModel, RatelTrainer, TrainingPlan};
     pub use ratel_baselines::{ActStrategy, System};
     pub use ratel_hw::{GpuSpec, ServerConfig};
     pub use ratel_model::{zoo, ModelConfig, ModelProfile};

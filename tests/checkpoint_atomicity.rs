@@ -35,12 +35,11 @@ fn engine_config(model: GptConfig) -> EngineConfig {
         act_decisions: vec![ActDecision::Recompute; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     }
 }

@@ -1,0 +1,226 @@
+//! The schedule-driven executor's two contracts, end to end:
+//!
+//! 1. **Numerics are schedule-independent.** Executing the verified DAG
+//!    on resource pools — at any worker count per pool — produces
+//!    bitwise-identical losses and master weights to the legacy serial
+//!    stage loop and to plain in-memory training, across a small zoo of
+//!    model shapes.
+//! 2. **The static verifier guards dispatch.** Mutating the lowered
+//!    plan by dropping a dependency edge is caught by the same
+//!    `ratel-verify` pass that debug builds run before the executor
+//!    ever sees the graph.
+
+use ratel_repro::prelude::*;
+
+fn zoo() -> Vec<GptConfig> {
+    vec![
+        // Wide-ish and shallow.
+        GptConfig {
+            vocab: 96,
+            seq: 12,
+            hidden: 32,
+            heads: 4,
+            layers: 2,
+            batch: 2,
+        },
+        // Deeper, mixed activation policies exercise spill + recompute.
+        GptConfig {
+            vocab: 64,
+            seq: 8,
+            hidden: 16,
+            heads: 2,
+            layers: 4,
+            batch: 2,
+        },
+        // Single block: the shortest pipeline the lowering supports.
+        GptConfig {
+            vocab: 48,
+            seq: 8,
+            hidden: 16,
+            heads: 2,
+            layers: 1,
+            batch: 1,
+        },
+    ]
+}
+
+fn decisions_for(model: &GptConfig) -> Vec<ActDecision> {
+    // Rotate through all three policies so every DAG shape appears.
+    (0..model.layers)
+        .map(|b| match b % 3 {
+            0 => ActDecision::SwapToHost,
+            1 => ActDecision::SwapToSsd,
+            _ => ActDecision::Recompute,
+        })
+        .collect()
+}
+
+fn config_with(model: GptConfig, execution: ExecutionOptions) -> EngineConfig {
+    EngineConfig {
+        model,
+        seed: 1234,
+        adam: AdamParams::default(),
+        act_decisions: decisions_for(&model),
+        gpu_capacity: None,
+        host_capacity: None,
+        execution,
+        loss_scale: ScalePolicy::None,
+        grad_clip: None,
+        lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
+        dropout: None,
+        frozen_layers: Vec::new(),
+    }
+}
+
+/// Run `steps` training steps, returning the losses and final masters.
+fn run(config: EngineConfig, steps: u64) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let model = config.model;
+    let mut engine = RatelEngine::new(config).unwrap();
+    let mut losses = Vec::new();
+    for s in 0..steps {
+        let (t, y) = random_batch(&model, 7 + s);
+        losses.push(engine.train_step(&t, &y).unwrap().loss);
+    }
+    let masters = (0..engine.layer_count())
+        .map(|l| engine.master_params(l).unwrap())
+        .collect();
+    (losses, masters)
+}
+
+/// Pool-parallel DAG execution is bitwise-equal to the serial legacy
+/// engine and the in-memory reference, for 1/2/4 workers per pool and
+/// both offload schedules, across the model zoo.
+#[test]
+fn executor_matches_serial_engine_across_the_zoo() {
+    for model in zoo() {
+        // The serial baseline: legacy stage loop, no prefetch threads.
+        let (legacy_losses, legacy_masters) = run(
+            config_with(
+                model,
+                ExecutionOptions::LegacyOverlapped {
+                    prefetch_params: false,
+                },
+            ),
+            2,
+        );
+        // And the ground truth: everything in memory.
+        let mut reference = ReferenceTrainer::new(model, 1234, AdamParams::default());
+        for s in 0..2 {
+            let (t, y) = random_batch(&model, 7 + s);
+            let ref_loss = reference.train_step(&t, &y);
+            assert_eq!(legacy_losses[s as usize], ref_loss, "{model:?} step {s}");
+        }
+
+        for workers in [1usize, 2, 4] {
+            for offload in [
+                GradOffloadMode::OptimizedActive,
+                GradOffloadMode::SeparateStage,
+            ] {
+                let (losses, masters) = run(
+                    config_with(
+                        model,
+                        ExecutionOptions::Executor(ExecutorOptions {
+                            workers_per_pool: workers,
+                            offload,
+                        }),
+                    ),
+                    2,
+                );
+                assert_eq!(
+                    losses, legacy_losses,
+                    "{model:?} with {workers} workers, {offload:?}"
+                );
+                assert_eq!(
+                    masters, legacy_masters,
+                    "{model:?} with {workers} workers, {offload:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Dropping a staging edge from the lowered plan is caught by the static
+/// verifier — the check debug builds run on every plan before dispatch.
+#[test]
+fn dropped_dependency_edges_are_caught_before_dispatch() {
+    use ratel_repro::core::engine::movement_spec_for;
+    use ratel_repro::core::verify::Limits;
+
+    let model = zoo()[0];
+    let spec = movement_spec_for(&config_with(model, ExecutionOptions::default()));
+    let (mut graph, _, _) = spec.build();
+    let base = ratel_repro::core::verify::verify(&graph, &Limits::none());
+    assert!(base.is_clean(), "{}", base.render());
+
+    // Every staging edge — a fetch/read feeding the compute or write
+    // that consumes it — must be load-bearing: drop it and the verifier
+    // reports a violation.
+    let staged_pairs = [
+        ("fwd-fetch", "fwd "),
+        ("bwd-fetch", "bwd "),
+        ("act-up", "bwd "),
+        ("opt-read", "opt-cpu"),
+        ("opt-cpu", "opt-write"),
+    ];
+    let edges: Vec<_> = graph
+        .edges()
+        .map(|e| {
+            let d: ratel_repro::sim::TaskId = e.from;
+            let t: ratel_repro::sim::TaskId = e.to;
+            (d, t)
+        })
+        .collect();
+    let mut mutations_caught = 0usize;
+    for &(dep, task) in &edges {
+        let dep_label = graph.label(dep).unwrap_or("").to_string();
+        let task_label = graph.label(task).unwrap_or("").to_string();
+        let staging = staged_pairs
+            .iter()
+            .any(|(a, b)| dep_label.starts_with(a) && task_label.starts_with(b));
+        if !staging {
+            continue;
+        }
+        assert!(graph.remove_dep(task, dep), "{dep_label} -> {task_label}");
+        let report = ratel_repro::core::verify::verify(&graph, &Limits::none());
+        assert!(
+            !report.is_clean(),
+            "dropping `{dep_label}` -> `{task_label}` went unnoticed"
+        );
+        mutations_caught += 1;
+        // Restore the edge and confirm the plan is whole again.
+        graph.add_dep(task, dep);
+        let healed = ratel_repro::core::verify::verify(&graph, &Limits::none());
+        assert!(healed.is_clean(), "{}", healed.render());
+    }
+    assert!(
+        mutations_caught >= 2 * model.layers + 4,
+        "only {mutations_caught} staging edges found"
+    );
+
+    // Seeded random sweep over the remaining edges: a mutation may be
+    // masked by a transitive path, but the verifier must never accept a
+    // graph and then fail on the healed one — and a healthy share of all
+    // edges must be load-bearing.
+    let mut lcg = 0x5eed_cafe_u64;
+    let mut caught = 0usize;
+    let mut tried = 0usize;
+    for _ in 0..32 {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let (dep, task) = edges[(lcg >> 33) as usize % edges.len()];
+        if !graph.remove_dep(task, dep) {
+            continue; // already dropped by an earlier duplicate pick
+        }
+        tried += 1;
+        if !ratel_repro::core::verify::verify(&graph, &Limits::none()).is_clean() {
+            caught += 1;
+        }
+        graph.add_dep(task, dep);
+    }
+    assert!(tried > 0);
+    assert!(
+        caught * 2 >= tried,
+        "verifier caught only {caught}/{tried} random edge drops"
+    );
+}

@@ -25,12 +25,11 @@ fn engine_with(policy: ScalePolicy, clip: Option<f32>) -> RatelEngine {
         act_decisions: vec![ActDecision::SwapToHost; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: policy,
         grad_clip: clip,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap()
@@ -186,12 +185,11 @@ fn lr_schedule_matches_reference() {
         act_decisions: vec![ActDecision::SwapToHost; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: schedule,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap();
@@ -278,12 +276,11 @@ fn dropout_is_deterministic_across_rematerialization() {
             act_decisions: acts,
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: true,
+            execution: ExecutionOptions::default(),
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: LrSchedule::Constant,
             dropout: Some(0.2),
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap()
@@ -329,12 +326,11 @@ fn dropout_changes_the_trajectory_per_step() {
         act_decisions: vec![ActDecision::SwapToHost; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: LrSchedule::Constant,
         dropout: Some(0.3),
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap();
@@ -370,12 +366,11 @@ fn frozen_layers_train_correctly_and_cheaply() {
         act_decisions: vec![ActDecision::SwapToHost; l],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: frozen.clone(),
     })
     .unwrap();

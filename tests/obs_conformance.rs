@@ -32,12 +32,11 @@ fn build(model: GptConfig) -> RatelEngine {
         act_decisions: vec![ActDecision::SwapToHost; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: LrSchedule::Constant,
         dropout: None,
-        prefetch_params: true,
         frozen_layers: Vec::new(),
     })
     .unwrap()

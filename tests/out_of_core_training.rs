@@ -43,12 +43,11 @@ fn all_activation_policies_are_numerically_interchangeable() {
             act_decisions: acts,
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: true,
+            execution: ExecutionOptions::default(),
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap();
@@ -80,12 +79,11 @@ fn engine_learns_the_synthetic_language() {
         act_decisions: vec![ActDecision::SwapToHost; 4],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap();
@@ -123,12 +121,11 @@ fn gpu_arena_capacity_separates_feasible_from_oom() {
             act_decisions: vec![ActDecision::SwapToHost; 4],
             gpu_capacity: Some(cap),
             host_capacity: None,
-            active_offload: true,
+            execution: ExecutionOptions::default(),
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap()
@@ -162,12 +159,11 @@ fn traffic_scales_with_policy_and_tiers_stay_clean() {
             act_decisions: acts,
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: true,
+            execution: ExecutionOptions::default(),
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap();
@@ -186,7 +182,9 @@ fn traffic_scales_with_policy_and_tiers_stay_clean() {
 }
 
 /// The separate-stage ablation and the active engine agree numerically —
-/// overlap is a scheduling property, not a semantic one.
+/// overlap is a scheduling property, not a semantic one. Both run
+/// through the schedule-driven executor, so this also pins the two DAG
+/// shapes against each other.
 #[test]
 fn active_and_separate_stage_agree() {
     let model = tiny_config();
@@ -199,12 +197,18 @@ fn active_and_separate_stage_agree() {
             act_decisions: vec![ActDecision::SwapToHost; 4],
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: active,
+            execution: ExecutionOptions::Executor(ExecutorOptions {
+                offload: if active {
+                    GradOffloadMode::OptimizedActive
+                } else {
+                    GradOffloadMode::SeparateStage
+                },
+                ..ExecutorOptions::default()
+            }),
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap();
@@ -259,12 +263,11 @@ fn planner_output_drives_the_engine() {
         act_decisions: decisions,
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap();
@@ -298,12 +301,11 @@ fn generation_continues_the_learned_language() {
         act_decisions: vec![ActDecision::SwapToHost; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap();
@@ -358,12 +360,11 @@ fn cached_generation_matches_full_forward_generation() {
         act_decisions: vec![ActDecision::SwapToHost; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: true,
+        execution: ExecutionOptions::default(),
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap();
@@ -439,7 +440,19 @@ fn engine_movement_plan_passes_static_verification() {
     use ratel_repro::core::verify::Limits;
 
     let model = tiny_config();
-    for active_offload in [false, true] {
+    for execution in [
+        ExecutionOptions::default(),
+        ExecutionOptions::Executor(ExecutorOptions {
+            offload: GradOffloadMode::SeparateStage,
+            ..ExecutorOptions::default()
+        }),
+        ExecutionOptions::LegacyOverlapped {
+            prefetch_params: false,
+        },
+        ExecutionOptions::LegacySeparateStage {
+            prefetch_params: false,
+        },
+    ] {
         let engine = RatelEngine::new(EngineConfig {
             model,
             seed: 3,
@@ -452,12 +465,11 @@ fn engine_movement_plan_passes_static_verification() {
             ],
             gpu_capacity: None,
             host_capacity: None,
-            active_offload,
+            execution,
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: false,
             frozen_layers: Vec::new(),
         })
         .unwrap();

@@ -29,12 +29,21 @@ fn build(active: bool) -> RatelEngine {
         act_decisions: vec![ActDecision::SwapToHost; model.layers],
         gpu_capacity: None,
         host_capacity: None,
-        active_offload: active,
+        // Pin the legacy stage loops: this test times *their* overlap
+        // (the executor's is measured by `ratel-bench bench executor`).
+        execution: if active {
+            ExecutionOptions::LegacyOverlapped {
+                prefetch_params: false,
+            }
+        } else {
+            ExecutionOptions::LegacySeparateStage {
+                prefetch_params: false,
+            }
+        },
         loss_scale: ScalePolicy::None,
         grad_clip: None,
         lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
         dropout: None,
-        prefetch_params: false,
         frozen_layers: Vec::new(),
     })
     .unwrap();
@@ -107,12 +116,14 @@ fn param_prefetch_hides_fetch_latency() {
             act_decisions: vec![ActDecision::Recompute; model.layers],
             gpu_capacity: None,
             host_capacity: None,
-            active_offload: false, // isolate the parameter pipeline
+            // Separate stage isolates the parameter pipeline.
+            execution: ExecutionOptions::LegacySeparateStage {
+                prefetch_params: prefetch,
+            },
             loss_scale: ScalePolicy::None,
             grad_clip: None,
             lr_schedule: ratel_repro::core::engine::lr::LrSchedule::Constant,
             dropout: None,
-            prefetch_params: prefetch,
             frozen_layers: Vec::new(),
         })
         .unwrap();

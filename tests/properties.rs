@@ -198,7 +198,10 @@ mod engine_equivalence {
     use ratel_repro::core::engine::lr::LrSchedule;
     use ratel_repro::core::engine::reference::ReferenceTrainer;
     use ratel_repro::core::engine::scaler::ScalePolicy;
-    use ratel_repro::core::engine::{ActDecision, EngineConfig, RatelEngine};
+    use ratel_repro::core::engine::{
+        ActDecision, EngineConfig, ExecutionOptions, ExecutorOptions, RatelEngine,
+    };
+    use ratel_repro::core::offload::GradOffloadMode;
     use ratel_repro::tensor::{AdamParams, GptConfig};
 
     fn decision_strategy() -> impl Strategy<Value = ActDecision> {
@@ -220,7 +223,8 @@ mod engine_equivalence {
         fn offloaded_training_equals_reference_under_random_configs(
             decisions in proptest::collection::vec(decision_strategy(), 3),
             seed in 0u64..1000,
-            active in any::<bool>(),
+            exec_kind in 0u8..4,
+            workers in 1usize..5,
             scale_pow in 0u32..12,
             clip in proptest::option::of(0.01f32..2.0),
             lr_milli in 1u32..20,
@@ -247,6 +251,25 @@ mod engine_equivalence {
             let frozen: Vec<usize> = (0..5usize)
                 .filter(|i| freeze_mask & (1 << i) != 0 && freeze_mask != 31)
                 .collect();
+            // Every execution mode must land on the reference bitwise:
+            // the executor under varying worker counts and both offload
+            // schedules, plus the two legacy stage loops.
+            let execution = match exec_kind {
+                0 => ExecutionOptions::Executor(ExecutorOptions {
+                    workers_per_pool: workers,
+                    offload: GradOffloadMode::OptimizedActive,
+                }),
+                1 => ExecutionOptions::Executor(ExecutorOptions {
+                    workers_per_pool: workers,
+                    offload: GradOffloadMode::SeparateStage,
+                }),
+                2 => ExecutionOptions::LegacyOverlapped {
+                    prefetch_params: seed % 2 == 0,
+                },
+                _ => ExecutionOptions::LegacySeparateStage {
+                    prefetch_params: seed % 2 == 0,
+                },
+            };
             let mut engine = RatelEngine::new(EngineConfig {
                 model,
                 seed,
@@ -254,12 +277,11 @@ mod engine_equivalence {
                 act_decisions: decisions,
                 gpu_capacity: None,
                 host_capacity: None,
-                active_offload: active,
+                execution,
                 loss_scale: policy,
                 grad_clip: clip,
                 lr_schedule: LrSchedule::WarmupConstant { warmup_steps: 2 },
                 dropout: None,
-                prefetch_params: seed % 2 == 0,
                 frozen_layers: frozen.clone(),
             }).unwrap();
             let mut reference =
