@@ -24,7 +24,7 @@ const VERIFY_PLANS_USAGE: &str = "usage: ratel-bench verify-plans [--model 13B] 
 [--out verify.json]";
 
 const BENCH_USAGE: &str = "usage: ratel-bench bench [--smoke] [--write] [--check] [--dir .] \
-[--suite kernels|adam|ssd|executor]";
+[--suite attention|kernels|adam|ssd|executor]";
 
 const OBS_USAGE: &str = "usage: ratel-bench obs [--model tiny|small] [--steps 5] \
 [--throttle 1e-4] [--metrics-out metrics.prom] [--jsonl-out metrics.jsonl] [--trace-out trace.json]";

@@ -2,10 +2,18 @@
 //! throughput, emitted as `BENCH_*.json` files committed at the repo
 //! root and re-checked by `ratel-bench bench --check`.
 //!
-//! Four suites:
+//! Five suites:
 //!
 //! * **kernels** — GFLOP/s of the naive reference matmul vs the tiled
-//!   GEMM at 1 and 4 configured worker threads, over a size ladder;
+//!   GEMM at 1 and 4 configured worker threads, over a size ladder,
+//!   plus the fused f16-dequant GEMM against its decode-then-multiply
+//!   equivalent;
+//! * **attention** — attention cells/s of the streaming tiled causal
+//!   attention (forward and backward) vs the materialized-score naive
+//!   oracle over a sequence-length ladder, the streaming/naive speedup
+//!   ratios, the per-block saved-activation bytes (a `bytes` entry:
+//!   any growth fails the check), and steady-state allocation counts
+//!   for both streaming kernels (asserted zero);
 //! * **adam** — elements/s of the flat-buffer CPU Adam step at 1 and 4
 //!   threads, plus steady-state allocation counts for the hot kernels
 //!   (asserted zero: regressions reintroducing per-call allocation fail
@@ -34,7 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use ratel_storage::{Tier, TierConfig, TieredStore};
-use ratel_tensor::{ops, set_num_threads, Adam, AdamParams, Tensor};
+use ratel_tensor::{gemm, ops, set_num_threads, Adam, AdamParams, Tensor};
 
 /// Schema tag every BENCH file must carry.
 pub const SCHEMA: &str = "ratel-bench-perf/1";
@@ -43,7 +51,12 @@ pub const SCHEMA: &str = "ratel-bench-perf/1";
 pub const REGRESSION_THRESHOLD: f64 = 0.20;
 
 /// The suite names, in emission order.
-pub const SUITES: [&str; 4] = ["kernels", "adam", "ssd", "executor"];
+// Attention runs first: its streaming/naive speedup ratios are compared
+// un-calibrated against the committed baseline, and they compress
+// measurably on a package still hot from the kernel suite's sustained
+// AVX2 work. Keeping the suite order identical between `--write` (which
+// stamps the baseline) and CI's `--smoke --check` keeps that gate fair.
+pub const SUITES: [&str; 5] = ["attention", "kernels", "adam", "ssd", "executor"];
 
 // ---------------------------------------------------------------------
 // Counting allocator
@@ -91,7 +104,8 @@ pub fn allocation_count() -> u64 {
 pub struct PerfEntry {
     /// Unique name within the suite (encodes variant + problem size).
     pub name: String,
-    /// One of `gflops`, `elems_per_s`, `gbps`, `allocs`.
+    /// One of `gflops`, `elems_per_s`, `gbps`, `ratio`, `allocs`,
+    /// `bytes`.
     pub metric: String,
     /// The measured value.
     pub value: f64,
@@ -111,12 +125,20 @@ pub struct PerfSuite {
     pub entries: Vec<PerfEntry>,
 }
 
-/// Higher-is-better metrics (regression = value dropped); `allocs` is
-/// lower-is-better and checked strictly. `ratio` is higher-is-better
-/// but never calibration-scaled: it divides two wall-clocks measured on
-/// the same machine, so machine speed already cancels.
+/// Higher-is-better metrics (regression = value dropped); `allocs` and
+/// `bytes` are lower-is-better and checked strictly — both count
+/// deterministic quantities (heap allocations per call, saved-blob
+/// bytes per step), so *any* increase is a code change, not noise.
+/// `ratio` is higher-is-better but never calibration-scaled: it divides
+/// two wall-clocks measured on the same machine, so machine speed
+/// already cancels.
 fn is_throughput(metric: &str) -> bool {
     matches!(metric, "gflops" | "elems_per_s" | "gbps" | "ratio")
+}
+
+/// Lower-is-better metrics, compared exactly (no calibration, no slack).
+fn is_strict_count(metric: &str) -> bool {
+    matches!(metric, "allocs" | "bytes")
 }
 
 // ---------------------------------------------------------------------
@@ -205,6 +227,7 @@ fn fill(n: usize, seed: u64) -> Vec<f32> {
 pub fn run_suite(suite: &str, smoke: bool) -> Result<PerfSuite, String> {
     let mut result = match suite {
         "kernels" => run_kernels(smoke),
+        "attention" => run_attention(smoke),
         "adam" => run_adam(smoke),
         "ssd" => run_ssd(smoke)?,
         "executor" => run_executor(smoke)?,
@@ -278,8 +301,247 @@ fn run_kernels(smoke: bool) -> PerfSuite {
             value: flops / secs / 1e9,
         });
     }
+    // Fused f16-dequant GEMM vs decode-then-multiply at the same shape:
+    // the fused path converts half-precision B panels during operand
+    // packing, so its win is the skipped materialized f32 copy of B.
+    let bits: Vec<u16> = fill(s * s, 11)
+        .iter()
+        .map(|&v| ratel_tensor::f32_to_f16_bits(v))
+        .collect();
+    let mut out = vec![0.0f32; s * s];
+    let fused_s = time_min_for(0.3, || {
+        gemm::gemm_f16b(
+            s,
+            s,
+            s,
+            a.data(),
+            gemm::LayoutA::Normal,
+            &bits,
+            gemm::LayoutB::Normal,
+            &mut out,
+        );
+        std::hint::black_box(&mut out);
+    });
+    entries.push(PerfEntry {
+        name: format!("gemm_f16b_fused_t1_{s}"),
+        metric: "gflops".into(),
+        value: flops / fused_s / 1e9,
+    });
+    let mut bf = vec![0.0f32; s * s];
+    let decode_s = time_min_for(0.3, || {
+        ratel_tensor::dtype::f16_bits_to_f32_slice(&bits, &mut bf);
+        gemm::gemm_tiled(
+            s,
+            s,
+            s,
+            a.data(),
+            gemm::LayoutA::Normal,
+            &bf,
+            gemm::LayoutB::Normal,
+            &mut out,
+        );
+        std::hint::black_box(&mut out);
+    });
+    entries.push(PerfEntry {
+        name: format!("gemm_f16b_decode_then_gemm_t1_{s}"),
+        metric: "gflops".into(),
+        value: flops / decode_s / 1e9,
+    });
     PerfSuite {
         suite: "kernels".into(),
+        calibration: 0.0,
+        entries,
+    }
+}
+
+fn run_attention(smoke: bool) -> PerfSuite {
+    use ratel_tensor::{
+        attn_backward_into, attn_backward_naive_into, attn_forward_into, attn_forward_naive_into,
+        BlockSaved,
+    };
+
+    // One head geometry across the ladder (8 heads of 64 = hidden 512);
+    // the sequence length is what moves the streaming-vs-naive gap. The
+    // smoke size always runs so its entry names exist in the committed
+    // full baseline; the full run adds the long sequences on top.
+    let (batch, heads, d) = (1usize, 8usize, 64usize);
+    let h = heads * d;
+    let sizes: &[usize] = if smoke { &[128] } else { &[128, 512, 1024] };
+    let budget = 0.3;
+    let mut entries = Vec::new();
+    for &s in sizes {
+        let qkv = fill(batch * s * 3 * h, 21);
+        let dctx = fill(batch * s * h, 22);
+        let mut ctx = vec![0.0f32; batch * s * h];
+        let mut row_max = vec![0.0f32; batch * heads * s];
+        let mut row_lse = vec![0.0f32; batch * heads * s];
+        let mut dqkv = vec![0.0f32; qkv.len()];
+        // Nominal work unit: the b*heads*s*s attention cells a
+        // materialized implementation touches. Both backends share it,
+        // so the speedup reads straight off the cells/s pair (the
+        // streaming kernel actually skips the masked half — that skipped
+        // work *is* part of its advantage).
+        let cells = (batch * heads * s * s) as f64;
+
+        let mut fwd_streaming_t1 = f64::INFINITY;
+        for threads in [1usize, 4] {
+            set_num_threads(threads);
+            let secs = time_min_for(budget, || {
+                attn_forward_into(
+                    &qkv,
+                    batch,
+                    s,
+                    h,
+                    heads,
+                    &mut ctx,
+                    &mut row_max,
+                    &mut row_lse,
+                );
+                std::hint::black_box(&mut ctx);
+            });
+            set_num_threads(1);
+            if threads == 1 {
+                fwd_streaming_t1 = secs;
+            }
+            entries.push(PerfEntry {
+                name: format!("attn_fwd_streaming_t{threads}_{s}"),
+                metric: "elems_per_s".into(),
+                value: cells / secs,
+            });
+        }
+        let fwd_naive = time_min_for(budget, || {
+            attn_forward_naive_into(
+                &qkv,
+                batch,
+                s,
+                h,
+                heads,
+                &mut ctx,
+                &mut row_max,
+                &mut row_lse,
+            );
+            std::hint::black_box(&mut ctx);
+        });
+        entries.push(PerfEntry {
+            name: format!("attn_fwd_naive_t1_{s}"),
+            metric: "elems_per_s".into(),
+            value: cells / fwd_naive,
+        });
+        entries.push(PerfEntry {
+            name: format!("attn_fwd_speedup_{s}"),
+            metric: "ratio".into(),
+            value: fwd_naive / fwd_streaming_t1,
+        });
+
+        // Backward: each backend consumes its own forward's saved set,
+        // exactly as the layer does at train time.
+        attn_forward_into(
+            &qkv,
+            batch,
+            s,
+            h,
+            heads,
+            &mut ctx,
+            &mut row_max,
+            &mut row_lse,
+        );
+        let mut bwd_streaming_t1 = f64::INFINITY;
+        for threads in [1usize, 4] {
+            set_num_threads(threads);
+            let secs = time_min_for(budget, || {
+                attn_backward_into(
+                    &qkv, &ctx, &row_max, &row_lse, &dctx, batch, s, h, heads, &mut dqkv,
+                );
+                std::hint::black_box(&mut dqkv);
+            });
+            set_num_threads(1);
+            if threads == 1 {
+                bwd_streaming_t1 = secs;
+            }
+            entries.push(PerfEntry {
+                name: format!("attn_bwd_streaming_t{threads}_{s}"),
+                metric: "elems_per_s".into(),
+                value: cells / secs,
+            });
+        }
+        attn_forward_naive_into(
+            &qkv,
+            batch,
+            s,
+            h,
+            heads,
+            &mut ctx,
+            &mut row_max,
+            &mut row_lse,
+        );
+        let bwd_naive = time_min_for(budget, || {
+            attn_backward_naive_into(
+                &qkv, &ctx, &row_max, &row_lse, &dctx, batch, s, h, heads, &mut dqkv,
+            );
+            std::hint::black_box(&mut dqkv);
+        });
+        entries.push(PerfEntry {
+            name: format!("attn_bwd_naive_t1_{s}"),
+            metric: "elems_per_s".into(),
+            value: cells / bwd_naive,
+        });
+        entries.push(PerfEntry {
+            name: format!("attn_bwd_speedup_{s}"),
+            metric: "ratio".into(),
+            value: bwd_naive / bwd_streaming_t1,
+        });
+
+        // The A16 blob of one transformer block at this shape — the
+        // bytes a saved-activation swap actually moves per step. This is
+        // arithmetic, not a measurement: any growth is a code change
+        // (e.g. something re-materializing the [s, s] probabilities) and
+        // fails the check outright.
+        entries.push(PerfEntry {
+            name: format!("block_saved_bytes_{s}"),
+            metric: "bytes".into(),
+            value: (2 * BlockSaved::element_count_for(batch, s, h, heads)) as f64,
+        });
+    }
+
+    // Steady-state allocation counts: both streaming kernels run
+    // entirely out of the scratch pool once warmed, at any thread count
+    // — asserted here at the serial setting the counter can attribute.
+    let s = 128;
+    let qkv = fill(batch * s * 3 * h, 23);
+    let dctx = fill(batch * s * h, 24);
+    let mut ctx = vec![0.0f32; batch * s * h];
+    let mut row_max = vec![0.0f32; batch * heads * s];
+    let mut row_lse = vec![0.0f32; batch * heads * s];
+    let mut dqkv = vec![0.0f32; qkv.len()];
+    set_num_threads(1);
+    entries.push(PerfEntry {
+        name: "attn_fwd_streaming_allocs_per_call".into(),
+        metric: "allocs".into(),
+        value: min_allocs_per_call(10, || {
+            attn_forward_into(
+                &qkv,
+                batch,
+                s,
+                h,
+                heads,
+                &mut ctx,
+                &mut row_max,
+                &mut row_lse,
+            )
+        }),
+    });
+    entries.push(PerfEntry {
+        name: "attn_bwd_streaming_allocs_per_call".into(),
+        metric: "allocs".into(),
+        value: min_allocs_per_call(10, || {
+            attn_backward_into(
+                &qkv, &ctx, &row_max, &row_lse, &dctx, batch, s, h, heads, &mut dqkv,
+            )
+        }),
+    });
+
+    PerfSuite {
+        suite: "attention".into(),
         calibration: 0.0,
         entries,
     }
@@ -641,7 +903,7 @@ pub fn parse_suite(text: &str) -> Result<PerfSuite, String> {
             .ok_or_else(|| format!("entries[{i}] must be an object"))?;
         let name = json::get_str(eo, "name")?.to_string();
         let metric = json::get_str(eo, "metric")?.to_string();
-        if !is_throughput(&metric) && metric != "allocs" {
+        if !is_throughput(&metric) && !is_strict_count(&metric) {
             return Err(format!("entries[{i}]: unknown metric {metric:?}"));
         }
         let value = json::get(eo, "value")?
@@ -673,9 +935,10 @@ pub fn parse_suite(text: &str) -> Result<PerfSuite, String> {
 /// Throughput values are first rescaled by the calibration-score ratio
 /// (clamped to [0.25, 4]) so a faster or slower machine than the one
 /// that wrote the baseline is factored out; the rescaled value then
-/// fails below `(1 - REGRESSION_THRESHOLD) * baseline`. `allocs` entries
-/// fail on any increase, unscaled. Entries missing on either side are
-/// skipped (smoke runs measure a subset of the committed baseline).
+/// fails below `(1 - REGRESSION_THRESHOLD) * baseline`. `allocs` and
+/// `bytes` entries fail on any increase, unscaled. Entries missing on
+/// either side are skipped (smoke runs measure a subset of the
+/// committed baseline).
 pub fn check_regressions(current: &PerfSuite, baseline: &PerfSuite) -> Vec<String> {
     let scale = if current.calibration > 0.0 && baseline.calibration > 0.0 {
         (baseline.calibration / current.calibration).clamp(0.25, 4.0)
@@ -716,8 +979,8 @@ pub fn check_regressions(current: &PerfSuite, baseline: &PerfSuite) -> Vec<Strin
             }
         } else if cur.value > base.value {
             failures.push(format!(
-                "{}: {} allocations/call, baseline {}",
-                cur.name, cur.value, base.value
+                "{}: {} {}, baseline {}",
+                cur.name, cur.value, cur.metric, base.value
             ));
         }
     }
@@ -1102,7 +1365,7 @@ mod tests {
 
     #[test]
     fn smoke_suites_produce_valid_schema() {
-        for suite in ["adam", "ssd"] {
+        for suite in ["attention", "adam", "ssd"] {
             let result = run_suite(suite, true).unwrap();
             let parsed = parse_suite(&to_json(&result)).unwrap();
             assert_eq!(parsed.suite, suite);
@@ -1121,6 +1384,20 @@ mod tests {
             "adam_flat_roundtrip_allocs_per_call",
         ] {
             let e = adam_suite
+                .entries
+                .iter()
+                .find(|e| e.name == name)
+                .expect(name);
+            assert_eq!(e.value, 0.0, "{name} allocates at steady state");
+        }
+        // The streaming attention kernels run out of the scratch pool
+        // once warmed: a full forward + backward step allocates nothing.
+        let attn_suite = run_suite("attention", true).unwrap();
+        for name in [
+            "attn_fwd_streaming_allocs_per_call",
+            "attn_bwd_streaming_allocs_per_call",
+        ] {
+            let e = attn_suite
                 .entries
                 .iter()
                 .find(|e| e.name == name)

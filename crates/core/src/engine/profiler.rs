@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use ratel_model::{ModelConfig, ModelProfile, UnitKind};
 use ratel_storage::{StorageError, Tier, TieredStore};
-use ratel_tensor::{GptConfig, Tensor, TransformerBlock};
+use ratel_tensor::{BlockSaved, GptConfig, Tensor, TransformerBlock};
 
 use crate::planner::ActivationPlanner;
 use crate::profile::HardwareProfile;
@@ -123,11 +123,12 @@ pub fn plan_decisions(config: GptConfig, hw: &HardwareProfile) -> Vec<ActDecisio
     let plan = ActivationPlanner::new(hw, &profile).plan();
 
     // Actual A16 blob size of one executable block (elements * 2 bytes):
-    // x1 + qkv(3h) + probs + ctx + x2 + x3 + mlp pre/act(8h) + stats.
-    let rows = (config.batch * config.seq) as f64;
-    let h = config.hidden as f64;
-    let probs = (config.batch * config.heads * config.seq * config.seq) as f64;
-    let block_blob_bytes = 2.0 * (rows * (15.0 * h + 4.0) + probs);
+    // x1 + qkv(3h) + ctx + x2 + x3 + mlp pre/act(8h) + LN stats + the
+    // streaming-attention row statistics (max + logsumexp per row per
+    // head; no materialized probabilities).
+    let block_blob_bytes = 2.0
+        * BlockSaved::element_count_for(config.batch, config.seq, config.hidden, config.heads)
+            as f64;
 
     let mut host_left = hw.mem_avail;
     (0..config.layers)

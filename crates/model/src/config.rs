@@ -20,6 +20,13 @@
 //! token-channel per block respectively in mixed precision.
 
 /// Bytes of intra-block activations per `b*s*h` token-channel, per block.
+///
+/// The executable engine's streaming-attention saved set (15 row-major
+/// `h`-wide tensors plus O(`b*heads*s`) softmax/LayerNorm statistics, two
+/// A16 bytes each) lands on this same figure — ~30.03 at the 13B shape —
+/// so the analytic planner and the real engine account activations
+/// identically; `streaming_attention_shrinks_saved_activation_blob` in
+/// the integration suite pins the agreement.
 pub const ACT_INTRA_BYTES_PER_TOKEN_CHANNEL: f64 = 30.0;
 /// Bytes of inter-block (checkpoint) activations per `b*s*h`, per block.
 pub const ACT_INTER_BYTES_PER_TOKEN_CHANNEL: f64 = 2.0;

@@ -105,13 +105,132 @@ pub fn round_to_f16(value: f32) -> f32 {
     f16_bits_to_f32(f32_to_f16_bits(value))
 }
 
+/// Converts a slice of binary16 bit patterns to `f32`, bitwise identical to
+/// mapping [`f16_bits_to_f32`] element by element.
+///
+/// This is the decode half shared by the blob path ([`decode_f16`]) and the
+/// fused dequant GEMM packing in `gemm.rs`: on x86-64 with AVX2 it runs a
+/// branchless 8-lane integer decode (F16C's `vcvtph2ps` is deliberately not
+/// used — it quietizes signalling NaN payloads, which would break bitwise
+/// equality with the software decoder).
+///
+/// # Panics
+/// If `out.len() != bits.len()`.
+pub fn f16_bits_to_f32_slice(bits: &[u16], out: &mut [f32]) {
+    assert_eq!(bits.len(), out.len(), "f16 decode length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::gemm::avx2_available() {
+        // SAFETY: AVX2 support was just checked at runtime.
+        unsafe { decode_f16_avx2(bits, out) };
+        return;
+    }
+    decode_f16_scalar(bits, out);
+}
+
+/// Converts a slice of `f32` to binary16 bit patterns, bitwise identical to
+/// mapping [`f32_to_f16_bits`] element by element. Chunked so the compiler
+/// can keep the rounding data flow in registers across iterations.
+///
+/// # Panics
+/// If `out.len() != values.len()`.
+pub fn f32_to_f16_bits_slice(values: &[f32], out: &mut [u16]) {
+    assert_eq!(values.len(), out.len(), "f16 encode length mismatch");
+    const CHUNK: usize = 16;
+    let mut vi = values.chunks_exact(CHUNK);
+    let mut oi = out.chunks_exact_mut(CHUNK);
+    for (v, o) in (&mut vi).zip(&mut oi) {
+        for i in 0..CHUNK {
+            o[i] = f32_to_f16_bits(v[i]);
+        }
+    }
+    for (v, o) in vi.remainder().iter().zip(oi.into_remainder()) {
+        *o = f32_to_f16_bits(*v);
+    }
+}
+
+fn decode_f16_scalar(bits: &[u16], out: &mut [f32]) {
+    const CHUNK: usize = 16;
+    let mut bi = bits.chunks_exact(CHUNK);
+    let mut oi = out.chunks_exact_mut(CHUNK);
+    for (b, o) in (&mut bi).zip(&mut oi) {
+        for i in 0..CHUNK {
+            o[i] = f16_bits_to_f32(b[i]);
+        }
+    }
+    for (b, o) in bi.remainder().iter().zip(oi.into_remainder()) {
+        *o = f16_bits_to_f32(*b);
+    }
+}
+
+/// Branchless 8-lane binary16 → f32 decode.
+///
+/// Per lane, with `h` the half bits and `em = (h & 0x7fff) << 13`:
+/// - normals add the exponent re-bias `(127-15) << 23` to `em`;
+/// - Inf/NaN add `(255-31) << 23`, passing the mantissa payload through
+///   untouched (so sNaN stays sNaN, unlike F16C);
+/// - subnormals use the magic-number trick: `f32(em + (113<<23)) - 2^-14`
+///   is exact by Sterbenz's lemma and yields `mant * 2^-24`.
+///
+/// All three results are computed for every lane and blended by exponent
+/// class, then the sign is OR'd back in.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn decode_f16_avx2(bits: &[u16], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = bits.len();
+    let mut i = 0;
+    unsafe {
+        let exp_mask = _mm256_set1_epi32(0x7c00 << 13);
+        let em_mask = _mm256_set1_epi32(0x7fff);
+        let normal_bias = _mm256_set1_epi32(112 << 23);
+        let naninf_bias = _mm256_set1_epi32(224 << 23);
+        let sub_magic = _mm256_set1_epi32(113 << 23);
+        while i + 8 <= n {
+            let h = _mm256_cvtepu16_epi32(_mm_loadu_si128(bits.as_ptr().add(i) as *const _));
+            let sign = _mm256_slli_epi32::<16>(_mm256_srli_epi32::<15>(h));
+            let sign = _mm256_slli_epi32::<15>(sign);
+            let em = _mm256_slli_epi32::<13>(_mm256_and_si256(h, em_mask));
+            let exp = _mm256_and_si256(em, exp_mask);
+            let normal = _mm256_add_epi32(em, normal_bias);
+            let naninf = _mm256_add_epi32(em, naninf_bias);
+            let sub = _mm256_castps_si256(_mm256_sub_ps(
+                _mm256_castsi256_ps(_mm256_add_epi32(em, sub_magic)),
+                _mm256_castsi256_ps(sub_magic),
+            ));
+            let is_naninf = _mm256_cmpeq_epi32(exp, exp_mask);
+            let is_sub = _mm256_cmpeq_epi32(exp, _mm256_setzero_si256());
+            let body = _mm256_blendv_epi8(normal, naninf, is_naninf);
+            let body = _mm256_blendv_epi8(body, sub, is_sub);
+            let res = _mm256_or_si256(body, sign);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut _, res);
+            i += 8;
+        }
+    }
+    decode_f16_scalar(&bits[i..], &mut out[i..]);
+}
+
 /// Encodes a slice of `f32` into little-endian binary16 bytes.
 pub fn encode_f16(values: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len() * 2);
-    for &v in values {
-        out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+    let mut bits = vec![0u16; values.len()];
+    f32_to_f16_bits_slice(values, &mut bits);
+    let mut out = vec![0u8; values.len() * 2];
+    for (c, b) in out.chunks_exact_mut(2).zip(&bits) {
+        c.copy_from_slice(&b.to_le_bytes());
     }
     out
+}
+
+/// Decodes little-endian binary16 bytes into `f32`, writing into `out`.
+///
+/// # Panics
+/// If `bytes.len() != out.len() * 2`.
+pub fn decode_f16_into(bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(bytes.len(), out.len() * 2, "f16 byte/slot length mismatch");
+    let mut bits = vec![0u16; out.len()];
+    for (b, c) in bits.iter_mut().zip(bytes.chunks_exact(2)) {
+        *b = u16::from_le_bytes([c[0], c[1]]);
+    }
+    f16_bits_to_f32_slice(&bits, out);
 }
 
 /// Decodes little-endian binary16 bytes into `f32`.
@@ -124,10 +243,9 @@ pub fn decode_f16(bytes: &[u8]) -> Vec<f32> {
         "odd f16 byte length {}",
         bytes.len()
     );
-    bytes
-        .chunks_exact(2)
-        .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
-        .collect()
+    let mut out = vec![0.0f32; bytes.len() / 2];
+    decode_f16_into(bytes, &mut out);
+    out
 }
 
 /// Encodes a slice of `f32` into little-endian f32 bytes (for master
@@ -234,5 +352,61 @@ mod tests {
     #[should_panic(expected = "odd f16 byte length")]
     fn odd_byte_length_panics() {
         decode_f16(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_decode_matches_scalar_for_every_bit_pattern() {
+        // All 65536 half bit patterns, at a length that exercises both the
+        // 8-lane AVX2 body and the scalar tail.
+        let bits: Vec<u16> = (0..=u16::MAX).collect();
+        let mut out = vec![0.0f32; bits.len()];
+        f16_bits_to_f32_slice(&bits, &mut out);
+        for (&b, &o) in bits.iter().zip(&out) {
+            assert_eq!(
+                o.to_bits(),
+                f16_bits_to_f32(b).to_bits(),
+                "half bits {b:#06x}"
+            );
+        }
+        // Unaligned length: tail-only path.
+        let mut tail = vec![0.0f32; 5];
+        f16_bits_to_f32_slice(&bits[1000..1005], &mut tail);
+        for (i, &o) in tail.iter().enumerate() {
+            assert_eq!(o.to_bits(), f16_bits_to_f32(bits[1000 + i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_encode_matches_scalar() {
+        let mut vals: Vec<f32> = (0..2000).map(|i| (i as f32 - 1000.0) * 1.37e-2).collect();
+        vals.extend([
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            2.0f32.powi(-24),
+            65504.0,
+            65536.0,
+            1.0 + 2.0f32.powi(-11),
+        ]);
+        let mut bits = vec![0u16; vals.len()];
+        f32_to_f16_bits_slice(&vals, &mut bits);
+        for (&v, &b) in vals.iter().zip(&bits) {
+            assert_eq!(b, f32_to_f16_bits(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn blob_round_trip_through_slice_helpers() {
+        let vals: Vec<f32> = (0..517).map(|i| (i as f32).sin() * 31.0).collect();
+        let enc = encode_f16(&vals);
+        assert_eq!(enc.len(), vals.len() * 2);
+        let dec = decode_f16(&enc);
+        for (&v, &d) in vals.iter().zip(&dec) {
+            assert_eq!(d, round_to_f16(v));
+        }
+        let mut into = vec![0.0f32; vals.len()];
+        decode_f16_into(&enc, &mut into);
+        assert_eq!(dec, into);
     }
 }

@@ -153,6 +153,141 @@ pub fn gemm_reference(
     }
 }
 
+/// Single-threaded tiled GEMM for callers that are already inside a
+/// worker thread (e.g. the per-`(batch, head)` attention units): same
+/// packing and microkernel as [`gemm_tiled`], but never spawns, so nested
+/// use does not oversubscribe the machine. Bitwise identical to
+/// [`gemm_tiled`] at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_serial(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    la: LayoutA,
+    b: &[f32],
+    lb: LayoutB,
+    out: &mut [f32],
+) {
+    check_dims(m, k, n, a, b, out);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        return;
+    }
+    let nstrips = n.div_ceil(NR);
+    let mut bpack = scratch_f32(nstrips * k * NR);
+    for (s, strip) in bpack.chunks_exact_mut(k * NR).enumerate() {
+        pack_b(k, n, b, lb, s * NR, strip);
+    }
+    run_band(0, m, k, n, a, la, &bpack, out);
+}
+
+/// Number of f32s a full [`pack_b_full`] pre-pack of a `[k, n]` right
+/// operand occupies (whole `NR`-column strips, zero-padded).
+pub(crate) fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Packs all of B once into `NR`-column strips for repeated
+/// [`gemm_serial_packed`] calls over column sub-ranges. The strip for
+/// columns `[s*NR, (s+1)*NR)` lives at `out[s*k*NR..(s+1)*k*NR]`.
+pub(crate) fn pack_b_full(k: usize, n: usize, b: &[f32], lb: LayoutB, out: &mut [f32]) {
+    assert_eq!(b.len(), k * n, "gemm rhs size");
+    assert_eq!(out.len(), packed_b_len(k, n), "packed rhs size");
+    for (s, strip) in out.chunks_exact_mut(k * NR).enumerate() {
+        pack_b(k, n, b, lb, s * NR, strip);
+    }
+}
+
+/// [`gemm_serial`] against an already-packed right operand: `bpack` are
+/// the [`pack_b_full`] strips covering columns `[j0, j0 + n)` of the
+/// original operand, where `j0` (the slice start the caller cut at) is a
+/// multiple of `NR`. Skipping the per-call pack is what lets repeated
+/// small-tile GEMMs against one operand — the attention kernels' K/V
+/// panels — run at large-GEMM efficiency; the microkernel consumes
+/// identical packed bytes, so results are bitwise equal to
+/// [`gemm_serial`] on the equivalent unpacked tile.
+pub(crate) fn gemm_serial_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    la: LayoutA,
+    bpack: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs size");
+    assert_eq!(bpack.len(), packed_b_len(k, n), "packed rhs size");
+    assert_eq!(out.len(), m * n, "gemm out size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        return;
+    }
+    run_band(0, m, k, n, a, la, bpack, out);
+}
+
+/// `out[m,n] = A[m,k] @ B16[k,n]` where the right operand is IEEE binary16
+/// bit patterns: the pack step decodes f16 panels directly into the
+/// `[k][NR]` strips (chunked AVX2 decode from `dtype.rs` on contiguous
+/// rows), so staged half-precision blobs feed the microkernel without a
+/// full-f32 materialization buffer. Bitwise identical to decoding all of
+/// `b` up front and calling [`gemm`] on the result.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f16b(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    la: LayoutA,
+    b: &[u16],
+    lb: LayoutB,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs size");
+    assert_eq!(b.len(), k * n, "gemm rhs size");
+    assert_eq!(out.len(), m * n, "gemm out size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        return;
+    }
+    let nstrips = n.div_ceil(NR);
+    let mut bpack = scratch_f32(nstrips * k * NR);
+    for (s, strip) in bpack.chunks_exact_mut(k * NR).enumerate() {
+        pack_b_f16(k, n, b, lb, s * NR, strip);
+    }
+    let bpack = &bpack[..];
+
+    let panels = m.div_ceil(MR);
+    let threads = num_threads().min(panels);
+    if threads <= 1 {
+        run_band(0, m, k, n, a, la, bpack, out);
+        return;
+    }
+    let band_rows = panels.div_ceil(threads) * MR;
+    crossbeam::thread::scope(|s| {
+        let mut rest = out;
+        let mut i0 = 0usize;
+        while !rest.is_empty() {
+            let rows = band_rows.min(rest.len() / n);
+            let (band, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let start = i0;
+            s.spawn(move |_| run_band(start, rows, k, n, a, la, bpack, band));
+            i0 += rows;
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
 /// The tiled, multi-threaded path, exposed separately so tests can force
 /// it below [`NAIVE_THRESHOLD`].
 #[allow(clippy::too_many_arguments)]
@@ -291,6 +426,35 @@ fn pack_b(k: usize, n: usize, b: &[f32], lb: LayoutB, j0: usize, out: &mut [f32]
     }
 }
 
+/// Packs the column strip of logical B starting at column `j0` into
+/// `out[k][NR]`, decoding binary16 bits on the fly. The decode is the
+/// same `f16_bits_to_f32` everywhere (chunked/AVX2 on contiguous rows),
+/// so the packed strip is bitwise identical to packing a pre-decoded `b`.
+fn pack_b_f16(k: usize, n: usize, b: &[u16], lb: LayoutB, j0: usize, out: &mut [f32]) {
+    let w = NR.min(n - j0);
+    match lb {
+        LayoutB::Normal => {
+            for (p, dst) in out.chunks_exact_mut(NR).enumerate().take(k) {
+                let src = &b[p * n + j0..p * n + j0 + w];
+                crate::dtype::f16_bits_to_f32_slice(src, &mut dst[..w]);
+                dst[w..].iter_mut().for_each(|d| *d = 0.0);
+            }
+        }
+        LayoutB::Transposed => {
+            // b is [n, k]: gather column p of each of the w rows.
+            for (p, dst) in out.chunks_exact_mut(NR).enumerate().take(k) {
+                for (c, d) in dst.iter_mut().enumerate() {
+                    *d = if c < w {
+                        crate::dtype::f16_bits_to_f32(b[(j0 + c) * k + p])
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
 /// Portable microkernel: per-element accumulation is sequential in k
 /// with separate multiply and add — bitwise identical to the reference.
 fn microkernel_scalar(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
@@ -308,14 +472,29 @@ fn microkernel_scalar(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR
     *acc = c;
 }
 
+/// Runtime AVX2+FMA check shared with the attention exp kernels.
 #[cfg(target_arch = "x86_64")]
-fn fma_available() -> bool {
+pub(crate) fn fma_available() -> bool {
     static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-fn fma_available() -> bool {
+#[allow(dead_code)]
+pub(crate) fn fma_available() -> bool {
+    false
+}
+
+/// Runtime AVX2 check shared with the f16 decode path in `dtype.rs`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn avx2_available() -> bool {
+    static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(dead_code)]
+pub(crate) fn avx2_available() -> bool {
     false
 }
 
@@ -448,6 +627,96 @@ mod tests {
             }
         }
         crate::parallel::set_num_threads(1);
+    }
+
+    #[test]
+    fn serial_matches_tiled_bitwise() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (7, 5, 17), (23, 17, 29)] {
+            for (la, lb) in layouts() {
+                let a = fill(a_len(la, m, k), 11 + m as u64);
+                let b = fill(k * n, 13 + n as u64);
+                let mut want = vec![0.0f32; m * n];
+                let mut got = vec![0.0f32; m * n];
+                crate::parallel::set_num_threads(4);
+                gemm_tiled(m, k, n, &a, la, &b, lb, &mut want);
+                crate::parallel::set_num_threads(1);
+                gemm_serial(m, k, n, &a, la, &b, lb, &mut got);
+                for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                    assert_eq!(w.to_bits(), g.to_bits(), "({m},{k},{n}) elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_f16_pack_matches_decode_then_gemm_bitwise() {
+        use crate::dtype::{f16_bits_to_f32, f32_to_f16_bits};
+        for &(m, k, n) in &[
+            (1usize, 3usize, 1usize),
+            (7, 5, 17),
+            (13, 33, 31),
+            (48, 64, 40),
+        ] {
+            for lb in [LayoutB::Normal, LayoutB::Transposed] {
+                let a = fill(m * k, 3 + m as u64);
+                let bf: Vec<f32> = fill(k * n, 5 + n as u64);
+                let bits: Vec<u16> = bf.iter().map(|&v| f32_to_f16_bits(v)).collect();
+                let decoded: Vec<f32> = bits.iter().map(|&b| f16_bits_to_f32(b)).collect();
+                let mut want = vec![0.0f32; m * n];
+                let mut got = vec![0.0f32; m * n];
+                // Same code path on both sides (always-tiled), so the
+                // comparison is bitwise even under FMA.
+                gemm_tiled(m, k, n, &a, LayoutA::Normal, &decoded, lb, &mut want);
+                gemm_f16b(m, k, n, &a, LayoutA::Normal, &bits, lb, &mut got);
+                for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                    assert_eq!(w.to_bits(), g.to_bits(), "({m},{k},{n}) {lb:?} elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_f16_pack_propagates_specials() {
+        let (m, k, n) = (4usize, 6usize, 9usize);
+        let a = fill(m * k, 17);
+        let mut bf = fill(k * n, 19);
+        bf[0] = f32::NAN;
+        bf[7] = f32::INFINITY;
+        bf[13] = f32::NEG_INFINITY;
+        let bits: Vec<u16> = bf
+            .iter()
+            .map(|&v| crate::dtype::f32_to_f16_bits(v))
+            .collect();
+        let decoded: Vec<f32> = bits
+            .iter()
+            .map(|&b| crate::dtype::f16_bits_to_f32(b))
+            .collect();
+        let mut want = vec![0.0f32; m * n];
+        let mut got = vec![0.0f32; m * n];
+        gemm_tiled(
+            m,
+            k,
+            n,
+            &a,
+            LayoutA::Normal,
+            &decoded,
+            LayoutB::Normal,
+            &mut want,
+        );
+        gemm_f16b(
+            m,
+            k,
+            n,
+            &a,
+            LayoutA::Normal,
+            &bits,
+            LayoutB::Normal,
+            &mut got,
+        );
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+        assert!(got.iter().any(|v| v.is_nan()));
     }
 
     #[test]

@@ -7,11 +7,16 @@
 //! activations are separate structs with half-precision (de)serialization
 //! so they can be offloaded byte-for-byte like the paper's A16 tensors.
 
+use crate::attention::{
+    attn_backend, attn_backward_into, attn_backward_naive_into, attn_forward_into,
+    attn_forward_naive_into, AttnBackend,
+};
 use crate::ops::{
     add_bias, apply_mask, bias_grad, cross_entropy, cross_entropy_backward, dropout_mask,
     embedding_gather, embedding_scatter_add, gelu, gelu_backward, layernorm, layernorm_backward,
-    matmul, matmul_at, matmul_bt, softmax_backward, softmax_rows, DropoutSpec, LayerNormStats,
+    matmul, matmul_at, matmul_bt, DropoutSpec, LayerNormStats,
 };
+use crate::scratch::scratch_f32;
 use crate::tensor::Tensor;
 
 /// Common flat-parameter access for movable layers.
@@ -178,13 +183,20 @@ pub struct MultiHeadAttention {
 }
 
 /// Activations saved by an attention forward, consumed by its backward.
+///
+/// The `[s, s]` probability matrices are *not* stored: backward recomputes
+/// per-tile probabilities from `qkv` and the per-row softmax statistics
+/// (`p = exp(score - row_max - row_lse)`), so the saved set is
+/// `O(b·heads·s)` instead of `O(b·heads·s²)` — the difference is what the
+/// engine no longer quantizes, offloads, and refetches per block per step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttnSaved {
     /// Fused QKV output `[b*s, 3h]`.
     pub qkv: Tensor,
-    /// Post-softmax attention probabilities, one `[s, s]` matrix per
-    /// (batch, head) pair, flattened as `[b*heads*s, s]`.
-    pub probs: Tensor,
+    /// Per-row score max, `[b*heads*s]` unit-major.
+    pub row_max: Vec<f32>,
+    /// Per-row `ln(Σ exp(score - row_max))`, `[b*heads*s]` unit-major.
+    pub row_lse: Vec<f32>,
     /// Concatenated per-head context `[b*s, h]` (input to `wo`).
     pub ctx: Tensor,
 }
@@ -209,33 +221,38 @@ impl MultiHeadAttention {
         (h, h / self.heads)
     }
 
-    /// Causal attention forward over `x: [b*s, h]`.
+    /// Causal attention forward over `x: [b*s, h]`, dispatched to the
+    /// process-wide backend ([`crate::attention::attn_backend`]): the
+    /// streaming tiled kernel by default, the materialized-score oracle
+    /// when selected. Both produce the same shrunken saved set.
     pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, AttnSaved) {
-        let (h, d) = self.dims(x, batch, seq);
+        let (h, _d) = self.dims(x, batch, seq);
         let qkv = self.wqkv.forward(x);
-        let scale = 1.0 / (d as f32).sqrt();
 
         let mut ctx = vec![0.0f32; batch * seq * h];
-        let mut probs_all = vec![0.0f32; batch * self.heads * seq * seq];
-
-        for bi in 0..batch {
-            for hd in 0..self.heads {
-                let q = head_slice(&qkv, bi, seq, h, 0, hd, d);
-                let k = head_slice(&qkv, bi, seq, h, 1, hd, d);
-                let v = head_slice(&qkv, bi, seq, h, 2, hd, d);
-                // scores[s,s] = q @ k^T * scale, causal-masked.
-                let mut scores = matmul_bt(&q, &k).scale(scale);
-                apply_causal_mask(&mut scores, seq);
-                let p = softmax_rows(&scores);
-                let c = matmul(&p, &v); // [s, d]
-                                        // Write back ctx rows and prob block.
-                for t in 0..seq {
-                    let dst = (bi * seq + t) * h + hd * d;
-                    ctx[dst..dst + d].copy_from_slice(&c.data()[t * d..(t + 1) * d]);
-                }
-                let pb = (bi * self.heads + hd) * seq * seq;
-                probs_all[pb..pb + seq * seq].copy_from_slice(p.data());
-            }
+        let mut row_max = vec![0.0f32; batch * self.heads * seq];
+        let mut row_lse = vec![0.0f32; batch * self.heads * seq];
+        match attn_backend() {
+            AttnBackend::Streaming => attn_forward_into(
+                qkv.data(),
+                batch,
+                seq,
+                h,
+                self.heads,
+                &mut ctx,
+                &mut row_max,
+                &mut row_lse,
+            ),
+            AttnBackend::NaiveOracle => attn_forward_naive_into(
+                qkv.data(),
+                batch,
+                seq,
+                h,
+                self.heads,
+                &mut ctx,
+                &mut row_max,
+                &mut row_lse,
+            ),
         }
 
         let ctx = Tensor::from_vec(&[batch * seq, h], ctx);
@@ -244,13 +261,16 @@ impl MultiHeadAttention {
             out,
             AttnSaved {
                 qkv,
-                probs: Tensor::from_vec(&[batch * self.heads * seq, seq], probs_all),
+                row_max,
+                row_lse,
                 ctx,
             },
         )
     }
 
     /// Backward; returns `(dx, d_wqkv, d_wo)` given the forward input `x`.
+    /// Attention probabilities are recomputed from `saved.qkv` and the
+    /// saved row statistics — nothing `O(s²)` is read back.
     pub fn backward(
         &self,
         x: &Tensor,
@@ -259,46 +279,36 @@ impl MultiHeadAttention {
         batch: usize,
         seq: usize,
     ) -> (Tensor, LinearGrads, LinearGrads) {
-        let (h, d) = self.dims(x, batch, seq);
-        let scale = 1.0 / (d as f32).sqrt();
+        let (h, _d) = self.dims(x, batch, seq);
 
         let (dctx, dwo) = self.wo.backward(&saved.ctx, dy);
 
         let mut dqkv = vec![0.0f32; batch * seq * 3 * h];
-        for bi in 0..batch {
-            for hd in 0..self.heads {
-                let q = head_slice(&saved.qkv, bi, seq, h, 0, hd, d);
-                let k = head_slice(&saved.qkv, bi, seq, h, 1, hd, d);
-                let v = head_slice(&saved.qkv, bi, seq, h, 2, hd, d);
-                let pb = (bi * self.heads + hd) * seq * seq;
-                let p =
-                    Tensor::from_vec(&[seq, seq], saved.probs.data()[pb..pb + seq * seq].to_vec());
-
-                // Slice this head's dctx.
-                let mut dc = vec![0.0f32; seq * d];
-                for t in 0..seq {
-                    let src = (bi * seq + t) * h + hd * d;
-                    dc[t * d..(t + 1) * d].copy_from_slice(&dctx.data()[src..src + d]);
-                }
-                let dc = Tensor::from_vec(&[seq, d], dc);
-
-                let dv = matmul_at(&p, &dc); // p^T @ dc
-                let dp = matmul_bt(&dc, &v); // dc @ v^T
-                let dscores = softmax_backward(&p, &dp).scale(scale);
-                let dq = matmul(&dscores, &k); // [s, d]
-                let dk = matmul_at(&dscores, &q); // dscores^T @ q
-
-                // Scatter into dqkv.
-                for t in 0..seq {
-                    let row = (bi * seq + t) * 3 * h;
-                    let qdst = row + hd * d;
-                    let kdst = row + h + hd * d;
-                    let vdst = row + 2 * h + hd * d;
-                    dqkv[qdst..qdst + d].copy_from_slice(&dq.data()[t * d..(t + 1) * d]);
-                    dqkv[kdst..kdst + d].copy_from_slice(&dk.data()[t * d..(t + 1) * d]);
-                    dqkv[vdst..vdst + d].copy_from_slice(&dv.data()[t * d..(t + 1) * d]);
-                }
-            }
+        match attn_backend() {
+            AttnBackend::Streaming => attn_backward_into(
+                saved.qkv.data(),
+                saved.ctx.data(),
+                &saved.row_max,
+                &saved.row_lse,
+                dctx.data(),
+                batch,
+                seq,
+                h,
+                self.heads,
+                &mut dqkv,
+            ),
+            AttnBackend::NaiveOracle => attn_backward_naive_into(
+                saved.qkv.data(),
+                saved.ctx.data(),
+                &saved.row_max,
+                &saved.row_lse,
+                dctx.data(),
+                batch,
+                seq,
+                h,
+                self.heads,
+                &mut dqkv,
+            ),
         }
 
         let dqkv = Tensor::from_vec(&[batch * seq, 3 * h], dqkv);
@@ -321,33 +331,6 @@ impl ParamLayer for MultiHeadAttention {
         let n1 = self.wqkv.param_count();
         self.wqkv.set_params_flat(&flat[..n1]);
         self.wo.set_params_flat(&flat[n1..]);
-    }
-}
-
-/// Extracts one head's `[s, d]` q/k/v slice (`which`: 0=q, 1=k, 2=v).
-fn head_slice(
-    qkv: &Tensor,
-    batch_idx: usize,
-    seq: usize,
-    h: usize,
-    which: usize,
-    head: usize,
-    d: usize,
-) -> Tensor {
-    let mut out = vec![0.0f32; seq * d];
-    for t in 0..seq {
-        let src = (batch_idx * seq + t) * 3 * h + which * h + head * d;
-        out[t * d..(t + 1) * d].copy_from_slice(&qkv.data()[src..src + d]);
-    }
-    Tensor::from_vec(&[seq, d], out)
-}
-
-fn apply_causal_mask(scores: &mut Tensor, seq: usize) {
-    let data = scores.data_mut();
-    for t in 0..seq {
-        for u in (t + 1)..seq {
-            data[t * seq + u] = f32::NEG_INFINITY;
-        }
     }
 }
 
@@ -642,8 +625,11 @@ impl BlockSaved {
     pub fn element_count_for(batch: usize, seq: usize, h: usize, heads: usize) -> usize {
         let rows = batch * seq;
         // x1 + qkv(3) + ctx + x2 + x3 + mlp.pre(4) + mlp.act(4) = 15 rows*h,
-        // plus two LayerNorm (mean, rstd) pairs and the attention probs.
-        rows * (15 * h + 4) + batch * heads * seq * seq
+        // plus two LayerNorm (mean, rstd) pairs and the attention row
+        // statistics (max + logsumexp per row per head). Streaming
+        // attention stores no `[s, s]` probabilities, so there is no
+        // quadratic-in-seq term.
+        rows * (15 * h + 4) + 2 * batch * heads * seq
     }
 
     /// Total stored activation elements (for accounting).
@@ -652,7 +638,8 @@ impl BlockSaved {
             + self.ln1_stats.mean.len()
             + self.ln1_stats.rstd.len()
             + self.attn.qkv.len()
-            + self.attn.probs.len()
+            + self.attn.row_max.len()
+            + self.attn.row_lse.len()
             + self.attn.ctx.len()
             + self.x2.len()
             + self.x3.len()
@@ -698,7 +685,8 @@ impl BlockSaved {
             rstd: take(rows),
         };
         let qkv = Tensor::from_vec(&[rows, 3 * h], take(rows * 3 * h));
-        let probs = Tensor::from_vec(&[batch * heads * seq, seq], take(batch * heads * seq * seq));
+        let row_max = take(batch * heads * seq);
+        let row_lse = take(batch * heads * seq);
         let ctx = Tensor::from_vec(&[rows, h], take(rows * h));
         let x2 = Tensor::from_vec(&[rows, h], take(rows * h));
         let x3 = Tensor::from_vec(&[rows, h], take(rows * h));
@@ -712,7 +700,12 @@ impl BlockSaved {
         BlockSaved {
             x1,
             ln1_stats,
-            attn: AttnSaved { qkv, probs, ctx },
+            attn: AttnSaved {
+                qkv,
+                row_max,
+                row_lse,
+                ctx,
+            },
             x2,
             x3,
             ln2_stats,
@@ -727,16 +720,17 @@ impl BlockSaved {
         let q = |t: &mut Tensor| *t = t.quantize_f16();
         q(&mut self.x1);
         q(&mut self.attn.qkv);
-        q(&mut self.attn.probs);
         q(&mut self.attn.ctx);
         q(&mut self.x2);
         q(&mut self.x3);
         q(&mut self.mlp.pre);
         q(&mut self.mlp.act);
         for v in self
-            .ln1_stats
-            .mean
+            .attn
+            .row_max
             .iter_mut()
+            .chain(self.attn.row_lse.iter_mut())
+            .chain(self.ln1_stats.mean.iter_mut())
             .chain(self.ln1_stats.rstd.iter_mut())
             .chain(self.ln2_stats.mean.iter_mut())
             .chain(self.ln2_stats.rstd.iter_mut())
@@ -745,13 +739,14 @@ impl BlockSaved {
         }
     }
 
-    fn tensors(&self) -> [&[f32]; 12] {
+    fn tensors(&self) -> [&[f32]; 13] {
         [
             self.x1.data(),
             &self.ln1_stats.mean,
             &self.ln1_stats.rstd,
             self.attn.qkv.data(),
-            self.attn.probs.data(),
+            &self.attn.row_max,
+            &self.attn.row_lse,
             self.attn.ctx.data(),
             self.x2.data(),
             self.x3.data(),
@@ -1525,17 +1520,19 @@ impl MultiHeadAttention {
         let scale = 1.0 / (d as f32).sqrt();
 
         let mut ctx = vec![0.0f32; h];
+        // One decode step scores every cached position per head; the buffer
+        // comes from the thread-local scratch pool so the per-token decode
+        // loop stops allocating once the pool is warm.
+        let mut scores = scratch_f32(t);
         for hd in 0..self.heads {
             let q = &qkv.data()[hd * d..(hd + 1) * d];
             let keys = cache.head_k(hd);
             let vals = cache.head_v(hd);
             // scores over all t cached positions (the new one included).
-            let mut scores: Vec<f32> = (0..t)
-                .map(|p| {
-                    let krow = &keys[p * d..(p + 1) * d];
-                    q.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale
-                })
-                .collect();
+            for (p, s) in scores.iter_mut().enumerate() {
+                let krow = &keys[p * d..(p + 1) * d];
+                *s = q.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale;
+            }
             // Softmax (stable).
             let max = scores.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
             let mut sum = 0.0f32;

@@ -21,6 +21,7 @@
 //! in-memory training; deliberately not a general autograd framework.
 
 pub mod adam;
+pub mod attention;
 pub mod dtype;
 pub mod gemm;
 pub mod layers;
@@ -30,6 +31,10 @@ pub mod scratch;
 pub mod tensor;
 
 pub use adam::{Adam, AdamParams};
+pub use attention::{
+    attn_backend, attn_backward_into, attn_backward_naive_into, attn_forward_into,
+    attn_forward_naive_into, set_attn_backend, AttnBackend,
+};
 pub use dtype::{f16_bits_to_f32, f32_to_f16_bits, DType};
 pub use layers::{
     block_dropout_spec, AttnSaved, BlockSaved, CrossEntropy, Embedding, GptConfig, GptModel,

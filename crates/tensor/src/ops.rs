@@ -201,11 +201,20 @@ fn gelu_grad_scalar(x: f32) -> f32 {
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
 }
 
-/// Row-wise numerically stable softmax of a `[rows, cols]` tensor.
-pub fn softmax_rows(x: &Tensor) -> Tensor {
-    let (_, c) = dims2(x, "softmax input");
-    let mut out = x.data().to_vec();
-    for row in out.chunks_exact_mut(c) {
+/// Row-wise numerically stable softmax of a `[rows, cols]` buffer, in
+/// place. Slice-level core of [`softmax_rows`], allocation-free so hot
+/// paths can run it on scratch-pool buffers.
+///
+/// # Panics
+/// If `data.len()` is not a multiple of `cols`.
+pub fn softmax_rows_inplace(data: &mut [f32], cols: usize) {
+    assert!(cols > 0, "softmax cols must be positive");
+    assert!(
+        data.len().is_multiple_of(cols),
+        "softmax length {} not a multiple of cols {cols}",
+        data.len()
+    );
+    for row in data.chunks_exact_mut(cols) {
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -217,7 +226,42 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
             *v *= inv;
         }
     }
+}
+
+/// Row-wise numerically stable softmax of a `[rows, cols]` tensor.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (_, c) = dims2(x, "softmax input");
+    let mut out = x.data().to_vec();
+    softmax_rows_inplace(&mut out, c);
     Tensor::from_vec(x.shape(), out)
+}
+
+/// Backward of a row softmax given the forward *output* `probs`:
+/// `dx = p * (dy - sum(dy * p))` per row, written into `out`.
+/// Slice-level core of [`softmax_backward`], allocation-free so hot paths
+/// can run it on scratch-pool buffers.
+///
+/// # Panics
+/// If lengths mismatch or are not a multiple of `cols`.
+pub fn softmax_backward_into(probs: &[f32], dy: &[f32], cols: usize, out: &mut [f32]) {
+    assert!(cols > 0, "softmax cols must be positive");
+    assert_eq!(probs.len(), dy.len(), "softmax_backward shapes");
+    assert_eq!(probs.len(), out.len(), "softmax_backward output length");
+    assert!(
+        probs.len().is_multiple_of(cols),
+        "softmax length {} not a multiple of cols {cols}",
+        probs.len()
+    );
+    for ((orow, prow), dyrow) in out
+        .chunks_exact_mut(cols)
+        .zip(probs.chunks_exact(cols))
+        .zip(dy.chunks_exact(cols))
+    {
+        let dot: f32 = prow.iter().zip(dyrow).map(|(&p, &g)| p * g).sum();
+        for ((o, &p), &g) in orow.iter_mut().zip(prow).zip(dyrow) {
+            *o = p * (g - dot);
+        }
+    }
 }
 
 /// Backward of [`softmax_rows`] given the forward *output* `probs`:
@@ -226,16 +270,7 @@ pub fn softmax_backward(probs: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(probs.shape(), dy.shape(), "softmax_backward shapes");
     let (_, c) = dims2(probs, "softmax_backward");
     let mut out = vec![0.0f32; probs.len()];
-    for ((orow, prow), dyrow) in out
-        .chunks_exact_mut(c)
-        .zip(probs.data().chunks_exact(c))
-        .zip(dy.data().chunks_exact(c))
-    {
-        let dot: f32 = prow.iter().zip(dyrow).map(|(&p, &g)| p * g).sum();
-        for ((o, &p), &g) in orow.iter_mut().zip(prow).zip(dyrow) {
-            *o = p * (g - dot);
-        }
-    }
+    softmax_backward_into(probs.data(), dy.data(), c, &mut out);
     Tensor::from_vec(probs.shape(), out)
 }
 

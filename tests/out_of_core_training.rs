@@ -479,3 +479,41 @@ fn engine_movement_plan_passes_static_verification() {
         assert!(report.versions_seen > 0);
     }
 }
+
+/// Streaming attention shrinks the per-block saved-activation blob: the
+/// A16 element count carries no `[s, s]` probabilities term (it scales
+/// linearly in sequence length), stays strictly below the old
+/// materialized-softmax accounting, and the implied per-token-channel
+/// bytes agree with the analytic planner's intra-block constant — while
+/// the engine's movement plan still passes static verification with the
+/// smaller blobs (the test above).
+#[test]
+fn streaming_attention_shrinks_saved_activation_blob() {
+    use ratel_repro::model::config::ACT_INTRA_BYTES_PER_TOKEN_CHANNEL;
+    use ratel_repro::tensor::BlockSaved;
+
+    let (batch, heads, h) = (4, 8, 256);
+    // Linear in seq: doubling the sequence doubles the blob.
+    let at_seq = |s: usize| BlockSaved::element_count_for(batch, s, h, heads);
+    assert_eq!(at_seq(512) * 2, at_seq(1024));
+    // Strictly below the old accounting that stored `[s, s]` probabilities
+    // per head; the gap is exactly the dropped quadratic term minus the
+    // two per-row statistics that replaced it.
+    for s in [16, 64, 256, 1024] {
+        let rows = batch * s;
+        let old = rows * (15 * h + 4) + batch * heads * s * s;
+        assert!(at_seq(s) < old, "s={s}: {} !< {old}", at_seq(s));
+        assert_eq!(old - at_seq(s), batch * heads * s * (s - 2));
+    }
+    // Analytic agreement at the paper's 13B shape (h=5120, 40 heads,
+    // batch 32, seq 1024): ~30 A16 bytes per token-channel per block.
+    let (b13, s13, h13, heads13) = (32usize, 1024usize, 5120usize, 40usize);
+    let blob_bytes = 2.0 * BlockSaved::element_count_for(b13, s13, h13, heads13) as f64;
+    let per_token_channel = blob_bytes / (b13 * s13 * h13) as f64;
+    let rel = (per_token_channel - ACT_INTRA_BYTES_PER_TOKEN_CHANNEL).abs()
+        / ACT_INTRA_BYTES_PER_TOKEN_CHANNEL;
+    assert!(
+        rel < 0.005,
+        "engine stores {per_token_channel:.3} B/token-channel, planner assumes {ACT_INTRA_BYTES_PER_TOKEN_CHANNEL}"
+    );
+}
