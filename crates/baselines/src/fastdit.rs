@@ -50,7 +50,7 @@ pub fn best_images_per_sec(
     batches
         .iter()
         .filter_map(|&b| simulate(gpu, model, b).map(|r| (b, r.images_per_sec)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 #[cfg(test)]

@@ -66,7 +66,7 @@ pub fn best_tokens_per_sec(model: &ModelConfig, batches: &[usize]) -> Option<(us
     batches
         .iter()
         .filter_map(|&b| simulate(model, b).map(|r| (b, r.tokens_per_sec)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 #[cfg(test)]

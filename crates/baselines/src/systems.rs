@@ -241,8 +241,7 @@ impl System {
             .filter_map(|&b| self.simulate(server, model, b).map(|r| (b, r)))
             .max_by(|a, b| {
                 a.1.throughput_items_per_sec
-                    .partial_cmp(&b.1.throughput_items_per_sec)
-                    .expect("throughput is finite")
+                    .total_cmp(&b.1.throughput_items_per_sec)
             })
     }
 }

@@ -1,0 +1,815 @@
+//! The bounded interleaving explorer.
+//!
+//! Model threads are real OS threads, but only one ever runs at a time:
+//! a token-passing scheduler grants execution to exactly one thread and
+//! every operation on a [`crate::sync`] primitive is a *schedule point*
+//! where the token may move. Because the model itself is deterministic,
+//! the interleaving is fully determined by the sequence of scheduling
+//! *choices*, and the explorer enumerates those sequences depth-first
+//! (stateless DFS: re-run the model with the next choice vector) under a
+//! preemption bound — switching away from a runnable thread consumes
+//! budget, switching at a blocking point is free. This is the classic
+//! CHESS/loom search shape: small bounds catch almost all real
+//! concurrency bugs while keeping the schedule tree tractable.
+//!
+//! What the explorer checks:
+//! * **Deadlock** — no thread can make progress but not all finished
+//!   (covers lock cycles *and* lost condvar wake-ups).
+//! * **Assertions** — [`crate::fail`]/[`crate::check`] or any panic in
+//!   model code fails the run.
+//! * **Livelock** — a run exceeding the operation budget fails.
+//!
+//! Every failure carries a *witness*: the full operation trace of the
+//! failing interleaving (thread, primitive name, operation), plus each
+//! blocked thread's final state.
+//!
+//! What it does not model (documented limits, see DESIGN.md): weak
+//! memory (all atomics explore sequentially-consistent interleavings),
+//! spurious condvar wake-ups, and `notify_one` picks waiters in FIFO
+//! order rather than branching on the choice of waiter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to unwind controlled threads after a failure has
+/// been recorded; caught (and swallowed) by the thread trampoline.
+pub(crate) struct Abort;
+
+/// Panic payload for [`crate::fail`] inside an explorer run.
+pub(crate) struct ModelFailure(pub String);
+
+/// Fails the current model run (panics with a typed payload the
+/// explorer recognizes; a plain panic outside a run).
+pub(crate) fn fail(message: String) -> ! {
+    if current().is_some() {
+        panic::panic_any(ModelFailure(message));
+    }
+    panic!("{message}");
+}
+
+/// What kind of property violation an exploration found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No thread could make progress, but not every thread had finished
+    /// (lock cycle, lost notify, join on a stuck thread, …).
+    Deadlock,
+    /// A model assertion failed or model code panicked.
+    Assertion,
+    /// The run exceeded the operation budget (livelock guard).
+    OpsLimit,
+}
+
+impl FailureKind {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Assertion => "assertion",
+            FailureKind::OpsLimit => "ops_limit",
+        }
+    }
+}
+
+/// A property violation found by [`Explorer::explore`], with the
+/// interleaving that triggers it.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable description (assertion message, blocked-thread
+    /// summary for deadlocks).
+    pub message: String,
+    /// The failing interleaving, one executed operation per line:
+    /// `t<id>(<thread name>): <op> [<primitive name>]`.
+    pub witness: Vec<String>,
+    /// 0-based index of the failing schedule in exploration order.
+    pub schedule: usize,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} in schedule #{}: {}",
+            self.kind.name(),
+            self.schedule,
+            self.message
+        )?;
+        writeln!(f, "interleaving witness ({} ops):", self.witness.len())?;
+        for line in &self.witness {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a completed (property-clean) exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Whether the bounded schedule tree was fully enumerated (`false`
+    /// means the schedule budget ran out first).
+    pub complete: bool,
+    /// Longest operation trace over all schedules.
+    pub max_ops: usize,
+}
+
+/// Why a controlled thread cannot currently run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Can run (or is running).
+    Runnable,
+    /// Blocked acquiring the lock with this id.
+    WantLock(usize),
+    /// Blocked in a condvar wait: (condvar id, mutex id to reacquire).
+    Waiting(usize, usize),
+    /// Blocked joining the thread with this tid.
+    Joining(usize),
+    /// Done.
+    Finished,
+}
+
+struct ThreadState {
+    name: String,
+    status: Status,
+    /// FIFO arrival stamp for condvar wake order.
+    wait_stamp: u64,
+}
+
+/// One scheduling decision: `chosen` among `options` eligible threads.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    options: usize,
+    chosen: usize,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    /// The thread currently holding the execution token.
+    active: usize,
+    /// Lock id -> owning tid.
+    lock_owner: HashMap<usize, usize>,
+    /// Friendly names for lock/condvar/atomic ids.
+    names: HashMap<usize, String>,
+    /// Choice vector being replayed (prefix), then extended with 0s.
+    replay: Vec<usize>,
+    cursor: usize,
+    /// Choice log of this run (for DFS backtracking).
+    log: Vec<Choice>,
+    preemptions: usize,
+    trace: Vec<String>,
+    failure: Option<(FailureKind, String)>,
+    wait_counter: u64,
+    ops: usize,
+}
+
+/// Shared state of one schedule execution.
+pub(crate) struct RunCtx {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    /// Real OS threads still alive (driver waits for zero).
+    real_alive: AtomicUsize,
+    max_preemptions: usize,
+    max_ops: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<RunCtx>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The run context of the calling thread, if it is a controlled model
+/// thread inside an explorer run.
+pub(crate) fn current() -> Option<(Arc<RunCtx>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl RunCtx {
+    fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a primitive's display name (first writer wins).
+    pub(crate) fn register_name(&self, id: usize, name: &str) {
+        if name.is_empty() {
+            return;
+        }
+        let mut st = self.lock_state();
+        st.names.entry(id).or_insert_with(|| name.to_string());
+    }
+
+    fn describe(st: &SchedState, id: usize) -> String {
+        match st.names.get(&id) {
+            Some(n) => n.clone(),
+            None => format!("obj@{id:x}"),
+        }
+    }
+
+    fn record(&self, st: &mut SchedState, tid: usize, op: String) {
+        let name = st.threads[tid].name.clone();
+        st.trace.push(format!("t{tid}({name}): {op}"));
+        st.ops += 1;
+    }
+
+    fn set_failure(&self, st: &mut SchedState, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some((kind, message));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Aborts the calling thread if the run has failed. Must be called
+    /// with the state lock held; drops it before unwinding.
+    fn abort_if_failed<'a>(
+        &self,
+        st: StdMutexGuard<'a, SchedState>,
+    ) -> StdMutexGuard<'a, SchedState> {
+        if st.failure.is_some() {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        st
+    }
+
+    /// Whether `tid` could be granted the token right now.
+    fn eligible(st: &SchedState, tid: usize) -> bool {
+        match st.threads[tid].status {
+            Status::Runnable => true,
+            Status::WantLock(l) => !st.lock_owner.contains_key(&l),
+            Status::Waiting(..) => false,
+            Status::Joining(t) => st.threads[t].status == Status::Finished,
+            Status::Finished => false,
+        }
+    }
+
+    /// Grants the token to `tid` (resolving its blocking intent) and
+    /// wakes it.
+    fn grant(&self, st: &mut SchedState, tid: usize) {
+        match st.threads[tid].status {
+            Status::WantLock(l) => {
+                st.lock_owner.insert(l, tid);
+                let lock = Self::describe(st, l);
+                self.record(st, tid, format!("acquire [{lock}]"));
+            }
+            Status::Joining(_) | Status::Runnable => {}
+            Status::Waiting(..) | Status::Finished => {
+                unreachable!("granted a non-eligible thread")
+            }
+        }
+        st.threads[tid].status = Status::Runnable;
+        st.active = tid;
+        self.cv.notify_all();
+    }
+
+    /// The heart of the scheduler: picks the next thread to run. Called
+    /// at every schedule point after the caller updated its own status.
+    /// Returns with the state lock released and the calling thread
+    /// either granted (continue running) or — if it blocked and another
+    /// thread was granted — parked until granted.
+    fn schedule(&self, mut st: StdMutexGuard<'_, SchedState>, tid: usize) {
+        st = self.abort_if_failed(st);
+        if st.ops > self.max_ops {
+            self.set_failure(
+                &mut st,
+                FailureKind::OpsLimit,
+                format!("run exceeded {} operations (livelock?)", self.max_ops),
+            );
+            drop(st);
+            panic::panic_any(Abort);
+        }
+
+        let n = st.threads.len();
+        let mut eligible: Vec<usize> = Vec::with_capacity(n);
+        // Current thread first: choice 0 == "keep running" when possible,
+        // so the DFS base schedule is the natural uninterrupted one.
+        if Self::eligible(&st, tid) {
+            eligible.push(tid);
+        }
+        for t in 0..n {
+            if t != tid && Self::eligible(&st, t) {
+                eligible.push(t);
+            }
+        }
+
+        if eligible.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                // Clean end of the run.
+                self.cv.notify_all();
+                return;
+            }
+            self.report_deadlock(&mut st);
+            drop(st);
+            panic::panic_any(Abort);
+        }
+
+        let next = if eligible.len() == 1 {
+            eligible[0]
+        } else {
+            let current_runnable = eligible[0] == tid;
+            if current_runnable && st.preemptions >= self.max_preemptions {
+                // Preemption budget spent: forced to keep running (no
+                // choice point recorded, keeping the DFS tree bounded).
+                tid
+            } else {
+                let cursor = st.cursor;
+                let chosen = st.replay.get(cursor).copied().unwrap_or(0);
+                st.cursor += 1;
+                st.log.push(Choice {
+                    options: eligible.len(),
+                    chosen,
+                });
+                let pick = eligible[chosen.min(eligible.len() - 1)];
+                if current_runnable && pick != tid {
+                    st.preemptions += 1;
+                }
+                pick
+            }
+        };
+
+        self.grant(&mut st, next);
+        if next == tid {
+            return;
+        }
+        self.park(st, tid);
+    }
+
+    /// Records a deadlock failure with a summary of every blocked
+    /// thread (appended to the trace so the witness shows final states).
+    fn report_deadlock(&self, st: &mut SchedState) {
+        let mut blocked = Vec::new();
+        for (t, ts) in st.threads.iter().enumerate() {
+            let what = match ts.status {
+                Status::WantLock(l) => {
+                    format!("blocked acquiring [{}]", Self::describe(st, l))
+                }
+                Status::Waiting(cv, m) => format!(
+                    "waiting on condvar [{}] (reacquires [{}])",
+                    Self::describe(st, cv),
+                    Self::describe(st, m)
+                ),
+                Status::Joining(j) => {
+                    format!("joining t{j}({})", st.threads[j].name)
+                }
+                Status::Runnable | Status::Finished => continue,
+            };
+            blocked.push(format!("t{t}({}) {what}", ts.name));
+        }
+        let message = format!("deadlock: {}", blocked.join("; "));
+        for line in &blocked {
+            let line = line.clone();
+            st.trace.push(format!("-- {line}"));
+        }
+        self.set_failure(st, FailureKind::Deadlock, message);
+    }
+
+    /// Parks the calling thread until it is granted the token (status
+    /// back to `Runnable` and `active == tid`). State lock is consumed.
+    fn park(&self, mut st: StdMutexGuard<'_, SchedState>, tid: usize) {
+        loop {
+            st = self.abort_if_failed(st);
+            if st.active == tid && st.threads[tid].status == Status::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // ---- operations invoked by the sync shims ----
+
+    /// A plain schedule point (atomic ops, yields): records `op` and
+    /// lets the scheduler move the token.
+    pub(crate) fn point(&self, tid: usize, op: String) {
+        let mut st = self.lock_state();
+        st = self.abort_if_failed(st);
+        self.record(&mut st, tid, op);
+        self.schedule(st, tid);
+    }
+
+    /// Blocking lock acquisition.
+    pub(crate) fn acquire(&self, tid: usize, lock: usize) {
+        let mut st = self.lock_state();
+        st = self.abort_if_failed(st);
+        let name = Self::describe(&st, lock);
+        self.record(&mut st, tid, format!("want-lock [{name}]"));
+        st.threads[tid].status = Status::WantLock(lock);
+        self.schedule(st, tid);
+    }
+
+    /// Lock release. `reschedule` is false during panic unwinding,
+    /// where blocking again could turn one failure into a hang.
+    pub(crate) fn release(&self, tid: usize, lock: usize, reschedule: bool) {
+        let mut st = self.lock_state();
+        if st.lock_owner.get(&lock) == Some(&tid) {
+            st.lock_owner.remove(&lock);
+        }
+        let name = Self::describe(&st, lock);
+        self.record(&mut st, tid, format!("release [{name}]"));
+        if reschedule && st.failure.is_none() {
+            self.schedule(st, tid);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Condvar wait: atomically releases `lock` and blocks until
+    /// notified, then re-acquires `lock` before returning.
+    pub(crate) fn wait(&self, tid: usize, condvar: usize, lock: usize) {
+        let mut st = self.lock_state();
+        st = self.abort_if_failed(st);
+        if st.lock_owner.get(&lock) == Some(&tid) {
+            st.lock_owner.remove(&lock);
+        }
+        let cv_name = Self::describe(&st, condvar);
+        let lock_name = Self::describe(&st, lock);
+        self.record(
+            &mut st,
+            tid,
+            format!("wait [{cv_name}] releasing [{lock_name}]"),
+        );
+        st.wait_counter += 1;
+        st.threads[tid].wait_stamp = st.wait_counter;
+        st.threads[tid].status = Status::Waiting(condvar, lock);
+        self.schedule(st, tid);
+        // Granted again: the scheduler resolved our WantLock (set by a
+        // notify) and handed us the lock.
+    }
+
+    /// Wakes waiters of `condvar` (all, or the longest-waiting one).
+    /// Woken threads move to `WantLock` on their mutex — they still
+    /// contend for it like any other acquirer.
+    pub(crate) fn notify(&self, tid: usize, condvar: usize, all: bool) {
+        let mut st = self.lock_state();
+        st = self.abort_if_failed(st);
+        let mut waiters: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| matches!(st.threads[t].status, Status::Waiting(cv, _) if cv == condvar))
+            .collect();
+        waiters.sort_by_key(|&t| st.threads[t].wait_stamp);
+        if !all {
+            waiters.truncate(1);
+        }
+        let cv_name = Self::describe(&st, condvar);
+        let kind = if all { "notify-all" } else { "notify-one" };
+        self.record(
+            &mut st,
+            tid,
+            format!("{kind} [{cv_name}] wakes {} waiter(s)", waiters.len()),
+        );
+        for w in waiters {
+            if let Status::Waiting(_, m) = st.threads[w].status {
+                st.threads[w].status = Status::WantLock(m);
+            }
+        }
+        self.schedule(st, tid);
+    }
+
+    /// Accounts a newly spawned real OS thread (the driver waits for
+    /// the count to drop back to zero).
+    pub(crate) fn add_real_thread(&self) {
+        self.real_alive.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Registers a new controlled thread, returning its tid.
+    pub(crate) fn register_thread(&self, name: String) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(ThreadState {
+            name,
+            status: Status::Runnable,
+            wait_stamp: 0,
+        });
+        st.threads.len() - 1
+    }
+
+    /// First act of a spawned controlled thread: park until granted.
+    pub(crate) fn wait_for_first_grant(&self, tid: usize) {
+        let st = self.lock_state();
+        self.park(st, tid);
+    }
+
+    /// Blocking join on thread `target`.
+    pub(crate) fn join(&self, tid: usize, target: usize) {
+        let mut st = self.lock_state();
+        st = self.abort_if_failed(st);
+        let tname = st.threads[target].name.clone();
+        self.record(&mut st, tid, format!("join t{target}({tname})"));
+        st.threads[tid].status = Status::Joining(target);
+        self.schedule(st, tid);
+    }
+
+    /// Marks the calling thread finished and hands the token onward.
+    /// `outcome` is None for a clean exit, or the failure to record.
+    pub(crate) fn finish_thread(&self, tid: usize, outcome: Option<String>) {
+        let mut st = self.lock_state();
+        if let Some(message) = outcome {
+            self.record(&mut st, tid, format!("FAILED: {message}"));
+            self.set_failure(&mut st, FailureKind::Assertion, message);
+            st.threads[tid].status = Status::Finished;
+            drop(st);
+            return;
+        }
+        self.record(&mut st, tid, "finish".to_string());
+        st.threads[tid].status = Status::Finished;
+        if st.failure.is_some() {
+            drop(st);
+            return;
+        }
+        // Hand off without blocking (we are done): grant any eligible
+        // thread; if none and someone is stuck, that is a deadlock.
+        let n = st.threads.len();
+        let eligible: Vec<usize> = (0..n).filter(|&t| Self::eligible(&st, t)).collect();
+        if let Some(&next) = eligible.first() {
+            // No choice point: exploration of post-exit orderings adds
+            // nothing (the finished thread takes no further actions).
+            self.grant(&mut st, next);
+        } else if st.threads.iter().any(|t| t.status != Status::Finished) {
+            self.report_deadlock(&mut st);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Runs `f` as controlled thread `tid` of `ctx`: installs the
+/// thread-local run handle, waits for the first grant, and converts
+/// panics into run failures.
+pub(crate) fn trampoline<F: FnOnce()>(ctx: Arc<RunCtx>, tid: usize, f: F) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctx), tid)));
+    ctx.wait_for_first_grant(tid);
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    let outcome = match result {
+        Ok(()) => None,
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_some() {
+                // Failure already recorded by whoever set it. The
+                // decrement happens under the state lock so the driver's
+                // check-then-wait cannot miss the wake-up.
+                CURRENT.with(|c| *c.borrow_mut() = None);
+                let mut st = ctx.lock_state();
+                st.threads[tid].status = Status::Finished;
+                ctx.real_alive.fetch_sub(1, Ordering::Release);
+                drop(st);
+                ctx.cv.notify_all();
+                return;
+            } else if let Some(mf) = payload.downcast_ref::<ModelFailure>() {
+                Some(mf.0.clone())
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                Some(format!("model panicked: {s}"))
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Some(format!("model panicked: {s}"))
+            } else {
+                Some("model panicked".to_string())
+            }
+        }
+    };
+    ctx.finish_thread(tid, outcome);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    // Decrement under the state lock: the driver checks `real_alive`
+    // with the lock held before waiting, so this ordering guarantees it
+    // either sees zero or is already waiting when the notify fires.
+    let st = ctx.lock_state();
+    ctx.real_alive.fetch_sub(1, Ordering::Release);
+    drop(st);
+    ctx.cv.notify_all();
+}
+
+/// How the explorer walks the schedule tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Exhaustive depth-first enumeration of the preemption-bounded
+    /// schedule tree (up to the schedule budget).
+    Dfs,
+    /// Seeded pseudo-random schedule sampling: `runs` schedules with
+    /// choices drawn from an xorshift stream seeded per schedule.
+    Random {
+        /// Base seed; schedule `i` uses `seed + i`.
+        seed: u64,
+        /// Number of schedules to sample.
+        runs: usize,
+    },
+}
+
+/// Bounded exhaustive (or seeded-random) interleaving exploration of a
+/// deterministic model built on [`crate::sync`] primitives.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Preemptions allowed per schedule (switches away from a runnable
+    /// thread; blocking switches are free). 2 catches almost all real
+    /// bugs; 3 is thorough.
+    pub max_preemptions: usize,
+    /// Hard cap on schedules executed.
+    pub max_schedules: usize,
+    /// Per-schedule operation budget (livelock guard).
+    pub max_ops: usize,
+    /// Search strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_preemptions: 2,
+            max_schedules: 100_000,
+            max_ops: 20_000,
+            strategy: Strategy::Dfs,
+        }
+    }
+}
+
+impl Explorer {
+    /// An exhaustive explorer with the given preemption bound.
+    pub fn with_preemptions(max_preemptions: usize) -> Self {
+        Explorer {
+            max_preemptions,
+            ..Explorer::default()
+        }
+    }
+
+    /// Runs one schedule of `model` replaying `replay`, returning the
+    /// scheduler state after the run.
+    fn run_one<F>(&self, model: &Arc<F>, replay: Vec<usize>) -> SchedState
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let ctx = Arc::new(RunCtx {
+            state: StdMutex::new(SchedState {
+                threads: Vec::new(),
+                active: 0,
+                lock_owner: HashMap::new(),
+                names: HashMap::new(),
+                replay,
+                cursor: 0,
+                log: Vec::new(),
+                preemptions: 0,
+                trace: Vec::new(),
+                failure: None,
+                wait_counter: 0,
+                ops: 0,
+            }),
+            cv: StdCondvar::new(),
+            real_alive: AtomicUsize::new(0),
+            max_preemptions: self.max_preemptions,
+            max_ops: self.max_ops,
+        });
+        let tid = ctx.register_thread("main".to_string());
+        debug_assert_eq!(tid, 0);
+        ctx.real_alive.fetch_add(1, Ordering::AcqRel);
+        {
+            // Thread 0 starts granted.
+            let mut st = ctx.lock_state();
+            st.active = 0;
+            ctx.cv.notify_all();
+        }
+        let ctx2 = Arc::clone(&ctx);
+        let model = Arc::clone(model);
+        let handle = std::thread::Builder::new()
+            .name("ratel-check-model".to_string())
+            .spawn(move || trampoline(ctx2, 0, move || model()))
+            .unwrap_or_else(|e| panic!("spawn model thread: {e}"));
+
+        // Wait for every real thread of the run to exit.
+        {
+            let mut st = ctx.lock_state();
+            while ctx.real_alive.load(Ordering::Acquire) != 0 {
+                st = ctx.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            drop(st);
+        }
+        let _ = handle.join();
+        match Arc::try_unwrap(ctx) {
+            Ok(ctx) => ctx.state.into_inner().unwrap_or_else(|e| e.into_inner()),
+            Err(ctx) => {
+                // A detached model thread still holds a reference (it
+                // exited; the Arc drop just raced). Clone the state out.
+                let st = ctx.lock_state();
+                SchedState {
+                    threads: Vec::new(),
+                    active: 0,
+                    lock_owner: HashMap::new(),
+                    names: HashMap::new(),
+                    replay: Vec::new(),
+                    cursor: 0,
+                    log: st.log.clone(),
+                    preemptions: st.preemptions,
+                    trace: st.trace.clone(),
+                    failure: st.failure.clone(),
+                    wait_counter: 0,
+                    ops: st.ops,
+                }
+            }
+        }
+    }
+
+    /// Explores `model` under this explorer's bounds. Returns the first
+    /// property violation with its interleaving witness, or a report of
+    /// the clean exploration.
+    ///
+    /// The model must be deterministic: all scheduling nondeterminism
+    /// must flow through [`crate::sync`] primitives.
+    pub fn explore<F>(&self, model: F) -> Result<Report, CheckFailure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model = Arc::new(model);
+        match self.strategy {
+            Strategy::Dfs => self.explore_dfs(&model),
+            Strategy::Random { seed, runs } => self.explore_random(&model, seed, runs),
+        }
+    }
+
+    fn explore_dfs<F>(&self, model: &Arc<F>) -> Result<Report, CheckFailure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut replay: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        let mut max_ops = 0usize;
+        loop {
+            let st = self.run_one(model, replay.clone());
+            schedules += 1;
+            max_ops = max_ops.max(st.ops);
+            if let Some((kind, message)) = st.failure {
+                return Err(CheckFailure {
+                    kind,
+                    message,
+                    witness: st.trace,
+                    schedule: schedules - 1,
+                });
+            }
+            // Next schedule: increment the rightmost choice that still
+            // has unexplored options; drop everything after it.
+            let log = st.log;
+            let mut next: Option<Vec<usize>> = None;
+            for i in (0..log.len()).rev() {
+                if log[i].chosen + 1 < log[i].options {
+                    let mut r: Vec<usize> = log[..i].iter().map(|c| c.chosen).collect();
+                    r.push(log[i].chosen + 1);
+                    next = Some(r);
+                    break;
+                }
+            }
+            match next {
+                Some(r) if schedules < self.max_schedules => replay = r,
+                Some(_) => {
+                    return Ok(Report {
+                        schedules,
+                        complete: false,
+                        max_ops,
+                    })
+                }
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        complete: true,
+                        max_ops,
+                    })
+                }
+            }
+        }
+    }
+
+    fn explore_random<F>(
+        &self,
+        model: &Arc<F>,
+        seed: u64,
+        runs: usize,
+    ) -> Result<Report, CheckFailure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut max_ops = 0usize;
+        let runs = runs.min(self.max_schedules);
+        for i in 0..runs {
+            // A long pseudo-random choice vector; choices are taken
+            // modulo the live option count at each point.
+            let mut x = seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                | 1;
+            let replay: Vec<usize> = (0..self.max_ops)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % 4) as usize
+                })
+                .collect();
+            let st = self.run_one(model, replay);
+            max_ops = max_ops.max(st.ops);
+            if let Some((kind, message)) = st.failure {
+                return Err(CheckFailure {
+                    kind,
+                    message,
+                    witness: st.trace,
+                    schedule: i,
+                });
+            }
+        }
+        Ok(Report {
+            schedules: runs,
+            complete: false,
+            max_ops,
+        })
+    }
+}

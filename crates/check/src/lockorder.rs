@@ -1,0 +1,316 @@
+//! Runtime lock-order tracking (always on in debug builds).
+//!
+//! Every acquisition of a *named* [`crate::sync::Mutex`] pushes onto a
+//! thread-local held-lock stack and records `held → acquired` edges in a
+//! process-global acquisition graph. Two classes of bug fail fast at the
+//! point of the bug rather than as a rare production deadlock:
+//!
+//! * **Order cycles** — if thread A ever acquires `x` then `y` and
+//!   thread B ever acquires `y` then `x`, the second edge closes a cycle
+//!   in the graph and the acquisition panics with the full cycle path,
+//!   even if the two threads never actually collide in this run.
+//! * **Blocking under a lock** — long-latency operations (SSD I/O,
+//!   backoff sleeps, condvar waits with a foreign lock held) assert via
+//!   [`assert_blocking_ok`] that no tracked lock is held; PR 7 fixed two
+//!   such sleeps found by eye, this makes the class mechanically
+//!   excluded.
+//!
+//! All checks compile to no-ops in release builds; unnamed locks are
+//! never tracked.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// A recorded lock-order violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Acquiring `acquired` while holding `held` closes a cycle in the
+    /// acquisition graph; `cycle` is the path `acquired → … → held`.
+    OrderCycle {
+        /// Lock being acquired.
+        acquired: String,
+        /// Lock already held by this thread.
+        held: String,
+        /// Existing path from `acquired` back to `held`.
+        cycle: Vec<String>,
+    },
+    /// A blocking operation ran while tracked locks were held.
+    BlockingUnderLock {
+        /// Description of the blocking operation.
+        op: String,
+        /// Tracked locks held by this thread, outermost first.
+        held: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::OrderCycle {
+                acquired,
+                held,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "lock-order cycle: acquiring [{acquired}] while holding [{held}], \
+                     but the acquisition graph already orders {}",
+                    cycle.join(" -> ")
+                )
+            }
+            Violation::BlockingUnderLock { op, held } => {
+                write!(
+                    f,
+                    "blocking op ({op}) while holding tracked lock(s): [{}]",
+                    held.join("], [")
+                )
+            }
+        }
+    }
+}
+
+/// An acquisition graph over named locks with cycle detection.
+///
+/// [`global`] is the process-wide instance fed by
+/// [`crate::sync::Mutex`]; standalone instances are for tests.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    inner: StdMutex<GraphInner>,
+}
+
+#[derive(Debug, Default)]
+struct GraphInner {
+    /// Directed edges `before → after` between lock names.
+    edges: HashMap<String, HashSet<String>>,
+}
+
+impl LockGraph {
+    /// An empty acquisition graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a thread holding every lock in `held` (outermost
+    /// first) acquires `acquired`, and checks the combined graph for a
+    /// cycle. On success the new edges are kept; the first edge that
+    /// would close a cycle is rejected and returned.
+    pub fn check_acquire(&self, held: &[&str], acquired: &str) -> Result<(), Violation> {
+        if held.is_empty() {
+            return Ok(());
+        }
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for h in held {
+            if *h == acquired {
+                // Recursive re-acquisition is a std-mutex deadlock, but
+                // it deadlocks deterministically on the spot — the graph
+                // tracks cross-lock ordering only.
+                continue;
+            }
+            // Adding h -> acquired closes a cycle iff acquired already
+            // reaches h.
+            if let Some(path) = path_between(&g.edges, acquired, h) {
+                return Err(Violation::OrderCycle {
+                    acquired: acquired.to_string(),
+                    held: h.to_string(),
+                    cycle: path,
+                });
+            }
+            g.edges
+                .entry(h.to_string())
+                .or_default()
+                .insert(acquired.to_string());
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the recorded edges, sorted.
+    pub fn edges(&self) -> Vec<(String, String)> {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, String)> = g
+            .edges
+            .iter()
+            .flat_map(|(from, tos)| tos.iter().map(move |to| (from.clone(), to.clone())))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// BFS path `from → … → to` over `edges`, if one exists.
+fn path_between(
+    edges: &HashMap<String, HashSet<String>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut prev: HashMap<&str, &str> = HashMap::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(from);
+    prev.insert(from, from);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![to.to_string()];
+            let mut cur = to;
+            while prev[cur] != cur {
+                cur = prev[cur];
+                path.push(cur.to_string());
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(next) = edges.get(node) {
+            for n in next {
+                if !prev.contains_key(n.as_str()) {
+                    prev.insert(n, node);
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The process-global acquisition graph fed by named
+/// [`crate::sync::Mutex`] instances.
+pub fn global() -> &'static LockGraph {
+    static GLOBAL: OnceLock<LockGraph> = OnceLock::new();
+    GLOBAL.get_or_init(LockGraph::new)
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Tracked locks currently held by this thread, outermost first.
+pub fn held() -> Vec<&'static str> {
+    HELD.with(|h| h.borrow().clone())
+}
+
+/// RAII token for one tracked acquisition; dropping pops the held
+/// stack.
+#[derive(Debug)]
+pub struct Held {
+    name: &'static str,
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        HELD.with(|h| {
+            let mut stack = h.borrow_mut();
+            // Guards usually drop LIFO; drop-reordering (e.g. an early
+            // `drop(outer)`) removes the matching entry wherever it is.
+            if let Some(pos) = stack.iter().rposition(|n| *n == self.name) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Records a named-lock acquisition: checks the acquisition graph for a
+/// cycle (panicking with the cycle path on violation) and pushes the
+/// held stack. Returns `None` (no tracking) for unnamed locks and in
+/// release builds.
+pub fn on_lock(name: &'static str) -> Option<Held> {
+    if name.is_empty() || !cfg!(debug_assertions) {
+        return None;
+    }
+    HELD.with(|h| {
+        let stack = h.borrow();
+        if !stack.is_empty() {
+            if let Err(v) = global().check_acquire(&stack, name) {
+                drop(stack);
+                panic!("ratel-check lockorder: {v}");
+            }
+        }
+    });
+    HELD.with(|h| h.borrow_mut().push(name));
+    Some(Held { name })
+}
+
+/// Asserts (debug builds) that no tracked lock is held across a
+/// blocking operation `op` — SSD I/O, sleeps, channel sends that can
+/// park. Call this at the blocking point; it panics with the held-lock
+/// stack on violation.
+#[track_caller]
+pub fn assert_blocking_ok(op: &str) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let held = held();
+    if !held.is_empty() {
+        let v = Violation::BlockingUnderLock {
+            op: op.to_string(),
+            held: held.iter().map(|s| s.to_string()).collect(),
+        };
+        panic!("ratel-check lockorder: {v}");
+    }
+}
+
+/// Checks (debug builds) that a condvar wait on `own_lock` is not
+/// performed while holding any *other* tracked lock: the foreign lock
+/// stays locked for the whole wait, which is the classic shape of a
+/// condvar deadlock. Panics on violation.
+pub fn on_condvar_wait(own_lock: &'static str) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let foreign: Vec<&'static str> = held().into_iter().filter(|n| *n != own_lock).collect();
+    if !foreign.is_empty() {
+        let v = Violation::BlockingUnderLock {
+            op: format!("condvar wait on [{own_lock}]"),
+            held: foreign.iter().map(|s| s.to_string()).collect(),
+        };
+        panic!("ratel-check lockorder: {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_order_is_accepted() {
+        let g = LockGraph::new();
+        assert!(g.check_acquire(&["a"], "b").is_ok());
+        assert!(g.check_acquire(&["a", "b"], "c").is_ok());
+        assert!(g.check_acquire(&["a"], "c").is_ok());
+        // Same order again: idempotent.
+        assert!(g.check_acquire(&["a"], "b").is_ok());
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        let g = LockGraph::new();
+        assert!(g.check_acquire(&["a"], "b").is_ok());
+        let v = g.check_acquire(&["b"], "a").unwrap_err();
+        match v {
+            Violation::OrderCycle { acquired, held, .. } => {
+                assert_eq!(acquired, "a");
+                assert_eq!(held, "b");
+            }
+            other => panic!("expected OrderCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transitive_inversion_is_a_cycle() {
+        let g = LockGraph::new();
+        assert!(g.check_acquire(&["a"], "b").is_ok());
+        assert!(g.check_acquire(&["b"], "c").is_ok());
+        let v = g.check_acquire(&["c"], "a").unwrap_err();
+        match v {
+            Violation::OrderCycle { cycle, .. } => {
+                assert_eq!(cycle.first().map(String::as_str), Some("a"));
+                assert_eq!(cycle.last().map(String::as_str), Some("c"));
+            }
+            other => panic!("expected OrderCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_same_name_is_ignored_by_the_graph() {
+        let g = LockGraph::new();
+        assert!(g.check_acquire(&["a"], "a").is_ok());
+        assert!(g.edges().is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Model of the executor's dependency-counted ready queues.
+//!
+//! `core::engine::executor` gives every action a pending-dependency
+//! counter; each completed upstream does `fetch_sub(1)` and the thread
+//! that observes the count hit zero pushes the action onto its pool's
+//! ready queue and notifies. The model is two upstream completions
+//! feeding one downstream task and one worker draining the queue; the
+//! invariants are that the downstream is enqueued exactly once and the
+//! worker terminates.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sync::{thread, AtomicUsize, Condvar, Mutex};
+
+/// Which dependency-counting protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The shipped protocol: an atomic `fetch_sub` so exactly one
+    /// upstream observes the transition to zero.
+    Pristine,
+    /// Seeded bug: the decrement is a non-atomic load/store pair — two
+    /// upstreams can both read the same count, the transition to zero is
+    /// lost, and the worker waits forever for a task that is never
+    /// enqueued.
+    LostDecrement,
+}
+
+struct Pool {
+    deps: AtomicUsize,
+    queue: Mutex<VecDeque<usize>>,
+    ready: Condvar,
+    enqueues: AtomicUsize,
+}
+
+/// Runs the model once under the current scheduler: two upstream
+/// completions, one downstream task (id 7), one worker.
+pub fn run(variant: Variant) {
+    let pool = Arc::new(Pool {
+        deps: AtomicUsize::named("exec.deps", 2),
+        queue: Mutex::named("exec.queue", VecDeque::new()),
+        ready: Condvar::named("exec.ready"),
+        enqueues: AtomicUsize::named("exec.enqueues", 0),
+    });
+
+    let upstreams: Vec<_> = (0..2)
+        .map(|i| {
+            let pool = Arc::clone(&pool);
+            thread::spawn_named(if i == 0 { "up-0" } else { "up-1" }, move || {
+                let hit_zero = match variant {
+                    Variant::Pristine => pool.deps.fetch_sub(1, Ordering::AcqRel) == 1,
+                    Variant::LostDecrement => {
+                        let seen = pool.deps.load(Ordering::Acquire);
+                        pool.deps.store(seen - 1, Ordering::Release);
+                        seen == 1
+                    }
+                };
+                if hit_zero {
+                    let prior = pool.enqueues.fetch_add(1, Ordering::AcqRel);
+                    crate::check(
+                        prior == 0,
+                        "downstream enqueued twice: dependency count [exec.deps] hit zero \
+                         for two upstreams",
+                    );
+                    pool.queue.lock().push_back(7);
+                    pool.ready.notify_one();
+                }
+            })
+        })
+        .collect();
+
+    let worker = {
+        let pool = Arc::clone(&pool);
+        thread::spawn_named("worker", move || {
+            let mut q = pool.queue.lock();
+            while q.is_empty() {
+                pool.ready.wait(&mut q);
+            }
+            let task = q.pop_front();
+            crate::check(
+                task == Some(7),
+                format!("worker popped unexpected task {task:?} [exec.queue]"),
+            );
+        })
+    };
+
+    for u in upstreams {
+        u.join();
+    }
+    worker.join();
+}

@@ -1,0 +1,59 @@
+//! Two-lock ordering model.
+//!
+//! The smallest deadlock: two threads, two locks, opposite acquisition
+//! orders. The pristine variant fixes a global order (both threads take
+//! `a` then `b`); the inverted mutant is caught two independent ways —
+//! the explorer finds the interleaving where each thread holds one lock
+//! and wants the other (deadlock witness), and the
+//! [`crate::lockorder::LockGraph`] rejects the second acquisition edge
+//! as a cycle without needing the unlucky interleaving at all.
+
+use std::sync::Arc;
+
+use crate::sync::{thread, Mutex};
+
+/// Which acquisition order the two worker threads use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Both threads acquire `a` then `b` — a consistent global order.
+    Pristine,
+    /// Seeded bug: the second thread acquires `b` then `a`.
+    Inverted,
+}
+
+/// Runs the model once under the current scheduler.
+pub fn run(variant: Variant) {
+    let a = Arc::new(Mutex::named("model.lock_a", 0u32));
+    let b = Arc::new(Mutex::named("model.lock_b", 0u32));
+
+    let w1 = {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        thread::spawn_named("w1", move || {
+            let mut ga = a.lock();
+            let mut gb = b.lock();
+            *ga += 1;
+            *gb += 1;
+        })
+    };
+
+    let w2 = {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        thread::spawn_named("w2", move || match variant {
+            Variant::Pristine => {
+                let mut ga = a.lock();
+                let mut gb = b.lock();
+                *ga += 1;
+                *gb += 1;
+            }
+            Variant::Inverted => {
+                let mut gb = b.lock();
+                let mut ga = a.lock();
+                *ga += 1;
+                *gb += 1;
+            }
+        })
+    };
+
+    w1.join();
+    w2.join();
+}

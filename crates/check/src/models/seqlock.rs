@@ -1,0 +1,97 @@
+//! Model of the flight-recorder seqlock slot.
+//!
+//! `obs::flight` publishes events into a lock-free ring: the writer
+//! invalidates a slot's stamp (`0` = being written), stores the payload
+//! words, then publishes a non-zero stamp; the reader loads the stamp,
+//! copies the payload, re-loads the stamp, and accepts the copy only if
+//! the stamp was non-zero and unchanged. The model is one slot with a
+//! two-word payload whose invariant is that both words always equal the
+//! published version — a torn read is any accepted sample that mixes
+//! versions.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sync::{thread, AtomicU64};
+
+/// Which seqlock protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The shipped protocol: readers discard samples whose stamp is the
+    /// in-progress marker or changed across the payload copy.
+    Pristine,
+    /// Seeded bug: the reader ignores the in-progress stamp (the "odd
+    /// sequence number" of a classic seqlock) and accepts any sample
+    /// whose two stamp loads merely agree — a writer parked mid-payload
+    /// lets a torn sample through.
+    TornRead,
+}
+
+struct Slot {
+    stamp: AtomicU64,
+    d0: AtomicU64,
+    d1: AtomicU64,
+}
+
+/// Runs the model once under the current scheduler: one writer
+/// publishing versions 1..=2, one reader taking two samples.
+pub fn run(variant: Variant) {
+    let slot = Arc::new(Slot {
+        stamp: AtomicU64::named("flight.slot.stamp", 0),
+        d0: AtomicU64::named("flight.slot.d0", 0),
+        d1: AtomicU64::named("flight.slot.d1", 0),
+    });
+
+    let writer = {
+        let slot = Arc::clone(&slot);
+        thread::spawn_named("writer", move || {
+            for version in 1..=2u64 {
+                // Invalidate, write payload, publish — the flight.rs
+                // record() sequence.
+                slot.stamp.store(0, Ordering::Release);
+                slot.d0.store(version, Ordering::Relaxed);
+                slot.d1.store(version, Ordering::Relaxed);
+                slot.stamp.store(version, Ordering::Release);
+            }
+        })
+    };
+
+    let reader = {
+        let slot = Arc::clone(&slot);
+        thread::spawn_named("reader", move || {
+            for _ in 0..2 {
+                let s1 = slot.stamp.load(Ordering::Acquire);
+                if variant == Variant::Pristine && s1 == 0 {
+                    // In-progress marker: discard the sample.
+                    continue;
+                }
+                let r0 = slot.d0.load(Ordering::Relaxed);
+                let r1 = slot.d1.load(Ordering::Relaxed);
+                let s2 = slot.stamp.load(Ordering::Acquire);
+                if s1 != s2 {
+                    // Stamp moved underneath the copy: discard.
+                    continue;
+                }
+                crate::check(
+                    r0 == r1,
+                    format!(
+                        "torn seqlock read accepted: payload ({r0}, {r1}) mixes versions \
+                         at stamp {s1} [flight.slot.stamp]"
+                    ),
+                );
+                if s1 != 0 {
+                    crate::check(
+                        r0 == s1,
+                        format!(
+                            "seqlock sample payload {r0} does not match published stamp {s1} \
+                             [flight.slot.stamp]"
+                        ),
+                    );
+                }
+            }
+        })
+    };
+
+    writer.join();
+    reader.join();
+}

@@ -48,6 +48,16 @@ impl Stage {
             Stage::Optimizer => "optimizer",
         }
     }
+
+    /// This stage's position in [`Stage::ALL`] — the index used by
+    /// per-stage breakdown arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Forward => 0,
+            Stage::Backward => 1,
+            Stage::Optimizer => 2,
+        }
+    }
 }
 
 /// The kind of logical blob a task touches.

@@ -231,8 +231,8 @@ impl ConformanceMonitor {
                 bucket.push((s.start, layer, &s.label));
             }
         }
-        fwd.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite span times"));
-        bwd.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite span times"));
+        fwd.sort_by(|a, b| a.0.total_cmp(&b.0));
+        bwd.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in fwd.windows(2) {
             if w[1].1 <= w[0].1 {
                 findings.push(Finding {

@@ -15,7 +15,9 @@
 //! is bitwise identical to a legacy step and to the in-memory reference
 //! trainer — whatever worker count each pool runs.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use ratel_check::sync::Mutex;
 
 use ratel_sim::{TaskGraph, TaskId};
 use ratel_storage::telemetry::SpanCategory;
@@ -158,7 +160,13 @@ impl StepDag {
                 _ => None,
             };
             if let Some(pos) = gate {
-                let dep = gpu_seq[pos].expect("every layer has fwd and bwd compute tasks");
+                let dep = gpu_seq[pos].ok_or_else(|| {
+                    RatelError::InvalidConfig(vec![format!(
+                        "pacing edge for task {} gates on sequence slot {pos}, which has no \
+                         compute task — every layer must have fwd and bwd compute tasks",
+                        t.0
+                    )])
+                })?;
                 graph.add_dep(t, dep);
             }
         }
@@ -220,6 +228,17 @@ fn offload_f16(
 
 /// Fetches an f16 blob back to the GPU tier and removes it, returning
 /// the bytes — identical to the legacy engine's fetch helper.
+/// A step-DAG slot protocol violation: a task ran before the dependency
+/// that fills the slot it consumes. The verifier proves the plan's edges
+/// make this unreachable, so hitting it means executor or lowering bug —
+/// surfaced as a typed error so the step fails cleanly instead of
+/// panicking a worker.
+fn slot_violation(what: &str) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!(
+        "step-DAG slot protocol violated: expected {what}"
+    )))
+}
+
 fn fetch_f16(store: &TieredStore, key: &str) -> Result<Vec<u8>, StorageError> {
     store.move_to(key, Tier::Gpu)?;
     let bytes = store.read(key)?;
@@ -326,13 +345,10 @@ impl<'a> StepCtx<'a> {
     /// Consumes the context after a successful run, returning the loss
     /// and the overflow-skipped layers (sorted).
     pub(super) fn into_outcome(self) -> (f32, Vec<usize>) {
-        debug_assert!(self.flow.lock().unwrap().is_none(), "forward flow drained");
-        debug_assert!(
-            self.dflow.lock().unwrap().is_none(),
-            "backward flow drained"
-        );
-        let loss = *self.loss.lock().unwrap();
-        let mut skipped = self.skipped.lock().unwrap().clone();
+        debug_assert!(self.flow.lock().is_none(), "forward flow drained");
+        debug_assert!(self.dflow.lock().is_none(), "backward flow drained");
+        let loss = *self.loss.lock();
+        let mut skipped = self.skipped.lock().clone();
         skipped.sort_unstable();
         (loss, skipped)
     }
@@ -396,7 +412,7 @@ impl<'a> StepCtx<'a> {
     fn forward(&self, layer: usize) -> Result<(), StorageError> {
         let c = self.config.model;
         let l = c.layers;
-        let mut model = self.model.lock().expect("model lock");
+        let mut model = self.model.lock();
         self.load_params(&mut model, layer, 'f')?;
         let rec = self.store.telemetry();
         if layer == 0 {
@@ -408,18 +424,17 @@ impl<'a> StepCtx<'a> {
             if let Some(t) = t {
                 rec.record_span("gpu", SpanCategory::Forward, "fwd L0", t, rec.now());
             }
-            *self.flow.lock().expect("flow slot") = Some(x);
+            *self.flow.lock() = Some(x);
         } else if layer <= l {
             let b = layer - 1;
             let x = self
                 .flow
                 .lock()
-                .expect("flow slot")
                 .take()
-                .expect("forward flow produced by the previous layer");
+                .ok_or_else(|| slot_violation("forward flow produced by the previous layer"))?;
             // The block's input is its checkpoint (the inter-block A16);
             // the act-off task offloads these bytes after this kernel.
-            *self.pending_ckpt[b].lock().expect("ckpt slot") = Some(x.to_f16_bytes());
+            *self.pending_ckpt[b].lock() = Some(x.to_f16_bytes());
             let spec = self.dropout_spec(b);
             let t = rec.enabled().then(|| rec.now());
             let (y, mut saved) = model.blocks[b].forward_with(&x, spec);
@@ -434,16 +449,15 @@ impl<'a> StepCtx<'a> {
             }
             saved.quantize_f16();
             if self.config.act_decisions[b] != ActDecision::Recompute {
-                *self.pending_act[b].lock().expect("act slot") = Some(saved.to_f16_bytes());
+                *self.pending_act[b].lock() = Some(saved.to_f16_bytes());
             }
-            *self.flow.lock().expect("flow slot") = Some(y.quantize_f16());
+            *self.flow.lock() = Some(y.quantize_f16());
         } else {
             let x = self
                 .flow
                 .lock()
-                .expect("flow slot")
                 .take()
-                .expect("forward flow reaches the head");
+                .ok_or_else(|| slot_violation("forward flow reaches the head"))?;
             let t = rec.enabled().then(|| rec.now());
             let (loss, head_saved) = model.head.forward(&x, self.targets);
             if let Some(t) = t {
@@ -455,8 +469,8 @@ impl<'a> StepCtx<'a> {
                     rec.now(),
                 );
             }
-            *self.loss.lock().expect("loss slot") = loss;
-            *self.head.lock().expect("head slot") = Some((x, head_saved));
+            *self.loss.lock() = loss;
+            *self.head.lock() = Some((x, head_saved));
         }
         Ok(())
     }
@@ -468,11 +482,10 @@ impl<'a> StepCtx<'a> {
         let b = layer - 1;
         let ckpt = self.pending_ckpt[b]
             .lock()
-            .expect("ckpt slot")
             .take()
-            .expect("checkpoint pending after block forward");
+            .ok_or_else(|| slot_violation("checkpoint pending after block forward"))?;
         offload_f16(self.store, &ckpt_key(layer), ckpt, Tier::Host)?;
-        if let Some(act) = self.pending_act[b].lock().expect("act slot").take() {
+        if let Some(act) = self.pending_act[b].lock().take() {
             offload_f16(self.store, &act_key(b), act, Tier::Host)?;
         }
         Ok(())
@@ -482,11 +495,9 @@ impl<'a> StepCtx<'a> {
     /// arena for backward.
     fn act_up(&self, layer: usize) -> Result<(), StorageError> {
         let b = layer - 1;
-        *self.fetched_ckpt[b].lock().expect("ckpt slot") =
-            Some(fetch_f16(self.store, &ckpt_key(layer))?);
+        *self.fetched_ckpt[b].lock() = Some(fetch_f16(self.store, &ckpt_key(layer))?);
         if self.config.act_decisions[b] != ActDecision::Recompute {
-            *self.fetched_act[b].lock().expect("act slot") =
-                Some(fetch_f16(self.store, &act_key(b))?);
+            *self.fetched_act[b].lock() = Some(fetch_f16(self.store, &act_key(b))?);
         }
         Ok(())
     }
@@ -498,7 +509,7 @@ impl<'a> StepCtx<'a> {
         let c = self.config.model;
         let l = c.layers;
         let frozen = self.config.frozen_layers.contains(&layer);
-        let mut model = self.model.lock().expect("model lock");
+        let mut model = self.model.lock();
         let rec = self.store.telemetry();
         if layer == l + 1 {
             // Head: parameters are still resident from forward (the plan
@@ -506,9 +517,8 @@ impl<'a> StepCtx<'a> {
             let (x, head_saved) = self
                 .head
                 .lock()
-                .expect("head slot")
                 .take()
-                .expect("head forward parked its input");
+                .ok_or_else(|| slot_violation("head forward parked its input"))?;
             let t = rec.enabled().then(|| rec.now());
             let (dx, head_grads) =
                 model
@@ -523,9 +533,9 @@ impl<'a> StepCtx<'a> {
                     rec.now(),
                 );
             }
-            *self.dflow.lock().expect("dflow slot") = Some(dx);
+            *self.dflow.lock() = Some(dx);
             if !frozen {
-                *self.grads[layer].lock().expect("grad slot") = Some(head_grads);
+                *self.grads[layer].lock() = Some(head_grads);
             }
         } else if layer >= 1 {
             let b = layer - 1;
@@ -533,18 +543,16 @@ impl<'a> StepCtx<'a> {
             let rows = c.batch * c.seq;
             let ckpt = self.fetched_ckpt[b]
                 .lock()
-                .expect("ckpt slot")
                 .take()
-                .expect("checkpoint fetched before block backward");
+                .ok_or_else(|| slot_violation("checkpoint fetched before block backward"))?;
             let input = Tensor::from_f16_bytes(&[rows, c.hidden], &ckpt);
             let spec = self.dropout_spec(b);
-            let fetched = self.fetched_act[b].lock().expect("act slot").take();
+            let fetched = self.fetched_act[b].lock().take();
             let dx = self
                 .dflow
                 .lock()
-                .expect("dflow slot")
                 .take()
-                .expect("backward flow from the layer above");
+                .ok_or_else(|| slot_violation("backward flow from the layer above"))?;
             let t = rec.enabled().then(|| rec.now());
             let saved = match fetched {
                 Some(bytes) => {
@@ -568,25 +576,24 @@ impl<'a> StepCtx<'a> {
                     rec.now(),
                 );
             }
-            *self.dflow.lock().expect("dflow slot") = Some(dprev);
+            *self.dflow.lock() = Some(dprev);
             if !frozen {
-                *self.grads[layer].lock().expect("grad slot") = Some(grads);
+                *self.grads[layer].lock() = Some(grads);
             }
         } else {
             self.load_params(&mut model, 0, 'b')?;
             let dx = self
                 .dflow
                 .lock()
-                .expect("dflow slot")
                 .take()
-                .expect("backward flow reaches the embedding");
+                .ok_or_else(|| slot_violation("backward flow reaches the embedding"))?;
             let t = rec.enabled().then(|| rec.now());
             let emb_grads = model.embedding.backward(self.tokens, c.batch, c.seq, &dx);
             if let Some(t) = t {
                 rec.record_span("gpu", SpanCategory::Backward, "bwd L0", t, rec.now());
             }
             if !frozen {
-                *self.grads[0].lock().expect("grad slot") = Some(emb_grads);
+                *self.grads[0].lock() = Some(emb_grads);
             }
         }
         Ok(())
@@ -597,9 +604,8 @@ impl<'a> StepCtx<'a> {
     fn grad_off(&self, layer: usize) -> Result<(), StorageError> {
         let grads = self.grads[layer]
             .lock()
-            .expect("grad slot")
             .take()
-            .expect("backward produced this layer's gradient");
+            .ok_or_else(|| slot_violation("backward produced this layer's gradient"))?;
         let rec = self.store.telemetry();
         let t = rec.enabled().then(|| rec.now());
         offload_f16(self.store, &grad_key(layer), encode_f16(&grads), Tier::Host)?;
@@ -670,7 +676,7 @@ impl<'a> StepCtx<'a> {
             }
             let mut flat = Vec::new();
             state.write_flat_into(&mut flat);
-            *self.updates[layer].lock().expect("update slot") = Some(OptUpdate {
+            *self.updates[layer].lock() = Some(OptUpdate {
                 master,
                 moments: flat,
                 applied: true,
@@ -685,8 +691,8 @@ impl<'a> StepCtx<'a> {
                     rec.now(),
                 );
             }
-            self.skipped.lock().expect("skipped slot").push(layer);
-            *self.updates[layer].lock().expect("update slot") = Some(OptUpdate {
+            self.skipped.lock().push(layer);
+            *self.updates[layer].lock() = Some(OptUpdate {
                 master: Vec::new(),
                 moments: Vec::new(),
                 applied: false,
@@ -701,9 +707,8 @@ impl<'a> StepCtx<'a> {
     fn opt_write(&self, layer: usize) -> Result<(), StorageError> {
         let update = self.updates[layer]
             .lock()
-            .expect("update slot")
             .take()
-            .expect("opt-cpu parked this layer's update");
+            .ok_or_else(|| slot_violation("opt-cpu parked this layer's update"))?;
         if update.applied {
             let rec = self.store.telemetry();
             let t = rec.enabled().then(|| rec.now());

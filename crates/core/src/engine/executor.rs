@@ -20,8 +20,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+
+use ratel_check::sync::{Condvar, Mutex};
 
 use ratel_sim::meta::ResourceClass;
 use ratel_sim::{TaskGraph, TaskId};
@@ -128,11 +129,22 @@ struct Pool {
     ready: Condvar,
 }
 
+/// Static lock/condvar names per pool index, for the `ratel-check`
+/// lock-order tracker and exploration witnesses.
+const POOL_LOCK_NAMES: [(&str, &str); 5] = [
+    ("exec.queue.gpu", "exec.ready.gpu"),
+    ("exec.queue.cpu", "exec.ready.cpu"),
+    ("exec.queue.pcie_g2m", "exec.ready.pcie_g2m"),
+    ("exec.queue.pcie_m2g", "exec.ready.pcie_m2g"),
+    ("exec.queue.ssd", "exec.ready.ssd"),
+];
+
 impl Pool {
-    fn new() -> Self {
+    fn new(idx: usize) -> Self {
+        let (queue_name, ready_name) = POOL_LOCK_NAMES[idx];
         Pool {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
+            queue: Mutex::named(queue_name, VecDeque::new()),
+            ready: Condvar::named(ready_name),
         }
     }
 }
@@ -163,17 +175,14 @@ impl Shared {
     /// about to wait.
     fn wake_all(&self) {
         for pool in &self.pools {
-            drop(pool.queue.lock().expect("executor queue poisoned"));
+            drop(pool.queue.lock());
             pool.ready.notify_all();
         }
     }
 
     fn enqueue(&self, task: usize) {
         let pool = &self.pools[self.pool_of[task]];
-        pool.queue
-            .lock()
-            .expect("executor queue poisoned")
-            .push_back(task);
+        pool.queue.lock().push_back(task);
         pool.ready.notify_one();
     }
 
@@ -193,7 +202,7 @@ impl Shared {
     }
 
     fn fail(&self, error: RatelError) {
-        let mut slot = self.error.lock().expect("executor error slot poisoned");
+        let mut slot = self.error.lock();
         if slot.is_none() {
             *slot = Some(error);
         }
@@ -211,7 +220,7 @@ fn worker(shared: &Shared, pool_idx: usize, action: &dyn TaskAction) {
     let pool = &shared.pools[pool_idx];
     loop {
         let task = {
-            let mut queue = pool.queue.lock().expect("executor queue poisoned");
+            let mut queue = pool.queue.lock();
             loop {
                 if shared.finished() {
                     return;
@@ -219,7 +228,7 @@ fn worker(shared: &Shared, pool_idx: usize, action: &dyn TaskAction) {
                 if let Some(task) = queue.pop_front() {
                     break task;
                 }
-                queue = pool.ready.wait(queue).expect("executor queue poisoned");
+                pool.ready.wait(&mut queue);
             }
         };
         let start = Instant::now();
@@ -293,7 +302,7 @@ impl Executor {
         }
 
         let shared = Shared {
-            pools: (0..POOL_CLASSES.len()).map(|_| Pool::new()).collect(),
+            pools: (0..POOL_CLASSES.len()).map(Pool::new).collect(),
             remaining,
             dependents,
             pool_of,
@@ -301,7 +310,7 @@ impl Executor {
             done: AtomicUsize::new(0),
             total,
             abort: AtomicBool::new(false),
-            error: Mutex::new(None),
+            error: Mutex::named("exec.error", None),
         };
 
         // Seed the ready queues with the graph's sources before any
@@ -310,11 +319,7 @@ impl Executor {
         for t in 0..total {
             pool_tasks[shared.pool_of[t]] += 1;
             if shared.remaining[t].load(Ordering::Relaxed) == 0 {
-                shared.pools[shared.pool_of[t]]
-                    .queue
-                    .lock()
-                    .expect("executor queue poisoned")
-                    .push_back(t);
+                shared.pools[shared.pool_of[t]].queue.lock().push_back(t);
             }
         }
 
@@ -326,21 +331,25 @@ impl Executor {
                 let workers = (pool_tasks[idx] as usize).min(self.workers_per_pool);
                 for w in 0..workers {
                     let shared = &shared;
-                    std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name(format!("ratel-exec-{}-{w}", class.name()))
-                        .spawn_scoped(scope, move || worker(shared, idx, action))
-                        .expect("spawn executor worker");
+                        .spawn_scoped(scope, move || worker(shared, idx, action));
+                    if let Err(e) = spawned {
+                        // Abort the whole run: already-spawned workers
+                        // drain out via the abort flag and the error
+                        // surfaces below.
+                        shared.fail(RatelError::Runtime(format!(
+                            "spawn executor worker {w} for {}: {e}",
+                            class.name()
+                        )));
+                        return;
+                    }
                 }
             }
         });
         let wall_seconds = wall_start.elapsed().as_secs_f64();
 
-        if let Some(error) = shared
-            .error
-            .lock()
-            .expect("executor error slot poisoned")
-            .take()
-        {
+        if let Some(error) = shared.error.lock().take() {
             return Err(error);
         }
         let done = shared.done.load(Ordering::Acquire);
@@ -415,11 +424,11 @@ mod tests {
         let order = Mutex::new(Vec::new());
         let breakdown = Executor::new(2)
             .run(&g, &|t: TaskId| {
-                order.lock().unwrap().push(t.0);
+                order.lock().push(t.0);
                 Ok(())
             })
             .unwrap();
-        let order = order.into_inner().unwrap();
+        let order = order.into_inner();
         assert_eq!(breakdown.tasks_total, 4);
         let mut sorted = order.clone();
         sorted.sort_unstable();

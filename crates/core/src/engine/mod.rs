@@ -451,7 +451,7 @@ fn sample_from_logits(
         logits
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("non-empty vocabulary")
     };
@@ -460,7 +460,7 @@ fn sample_from_logits(
     }
     // Keep the top-k logits, softmax at the given temperature, sample.
     let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite logits"));
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
     indexed.truncate(top_k.min(indexed.len()));
     let max = indexed[0].1;
     let weights: Vec<f32> = indexed
@@ -722,7 +722,7 @@ impl RatelEngine {
             // Legacy stage loop: start the optimizer threads (state
             // prefetcher + updater), which consume gradient blobs as
             // they land in host memory.
-            let optimizer = self.start_optimizer(scale);
+            let optimizer = self.start_optimizer(scale)?;
             let loss = self.forward_backward(tokens, targets, scale, |eng, layer, grads| {
                 if eng.is_frozen(layer) {
                     return Ok(());
@@ -756,11 +756,11 @@ impl RatelEngine {
         scale: f32,
         opts: ExecutorOptions,
     ) -> Result<(f32, Vec<usize>, executor::TaskBreakdown), RatelError> {
-        let dag = Arc::clone(
-            self.step_dag
-                .as_ref()
-                .expect("executor mode lowers its step DAG at construction"),
-        );
+        let dag = Arc::clone(self.step_dag.as_ref().ok_or_else(|| {
+            RatelError::Runtime(
+                "executor step requested but no step DAG was lowered at construction".into(),
+            )
+        })?);
         let step_seed = self.dropout_step_seed();
         // The LR schedule runs on the wall-step clock (0-based).
         let mut adam = self.config.adam;
@@ -839,7 +839,7 @@ impl RatelEngine {
 
         // Final pass: merge with the accumulators, average, and stream to
         // the active optimizer.
-        let optimizer = self.start_optimizer(scale);
+        let optimizer = self.start_optimizer(scale)?;
         let (tokens, targets) = &micro_batches[n - 1];
         loss_sum += self.forward_backward(tokens, targets, scale, |eng, layer, mut grads| {
             if eng.is_frozen(layer) {
@@ -893,7 +893,7 @@ impl RatelEngine {
         Ok(())
     }
 
-    fn start_optimizer(&self, scale: f32) -> ActiveOptimizer {
+    fn start_optimizer(&self, scale: f32) -> Result<ActiveOptimizer, RatelError> {
         // The LR schedule runs on the wall-step clock (0-based).
         let mut adam = self.config.adam;
         adam.lr *= self.config.lr_schedule.factor(self.step - 1);
@@ -1018,7 +1018,7 @@ impl RatelEngine {
             Some(prefetch::ParamPrefetcher::start(
                 Arc::clone(&self.store),
                 self.stage_order(),
-            ))
+            )?)
         } else {
             None
         };
@@ -1280,7 +1280,7 @@ impl RatelEngine {
             let next = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("non-empty vocabulary");
             context.push(next);
@@ -1343,7 +1343,7 @@ impl RatelEngine {
                     .data()
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .expect("non-empty vocabulary");
                 assert!(next < c.vocab);

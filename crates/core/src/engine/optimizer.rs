@@ -67,6 +67,8 @@ impl ActiveOptimizer {
     /// `order` is the gradient arrival order (layer ids); `layer_steps`
     /// holds each layer's count of *applied* Adam updates so far (skipped
     /// overflow steps do not advance a layer's bias-correction clock).
+    /// Errors with [`RatelError::Runtime`] if a thread cannot be
+    /// spawned (any thread spawned before the failure is joined first).
     #[allow(clippy::too_many_arguments)]
     pub fn start(
         store: Arc<TieredStore>,
@@ -76,7 +78,7 @@ impl ActiveOptimizer {
         active: bool,
         loss_scale: f32,
         grad_clip: Option<f32>,
-    ) -> Self {
+    ) -> Result<Self, RatelError> {
         let (grad_tx, grad_rx) = unbounded::<GradMessage>();
 
         let (prefetcher, staged_rx) = if active {
@@ -107,7 +109,7 @@ impl ActiveOptimizer {
                     }
                     Ok(())
                 })
-                .expect("spawn prefetcher");
+                .map_err(|e| RatelError::Runtime(format!("spawn optimizer prefetcher: {e}")))?;
             (Some(handle), Some(staged_rx))
         } else {
             (None, None)
@@ -126,14 +128,26 @@ impl ActiveOptimizer {
                     loss_scale,
                     grad_clip,
                 )
-            })
-            .expect("spawn updater");
+            });
+        let updater = match updater {
+            Ok(h) => h,
+            Err(e) => {
+                // The updater (and its staged_rx) never existed: the
+                // prefetcher's bounded send fails once the window fills,
+                // so it drains out and can be joined.
+                drop(grad_tx);
+                if let Some(p) = prefetcher {
+                    let _ = p.join();
+                }
+                return Err(RatelError::Runtime(format!("spawn optimizer updater: {e}")));
+            }
+        };
 
-        ActiveOptimizer {
+        Ok(ActiveOptimizer {
             grad_tx: Some(grad_tx),
             updater: Some(updater),
             prefetcher,
-        }
+        })
     }
 
     /// Notifies the optimizer that a gradient blob is ready in host
@@ -153,14 +167,21 @@ impl ActiveOptimizer {
     /// gradient overflow.
     pub fn finish(mut self) -> Result<Vec<usize>, RatelError> {
         drop(self.grad_tx.take());
-        let updater_result = self
-            .updater
-            .take()
-            .expect("finish called once")
+        // `finish` consumes self, so the handle is present unless Drop
+        // already ran — which cannot happen — but degrade to a typed
+        // error rather than panicking on an impossible state.
+        let Some(updater) = self.updater.take() else {
+            return Err(RatelError::Runtime(
+                "optimizer updater handle already taken".into(),
+            ));
+        };
+        let updater_result = updater
             .join()
-            .expect("optimizer updater thread panicked");
+            .map_err(|_| RatelError::Runtime("optimizer updater thread panicked".into()))?;
         if let Some(p) = self.prefetcher.take() {
-            p.join().expect("optimizer prefetcher thread panicked")?;
+            p.join().map_err(|_| {
+                RatelError::Runtime("optimizer prefetcher thread panicked".into())
+            })??;
         }
         Ok(updater_result?)
     }
@@ -349,7 +370,8 @@ mod tests {
             true,
             1.0,
             None,
-        );
+        )
+        .unwrap();
         drop(opt);
         // Threads are gone; the states are wherever the prefetcher left
         // them but still consistent and movable.
@@ -372,7 +394,8 @@ mod tests {
             true,
             1.0,
             None,
-        );
+        )
+        .unwrap();
         store
             .put("layer0/grad", Tier::Host, encode_f16(&[0.5, -0.5]))
             .unwrap();

@@ -39,8 +39,9 @@ pub(crate) struct ParamPrefetcher {
 
 impl ParamPrefetcher {
     /// Spawns a prefetcher staging the P16 blobs of `order` (layer ids in
-    /// touch order) into the GPU tier.
-    pub(crate) fn start(store: Arc<TieredStore>, order: Vec<usize>) -> Self {
+    /// touch order) into the GPU tier. Errors if the prefetcher thread
+    /// cannot be spawned.
+    pub(crate) fn start(store: Arc<TieredStore>, order: Vec<usize>) -> Result<Self, StorageError> {
         let (tx, rx) = bounded::<Result<Staged, StorageError>>(WINDOW);
         let handle = std::thread::Builder::new()
             .name("ratel-param-prefetch".into())
@@ -72,21 +73,28 @@ impl ParamPrefetcher {
                     }
                 }
             })
-            .expect("spawn param prefetcher");
-        ParamPrefetcher {
+            .map_err(|e| {
+                StorageError::Io(std::io::Error::other(format!(
+                    "spawn param prefetcher: {e}"
+                )))
+            })?;
+        Ok(ParamPrefetcher {
             rx,
             handle: Some(handle),
             next_seq: 0,
-        }
+        })
     }
 
     /// Blocks until the next staged blob is available and returns its
     /// store key. The caller reads, decodes, and removes it.
     pub(crate) fn next(&mut self) -> Result<String, StorageError> {
-        let staged = self
-            .rx
-            .recv()
-            .expect("prefetcher dropped without finishing")?;
+        // A closed channel here means the prefetcher thread died without
+        // reporting its own error first (it always sends before exiting).
+        let staged = self.rx.recv().map_err(|_| {
+            StorageError::Io(std::io::Error::other(
+                "param prefetcher exited unexpectedly",
+            ))
+        })??;
         assert_eq!(staged.0, self.next_seq, "prefetch order mismatch");
         self.next_seq += 1;
         Ok(staged.1)
@@ -127,7 +135,7 @@ mod tests {
     fn stages_in_order_and_cleans_up() {
         let store = store_with_layers(3);
         let order = vec![0usize, 1, 2, 2, 1, 0];
-        let mut pf = ParamPrefetcher::start(Arc::clone(&store), order.clone());
+        let mut pf = ParamPrefetcher::start(Arc::clone(&store), order.clone()).unwrap();
         for (seq, layer) in order.iter().enumerate() {
             let staged = pf.next().unwrap();
             assert!(staged.contains(&format!("#pf{seq}")));
@@ -155,14 +163,14 @@ mod tests {
         store
             .put(&p16_key(0), Tier::Ssd, encode_f16(&[1.0; 8]))
             .unwrap();
-        let mut pf = ParamPrefetcher::start(Arc::clone(&store), vec![0]);
+        let mut pf = ParamPrefetcher::start(Arc::clone(&store), vec![0]).unwrap();
         assert!(pf.next().is_err());
     }
 
     #[test]
     fn early_drop_does_not_deadlock() {
         let store = store_with_layers(4);
-        let pf = ParamPrefetcher::start(store, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        let pf = ParamPrefetcher::start(store, vec![0, 1, 2, 3, 0, 1, 2, 3]).unwrap();
         drop(pf); // consumer abandons mid-stream
     }
 }

@@ -74,7 +74,7 @@ pub struct StepTelemetry {
 /// sorted set.
 fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
     iv.retain(|(s, e)| e > s);
-    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite span times"));
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
     for (s, e) in iv {
         match out.last_mut() {
@@ -222,11 +222,7 @@ impl StepTelemetry {
                         && layer_of(&s.label) == Some(layer)
                         && s.end >= pf.start
                 })
-                .min_by(|a, b| {
-                    a.1.start
-                        .partial_cmp(&b.1.start)
-                        .expect("finite span times")
-                });
+                .min_by(|a, b| a.1.start.total_cmp(&b.1.start));
             if let Some((i, c)) = consumer {
                 claimed[i] = true;
                 flows.push(FlowEvent {

@@ -29,6 +29,10 @@ pub enum RatelError {
     /// A checkpoint on disk is missing, torn, or fails its checksums —
     /// and no earlier good generation could be loaded either.
     CheckpointCorrupt(String),
+    /// The runtime itself failed: a worker/service thread could not be
+    /// spawned or died with a panic. Distinct from task errors — the
+    /// work may have been fine, the machinery running it was not.
+    Runtime(String),
 }
 
 impl fmt::Display for RatelError {
@@ -44,6 +48,7 @@ impl fmt::Display for RatelError {
             }
             RatelError::InvalidBatch(msg) => write!(f, "invalid batch: {msg}"),
             RatelError::CheckpointCorrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+            RatelError::Runtime(msg) => write!(f, "runtime: {msg}"),
         }
     }
 }
@@ -93,5 +98,8 @@ mod tests {
         assert!(RatelError::CheckpointCorrupt("torn".into())
             .to_string()
             .contains("torn"));
+        assert!(RatelError::Runtime("spawn failed".into())
+            .to_string()
+            .contains("spawn failed"));
     }
 }

@@ -200,8 +200,7 @@ impl ModelProfile {
             self.layers.iter().flat_map(|l| l.units.iter()).collect();
         units.sort_by(|a, b| {
             b.offloading_benefit()
-                .partial_cmp(&a.offloading_benefit())
-                .expect("benefits are finite")
+                .total_cmp(&a.offloading_benefit())
                 .then(a.layer.cmp(&b.layer))
         });
         units

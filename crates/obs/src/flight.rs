@@ -223,10 +223,9 @@ impl FlightRecorder {
         let n = raw.len().min(LABEL_BYTES);
         packed[..n].copy_from_slice(&raw[..n]);
         for (w, chunk) in packed.chunks_exact(8).enumerate() {
-            slot[4 + w].store(
-                u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")),
-                Ordering::Relaxed,
-            );
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            slot[4 + w].store(u64::from_le_bytes(word), Ordering::Relaxed);
         }
         slot[0].store(idx + 1, Ordering::Release); // publish
     }

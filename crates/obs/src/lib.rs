@@ -35,7 +35,7 @@ pub use metrics::{Counter, Gauge, Histogram, Registry};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-use parking_lot::Mutex;
+use ratel_check::sync::Mutex;
 
 /// The process-global metrics registry. Bridges all over the workspace
 /// publish into this one instance so a single export call sees the whole
@@ -48,7 +48,7 @@ pub fn registry() -> &'static Registry {
 fn postmortem_state() -> &'static Mutex<(Option<PathBuf>, Option<PathBuf>)> {
     // (configured dir, last dump path)
     static STATE: OnceLock<Mutex<(Option<PathBuf>, Option<PathBuf>)>> = OnceLock::new();
-    STATE.get_or_init(|| Mutex::new((None, None)))
+    STATE.get_or_init(|| Mutex::named("obs.postmortem", (None, None)))
 }
 
 /// Overrides where postmortem dumps are written (highest precedence;

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ratel_check::sync::Mutex;
 
 /// Number of histogram buckets (mirrors
 /// `ratel_storage::telemetry::HISTOGRAM_BUCKETS`).
@@ -188,9 +188,17 @@ struct Family {
 
 /// A metrics registry: named families of typed samples. See the module
 /// docs; most code uses the process-global [`crate::registry`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            families: Mutex::named("obs.registry", BTreeMap::new()),
+        }
+    }
 }
 
 fn label_key(labels: &[(&str, &str)]) -> String {

@@ -19,8 +19,7 @@ impl Eq for Waiting {}
 impl Ord for Waiting {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.ready
-            .partial_cmp(&other.ready)
-            .expect("ready times are finite")
+            .total_cmp(&other.ready)
             .then(self.id.cmp(&other.id))
     }
 }
@@ -42,10 +41,7 @@ impl Eq for Completion {}
 
 impl Ord for Completion {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at
-            .partial_cmp(&other.at)
-            .expect("times are finite")
-            .then(self.id.cmp(&other.id))
+        self.at.total_cmp(&other.at).then(self.id.cmp(&other.id))
     }
 }
 

@@ -93,7 +93,7 @@ impl SimReport {
             })
             .collect();
 
-        let stage_index = |s: Stage| Stage::ALL.iter().position(|x| *x == s).unwrap();
+        let stage_index = |s: Stage| s.index();
 
         let mut windows: [(f64, f64); 3] = [(f64::INFINITY, 0.0); 3];
         for (i, t) in graph.tasks.iter().enumerate() {
@@ -128,7 +128,7 @@ impl SimReport {
                 label: t.label.clone(),
             })
             .collect();
-        timeline.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        timeline.sort_by(|a, b| a.start.total_cmp(&b.start));
 
         SimReport {
             makespan,
@@ -215,7 +215,7 @@ impl SimReport {
     /// Busy fraction of `resource` within a stage's window — the paper's
     /// per-stage "PCIe utilization" numbers in Fig. 1.
     pub fn stage_utilization(&self, resource: ResourceId, stage: Stage) -> f64 {
-        let si = Stage::ALL.iter().position(|x| *x == stage).unwrap();
+        let si = stage.index();
         let d = self.stages[si].duration();
         if d == 0.0 {
             0.0
@@ -226,7 +226,7 @@ impl SimReport {
 
     /// The stage window report for `stage`.
     pub fn stage(&self, stage: Stage) -> StageReport {
-        let si = Stage::ALL.iter().position(|x| *x == stage).unwrap();
+        let si = stage.index();
         self.stages[si]
     }
 }

@@ -414,7 +414,7 @@ pub fn utilization_breakdown(report: &SimReport) -> Vec<UtilizationRow> {
             busy_by_stage: r.busy_by_stage,
         })
         .collect();
-    rows.sort_by(|a, b| b.busy.partial_cmp(&a.busy).expect("finite busy times"));
+    rows.sort_by(|a, b| b.busy.total_cmp(&a.busy));
     rows
 }
 
@@ -480,7 +480,7 @@ pub fn bubbles(report: &SimReport, resource: ResourceId, min_gap: f64) -> Vec<Bu
         .iter()
         .filter(|e| e.resource_id == resource)
         .collect();
-    slices.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+    slices.sort_by(|a, b| a.start.total_cmp(&b.start));
 
     let mut out = Vec::new();
     let mut cursor = 0.0_f64;
@@ -509,11 +509,7 @@ pub fn bubbles(report: &SimReport, resource: ResourceId, min_gap: f64) -> Vec<Bu
             before: None,
         });
     }
-    out.sort_by(|a, b| {
-        b.duration()
-            .partial_cmp(&a.duration())
-            .expect("finite durations")
-    });
+    out.sort_by(|a, b| b.duration().total_cmp(&a.duration()));
     out
 }
 
@@ -540,7 +536,7 @@ pub fn critical_resource(report: &SimReport) -> Option<ResourceId> {
         .iter()
         .enumerate()
         .filter(|(_, r)| r.busy > 0.0)
-        .max_by(|(_, a), (_, b)| a.busy.partial_cmp(&b.busy).expect("finite busy times"))
+        .max_by(|(_, a), (_, b)| a.busy.total_cmp(&b.busy))
         .map(|(ri, _)| ResourceId(ri))
 }
 

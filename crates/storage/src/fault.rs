@@ -24,7 +24,7 @@
 //!   injected sleep: SSD garbage-collection pauses and thermal
 //!   throttling. Numerics are untouched; only wall-clock suffers.
 
-use parking_lot::Mutex;
+use ratel_check::sync::Mutex;
 
 /// Which SSD-tier file operation a fault applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,9 +122,17 @@ struct Inner {
 /// advances on every consultation (including retries, which is what makes
 /// a [`FaultKind::Transient`] fault recoverable: the retry presents a new
 /// index that no longer matches the rule).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultPlan {
     inner: Mutex<Inner>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            inner: Mutex::named("storage.fault_plan", Inner::default()),
+        }
+    }
 }
 
 /// SplitMix64 — a tiny, dependency-free deterministic PRNG step, used to

@@ -5,7 +5,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use ratel_check::lockorder;
+use ratel_check::sync::{Condvar, Mutex, MutexGuard};
 
 use std::sync::Arc;
 
@@ -75,7 +76,9 @@ fn unique_temp_dir() -> PathBuf {
             .unwrap_or(0),
         n
     ));
-    fs::create_dir_all(&dir).expect("create ssd tier dir");
+    // Best-effort: `TieredStore::new` re-creates the directory and is
+    // the place that surfaces a typed error if the filesystem refuses.
+    let _ = fs::create_dir_all(&dir);
     dir
 }
 
@@ -165,22 +168,25 @@ impl TieredStore {
         fs::create_dir_all(&config.ssd_dir)?;
         Ok(TieredStore {
             config,
-            inner: Mutex::new(Inner {
-                mem: HashMap::new(),
-                ssd: HashMap::new(),
-                segments: HashMap::new(),
-                next_seg: 0,
-                pending: HashSet::new(),
-                gpu_used: 0,
-                host_used: 0,
-                ssd_used: 0,
-            }),
-            pending_cv: Condvar::new(),
+            inner: Mutex::named(
+                "store.inner",
+                Inner {
+                    mem: HashMap::new(),
+                    ssd: HashMap::new(),
+                    segments: HashMap::new(),
+                    next_seg: 0,
+                    pending: HashSet::new(),
+                    gpu_used: 0,
+                    host_used: 0,
+                    ssd_used: 0,
+                },
+            ),
+            pending_cv: Condvar::named("store.pending_cv"),
             traffic: TrafficCounters::default(),
-            throttle: Mutex::new([None; 4]),
+            throttle: Mutex::named("store.throttle", [None; 4]),
             telemetry: Arc::new(TelemetryRecorder::new()),
-            fault: Mutex::new(None),
-            retry: Mutex::new(RetryPolicy::default()),
+            fault: Mutex::named("store.fault", None),
+            retry: Mutex::named("store.retry", RetryPolicy::default()),
             host_spill: AtomicBool::new(false),
         })
     }
@@ -243,6 +249,10 @@ impl TieredStore {
     ) -> Result<T, StorageError> {
         let policy = *self.retry.lock();
         let plan = self.fault.lock().clone();
+        // The whole I/O + latency-spike + retry-backoff loop must run
+        // with no store lock held (PR 7 fixed two lock-held sleeps found
+        // by eye; this excludes the class mechanically in debug builds).
+        lockorder::assert_blocking_ok("ssd_io (file I/O, spikes, retry backoff)");
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
@@ -341,6 +351,7 @@ impl TieredStore {
         f: impl FnOnce() -> T,
     ) -> (MutexGuard<'a, Inner>, T) {
         drop(inner);
+        lockorder::assert_blocking_ok("run_unlocked slow path");
         let result = f();
         (self.inner.lock(), result)
     }
@@ -377,10 +388,10 @@ impl TieredStore {
     /// segment file to unlink if this was the last live blob; the caller
     /// unlinks best-effort *after* releasing the lock.
     fn release_segment(inner: &mut Inner, seg: u64) -> Option<u64> {
-        let live = inner
-            .segments
-            .get_mut(&seg)
-            .expect("segment of a live blob");
+        // A missing refcount would mean the index already forgot this
+        // segment; nothing to release, and unlinking now could race a
+        // concurrent reuse — leave the file for store-drop cleanup.
+        let live = inner.segments.get_mut(&seg)?;
         *live -= 1;
         if *live == 0 {
             inner.segments.remove(&seg);
@@ -414,23 +425,16 @@ impl TieredStore {
     /// Caps `route` at `bytes_per_sec` (None removes the cap). Transfers
     /// over a capped route block the calling thread for `bytes / rate`.
     pub fn set_throttle(&self, route: Route, bytes_per_sec: Option<f64>) {
-        let idx = Route::ALL
-            .iter()
-            .position(|r| *r == route)
-            .expect("known route");
-        self.throttle.lock()[idx] = bytes_per_sec;
+        self.throttle.lock()[route.index()] = bytes_per_sec;
     }
 
     /// Sleeps according to the route's throttle, if any.
     fn apply_throttle(&self, route: Route, bytes: u64) {
-        let idx = Route::ALL
-            .iter()
-            .position(|r| *r == route)
-            .expect("known route");
-        let rate = self.throttle.lock()[idx];
+        let rate = self.throttle.lock()[route.index()];
         if let Some(rate) = rate {
             if rate > 0.0 {
                 let secs = bytes as f64 / rate;
+                lockorder::assert_blocking_ok("throttle sleep");
                 std::thread::sleep(std::time::Duration::from_secs_f64(secs));
             }
         }
@@ -822,7 +826,10 @@ impl TieredStore {
         let len = match (current, target) {
             (Tier::Gpu, Tier::Host) | (Tier::Host, Tier::Gpu) => {
                 // Pure in-memory hop: no file I/O, finish under the lock.
-                let bytes = inner.mem.get(key).expect("checked").1.clone();
+                let bytes = match inner.mem.get(key) {
+                    Some((_, b)) => b.clone(),
+                    None => return Err(StorageError::NotFound(key.to_string())),
+                };
                 let len = bytes.len() as u64;
                 // The source still holds the blob while we check the
                 // target, which is how double-buffered transfers behave.
@@ -834,7 +841,10 @@ impl TieredStore {
                 len
             }
             (_, Tier::Ssd) => {
-                let bytes = inner.mem.get(key).expect("checked").1.clone();
+                let bytes = match inner.mem.get(key) {
+                    Some((_, b)) => b.clone(),
+                    None => return Err(StorageError::NotFound(key.to_string())),
+                };
                 let len = bytes.len() as u64;
                 self.check_fits(&inner, Tier::Ssd, len)?;
                 Self::add_used(&mut inner, Tier::Ssd, len as i64);
@@ -858,7 +868,10 @@ impl TieredStore {
                 len
             }
             (Tier::Ssd, _) => {
-                let loc = *inner.ssd.get(key).expect("checked");
+                let loc = match inner.ssd.get(key) {
+                    Some(loc) => *loc,
+                    None => return Err(StorageError::NotFound(key.to_string())),
+                };
                 let len = loc.len();
                 self.check_fits(&inner, target, len)?;
                 inner.pending.insert(key.to_string());

@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use ratel_check::sync::Mutex;
 use ratel_obs::EventKind;
 
 use crate::traffic::Route;
@@ -308,7 +308,7 @@ impl FaultStats {
 ///
 /// Disabled (the default) it records nothing and costs one relaxed atomic
 /// load per would-be event. Enabled, each event takes a short
-/// `parking_lot` critical section to push a span and bump route metrics.
+/// tracked critical section to push a span and bump route metrics.
 #[derive(Debug)]
 pub struct TelemetryRecorder {
     enabled: AtomicBool,
@@ -333,7 +333,7 @@ impl TelemetryRecorder {
         TelemetryRecorder {
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
-            shared: Mutex::new(Shared::default()),
+            shared: Mutex::named("storage.telemetry", Shared::default()),
             span_capacity: AtomicUsize::new(DEFAULT_SPAN_CAPACITY),
             dropped_spans: AtomicU64::new(0),
             retries: AtomicU64::new(0),

@@ -488,6 +488,13 @@ pub(crate) fn fma_available() -> bool {
 /// Runtime AVX2 check shared with the f16 decode path in `dtype.rs`.
 #[cfg(target_arch = "x86_64")]
 pub(crate) fn avx2_available() -> bool {
+    // Under miri the AVX2 intrinsics are unsupported, and
+    // RATEL_FORCE_SCALAR lets CI (or a bisecting human) pin the scalar
+    // kernels on any machine — both force the software paths, which are
+    // bitwise-identical to the SIMD ones by construction.
+    if cfg!(miri) || std::env::var_os("RATEL_FORCE_SCALAR").is_some() {
+        return false;
+    }
     static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2"))
 }

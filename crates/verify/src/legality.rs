@@ -28,10 +28,7 @@ fn required_class(op: OpClass) -> ResourceClass {
 }
 
 fn stage_index(s: Stage) -> usize {
-    Stage::ALL
-        .iter()
-        .position(|x| *x == s)
-        .expect("known stage")
+    s.index()
 }
 
 /// Runs the legality pass.

@@ -1,0 +1,683 @@
+//! `ratel-lint`: the workspace source lint gate.
+//!
+//! Scans first-party sources (`crates/*/src`, root `src/`, `tools/*/src`)
+//! for patterns that the concurrency audit (ISSUE 10) banned from library
+//! code:
+//!
+//! * **`no-unwrap`** — `.unwrap()` / `.expect(...)` in non-test library
+//!   code. Panics in the executor/storage/obs sync layer poison locks and
+//!   turn recoverable I/O faults into aborts; library code must surface
+//!   typed `RatelError` / `StorageError` values instead. Test modules
+//!   (`#[cfg(test)]`), `tests/` and `benches/` directories are exempt.
+//! * **`no-sleep-under-lock`** — `thread::sleep` while a lock guard from
+//!   a `.lock()` binding is live in the enclosing scope. Sleeping under a
+//!   lock serializes every other party on the sleeper's clock; back off
+//!   *after* dropping the guard (see `ratel_check::lockorder`, which
+//!   enforces the same rule at runtime in debug builds).
+//! * **`no-static-mut`** — `static mut` items; use interior mutability
+//!   through the checked primitives in `ratel_check::sync`.
+//! * **`no-wall-clock-in-sim`** — bare `Instant::now()` inside
+//!   `crates/sim`: the simulator must read its virtual clock so runs stay
+//!   deterministic and replayable.
+//!
+//! Findings are suppressed by `ratel-lint.allow` at the workspace root.
+//! Each non-comment line is `<rule> <path>` and waives that rule for that
+//! file; entries that match nothing are reported as stale (non-fatal).
+//! Exit status is non-zero iff any unsuppressed finding remains, so CI
+//! can use the binary as a hard gate.
+//!
+//! Vendored dependency shims under `vendor/` are third-party API surface
+//! and are not scanned.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A lint rule identifier, as used in findings and the allowlist.
+// Variants mirror the kebab-case rule names (`no-unwrap`, …) verbatim.
+#[allow(clippy::enum_variant_names)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    NoUnwrap,
+    NoSleepUnderLock,
+    NoStaticMut,
+    NoWallClockInSim,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoSleepUnderLock => "no-sleep-under-lock",
+            Rule::NoStaticMut => "no-static-mut",
+            Rule::NoWallClockInSim => "no-wall-clock-in-sim",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "no-unwrap" => Some(Rule::NoUnwrap),
+            "no-sleep-under-lock" => Some(Rule::NoSleepUnderLock),
+            "no-static-mut" => Some(Rule::NoStaticMut),
+            "no-wall-clock-in-sim" => Some(Rule::NoWallClockInSim),
+            _ => None,
+        }
+    }
+}
+
+/// One lint hit: rule, file, 1-based line, and the offending source line.
+struct Finding {
+    rule: Rule,
+    path: PathBuf,
+    line: usize,
+    text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule.name(),
+            self.text.trim()
+        )
+    }
+}
+
+/// Strips comments and string-literal contents from a source file so the
+/// pattern scans below do not fire on prose. Line structure is preserved
+/// (the output has the same number of lines as the input); string bodies
+/// are blanked rather than removed so column-free heuristics still see
+/// the surrounding tokens.
+fn sanitize(src: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied().unwrap_or('\0');
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => match c {
+                '/' if next == '/' => {
+                    st = St::LineComment;
+                    i += 2;
+                }
+                '/' if next == '*' => {
+                    st = St::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    cur.push('"');
+                    st = St::Str;
+                    i += 1;
+                }
+                '\'' => {
+                    // Char literal vs lifetime. A literal closes with a
+                    // `'` within a few chars (`'x'`, `'\n'`, `'\u{..}'`);
+                    // a lifetime never does. Blank literal bodies so
+                    // quotes and braces inside them don't confuse the
+                    // string/brace tracking.
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&'\\') {
+                        j += 2; // skip the escape introducer + escaped char
+                        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+                            j += 1;
+                        }
+                    } else if bytes.get(j).is_some_and(|c| *c != '\'') {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'\'') && j > i + 1 {
+                        cur.push_str("' '");
+                        i = j + 1;
+                    } else {
+                        cur.push('\'');
+                        i += 1;
+                    }
+                }
+                'r' if next == '"' || next == '#' => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        cur.push('"');
+                        st = St::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    cur.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Skip only the backslash when it escapes a newline
+                    // (string line-continuation), so the top-of-loop
+                    // newline handler still keeps line counts aligned.
+                    i += if next == '\n' { 1 } else { 2 };
+                } else if c == '"' {
+                    cur.push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.push('"');
+                        st = St::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.is_empty() || st == St::LineComment {
+        out.push(cur);
+    }
+    out
+}
+
+/// Marks each (sanitized) line that lies inside a `#[cfg(test)]` item —
+/// the module (or function) the attribute decorates, tracked by brace
+/// depth. Lines inside are exempt from `no-unwrap`.
+fn test_mask(lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // When inside a test item: the depth *outside* it; exit once depth
+    // returns to this value after the opening brace was consumed.
+    let mut in_test: Option<i64> = None;
+    let mut pending_attr = false;
+    let mut entered = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if let Some(outer) = in_test {
+            mask[idx] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth == outer {
+                            in_test = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[test]") {
+            pending_attr = true;
+        } else if pending_attr
+            && !trimmed.is_empty()
+            && !trimmed.starts_with("#[")
+            && !trimmed.starts_with("#!")
+        {
+            // The item the attribute decorates starts here.
+            in_test = Some(depth);
+            entered = false;
+            pending_attr = false;
+            mask[idx] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth == in_test.unwrap_or(0) {
+                            in_test = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// Scans one file and appends findings.
+fn scan_file(path: &Path, rel: &Path, findings: &mut Vec<Finding>) {
+    let Ok(src) = fs::read_to_string(path) else {
+        return;
+    };
+    let lines = sanitize(&src);
+    let in_test = test_mask(&lines);
+    let in_sim = rel.starts_with("crates/sim");
+
+    // Live lock-guard scopes: (binding name, brace depth at binding).
+    let mut guards: Vec<(String, i64)> = Vec::new();
+    let mut depth: i64 = 0;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let orig = src.lines().nth(idx).unwrap_or("").to_string();
+        let mut report = |rule: Rule| {
+            findings.push(Finding {
+                rule,
+                path: rel.to_path_buf(),
+                line: lineno,
+                text: orig.clone(),
+            });
+        };
+
+        if line.contains("static mut") {
+            report(Rule::NoStaticMut);
+        }
+        if in_sim && line.contains("Instant::now()") {
+            report(Rule::NoWallClockInSim);
+        }
+        // `.expect("` (string-literal message) rather than `.expect(`:
+        // panicking expects take a message, so this skips unrelated
+        // `Result`-returning parser methods that happen to share the
+        // name (`self.expect(b'{')?`). Sanitized strings keep their
+        // quotes, so the literal is still visible here.
+        if !in_test[idx] && (line.contains(".unwrap()") || line.contains(".expect(\"")) {
+            report(Rule::NoUnwrap);
+        }
+
+        // Guard-scope tracking for no-sleep-under-lock. A binding like
+        // `let g = x.lock();` (or `.lock().unwrap()`) opens a guard scope
+        // that closes when the enclosing block does or when `drop(g)` /
+        // `mem::drop(g)` runs. `let _ = x.lock()` drops immediately.
+        if !guards.is_empty() && line.contains("sleep(") {
+            report(Rule::NoSleepUnderLock);
+        }
+        if line.contains(".lock(") {
+            if let Some(name) = guard_binding(line) {
+                guards.push((name, depth));
+            }
+        }
+        for (j, _) in line.match_indices("drop(") {
+            let inner: String = line[j + 5..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|(n, _)| *n != inner);
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|(_, d)| *d <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Extracts the binding name from `let [mut] NAME = x.lock();` — but only
+/// when the binding actually *holds* the guard. `let v = *x.lock();`
+/// deref-copies and `x.lock().push(..)` / `.lock().clone()` hold only for
+/// the statement, so neither opens a scope (a deliberate
+/// under-approximation; `expect`/`unwrap`/`?` adapters are seen through).
+/// Expects a [`sanitize`]d line, so string literals are already blanked.
+fn guard_binding(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    let rhs = rest.split_once('=')?.1.trim_start();
+    if rhs.starts_with('*') {
+        return None; // deref-copy: the guard is a temporary
+    }
+    // After `.lock()`, only unwrap/expect/`?` may follow before the `;`;
+    // any further projection means the guard itself is not what's bound.
+    let tail = &line[line.rfind(".lock(")? + ".lock(".len()..];
+    let mut tail = tail.strip_prefix(')').unwrap_or(tail).trim_end();
+    tail = tail.strip_suffix(';').unwrap_or(tail);
+    loop {
+        let t = tail.trim_start();
+        tail = if let Some(r) = t.strip_prefix(".unwrap()") {
+            r
+        } else if let Some(r) = t.strip_prefix(".expect(\"\")") {
+            r
+        } else if let Some(r) = t.strip_prefix('?') {
+            r
+        } else {
+            break;
+        };
+    }
+    if !tail.trim().is_empty() {
+        return None;
+    }
+    Some(name)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `tests/`,
+/// `benches/`, `examples/`, and `target/` directories.
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "tests" | "benches" | "examples" | "target") {
+                continue;
+            }
+            collect(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace roots to scan, relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tools"];
+
+fn run(root: &Path, allow_path: &Path) -> ExitCode {
+    // Allowlist: `<rule> <path>` per line; `#` starts a comment.
+    let mut allow: Vec<(Rule, String, bool)> = Vec::new();
+    if let Ok(body) = fs::read_to_string(allow_path) {
+        for (n, raw) in body.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path)) = (parts.next(), parts.next()) else {
+                eprintln!(
+                    "ratel-lint: {}:{}: malformed allowlist entry: {raw:?}",
+                    allow_path.display(),
+                    n + 1
+                );
+                return ExitCode::from(2);
+            };
+            let Some(rule) = Rule::parse(rule) else {
+                eprintln!(
+                    "ratel-lint: {}:{}: unknown rule {rule:?}",
+                    allow_path.display(),
+                    n + 1
+                );
+                return ExitCode::from(2);
+            };
+            allow.push((rule, path.to_string(), false));
+        }
+    }
+
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        collect(&root.join(sub), &mut files);
+    }
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        scan_file(path, rel, &mut findings);
+    }
+
+    let mut shown = 0usize;
+    let mut suppressed = 0usize;
+    for f in &findings {
+        let rel = f.path.to_string_lossy();
+        let waived = allow.iter_mut().any(|(rule, path, used)| {
+            if *rule == f.rule && rel.as_ref() == path.as_str() {
+                *used = true;
+                true
+            } else {
+                false
+            }
+        });
+        if waived {
+            suppressed += 1;
+        } else {
+            println!("{f}");
+            shown += 1;
+        }
+    }
+    let stale: BTreeSet<String> = allow
+        .iter()
+        .filter(|(_, _, used)| !used)
+        .map(|(rule, path, _)| format!("{} {}", rule.name(), path))
+        .collect();
+    for entry in &stale {
+        eprintln!("ratel-lint: stale allowlist entry (matched nothing): {entry}");
+    }
+    eprintln!(
+        "ratel-lint: {} file(s), {} finding(s) ({} allowlisted)",
+        files.len(),
+        shown,
+        suppressed
+    );
+    if shown == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    let mut allow = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ratel-lint [--root <workspace-root>] [--allow <allowlist>]\n\
+                     Scans crates/, src/, and tools/ for banned patterns; exits 1 on findings."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ratel-lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: walk up from cwd to the directory holding Cargo.toml
+    // with a [workspace] table (cargo runs binaries from the workspace
+    // root, so cwd alone is usually right).
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let mut dir = cwd.as_path();
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(body) = fs::read_to_string(&manifest) {
+                if body.contains("[workspace]") {
+                    return dir.to_path_buf();
+                }
+            }
+            match dir.parent() {
+                Some(p) => dir = p,
+                None => return cwd,
+            }
+        }
+    });
+    let allow = allow.unwrap_or_else(|| root.join("ratel-lint.allow"));
+    run(&root, &allow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_src(src: &str, rel: &str) -> Vec<(Rule, usize)> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PROBE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ratel-lint-test-{}-{}",
+            std::process::id(),
+            PROBE.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("probe.rs");
+        fs::write(&file, src).unwrap();
+        let mut findings = Vec::new();
+        scan_file(&file, Path::new(rel), &mut findings);
+        let _ = fs::remove_dir_all(&dir);
+        findings.into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_in_library_code() {
+        let hits = scan_src("fn f() {\n    x.unwrap();\n}\n", "crates/x/src/lib.rs");
+        assert_eq!(hits, vec![(Rule::NoUnwrap, 2)]);
+    }
+
+    #[test]
+    fn skips_unwrap_in_cfg_test_module() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(scan_src(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn skips_unwrap_in_comments_and_strings() {
+        let src = "// call .unwrap() here\nfn f() { let s = \".unwrap()\"; }\n";
+        assert!(scan_src(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or_else(|e| e.into_inner()); }\n";
+        assert!(scan_src(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn flags_sleep_under_held_guard_but_not_after_drop() {
+        let src = "fn f() {\n    let g = m.lock();\n    thread::sleep(d);\n    drop(g);\n    thread::sleep(d);\n}\n";
+        assert_eq!(
+            scan_src(src, "crates/x/src/lib.rs"),
+            vec![(Rule::NoSleepUnderLock, 3)]
+        );
+    }
+
+    #[test]
+    fn deref_copy_and_projected_locks_hold_no_guard() {
+        // `*x.lock()` copies out and `.lock().clone()` projects; both drop
+        // the guard at the end of the statement.
+        let src = "fn f() {\n    let v = *x.lock();\n    let p = x.lock().clone();\n    thread::sleep(d);\n}\n";
+        assert!(scan_src(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn char_literals_do_not_break_string_or_brace_tracking() {
+        // A `'\"'` char literal must not flip string parity (or the later
+        // "static mut" string content would scan as code), and `'{'`
+        // must not perturb brace depth.
+        let src = "fn f(c: char) {\n    if c == '\"' {}\n    if c == '{' {}\n    let s = \"static mut\";\n}\n";
+        assert!(scan_src(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_lines_aligned() {
+        // The continuation makes the literal span lines 2-3, so the
+        // unwrap sits on line 4 — a sanitizer that swallowed the escaped
+        // newline would report it at 3.
+        let src = "fn f() {\n    let s = \"a \\\n        b\";\n    x.unwrap();\n}\n";
+        assert_eq!(
+            scan_src(src, "crates/x/src/lib.rs"),
+            vec![(Rule::NoUnwrap, 4)]
+        );
+    }
+
+    #[test]
+    fn guard_scope_ends_with_block() {
+        let src = "fn f() {\n    {\n        let g = m.lock();\n    }\n    thread::sleep(d);\n}\n";
+        assert!(scan_src(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn flags_static_mut_and_sim_wall_clock() {
+        let hits = scan_src("static mut X: u32 = 0;\n", "crates/x/src/lib.rs");
+        assert_eq!(hits, vec![(Rule::NoStaticMut, 1)]);
+        let hits = scan_src(
+            "fn f() { let t = Instant::now(); }\n",
+            "crates/sim/src/lib.rs",
+        );
+        assert_eq!(hits, vec![(Rule::NoWallClockInSim, 1)]);
+        // Outside crates/sim the wall clock is fine.
+        assert!(scan_src(
+            "fn f() { let t = Instant::now(); }\n",
+            "crates/x/src/lib.rs"
+        )
+        .is_empty());
+    }
+}
